@@ -1,0 +1,144 @@
+package mosaic_test
+
+// claims_test encodes the paper's qualitative claims as end-to-end checks
+// against the public API, at a scale small enough for the regular test
+// suite. EXPERIMENTS.md verifies the same claims at the paper's full scale.
+
+import (
+	"testing"
+
+	mosaic "repro"
+)
+
+// Paper §VI / Table I: the optimization algorithm's error is minimal; the
+// approximation lands within a few percent; both beat doing nothing.
+func TestClaimQualityOrdering(t *testing.T) {
+	input, target := scenes(t, 256)
+	errs := map[mosaic.Algorithm]int64{}
+	dev := mosaic.NewDevice(0)
+	for _, algo := range []mosaic.Algorithm{
+		mosaic.Optimization, mosaic.Approximation, mosaic.ParallelApproximation,
+		mosaic.GreedyBaseline, mosaic.IdentityBaseline,
+	} {
+		res, err := mosaic.Generate(input, target, mosaic.Options{
+			TilesPerSide: 16, Algorithm: algo, Device: dev,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		errs[algo] = res.TotalError
+	}
+	opt := errs[mosaic.Optimization]
+	if errs[mosaic.Approximation] < opt || errs[mosaic.ParallelApproximation] < opt {
+		t.Fatalf("an approximation beat the optimum: %v", errs)
+	}
+	if float64(errs[mosaic.Approximation]) > 1.05*float64(opt) {
+		t.Errorf("approximation %d more than 5%% above optimum %d (paper: ~2%%)",
+			errs[mosaic.Approximation], opt)
+	}
+	if errs[mosaic.GreedyBaseline] < errs[mosaic.Approximation] {
+		t.Errorf("greedy %d beat the local search %d", errs[mosaic.GreedyBaseline], errs[mosaic.Approximation])
+	}
+	if errs[mosaic.IdentityBaseline] <= errs[mosaic.Approximation] {
+		t.Errorf("identity %d not worse than local search %d", errs[mosaic.IdentityBaseline], errs[mosaic.Approximation])
+	}
+}
+
+// Paper §VI / Figure 7: quality improves as S grows (smaller tiles
+// reproduce the target more finely).
+func TestClaimErrorFallsWithS(t *testing.T) {
+	input, target := scenes(t, 256)
+	var prev int64 = -1
+	for _, tiles := range []int{8, 16, 32} {
+		res, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: tiles})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.TotalError >= prev {
+			t.Errorf("S=%d²: error %d did not fall below %d", tiles, res.TotalError, prev)
+		}
+		prev = res.TotalError
+	}
+}
+
+// Paper §IV-A: the sweep count k stays O(10) — the reason the O(kS²) local
+// search crushes the O(S³) matching at scale.
+func TestClaimPassCountSmall(t *testing.T) {
+	input, target := scenes(t, 256)
+	for _, tiles := range []int{8, 16} {
+		res, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: tiles})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SearchStats.Passes > 18 {
+			t.Errorf("S=%d²: k = %d (paper observes ≤ 9–16)", tiles, res.SearchStats.Passes)
+		}
+	}
+}
+
+// Paper §II: adjusting the input's intensity distribution to the target's
+// lowers the achievable error when the distributions are mismatched.
+func TestClaimHistogramMatchingHelps(t *testing.T) {
+	input, err := mosaic.Scene("tiffany", 256) // high-key
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := mosaic.Scene("sailboat", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 16, NoHistogramMatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.TotalError >= without.TotalError {
+		t.Errorf("histogram matching did not help: %d vs %d", with.TotalError, without.TotalError)
+	}
+}
+
+// Paper §IV-B: the serial and parallel local searches visit swaps in
+// different orders, so their errors differ slightly — but only slightly
+// ("the difference is small", and "the quality ... cannot be
+// distinguished").
+func TestClaimParallelQualityParity(t *testing.T) {
+	input, target := scenes(t, 256)
+	serial, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := mosaic.Generate(input, target, mosaic.Options{
+		TilesPerSide: 16, Algorithm: mosaic.ParallelApproximation, Device: mosaic.NewDevice(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(parallel.TotalError) / float64(serial.TotalError)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("parallel %d vs serial %d (ratio %.3f)", parallel.TotalError, serial.TotalError, ratio)
+	}
+}
+
+// Paper §III: the reduction means every exact matcher yields the same
+// minimum error regardless of algorithmic family — including the
+// general-graph blossom method the paper itself uses.
+func TestClaimReductionSolverIndependence(t *testing.T) {
+	input, target := scenes(t, 128)
+	var want int64 = -1
+	for _, s := range []mosaic.Solver{mosaic.SolverJV, mosaic.SolverHungarian, mosaic.SolverAuction, mosaic.SolverBlossom} {
+		res, err := mosaic.Generate(input, target, mosaic.Options{
+			TilesPerSide: 16, Algorithm: mosaic.Optimization, Solver: s,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if want < 0 {
+			want = res.TotalError
+		} else if res.TotalError != want {
+			t.Errorf("%s: %d, others %d", s, res.TotalError, want)
+		}
+	}
+}

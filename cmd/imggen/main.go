@@ -1,0 +1,80 @@
+// Command imggen renders the built-in synthetic scene library to disk — the
+// deterministic stand-ins for the USC-SIPI photographs the paper evaluates
+// on. Useful for inspecting the scenes and for feeding other tools.
+//
+//	imggen -out testimages -size 512            # all scenes as PNG
+//	imggen -out testimages -format pgm -color   # PGM/PPM variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	mosaic "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "imggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out    = flag.String("out", "testimages", "output directory")
+		size   = flag.Int("size", 512, "image side length")
+		format = flag.String("format", "png", "output format: png | pgm")
+		color  = flag.Bool("color", false, "also render the color variants")
+		only   = flag.String("scene", "", "render a single scene (default: all)")
+	)
+	flag.Parse()
+	if *format != "png" && *format != "pgm" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	names := mosaic.SceneNames()
+	if *only != "" {
+		names = []string{*only}
+	}
+	for _, name := range names {
+		img, err := mosaic.Scene(name, *size)
+		if err != nil {
+			return err
+		}
+		var path string
+		if *format == "png" {
+			path = filepath.Join(*out, name+".png")
+			err = mosaic.SavePNG(path, img)
+		} else {
+			path = filepath.Join(*out, name+".pgm")
+			err = mosaic.SavePGM(path, img)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(path)
+		if *color {
+			rgb, err := mosaic.SceneRGB(name, *size)
+			if err != nil {
+				return err
+			}
+			if *format == "png" {
+				path = filepath.Join(*out, name+"-color.png")
+				err = mosaic.SavePNGRGB(path, rgb)
+			} else {
+				path = filepath.Join(*out, name+"-color.ppm")
+				err = mosaic.SavePPM(path, rgb)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Println(path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	mosaic "repro"
+)
+
+func resetFlags(args ...string) {
+	flag.CommandLine = flag.NewFlagSet("imggen", flag.ContinueOnError)
+	os.Args = append([]string{"imggen"}, args...)
+}
+
+func TestGeneratesAllScenesAsPNG(t *testing.T) {
+	dir := t.TempDir()
+	resetFlags("-out", dir, "-size", "32")
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range mosaic.SceneNames() {
+		if _, err := os.Stat(filepath.Join(dir, name+".png")); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGeneratesSingleSceneAsPGMWithColor(t *testing.T) {
+	dir := t.TempDir()
+	resetFlags("-out", dir, "-size", "16", "-format", "pgm", "-color", "-scene", "lena")
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := mosaic.LoadPGM(filepath.Join(dir, "lena.pgm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 16 {
+		t.Errorf("size %d", img.W)
+	}
+	if _, err := mosaic.LoadPPM(filepath.Join(dir, "lena-color.ppm")); err != nil {
+		t.Errorf("color variant: %v", err)
+	}
+}
+
+func TestRejectsBadArguments(t *testing.T) {
+	resetFlags("-format", "bmp")
+	if err := run(); err == nil {
+		t.Error("accepted unknown format")
+	}
+	resetFlags("-out", t.TempDir(), "-scene", "not-a-scene")
+	if err := run(); err == nil {
+		t.Error("accepted unknown scene")
+	}
+}

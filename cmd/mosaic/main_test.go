@@ -1,0 +1,197 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	mosaic "repro"
+)
+
+// resetFlags lets each test drive run() with fresh flag state.
+func resetFlags(args ...string) {
+	flag.CommandLine = flag.NewFlagSet("mosaic", flag.ContinueOnError)
+	os.Args = append([]string{"mosaic"}, args...)
+}
+
+func TestRunSceneToScene(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.png")
+	resetFlags("-input", "lena", "-target", "sailboat", "-size", "64", "-tiles", "8", "-o", out, "-q")
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("output missing: %v", err)
+	}
+}
+
+func TestRunWithFileInputAndResampling(t *testing.T) {
+	dir := t.TempDir()
+	// A PGM input of non-matching size must be resampled.
+	src, err := mosaic.Scene("peppers", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "in.pgm")
+	if err := mosaic.SavePGM(in, src); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "m.pgm")
+	resetFlags("-input", in, "-target", "sailboat", "-size", "64", "-tiles", "8", "-o", out, "-q")
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mosaic.LoadPGM(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 64 {
+		t.Errorf("output size %d", got.W)
+	}
+}
+
+func TestRunAlgorithmsAndExtensions(t *testing.T) {
+	for _, args := range [][]string{
+		{"-algorithm", "optimization", "-solver", "hungarian"},
+		{"-algorithm", "approximation-parallel"},
+		{"-algorithm", "annealing"},
+		{"-rotations"},
+		{"-proxy", "2"},
+		{"-metric", "l2"},
+		{"-no-histogram-match"},
+	} {
+		out := filepath.Join(t.TempDir(), "m.png")
+		full := append([]string{"-input", "lena", "-target", "sailboat", "-size", "32", "-tiles", "4", "-o", out, "-q"}, args...)
+		resetFlags(full...)
+		if err := run(); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunColorPipeline(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.png")
+	resetFlags("-color", "-input", "peppers", "-target", "barbara", "-size", "32", "-tiles", "4", "-o", out, "-q")
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadArguments(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad-metric":    {"-metric", "l3"},
+		"bad-algorithm": {"-algorithm", "magic"},
+		"bad-input":     {"-input", "/nonexistent/file.pgm"},
+		"bad-extension": {"-input", "lena", "-target", "sailboat", "-o", "out.bmp"},
+		"bad-tiles":     {"-tiles", "7", "-size", "64"},
+	} {
+		resetFlags(append(args, "-q")...)
+		if err := run(); err == nil {
+			t.Errorf("%s: run() accepted %v", name, args)
+		}
+	}
+}
+
+func TestLoadGrayFromPNGAndPPM(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := mosaic.Scene("lena", 32)
+	pngPath := filepath.Join(dir, "x.png")
+	if err := mosaic.SavePNG(pngPath, src); err != nil {
+		t.Fatal(err)
+	}
+	img, err := loadGray(pngPath, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(src) {
+		t.Error("PNG round trip changed pixels")
+	}
+	rgb, _ := mosaic.SceneRGB("lena", 32)
+	ppmPath := filepath.Join(dir, "x.ppm")
+	if err := mosaic.SavePPM(ppmPath, rgb); err != nil {
+		t.Fatal(err)
+	}
+	gray, err := loadGray(ppmPath, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gray.Equal(rgb.Gray()) {
+		t.Error("PPM→gray conversion wrong")
+	}
+}
+
+func TestResizeRGBNearest(t *testing.T) {
+	m := mosaic.NewRGB(2, 2)
+	m.Set(0, 0, 10, 20, 30)
+	m.Set(1, 1, 40, 50, 60)
+	r := resizeRGBNearest(m, 4, 4)
+	if r.W != 4 || r.H != 4 {
+		t.Fatalf("geometry %dx%d", r.W, r.H)
+	}
+	if cr, _, _ := r.At(0, 0); cr != 10 {
+		t.Error("corner wrong")
+	}
+	if cr, _, _ := r.At(3, 3); cr != 40 {
+		t.Error("far corner wrong")
+	}
+}
+
+func TestRunColorWithFileInputs(t *testing.T) {
+	dir := t.TempDir()
+	in, err := mosaic.SceneRGB("peppers", 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPath := filepath.Join(dir, "in.ppm")
+	if err := mosaic.SavePPM(inPath, in); err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := mosaic.SceneRGB("barbara", 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgtPath := filepath.Join(dir, "tgt.png")
+	if err := mosaic.SavePNGRGB(tgtPath, tgt); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "m.ppm")
+	// Mismatched file size (48) exercises the color resampling path.
+	resetFlags("-color", "-input", inPath, "-target", tgtPath, "-size", "32", "-tiles", "4", "-o", out, "-q")
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mosaic.LoadPPM(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 32 {
+		t.Errorf("color output size %d", got.W)
+	}
+}
+
+func TestRunColorRejectsBadInputs(t *testing.T) {
+	resetFlags("-color", "-input", "/nope.gif", "-target", "barbara", "-size", "32", "-tiles", "4", "-q")
+	if err := run(); err == nil {
+		t.Error("accepted unsupported color input")
+	}
+	resetFlags("-color", "-input", "peppers", "-target", "barbara", "-size", "32", "-tiles", "4", "-o", "x.bmp", "-q")
+	if err := run(); err == nil {
+		t.Error("accepted unsupported color output extension")
+	}
+}
+
+func TestSaveGrayPGMPath(t *testing.T) {
+	img, _ := mosaic.Scene("lena", 16)
+	p := filepath.Join(t.TempDir(), "y.pgm")
+	if err := saveGray(p, img); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mosaic.LoadPGM(p)
+	if err != nil || !back.Equal(img) {
+		t.Error("saveGray PGM round trip failed")
+	}
+}

@@ -1,0 +1,178 @@
+// Command mosaicbench regenerates the paper's evaluation: Tables I–IV and
+// the image panels of Figures 2, 7 and 8.
+//
+// Modes:
+//
+//	mosaicbench -quick              # 512/1024 images, one pair (minutes)
+//	mosaicbench -full               # the paper's full grid (can take long)
+//	mosaicbench -table 2            # a single table
+//	mosaicbench -figures -out dir   # write the figure PNGs
+//
+// On hosts with few cores the wall-clock GPU columns cannot show parallel
+// speedups; pass -virtual-sms 15 to switch the GPU columns to the device's
+// virtual clock (a discrete-event simulation of a K40-class accelerator;
+// see internal/cuda), optionally tuning -launch-overhead and
+// -virtual-cores-per-sm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mosaicbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick          = flag.Bool("quick", false, "laptop-scale subset (512/1024 images, one pair)")
+		full           = flag.Bool("full", false, "the paper's full grid (512/1024/2048 × 16/32/64 × 4 pairs)")
+		table          = flag.Int("table", 0, "run a single table (1–4); 0 runs all")
+		figures        = flag.Bool("figures", false, "render the Figure 2/7/8 panels")
+		out            = flag.String("out", "", "directory for figure PNGs (empty: metadata only)")
+		sizes          = flag.String("sizes", "", "comma-separated image sizes overriding the mode (e.g. 512,1024)")
+		tileCounts     = flag.String("tiles", "", "comma-separated tiles-per-side overriding the mode (e.g. 16,32,64)")
+		pairs          = flag.Int("pairs", 0, "number of scene pairs to average over (1–4); 0 keeps the mode default")
+		workers        = flag.Int("workers", 0, "device workers (0 = all cores)")
+		maxOptS        = flag.Int("max-opt-s", 0, "skip exact matching above this tile count S (0 = never)")
+		virtualSMs     = flag.Int("virtual-sms", 0, "simulate a device with this many SMs for the GPU columns (0 = wall clock)")
+		launchOverhead = flag.Duration("launch-overhead", 3*time.Microsecond, "per-kernel-launch charge in virtual mode")
+		coresPerSM     = flag.Int("virtual-cores-per-sm", 32, "modelled intra-block thread parallelism in virtual mode")
+		csvPath        = flag.String("csv", "", "also write the sweep cells as CSV to this file (tables mode only)")
+	)
+	flag.Parse()
+
+	cfg := experiments.QuickConfig()
+	switch {
+	case *full:
+		cfg = experiments.NewConfig()
+	case *quick:
+		// default
+	}
+	cfg.Out = os.Stdout
+	cfg.Workers = *workers
+	cfg.MaxOptimizationS = *maxOptS
+	cfg.VirtualSMs = *virtualSMs
+	cfg.VirtualLaunchOverhead = *launchOverhead
+	cfg.VirtualCoresPerSM = *coresPerSM
+	if *sizes != "" {
+		v, err := parseInts(*sizes)
+		if err != nil {
+			return fmt.Errorf("-sizes: %w", err)
+		}
+		cfg.Sizes = v
+	}
+	if *tileCounts != "" {
+		v, err := parseInts(*tileCounts)
+		if err != nil {
+			return fmt.Errorf("-tiles: %w", err)
+		}
+		cfg.TileCounts = v
+	}
+	if *pairs > 0 {
+		all := experiments.PaperPairs()
+		if *pairs > len(all) {
+			return fmt.Errorf("-pairs: at most %d", len(all))
+		}
+		cfg.Pairs = all[:*pairs]
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	banner(cfg)
+	if *figures {
+		if _, err := cfg.Figure1(*out); err != nil {
+			return err
+		}
+		fmt.Println()
+		if _, err := cfg.Figure2(*out); err != nil {
+			return err
+		}
+		fmt.Println()
+		if _, err := cfg.Figure7(*out); err != nil {
+			return err
+		}
+		fmt.Println()
+		if _, err := cfg.Figure8(*out); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	var cells []*experiments.Cell
+	var err error
+	switch *table {
+	case 0:
+		cells, err = cfg.RunAllTables()
+	case 1:
+		cells, err = cfg.Table1()
+	case 2, 3, 4:
+		cells, err = cfg.Sweep()
+		if err == nil {
+			switch *table {
+			case 2:
+				cfg.Table2(cells)
+			case 3:
+				cfg.Table3(cells)
+			case 4:
+				cfg.Table4(cells)
+			}
+		}
+	default:
+		return fmt.Errorf("-table must be 0–4")
+	}
+	if err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteCellsCSV(cells, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nsweep cells written to %s\n", *csvPath)
+	}
+	return nil
+}
+
+func banner(cfg experiments.Config) {
+	mode := "wall-clock"
+	if cfg.VirtualSMs > 0 {
+		mode = fmt.Sprintf("virtual device: %d SMs, %v/launch", cfg.VirtualSMs, cfg.VirtualLaunchOverhead)
+	}
+	var ps []string
+	for _, p := range cfg.Pairs {
+		ps = append(ps, p.String())
+	}
+	fmt.Printf("photomosaic evaluation — sizes %v, tiles/side %v, GPU columns: %s\n", cfg.Sizes, cfg.TileCounts, mode)
+	fmt.Printf("pairs: %s\n\n", strings.Join(ps, "; "))
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

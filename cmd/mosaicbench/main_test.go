@@ -1,0 +1,104 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func resetFlags(args ...string) {
+	flag.CommandLine = flag.NewFlagSet("mosaicbench", flag.ContinueOnError)
+	os.Args = append([]string{"mosaicbench"}, args...)
+}
+
+// captureStdout routes the harness tables away from the test log.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func TestSingleTableTinyGrid(t *testing.T) {
+	resetFlags("-sizes", "32", "-tiles", "4", "-pairs", "1", "-table", "1")
+	out, err := captureStdout(t, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "Table I") {
+		t.Errorf("missing table header in %q", out)
+	}
+}
+
+func TestVirtualModeTinyGrid(t *testing.T) {
+	resetFlags("-sizes", "32", "-tiles", "4", "-pairs", "1", "-table", "3", "-virtual-sms", "4")
+	out, err := captureStdout(t, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "virtual device") || !contains(out, "Table III") {
+		t.Errorf("virtual mode output wrong: %q", out)
+	}
+}
+
+func TestFiguresTinyGrid(t *testing.T) {
+	dir := t.TempDir()
+	resetFlags("-sizes", "32", "-tiles", "4", "-pairs", "2", "-figures", "-out", dir)
+	if _, err := captureStdout(t, run); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig2-input.png")); err != nil {
+		t.Errorf("figure panel missing: %v", err)
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	cases := map[string][]string{
+		"bad-table":       {"-table", "9"},
+		"bad-sizes":       {"-sizes", "abc"},
+		"bad-tiles":       {"-tiles", "-3"},
+		"too-many-pairs":  {"-pairs", "9"},
+		"indivisible":     {"-sizes", "100", "-tiles", "7", "-table", "1"},
+		"bad-virtual-sms": {"-sizes", "32", "-tiles", "4", "-table", "2", "-virtual-sms", "2", "-launch-overhead", "-1us"},
+	}
+	for name, args := range cases {
+		resetFlags(args...)
+		if _, err := captureStdout(t, run); err == nil {
+			t.Errorf("%s: accepted %v", name, args)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+func TestCSVOutput(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "cells.csv")
+	resetFlags("-sizes", "32", "-tiles", "4", "-pairs", "1", "-table", "2", "-csv", csvPath)
+	if _, err := captureStdout(t, run); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "image_size") || !strings.Contains(string(data), "32,4,16") {
+		t.Errorf("csv content unexpected: %s", data)
+	}
+}

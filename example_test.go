@@ -1,0 +1,88 @@
+package mosaic_test
+
+import (
+	"fmt"
+	"log"
+
+	mosaic "repro"
+)
+
+// The scene generators and every algorithm in the library are fully
+// deterministic, so these examples have stable outputs and double as
+// regression tests for the headline numbers.
+
+// Example generates a small photomosaic with the paper's default
+// configuration (histogram matching, L1 error, the Algorithm-1 local
+// search) and reports the Eq. (2) error.
+func Example() {
+	input, err := mosaic.Scene("lena", 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := mosaic.Scene("sailboat", 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("total error:", res.TotalError)
+	fmt.Println("passes:", res.SearchStats.Passes)
+	// Output:
+	// total error: 129680
+	// passes: 7
+}
+
+// ExampleGenerate_optimization contrasts the exact matching of §III with
+// the local-search approximation on the same pair: the optimum is lower,
+// but only slightly — the paper's Table I observation.
+func ExampleGenerate_optimization() {
+	input, _ := mosaic.Scene("lena", 128)
+	target, _ := mosaic.Scene("sailboat", 128)
+	opt, err := mosaic.Generate(input, target, mosaic.Options{
+		TilesPerSide: 16,
+		Algorithm:    mosaic.Optimization,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimization:", opt.TotalError)
+	fmt.Println("approximation is optimal or worse:", app.TotalError >= opt.TotalError)
+	// Output:
+	// optimization: 127550
+	// approximation is optimal or worse: true
+}
+
+// ExampleNewColoring shows the precomputed edge coloring that schedules the
+// parallel local search (§IV-B): K_16 needs exactly 15 colors (Theorem 1),
+// and the first class is the one printed in the paper.
+func ExampleNewColoring() {
+	c := mosaic.NewColoring(16)
+	fmt.Println("colors:", c.NumColors())
+	first := c.Classes[0]
+	// 1-based like the paper's listing.
+	fmt.Printf("P1 = (%d,%d) (%d,%d) ...\n", first[0].U+1, first[0].V+1, first[1].U+1, first[1].V+1)
+	// Output:
+	// colors: 15
+	// P1 = (1,2) (3,15) ...
+}
+
+// ExampleHistogramMatch demonstrates the §II preprocessing: the input's
+// intensity distribution is reshaped to the target's before rearrangement.
+func ExampleHistogramMatch() {
+	input, _ := mosaic.Scene("tiffany", 64) // high-key: bright, compressed
+	target, _ := mosaic.Scene("sailboat", 64)
+	matched, err := mosaic.HistogramMatch(input, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input mean %.0f → matched mean %.0f (target %.0f)\n",
+		input.MeanIntensity(), matched.MeanIntensity(), target.MeanIntensity())
+	// Output:
+	// input mean 190 → matched mean 152 (target 150)
+}

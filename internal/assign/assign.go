@@ -1,0 +1,104 @@
+// Package assign solves the linear assignment problem (LAP): given a dense
+// n×n cost matrix, find a permutation matching every row to a distinct
+// column with minimum total cost.
+//
+// This is the paper's optimization algorithm (§III): rearranging tiles is
+// reduced to minimum-weight perfect matching on the complete bipartite graph
+// whose weights are the Step-2 tile errors. The authors solve the matching
+// with Blossom V; because the graph is bipartite, the dedicated LAP solvers
+// here reach the same optimum (see DESIGN.md for the substitution note).
+// Three exact solvers with different performance profiles are provided —
+// Hungarian (successive shortest paths), Jonker–Volgenant (the standard fast
+// dense LAP algorithm) and an ε-scaling auction — plus greedy and random
+// baselines and a brute-force oracle for cross-checking.
+//
+// Cost-matrix convention: w[u*n+v] is the cost of assigning row u (input
+// tile u) to column v (target position v). Every solver returns p with
+// p[v] = u — for each target position, the input tile placed there — which
+// is the orientation tile.Grid.Assemble consumes.
+package assign
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// Cost is one assignment cost. It aliases metric.Cost so Step-2 matrices
+// flow into the solvers without conversion.
+type Cost = int32
+
+// ErrBadInput reports a malformed cost matrix.
+var ErrBadInput = errors.New("assign: bad input")
+
+// ErrInfeasible reports that a solver could not complete a perfect matching
+// (cannot happen for finite dense inputs; kept for defensive returns).
+var ErrInfeasible = errors.New("assign: infeasible")
+
+// Func is the common solver signature.
+type Func func(n int, w []Cost) (perm.Perm, error)
+
+// Algorithm names a registered solver.
+type Algorithm string
+
+// Registered solver names.
+const (
+	AlgoHungarian Algorithm = "hungarian"
+	AlgoJV        Algorithm = "jv"
+	AlgoAuction   Algorithm = "auction"
+	AlgoBlossom   Algorithm = "blossom"
+	AlgoGreedy    Algorithm = "greedy"
+	AlgoBrute     Algorithm = "brute"
+)
+
+// Solvers returns the registry of named solvers. Exact solvers first.
+func Solvers() map[Algorithm]Func {
+	return map[Algorithm]Func{
+		AlgoHungarian: Hungarian,
+		AlgoJV:        JV,
+		AlgoAuction:   Auction,
+		AlgoBlossom:   Blossom,
+		AlgoGreedy:    Greedy,
+		AlgoBrute:     BruteForce,
+	}
+}
+
+// Exact reports whether the named solver is guaranteed optimal.
+func (a Algorithm) Exact() bool {
+	switch a {
+	case AlgoHungarian, AlgoJV, AlgoAuction, AlgoBlossom, AlgoBrute:
+		return true
+	}
+	return false
+}
+
+// checkInput validates the (n, w) pair shared by all solvers.
+func checkInput(n int, w []Cost) error {
+	if n <= 0 {
+		return fmt.Errorf("assign: n = %d: %w", n, ErrBadInput)
+	}
+	if len(w) != n*n {
+		return fmt.Errorf("assign: %d costs for n = %d (want %d): %w", len(w), n, n*n, ErrBadInput)
+	}
+	return nil
+}
+
+// TotalCost evaluates an assignment against the cost matrix:
+// Σ_v w[p[v]*n + v]. It validates p and is the cross-check used by tests.
+func TotalCost(n int, w []Cost, p perm.Perm) (int64, error) {
+	if err := checkInput(n, w); err != nil {
+		return 0, err
+	}
+	if len(p) != n {
+		return 0, fmt.Errorf("assign: %d-element assignment for n = %d: %w", len(p), n, ErrBadInput)
+	}
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var sum int64
+	for v, u := range p {
+		sum += int64(w[u*n+v])
+	}
+	return sum, nil
+}

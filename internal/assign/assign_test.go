@@ -1,0 +1,353 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perm"
+)
+
+// randMatrix builds a deterministic random n×n cost matrix with entries in
+// [0, maxC].
+func randMatrix(t testing.TB, n int, maxC int32, seed int64) []Cost {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]Cost, n*n)
+	for i := range w {
+		w[i] = Cost(rng.Int31n(maxC + 1))
+	}
+	return w
+}
+
+// exactSolvers are the solvers that must return an optimal assignment.
+var exactSolvers = map[string]Func{
+	"hungarian": Hungarian,
+	"jv":        JV,
+	"auction":   Auction,
+}
+
+func TestExactSolversMatchBruteForce(t *testing.T) {
+	for name, solve := range exactSolvers {
+		t.Run(name, func(t *testing.T) {
+			for n := 1; n <= 7; n++ {
+				for trial := 0; trial < 20; trial++ {
+					w := randMatrix(t, n, 100, int64(n*1000+trial))
+					want, err := BruteForce(n, w)
+					if err != nil {
+						t.Fatalf("brute n=%d: %v", n, err)
+					}
+					wantCost, err := TotalCost(n, w, want)
+					if err != nil {
+						t.Fatalf("brute cost: %v", err)
+					}
+					got, err := solve(n, w)
+					if err != nil {
+						t.Fatalf("%s n=%d: %v", name, n, err)
+					}
+					gotCost, err := TotalCost(n, w, got)
+					if err != nil {
+						t.Fatalf("%s assignment invalid (n=%d trial=%d): %v", name, n, trial, err)
+					}
+					if gotCost != wantCost {
+						t.Fatalf("%s n=%d trial=%d: cost %d, optimal %d (got %v)", name, n, trial, gotCost, wantCost, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExactSolversAgreeOnLargerInstances(t *testing.T) {
+	// Beyond brute-force reach the three independent exact algorithms must
+	// still agree on the optimal cost.
+	for _, n := range []int{16, 33, 64, 100} {
+		w := randMatrix(t, n, 5000, int64(n))
+		ph, err := Hungarian(n, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc, err := TotalCost(n, w, ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := JV(n, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jc, err := TotalCost(n, w, pj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, err := Auction(n, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ac, err := TotalCost(n, w, pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hc != jc || hc != ac {
+			t.Errorf("n=%d: hungarian=%d jv=%d auction=%d", n, hc, jc, ac)
+		}
+	}
+}
+
+func TestSolversProduceValidPermutationsProperty(t *testing.T) {
+	// Property (testing/quick): on arbitrary small matrices every solver
+	// returns a valid permutation and no exact solver is beaten by greedy.
+	f := func(rawN uint8, seed int64) bool {
+		n := int(rawN)%12 + 1
+		w := randMatrix(t, n, 200, seed)
+		g, err := Greedy(n, w)
+		if err != nil || g.Validate() != nil {
+			return false
+		}
+		gc, err := TotalCost(n, w, g)
+		if err != nil {
+			return false
+		}
+		for _, solve := range exactSolvers {
+			p, err := solve(n, w)
+			if err != nil || p.Validate() != nil {
+				return false
+			}
+			c, err := TotalCost(n, w, p)
+			if err != nil || c > gc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolversOnStructuredMatrices(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		w    func(u, v int) Cost
+		want int64 // optimal cost
+	}{
+		{"identity-cheap", 5, func(u, v int) Cost {
+			if u == v {
+				return 0
+			}
+			return 10
+		}, 0},
+		{"anti-diagonal", 4, func(u, v int) Cost {
+			if u+v == 3 {
+				return 1
+			}
+			return 100
+		}, 4},
+		{"constant", 6, func(u, v int) Cost { return 7 }, 42},
+		{"row-increasing", 3, func(u, v int) Cost { return Cost(u*10 + v) }, 33},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := make([]Cost, tc.n*tc.n)
+			for u := 0; u < tc.n; u++ {
+				for v := 0; v < tc.n; v++ {
+					w[u*tc.n+v] = tc.w(u, v)
+				}
+			}
+			for name, solve := range exactSolvers {
+				p, err := solve(tc.n, w)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				c, err := TotalCost(tc.n, w, p)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if c != tc.want {
+					t.Errorf("%s: cost %d, want %d", name, c, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestSolversHandleTies(t *testing.T) {
+	// An all-equal-cost matrix has n! optima; any valid permutation is
+	// correct but the solvers must not loop or return junk.
+	n := 8
+	w := make([]Cost, n*n)
+	for name, solve := range exactSolvers {
+		p, err := solve(n, w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGreedyIsDeterministicAndValid(t *testing.T) {
+	n := 20
+	w := randMatrix(t, n, 300, 7)
+	a, err := Greedy(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("Greedy is not deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyTakesCheapestEdgeFirst(t *testing.T) {
+	// The globally cheapest pair must always be in the greedy solution.
+	n := 6
+	w := randMatrix(t, n, 1000, 42)
+	// Plant a unique global minimum.
+	w[3*n+4] = -5
+	p, err := Greedy(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[4] != 3 {
+		t.Errorf("greedy did not take the cheapest edge: p[4] = %d, want 3", p[4])
+	}
+}
+
+func TestBruteForceRejectsLargeN(t *testing.T) {
+	w := make([]Cost, 11*11)
+	if _, err := BruteForce(11, w); err == nil {
+		t.Error("BruteForce accepted n = 11")
+	}
+}
+
+func TestBruteForceLexicographicTieBreak(t *testing.T) {
+	// All-zero matrix: every permutation optimal; brute force must return
+	// the identity (lexicographically smallest).
+	n := 5
+	w := make([]Cost, n*n)
+	p, err := BruteForce(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(perm.Identity(n)) {
+		t.Errorf("got %v, want identity", p)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	all := map[string]Func{
+		"hungarian": Hungarian, "jv": JV, "auction": Auction,
+		"greedy": Greedy, "brute": BruteForce,
+	}
+	for name, solve := range all {
+		if _, err := solve(0, nil); err == nil {
+			t.Errorf("%s accepted n=0", name)
+		}
+		if _, err := solve(3, make([]Cost, 8)); err == nil {
+			t.Errorf("%s accepted a short matrix", name)
+		}
+		if _, err := solve(-2, make([]Cost, 4)); err == nil {
+			t.Errorf("%s accepted negative n", name)
+		}
+	}
+}
+
+func TestTotalCostValidation(t *testing.T) {
+	w := make([]Cost, 9)
+	if _, err := TotalCost(3, w, perm.Perm{0, 1}); err == nil {
+		t.Error("TotalCost accepted a short permutation")
+	}
+	if _, err := TotalCost(3, w, perm.Perm{0, 0, 1}); err == nil {
+		t.Error("TotalCost accepted a non-bijection")
+	}
+	c, err := TotalCost(3, []Cost{1, 2, 3, 4, 5, 6, 7, 8, 9}, perm.Perm{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p[0]=2 → w[2*3+0]=7; p[1]=0 → w[0*3+1]=2; p[2]=1 → w[1*3+2]=6.
+	if c != 15 {
+		t.Errorf("TotalCost = %d, want 15", c)
+	}
+}
+
+func TestAlgorithmRegistry(t *testing.T) {
+	reg := Solvers()
+	for _, a := range []Algorithm{AlgoHungarian, AlgoJV, AlgoAuction, AlgoGreedy, AlgoBrute} {
+		if reg[a] == nil {
+			t.Errorf("registry missing %q", a)
+		}
+	}
+	if !AlgoJV.Exact() || !AlgoHungarian.Exact() || !AlgoAuction.Exact() || !AlgoBrute.Exact() {
+		t.Error("exact solver reported as inexact")
+	}
+	if AlgoGreedy.Exact() {
+		t.Error("greedy reported as exact")
+	}
+}
+
+func TestRandomAssignmentSeeded(t *testing.T) {
+	a := RandomAssignment(50, 1)
+	b := RandomAssignment(50, 1)
+	c := RandomAssignment(50, 2)
+	if !a.Equal(b) {
+		t.Error("same seed produced different assignments")
+	}
+	if a.Equal(c) {
+		t.Error("different seeds produced identical assignments (astronomically unlikely)")
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolversWithNegativeCosts(t *testing.T) {
+	// Tile errors are non-negative, but the solvers are general LAP code and
+	// must handle negative entries (the auction converts to benefits).
+	n := 6
+	w := randMatrix(t, n, 200, 99)
+	for i := range w {
+		w[i] -= 100
+	}
+	want, err := BruteForce(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCost, _ := TotalCost(n, w, want)
+	for name, solve := range exactSolvers {
+		p, err := solve(n, w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c, err := TotalCost(n, w, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c != wantCost {
+			t.Errorf("%s: %d, want %d", name, c, wantCost)
+		}
+	}
+}
+
+func benchSolver(b *testing.B, n int, solve Func) {
+	w := randMatrix(b, n, 1<<20, int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve(n, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHungarian256(b *testing.B) { benchSolver(b, 256, Hungarian) }
+func BenchmarkJV256(b *testing.B)        { benchSolver(b, 256, JV) }
+func BenchmarkAuction256(b *testing.B)   { benchSolver(b, 256, Auction) }
+func BenchmarkGreedy256(b *testing.B)    { benchSolver(b, 256, Greedy) }
+func BenchmarkJV1024(b *testing.B)       { benchSolver(b, 1024, JV) }

@@ -1,0 +1,94 @@
+package assign
+
+import (
+	"repro/internal/perm"
+)
+
+// Auction solves the LAP exactly with Bertsekas's forward auction algorithm
+// under ε-scaling. Costs are first scaled by (n+1) so that once ε < 1 the
+// ε-complementary-slackness assignment is provably optimal for the integer
+// problem. Included both as an independent exactness cross-check on the
+// path-based solvers and because auction parallelises naturally — the
+// per-person bidding phase is embarrassingly parallel — making it the
+// solver a GPU port of the optimization algorithm would start from (the
+// paper leaves the matching on the CPU; see §V).
+func Auction(n int, w []Cost) (perm.Perm, error) {
+	if err := checkInput(n, w); err != nil {
+		return nil, err
+	}
+	// Benefits: maximise b[i][j] = -scaled cost.
+	scale := int64(n + 1)
+	var maxAbs int64
+	for _, c := range w {
+		a := int64(c)
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	prices := make([]int64, n)
+	owner := make([]int, n)  // owner[j] = person owning object j, -1 free
+	object := make([]int, n) // object[i] = object owned by person i, -1 free
+	queue := make([]int, 0, n)
+
+	eps := maxAbs * scale / 2
+	if eps < 1 {
+		eps = 1
+	}
+	for {
+		// Reset the assignment for this ε round (prices persist, which is
+		// what makes scaling effective).
+		for j := range owner {
+			owner[j] = -1
+		}
+		queue = queue[:0]
+		for i := range object {
+			object[i] = -1
+			queue = append(queue, i)
+		}
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			row := w[i*n : (i+1)*n]
+			// Find best and second-best net value.
+			best, second := int64(minInt64), int64(minInt64)
+			bestJ := -1
+			for j := 0; j < n; j++ {
+				v := -int64(row[j])*scale - prices[j]
+				if v > best {
+					second = best
+					best = v
+					bestJ = j
+				} else if v > second {
+					second = v
+				}
+			}
+			if n == 1 {
+				second = best
+			}
+			bid := best - second + eps
+			prices[bestJ] += bid
+			if prev := owner[bestJ]; prev >= 0 {
+				object[prev] = -1
+				queue = append(queue, prev)
+			}
+			owner[bestJ] = i
+			object[i] = bestJ
+		}
+		if eps == 1 {
+			break
+		}
+		eps /= 4
+		if eps < 1 {
+			eps = 1
+		}
+	}
+
+	p := make(perm.Perm, n)
+	copy(p, owner)
+	return p, nil
+}
+
+const minInt64 = -1 << 63

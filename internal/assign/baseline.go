@@ -1,0 +1,56 @@
+package assign
+
+import (
+	"sort"
+
+	"repro/internal/perm"
+)
+
+// Greedy builds an assignment by scanning all n² pairs in ascending cost
+// order and taking each pair whose row and column are both still free.
+// It is not optimal — it is the quality baseline the ablation benches use to
+// show how much the matching/local-search machinery buys over the obvious
+// heuristic. Ties are broken by (row, column) so the result is deterministic.
+func Greedy(n int, w []Cost) (perm.Perm, error) {
+	if err := checkInput(n, w); err != nil {
+		return nil, err
+	}
+	idx := make([]int32, n*n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if w[ia] != w[ib] {
+			return w[ia] < w[ib]
+		}
+		return ia < ib
+	})
+	p := make(perm.Perm, n)
+	for v := range p {
+		p[v] = -1
+	}
+	rowUsed := make([]bool, n)
+	remaining := n
+	for _, e := range idx {
+		u := int(e) / n
+		v := int(e) % n
+		if rowUsed[u] || p[v] >= 0 {
+			continue
+		}
+		rowUsed[u] = true
+		p[v] = u
+		remaining--
+		if remaining == 0 {
+			break
+		}
+	}
+	return p, nil
+}
+
+// RandomAssignment returns a seeded uniformly random assignment — the
+// "no algorithm at all" floor for quality comparisons and the standard
+// starting point for local-search restarts.
+func RandomAssignment(n int, seed uint64) perm.Perm {
+	return perm.Random(n, seed)
+}

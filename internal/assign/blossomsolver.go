@@ -1,0 +1,64 @@
+package assign
+
+import (
+	"fmt"
+
+	"repro/internal/blossom"
+	"repro/internal/perm"
+)
+
+// BlossomMaxN caps the Blossom LAP path: the general-graph solver keeps a
+// dense (2n)×(2n) edge table, so beyond a few hundred rows the dedicated
+// LAP algorithms are strictly better. The cap covers the paper's S = 16×16
+// configuration with room to spare.
+const BlossomMaxN = 600
+
+// Blossom solves the LAP with the general-graph weighted blossom algorithm
+// (internal/blossom) — the solver family the paper actually uses (Blossom V,
+// §III). The bipartite instance is embedded in a complete graph on 2n
+// vertices with same-side edges priced out. Exact, like JV/Hungarian, but
+// O(n³) on twice the vertices with heavier constants; provided for fidelity
+// and cross-validation rather than speed, and limited to n ≤ BlossomMaxN.
+func Blossom(n int, w []Cost) (perm.Perm, error) {
+	if err := checkInput(n, w); err != nil {
+		return nil, err
+	}
+	if n > BlossomMaxN {
+		return nil, fmt.Errorf("assign: blossom solver limited to n ≤ %d, got %d (use jv): %w", BlossomMaxN, n, ErrBadInput)
+	}
+	var minW, maxW int64
+	for _, c := range w {
+		if int64(c) > maxW {
+			maxW = int64(c)
+		}
+		if int64(c) < minW {
+			minW = int64(c)
+		}
+	}
+	// Shift negatives so all cross weights are ≥ 0 (the blossom solver's
+	// domain); shifting every cross edge by a constant moves every perfect
+	// matching's total equally.
+	shift := -minW
+	big := (maxW+shift)*int64(n) + 1
+	match, _, err := blossom.MinWeightPerfect(2*n, func(u, v int) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		if u < n && v >= n {
+			return int64(w[u*n+(v-n)]) + shift
+		}
+		return big
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := make(perm.Perm, n)
+	for u := 0; u < n; u++ {
+		v := match[u]
+		if v < n {
+			return nil, fmt.Errorf("assign: blossom matched within a side (%d–%d): %w", u, v, ErrInfeasible)
+		}
+		p[v-n] = u
+	}
+	return p, nil
+}

@@ -1,0 +1,95 @@
+package assign
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestBlossomSolverMatchesBruteForce(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		for trial := 0; trial < 10; trial++ {
+			w := randMatrix(t, n, 100, int64(n*31+trial))
+			want, err := BruteForce(n, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCost, _ := TotalCost(n, w, want)
+			p, err := Blossom(n, w)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+			}
+			got, err := TotalCost(n, w, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != wantCost {
+				t.Fatalf("n=%d trial=%d: blossom %d, optimum %d", n, trial, got, wantCost)
+			}
+		}
+	}
+}
+
+func TestBlossomSolverMatchesJVLarger(t *testing.T) {
+	for _, n := range []int{16, 40, 64} {
+		w := randMatrix(t, n, 10000, int64(n))
+		pj, err := JV(n, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jc, _ := TotalCost(n, w, pj)
+		pb, err := Blossom(n, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := TotalCost(n, w, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bc != jc {
+			t.Errorf("n=%d: blossom %d vs JV %d", n, bc, jc)
+		}
+	}
+}
+
+func TestBlossomSolverNegativeCosts(t *testing.T) {
+	n := 6
+	w := randMatrix(t, n, 50, 5)
+	for i := range w {
+		w[i] -= 25
+	}
+	want, err := BruteForce(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCost, _ := TotalCost(n, w, want)
+	p, err := Blossom(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := TotalCost(n, w, p)
+	if got != wantCost {
+		t.Errorf("blossom %d, optimum %d", got, wantCost)
+	}
+}
+
+func TestBlossomSolverSizeCap(t *testing.T) {
+	n := BlossomMaxN + 1
+	w := make([]Cost, n*n)
+	if _, err := Blossom(n, w); err == nil {
+		t.Error("accepted n above the cap")
+	}
+}
+
+func TestBlossomSolverReturnsValidPerm(t *testing.T) {
+	n := 20
+	w := randMatrix(t, n, 500, 8)
+	p, err := Blossom(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	_ = perm.Identity(1) // keep the perm import honest in minimal builds
+}

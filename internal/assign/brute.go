@@ -1,0 +1,75 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/perm"
+)
+
+// BruteMaxN caps BruteForce: 10! ≈ 3.6M permutations is the largest search
+// that stays comfortably inside a test-suite time budget.
+const BruteMaxN = 10
+
+// BruteForce enumerates all n! assignments and returns a minimum-cost one —
+// the paper's "straightforward method to find the best rearrangement is to
+// evaluate Error(R, T) for all possible S! rearranged images" (§II). It
+// exists purely as the ground-truth oracle for the real solvers and refuses
+// n > BruteMaxN. Among equal-cost optima it returns the lexicographically
+// smallest, so results are deterministic.
+func BruteForce(n int, w []Cost) (perm.Perm, error) {
+	if err := checkInput(n, w); err != nil {
+		return nil, err
+	}
+	if n > BruteMaxN {
+		return nil, fmt.Errorf("assign: brute force limited to n ≤ %d, got %d: %w", BruteMaxN, n, ErrBadInput)
+	}
+	// Shift costs to non-negative so the partial-cost pruning below is
+	// admissible: with negative entries a partial sum above the incumbent
+	// could still extend to a better total. The shift adds the same amount
+	// to every permutation, so the argmin is unchanged.
+	var minW Cost
+	for _, c := range w {
+		if c < minW {
+			minW = c
+		}
+	}
+	shifted := w
+	if minW < 0 {
+		shifted = make([]Cost, len(w))
+		for i, c := range w {
+			shifted[i] = c - minW
+		}
+	}
+
+	best := make(perm.Perm, n)
+	cur := perm.Identity(n)
+	used := make([]bool, n)
+	bestCost := int64(math.MaxInt64)
+
+	// Depth-first over columns; prune on partial cost. Lexicographic row
+	// choice plus strict improvement makes the returned optimum the
+	// lexicographically smallest.
+	var rec func(v int, acc int64)
+	rec = func(v int, acc int64) {
+		if acc >= bestCost {
+			return
+		}
+		if v == n {
+			bestCost = acc
+			copy(best, cur)
+			return
+		}
+		for u := 0; u < n; u++ {
+			if used[u] {
+				continue
+			}
+			used[u] = true
+			cur[v] = u
+			rec(v+1, acc+int64(shifted[u*n+v]))
+			used[u] = false
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}

@@ -1,0 +1,90 @@
+package assign
+
+import (
+	"math"
+
+	"repro/internal/perm"
+)
+
+// Hungarian solves the LAP exactly with the successive-shortest-path form of
+// the Kuhn–Munkres algorithm in O(n³) time and O(n) extra space per phase:
+// rows are inserted one at a time, each insertion growing the matching along
+// a shortest augmenting path maintained with dual potentials (u, v). This is
+// the algorithm the paper cites ([11], [12]) for the matching step.
+func Hungarian(n int, w []Cost) (perm.Perm, error) {
+	if err := checkInput(n, w); err != nil {
+		return nil, err
+	}
+	const inf = math.MaxInt64
+
+	// Potentials: rowPot over rows, colPot over columns 0..n (n is the
+	// virtual start column of each augmenting search).
+	rowPot := make([]int64, n)
+	colPot := make([]int64, n+1)
+	// matched[j] = row currently assigned to column j (index n is scratch).
+	matched := make([]int, n+1)
+	for j := range matched {
+		matched[j] = -1
+	}
+	minv := make([]int64, n) // tentative shortest distances to each column
+	way := make([]int, n)    // predecessor column on the shortest path
+	used := make([]bool, n+1)
+
+	for i := 0; i < n; i++ {
+		matched[n] = i
+		j0 := n
+		for j := 0; j < n; j++ {
+			minv[j] = inf
+			used[j] = false
+			way[j] = n
+		}
+		used[n] = false
+		for {
+			used[j0] = true
+			i0 := matched[j0]
+			delta := int64(inf)
+			j1 := -1
+			row := w[i0*n : (i0+1)*n]
+			for j := 0; j < n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := int64(row[j]) - rowPot[i0] - colPot[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			// Dual update keeps reduced costs non-negative while the path
+			// tree grows.
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					if matched[j] >= 0 {
+						rowPot[matched[j]] += delta
+					}
+					colPot[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matched[j0] < 0 {
+				break
+			}
+		}
+		// Augment: flip the alternating path back to the virtual column.
+		for j0 != n {
+			j1 := way[j0]
+			matched[j0] = matched[j1]
+			j0 = j1
+		}
+	}
+
+	p := make(perm.Perm, n)
+	copy(p, matched[:n])
+	return p, nil
+}

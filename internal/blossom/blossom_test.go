@@ -1,0 +1,286 @@
+package blossom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteMaxMatching enumerates matchings by branching on each vertex's
+// partner — exact for small graphs.
+func bruteMaxMatching(g *Graph) int {
+	used := make([]bool, g.N)
+	var rec func(v int) int
+	rec = func(v int) int {
+		for v < g.N && used[v] {
+			v++
+		}
+		if v >= g.N {
+			return 0
+		}
+		// Option 1: leave v unmatched.
+		used[v] = true
+		best := rec(v + 1)
+		// Option 2: match v with a free neighbour.
+		for _, u := range g.adj[v] {
+			if used[u] {
+				continue
+			}
+			used[u] = true
+			if r := 1 + rec(v+1); r > best {
+				best = r
+			}
+			used[u] = false
+		}
+		used[v] = false
+		return best
+	}
+	return rec(0)
+}
+
+func randomGraph(t testing.TB, n int, p float64, seed int64) *Graph {
+	t.Helper()
+	g, err := NewGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestMatchesBruteForceOnRandomGraphs(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		for _, p := range []float64{0.2, 0.5, 0.8} {
+			for trial := 0; trial < 10; trial++ {
+				g := randomGraph(t, n, p, int64(n*100+trial)+int64(p*10))
+				match, size := g.MaxMatching()
+				if err := g.Verify(match); err != nil {
+					t.Fatalf("n=%d p=%v trial=%d: %v", n, p, trial, err)
+				}
+				if want := bruteMaxMatching(g); size != want {
+					t.Fatalf("n=%d p=%v trial=%d: size %d, optimum %d", n, p, trial, size, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOddCycleNeedsBlossom(t *testing.T) {
+	// C₅ (5-cycle): maximum matching has 2 edges; a bipartite-style search
+	// without blossom contraction fails on it.
+	g, _ := NewGraph(5)
+	for i := 0; i < 5; i++ {
+		if err := g.AddEdge(i, (i+1)%5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	match, size := g.MaxMatching()
+	if size != 2 {
+		t.Fatalf("C5 matching size %d, want 2", size)
+	}
+	if err := g.Verify(match); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPetersenGraphHasPerfectMatching(t *testing.T) {
+	// The Petersen graph: 10 vertices, 3-regular, perfect matching exists
+	// but the graph is famously non-bipartite and blossom-rich.
+	g, _ := NewGraph(10)
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	for _, es := range [][][2]int{outer, spokes, inner} {
+		for _, e := range es {
+			if err := g.AddEdge(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !g.HasPerfectMatching() {
+		t.Error("Petersen graph reported without perfect matching")
+	}
+}
+
+func TestTriangleWithPendant(t *testing.T) {
+	// Triangle {0,1,2} plus pendant 3–0: perfect matching {0–3, 1–2}.
+	g, _ := NewGraph(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	match, size := g.MaxMatching()
+	if size != 2 {
+		t.Fatalf("size %d, want 2", size)
+	}
+	if match[3] != 0 || match[1] != 2 {
+		t.Errorf("match = %v", match)
+	}
+}
+
+func TestCompleteBipartiteTileGraph(t *testing.T) {
+	// The mosaic reduction's graph: K_{s,s} always has a perfect matching —
+	// the structural fact behind the paper's §III reduction.
+	for _, s := range []int{1, 4, 16} {
+		g, _ := NewGraph(2 * s)
+		for u := 0; u < s; u++ {
+			for v := s; v < 2*s; v++ {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		match, size := g.MaxMatching()
+		if size != s {
+			t.Fatalf("K_{%d,%d}: size %d", s, s, size)
+		}
+		if err := g.Verify(match); err != nil {
+			t.Fatal(err)
+		}
+		// Bipartiteness respected: partners cross sides.
+		for u := 0; u < s; u++ {
+			if match[u] < s {
+				t.Fatalf("vertex %d matched within its side to %d", u, match[u])
+			}
+		}
+	}
+}
+
+func TestEmptyAndEdgelessGraphs(t *testing.T) {
+	g, err := NewGraph(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, size := g.MaxMatching(); size != 0 {
+		t.Error("empty graph matched something")
+	}
+	g, _ = NewGraph(5)
+	match, size := g.MaxMatching()
+	if size != 0 {
+		t.Error("edgeless graph matched something")
+	}
+	for _, m := range match {
+		if m != -1 {
+			t.Error("edgeless graph has partners")
+		}
+	}
+	if g.HasPerfectMatching() {
+		t.Error("odd edgeless graph reported perfect")
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	if _, err := NewGraph(-1); err == nil {
+		t.Error("accepted negative vertex count")
+	}
+	g, _ := NewGraph(3)
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("accepted out-of-range edge")
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("accepted self-loop")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 1 {
+		t.Errorf("duplicate edge counted: %d", g.Edges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestVerifyCatchesCorruptMatchings(t *testing.T) {
+	g := randomGraph(t, 8, 0.6, 1)
+	match, _ := g.MaxMatching()
+	if err := g.Verify(match[:4]); err == nil {
+		t.Error("accepted short matching")
+	}
+	bad := append([]int(nil), match...)
+	// Asymmetry.
+	for i, v := range bad {
+		if v >= 0 {
+			bad[i] = -1
+			break
+		}
+	}
+	if err := g.Verify(bad); err == nil {
+		t.Error("accepted asymmetric matching")
+	}
+	// Non-edge pairing.
+	bad2 := make([]int, g.N)
+	for i := range bad2 {
+		bad2[i] = -1
+	}
+	u, v := -1, -1
+	for a := 0; a < g.N && u < 0; a++ {
+		for b := a + 1; b < g.N; b++ {
+			if !g.HasEdge(a, b) {
+				u, v = a, b
+				break
+			}
+		}
+	}
+	if u >= 0 {
+		bad2[u], bad2[v] = v, u
+		if err := g.Verify(bad2); err == nil {
+			t.Error("accepted a matching using a non-edge")
+		}
+	}
+}
+
+func TestMatchingSizeMonotoneProperty(t *testing.T) {
+	// Adding an edge never decreases the maximum matching size.
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%9 + 2
+		g := randomGraph(t, n, 0.4, seed)
+		_, before := g.MaxMatching()
+		// Add the first missing edge, if any.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if !g.HasEdge(u, v) {
+					if err := g.AddEdge(u, v); err != nil {
+						return false
+					}
+					_, after := g.MaxMatching()
+					return after >= before
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMaxMatchingK64(b *testing.B) {
+	g, _ := NewGraph(64)
+	for u := 0; u < 64; u++ {
+		for v := u + 1; v < 64; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, size := g.MaxMatching(); size != 32 {
+			b.Fatalf("size %d", size)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package blossom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteMaxWeightPerfect enumerates all perfect matchings of K_n (n even).
+func bruteMaxWeightPerfect(n int, w func(u, v int) int64) int64 {
+	used := make([]bool, n)
+	var rec func() int64
+	rec = func() int64 {
+		u := 0
+		for u < n && used[u] {
+			u++
+		}
+		if u == n {
+			return 0
+		}
+		used[u] = true
+		best := int64(math.MinInt64)
+		for v := u + 1; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			if r := w(u, v) + rec(); r > best {
+				best = r
+			}
+			used[v] = false
+		}
+		used[u] = false
+		return best
+	}
+	return rec()
+}
+
+func randWeights(n int, maxW int64, seed int64) func(u, v int) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]int64, n*n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			x := rng.Int63n(maxW + 1)
+			w[u*n+v] = x
+			w[v*n+u] = x
+		}
+	}
+	return func(u, v int) int64 { return w[u*n+v] }
+}
+
+func verifyPerfect(t *testing.T, n int, match []int, w func(u, v int) int64, wantTotal int64) {
+	t.Helper()
+	if len(match) != n {
+		t.Fatalf("match length %d", len(match))
+	}
+	var total int64
+	for u, v := range match {
+		if v < 0 || v >= n || v == u {
+			t.Fatalf("vertex %d matched to %d", u, v)
+		}
+		if match[v] != u {
+			t.Fatalf("asymmetric: %d→%d→%d", u, v, match[v])
+		}
+		if u < v {
+			total += w(u, v)
+		}
+	}
+	if total != wantTotal {
+		t.Fatalf("reported total %d, edges sum to %d", wantTotal, total)
+	}
+}
+
+func TestMaxWeightPerfectMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8} {
+		for trial := 0; trial < 15; trial++ {
+			w := randWeights(n, 50, int64(n*1000+trial))
+			match, total, err := MaxWeightPerfect(n, w)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+			}
+			verifyPerfect(t, n, match, w, total)
+			if want := bruteMaxWeightPerfect(n, w); total != want {
+				t.Fatalf("n=%d trial=%d: total %d, optimum %d", n, trial, total, want)
+			}
+		}
+	}
+}
+
+func TestMaxWeightPerfectWithManyTies(t *testing.T) {
+	// All-equal weights: any perfect matching is optimal; must terminate and
+	// return n/2 · w.
+	for _, n := range []int{4, 6, 10} {
+		match, total, err := MaxWeightPerfect(n, func(u, v int) int64 { return 7 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyPerfect(t, n, match, func(u, v int) int64 { return 7 }, total)
+		if total != int64(n/2)*7 {
+			t.Errorf("n=%d: total %d", n, total)
+		}
+	}
+}
+
+func TestMaxWeightPerfectZeroWeights(t *testing.T) {
+	// The all-zeros instance exercises the +1 edge-presence shift.
+	match, total, err := MaxWeightPerfect(6, func(u, v int) int64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPerfect(t, 6, match, func(u, v int) int64 { return 0 }, total)
+	if total != 0 {
+		t.Errorf("total %d, want 0", total)
+	}
+}
+
+func TestMaxWeightPerfectForcedBlossoms(t *testing.T) {
+	// A weighted instance known to require blossom contractions: strong
+	// triangle weights that tempt the greedy structure into odd cycles.
+	// K6 with heavy triangle {0,1,2} and {3,4,5}, weak cross edges except a
+	// planted optimum.
+	w := func(u, v int) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		switch {
+		case v < 3 || u >= 3: // inside a triangle
+			return 100
+		case u == 0 && v == 3, u == 1 && v == 4, u == 2 && v == 5:
+			return 90
+		default:
+			return 1
+		}
+	}
+	// Perfect matching cannot use two edges of one triangle; optimum is one
+	// triangle edge from each (100+100) plus the forced cross pair... brute
+	// force is the referee.
+	match, total, err := MaxWeightPerfect(6, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPerfect(t, 6, match, w, total)
+	if want := bruteMaxWeightPerfect(6, w); total != want {
+		t.Errorf("total %d, optimum %d", total, want)
+	}
+}
+
+func TestMinWeightPerfectAgainstBrute(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		for trial := 0; trial < 10; trial++ {
+			w := randWeights(n, 40, int64(n*77+trial))
+			match, total, err := MinWeightPerfect(n, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyPerfect(t, n, match, w, total)
+			// Brute minimum via negated brute maximum.
+			want := -bruteMaxWeightPerfect(n, func(u, v int) int64 { return -w(u, v) })
+			if total != want {
+				t.Fatalf("n=%d trial=%d: total %d, optimum %d", n, trial, total, want)
+			}
+		}
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	if _, _, err := MaxWeightPerfect(3, func(u, v int) int64 { return 1 }); err == nil {
+		t.Error("accepted odd n")
+	}
+	if _, _, err := MaxWeightPerfect(0, func(u, v int) int64 { return 1 }); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, _, err := MaxWeightPerfect(4, func(u, v int) int64 { return -1 }); err == nil {
+		t.Error("accepted negative weight")
+	}
+	if _, _, err := MinWeightPerfect(5, func(u, v int) int64 { return 1 }); err == nil {
+		t.Error("MinWeightPerfect accepted odd n")
+	}
+}
+
+func TestWeightedTwoVertices(t *testing.T) {
+	match, total, err := MaxWeightPerfect(2, func(u, v int) int64 { return 13 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match[0] != 1 || match[1] != 0 || total != 13 {
+		t.Errorf("match %v total %d", match, total)
+	}
+}
+
+func BenchmarkMaxWeightPerfect64(b *testing.B) {
+	w := randWeights(64, 1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MaxWeightPerfect(64, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

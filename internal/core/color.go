@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hist"
+	"repro/internal/imgutil"
+	"repro/internal/metric"
+	"repro/internal/tile"
+)
+
+// ResultRGB is the color counterpart of Result.
+type ResultRGB struct {
+	Mosaic      *imgutil.RGB
+	Assignment  []int
+	TotalError  int64
+	Input       *imgutil.RGB
+	SearchStats SearchStats
+	Timing      Timing
+}
+
+// SearchStats re-exports the local-search statistics without forcing color
+// callers to import internal/localsearch.
+type SearchStats struct {
+	Passes int
+	Swaps  int64
+}
+
+// GenerateRGB runs the pipeline on color images. The paper's §II remark —
+// color needs "only … changing the error function in Eq. (1)" — is realised
+// by the per-channel L1/L2 error of metric.BuildSerialRGB; histogram
+// matching becomes per-channel matching.
+func GenerateRGB(input, target *imgutil.RGB, opts Options) (*ResultRGB, error) {
+	// Geometry and option checks mirror the grayscale path.
+	if input.W != input.H || target.W != target.H || input.W != target.W {
+		return nil, fmt.Errorf("core: color images must be square and equal-sized (input %dx%d, target %dx%d): %w",
+			input.W, input.H, target.W, target.H, ErrOptions)
+	}
+	if opts.AllowOrientations {
+		return nil, fmt.Errorf("core: AllowOrientations is grayscale-only: %w", ErrOptions)
+	}
+	// Reuse the grayscale validator via same-geometry placeholders so the
+	// option normalisation logic exists exactly once.
+	probe := imgutil.NewGray(input.W, input.H)
+	m, err := opts.validate(probe, probe)
+	if err != nil {
+		return nil, err
+	}
+	res := &ResultRGB{}
+
+	t0 := time.Now()
+	work := input
+	if !opts.NoHistogramMatch {
+		work, err = hist.MatchRGB(input, target)
+		if err != nil {
+			return nil, fmt.Errorf("core: histogram match: %w", err)
+		}
+	}
+	res.Input = work
+	res.Timing.Preprocess = time.Since(t0)
+
+	inGrid, err := tile.NewRGBGrid(work, m)
+	if err != nil {
+		return nil, err
+	}
+	tgtGrid, err := tile.NewRGBGrid(target, m)
+	if err != nil {
+		return nil, err
+	}
+
+	t0 = time.Now()
+	var costs *metric.Matrix
+	if opts.Device != nil {
+		costs, err = metric.BuildDeviceRGB(opts.Device, inGrid, tgtGrid, opts.Metric)
+	} else {
+		costs, err = metric.BuildSerialRGB(inGrid, tgtGrid, opts.Metric)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.CostMatrix = time.Since(t0)
+
+	t0 = time.Now()
+	p, st, err := rearrange(costs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Rearrange = time.Since(t0)
+	res.Assignment = p
+	res.SearchStats = SearchStats{Passes: st.Passes, Swaps: st.Swaps}
+	res.TotalError = costs.Total(p)
+
+	t0 = time.Now()
+	res.Mosaic, err = inGrid.Assemble(p)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Assemble = time.Since(t0)
+	return res, nil
+}

@@ -1,0 +1,348 @@
+// Package core assembles the paper's photomosaic pipeline: histogram-match
+// the input to the target (§II), divide both into S tiles (Step 1), build
+// the S×S tile-error matrix (Step 2), rearrange tiles by exact matching or
+// local search (Step 3), and assemble the mosaic.
+//
+// It is the engine behind the public mosaic package; the experiment harness
+// also drives it directly so every table and figure flows through one code
+// path.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/cuda"
+	"repro/internal/edgecolor"
+	"repro/internal/hist"
+	"repro/internal/imgutil"
+	"repro/internal/localsearch"
+	"repro/internal/metric"
+	"repro/internal/perm"
+	"repro/internal/tile"
+)
+
+// ErrOptions reports an invalid pipeline configuration.
+var ErrOptions = errors.New("core: invalid options")
+
+// Algorithm selects how Step 3 rearranges the tiles.
+type Algorithm string
+
+// The rearrangement algorithms of the paper plus the baselines used by the
+// evaluation harness.
+const (
+	// Optimization is the exact method of §III: minimum-weight perfect
+	// bipartite matching over the tile-error matrix.
+	Optimization Algorithm = "optimization"
+	// Approximation is the serial local search of §IV-A (Algorithm 1).
+	Approximation Algorithm = "approximation"
+	// ParallelApproximation is the edge-coloring-scheduled local search of
+	// §IV-B (Algorithm 2) executed on the device.
+	ParallelApproximation Algorithm = "approximation-parallel"
+	// GreedyBaseline assigns tiles greedily by ascending error; not from the
+	// paper, used to calibrate how much the real algorithms buy.
+	GreedyBaseline Algorithm = "greedy"
+	// IdentityBaseline performs no rearrangement at all (the histogram-
+	// matched input as-is) — the quality floor.
+	IdentityBaseline Algorithm = "identity"
+	// Annealing is the simulated-annealing extension (DESIGN.md): random
+	// swaps with Metropolis acceptance, then a final Algorithm-1 polish.
+	// Tuned by Options.Anneal.
+	Annealing Algorithm = "annealing"
+)
+
+// Algorithms lists the selectable algorithms in stable order.
+func Algorithms() []Algorithm {
+	return []Algorithm{Optimization, Approximation, ParallelApproximation, GreedyBaseline, IdentityBaseline, Annealing}
+}
+
+// ParseAlgorithm resolves a name.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if string(a) == name {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown algorithm %q: %w", name, ErrOptions)
+}
+
+// Options configures Generate. The zero value is not runnable: one of
+// TilesPerSide or TileSize must be set. Everything else defaults to the
+// paper's configuration (L1 metric, histogram matching on, serial
+// approximation, JV for the optimization algorithm).
+type Options struct {
+	// TilesPerSide divides the images into TilesPerSide² tiles (the paper's
+	// "S = 32×32" notation sets TilesPerSide = 32). Mutually exclusive with
+	// TileSize.
+	TilesPerSide int
+	// TileSize divides the images into tiles of TileSize×TileSize pixels
+	// (the paper's M). Mutually exclusive with TilesPerSide.
+	TileSize int
+	// Algorithm picks the Step-3 rearrangement; default Approximation.
+	Algorithm Algorithm
+	// Solver picks the exact matcher for Optimization; default JV.
+	Solver assign.Algorithm
+	// Metric picks the per-pixel error of Eq. (1); default L1 (the paper's).
+	Metric metric.Metric
+	// NoHistogramMatch disables the §II preprocessing that reshapes the
+	// input's intensity distribution to the target's.
+	NoHistogramMatch bool
+	// Device supplies the virtual accelerator. nil leaves every stage on
+	// the CPU (the paper's "CPU" columns); non-nil moves the Step-2 matrix
+	// and, for ParallelApproximation, the Step-3 swaps onto the device.
+	Device *cuda.Device
+	// Coloring optionally supplies a precomputed, verified edge coloring of
+	// K_S for ParallelApproximation; the paper precomputes it per S and
+	// amortises it across images. nil builds one on the fly.
+	Coloring *edgecolor.Coloring
+	// Start optionally overrides the identity start of the local search.
+	Start perm.Perm
+	// Search tunes the local search (pass caps); zero value = paper.
+	Search localsearch.Options
+	// Anneal tunes the Annealing algorithm; zero value selects instance-
+	// derived defaults (see localsearch.AnnealOptions).
+	Anneal localsearch.AnnealOptions
+	// ProxyResolution, when positive, builds the Step-2 matrix from tiles
+	// box-downsampled to ProxyResolution² descriptors instead of full
+	// resolution — the related-work acceleration documented in DESIGN.md.
+	// Must divide the tile side M. Result.TotalError is still evaluated
+	// exactly. Mutually exclusive with AllowOrientations.
+	ProxyResolution int
+	// AllowOrientations extends the search space beyond the paper: each
+	// placed tile may additionally use any of its eight dihedral
+	// orientations (4 rotations × optional mirror). Step 2 scores all eight
+	// per pair (~8× cost) and keeps the best, so every Step-3 algorithm
+	// works unchanged on the minimised matrix; the resulting error is never
+	// worse than the upright pipeline's. Grayscale only.
+	AllowOrientations bool
+}
+
+// Timing breaks the pipeline down the way the paper's tables do.
+type Timing struct {
+	Preprocess time.Duration // histogram matching (outside the paper's timings)
+	CostMatrix time.Duration // Step 2 (Table II)
+	Rearrange  time.Duration // Step 3 (Table III)
+	Assemble   time.Duration // writing the output image
+}
+
+// Total returns the Step-2 + Step-3 time, the quantity of Table IV.
+func (t Timing) Total() time.Duration { return t.CostMatrix + t.Rearrange }
+
+// Result is the output of Generate.
+type Result struct {
+	// Mosaic is the rearranged image R.
+	Mosaic *imgutil.Gray
+	// Assignment maps target position v to the input tile placed there.
+	Assignment perm.Perm
+	// TotalError is Eq. (2) evaluated for Assignment.
+	TotalError int64
+	// Input is the preprocessed (histogram-matched) input actually tiled;
+	// equal to the original input when preprocessing is disabled.
+	Input *imgutil.Gray
+	// SearchStats holds pass/swap counts for the approximation algorithms.
+	SearchStats localsearch.Stats
+	// Orientations records, when Options.AllowOrientations was set, the
+	// orientation applied to the tile at each target position; nil otherwise.
+	Orientations []imgutil.Orientation
+	// Timing records per-stage wall time.
+	Timing Timing
+}
+
+// validate normalises opts against the image geometry, returning the tile
+// side M.
+func (o *Options) validate(input, target *imgutil.Gray) (int, error) {
+	if input.W != input.H {
+		return 0, fmt.Errorf("core: input image %dx%d is not square: %w", input.W, input.H, ErrOptions)
+	}
+	if target.W != target.H {
+		return 0, fmt.Errorf("core: target image %dx%d is not square: %w", target.W, target.H, ErrOptions)
+	}
+	if input.W != target.W {
+		return 0, fmt.Errorf("core: input %dx%d vs target %dx%d: %w", input.W, input.H, target.W, target.H, ErrOptions)
+	}
+	var m int
+	switch {
+	case o.TilesPerSide > 0 && o.TileSize > 0:
+		return 0, fmt.Errorf("core: TilesPerSide and TileSize are mutually exclusive: %w", ErrOptions)
+	case o.TilesPerSide > 0:
+		if input.W%o.TilesPerSide != 0 {
+			return 0, fmt.Errorf("core: image side %d not divisible by %d tiles: %w", input.W, o.TilesPerSide, ErrOptions)
+		}
+		m = input.W / o.TilesPerSide
+	case o.TileSize > 0:
+		m = o.TileSize
+		if input.W%m != 0 {
+			return 0, fmt.Errorf("core: image side %d not divisible by tile size %d: %w", input.W, m, ErrOptions)
+		}
+	default:
+		return 0, fmt.Errorf("core: one of TilesPerSide or TileSize is required: %w", ErrOptions)
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = Approximation
+	}
+	if _, err := ParseAlgorithm(string(o.Algorithm)); err != nil {
+		return 0, err
+	}
+	if o.Solver == "" {
+		o.Solver = assign.AlgoJV
+	}
+	if _, ok := assign.Solvers()[o.Solver]; !ok {
+		return 0, fmt.Errorf("core: unknown solver %q: %w", o.Solver, ErrOptions)
+	}
+	if !o.Metric.Valid() {
+		return 0, fmt.Errorf("core: invalid metric %v: %w", o.Metric, ErrOptions)
+	}
+	if o.Algorithm == ParallelApproximation && o.Device == nil {
+		return 0, fmt.Errorf("core: %s requires a Device: %w", ParallelApproximation, ErrOptions)
+	}
+	if o.ProxyResolution > 0 {
+		if o.AllowOrientations {
+			return 0, fmt.Errorf("core: ProxyResolution and AllowOrientations are mutually exclusive: %w", ErrOptions)
+		}
+		if o.ProxyResolution > m || m%o.ProxyResolution != 0 {
+			return 0, fmt.Errorf("core: ProxyResolution %d must divide tile side %d: %w", o.ProxyResolution, m, ErrOptions)
+		}
+	} else if o.ProxyResolution < 0 {
+		return 0, fmt.Errorf("core: negative ProxyResolution: %w", ErrOptions)
+	}
+	return m, nil
+}
+
+// Generate runs the full pipeline on grayscale images.
+func Generate(input, target *imgutil.Gray, opts Options) (*Result, error) {
+	m, err := opts.validate(input, target)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	// §II preprocessing: reshape the input's intensity distribution.
+	t0 := time.Now()
+	work := input
+	if !opts.NoHistogramMatch {
+		work, err = hist.Match(input, target)
+		if err != nil {
+			return nil, fmt.Errorf("core: histogram match: %w", err)
+		}
+	}
+	res.Input = work
+	res.Timing.Preprocess = time.Since(t0)
+
+	// Step 1: tiling.
+	inGrid, err := tile.NewGrid(work, m)
+	if err != nil {
+		return nil, err
+	}
+	tgtGrid, err := tile.NewGrid(target, m)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: the S×S error matrix (oriented variant scores all eight
+	// dihedral placements per pair and keeps the best).
+	t0 = time.Now()
+	var costs *metric.Matrix
+	var oriented *metric.OrientedMatrix
+	switch {
+	case opts.AllowOrientations && opts.Device != nil:
+		oriented, err = metric.BuildOrientedDevice(opts.Device, inGrid, tgtGrid, opts.Metric)
+	case opts.AllowOrientations:
+		oriented, err = metric.BuildOriented(inGrid, tgtGrid, opts.Metric)
+	case opts.ProxyResolution > 0:
+		costs, err = metric.BuildProxy(inGrid, tgtGrid, opts.Metric, opts.ProxyResolution)
+	case opts.Device != nil:
+		costs, err = metric.BuildDevice(opts.Device, inGrid, tgtGrid, opts.Metric)
+	default:
+		costs, err = metric.BuildSerial(inGrid, tgtGrid, opts.Metric)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if oriented != nil {
+		costs = &oriented.Matrix
+	}
+	res.Timing.CostMatrix = time.Since(t0)
+
+	// Step 3: rearrangement.
+	t0 = time.Now()
+	res.Assignment, res.SearchStats, err = rearrange(costs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Rearrange = time.Since(t0)
+	if opts.ProxyResolution > 0 && opts.ProxyResolution < m {
+		// Step 3 ran on approximate costs; report the true Eq. (2) error.
+		res.TotalError, err = metric.AssignmentError(inGrid, tgtGrid, res.Assignment, opts.Metric)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res.TotalError = costs.Total(res.Assignment)
+	}
+
+	// Assembly.
+	t0 = time.Now()
+	if oriented != nil {
+		res.Orientations, err = oriented.Orientations(res.Assignment)
+		if err != nil {
+			return nil, err
+		}
+		res.Mosaic, err = inGrid.AssembleOriented(res.Assignment, res.Orientations)
+	} else {
+		res.Mosaic, err = inGrid.Assemble(res.Assignment)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Assemble = time.Since(t0)
+	return res, nil
+}
+
+// rearrange dispatches Step 3 on an already-built cost matrix.
+func rearrange(costs *metric.Matrix, opts Options) (perm.Perm, localsearch.Stats, error) {
+	start := opts.Start
+	if start == nil {
+		start = perm.Identity(costs.S)
+	}
+	switch opts.Algorithm {
+	case Optimization:
+		p, err := assign.Solvers()[opts.Solver](costs.S, costs.W)
+		return p, localsearch.Stats{}, err
+	case Approximation:
+		return localsearch.Serial(costs, start, opts.Search)
+	case ParallelApproximation:
+		return localsearch.Parallel(opts.Device, costs, start, opts.Coloring, opts.Search)
+	case GreedyBaseline:
+		p, err := assign.Greedy(costs.S, costs.W)
+		return p, localsearch.Stats{}, err
+	case IdentityBaseline:
+		if err := start.Validate(); err != nil {
+			return nil, localsearch.Stats{}, err
+		}
+		return start, localsearch.Stats{}, nil
+	case Annealing:
+		return localsearch.AnnealThenPolish(costs, start, opts.Anneal)
+	}
+	return nil, localsearch.Stats{}, fmt.Errorf("core: unknown algorithm %q: %w", opts.Algorithm, ErrOptions)
+}
+
+// Rearrange exposes Step 3 alone for callers that reuse one cost matrix
+// across several algorithms (the evaluation harness compares optimization
+// and approximation on identical matrices, as the paper does).
+func Rearrange(costs *metric.Matrix, opts Options) (perm.Perm, localsearch.Stats, error) {
+	if opts.Algorithm == "" {
+		opts.Algorithm = Approximation
+	}
+	if opts.Solver == "" {
+		opts.Solver = assign.AlgoJV
+	}
+	if _, ok := assign.Solvers()[opts.Solver]; !ok {
+		return nil, localsearch.Stats{}, fmt.Errorf("core: unknown solver %q: %w", opts.Solver, ErrOptions)
+	}
+	if opts.Algorithm == ParallelApproximation && opts.Device == nil {
+		return nil, localsearch.Stats{}, fmt.Errorf("core: %s requires a Device: %w", ParallelApproximation, ErrOptions)
+	}
+	return rearrange(costs, opts)
+}

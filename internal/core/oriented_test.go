@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/synth"
+)
+
+func TestOrientedPipelineNeverWorse(t *testing.T) {
+	input, target := pair(t, 128)
+	plain, err := Generate(input, target, Options{TilesPerSide: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oriented, err := Generate(input, target, Options{TilesPerSide: 16, AllowOrientations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oriented.TotalError > plain.TotalError {
+		t.Errorf("oriented error %d above upright %d", oriented.TotalError, plain.TotalError)
+	}
+	if oriented.Orientations == nil {
+		t.Fatal("Orientations not recorded")
+	}
+	if plain.Orientations != nil {
+		t.Error("Orientations recorded for the upright pipeline")
+	}
+	// The reported error must equal the assembled image's error — the
+	// oriented assembly and the oriented matrix must agree.
+	imgErr, err := oriented.Mosaic.AbsDiffSum(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oriented.TotalError != imgErr {
+		t.Errorf("oriented TotalError %d != image error %d", oriented.TotalError, imgErr)
+	}
+}
+
+func TestOrientedPipelineUsesNonTrivialOrientations(t *testing.T) {
+	// On textured scenes some tiles must actually rotate or mirror.
+	input := synth.MustGenerate(synth.Barbara, 128)
+	target := synth.MustGenerate(synth.Baboon, 128)
+	res, err := Generate(input, target, Options{TilesPerSide: 16, AllowOrientations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nontrivial := 0
+	for _, o := range res.Orientations {
+		if o != 0 {
+			nontrivial++
+		}
+	}
+	if nontrivial == 0 {
+		t.Error("every tile placed upright — orientation search is inert")
+	}
+}
+
+func TestOrientedWithOptimizationAndDevice(t *testing.T) {
+	input, target := pair(t, 64)
+	dev := cuda.New(4)
+	cpu, err := Generate(input, target, Options{TilesPerSide: 8, Algorithm: Optimization, AllowOrientations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := Generate(input, target, Options{TilesPerSide: 8, Algorithm: Optimization, AllowOrientations: true, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.TotalError != gpu.TotalError {
+		t.Errorf("oriented optimization differs across device: %d vs %d", cpu.TotalError, gpu.TotalError)
+	}
+	if !cpu.Mosaic.Equal(gpu.Mosaic) {
+		t.Error("oriented mosaics differ across device")
+	}
+}
+
+func TestOrientedRejectedForColor(t *testing.T) {
+	in, _ := synth.GenerateRGB(synth.Peppers, 64)
+	tgt, _ := synth.GenerateRGB(synth.Barbara, 64)
+	if _, err := GenerateRGB(in, tgt, Options{TilesPerSide: 8, AllowOrientations: true}); err == nil {
+		t.Error("color pipeline accepted AllowOrientations")
+	}
+}

@@ -1,0 +1,250 @@
+// Package cuda is a software re-creation of the CUDA execution model the
+// paper's GPU kernels are written against (§V).
+//
+// The paper's two GPU computations are expressed in terms of a grid of
+// thread blocks: S blocks for the S×S tile-error matrix, and one kernel
+// launch per edge-color class for the parallel local search, with kernel
+// boundaries acting as global barriers. This package runs the same
+// decomposition on CPU cores:
+//
+//   - a Device owns a bounded pool of workers standing in for streaming
+//     multiprocessors;
+//   - Launch executes a kernel once per block, distributing blocks over the
+//     workers and returning only when every block has finished (kernel
+//     launches are the paper's synchronisation points, so Launch is
+//     synchronous);
+//   - inside a block, ForThreads runs a body for each logical thread; the
+//     threads of one block execute on one worker, so everything between two
+//     ForThreads calls is ordered exactly as code between two
+//     __syncthreads() barriers;
+//   - Shared returns a per-block scratch buffer with shared-memory
+//     semantics: visible to all threads of the block, undefined across
+//     blocks, never shared between concurrently running blocks.
+//
+// What this deliberately does not model: warp scheduling, memory
+// coalescing, bank conflicts, and the host↔device copies (the paper assumes
+// images are resident in global memory before timing begins, so host slices
+// serve as global memory here). Absolute speedups therefore track the host
+// core count rather than the paper's 40–66×, but the relative shape of the
+// experiments is preserved; see EXPERIMENTS.md.
+package cuda
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Device is a virtual accelerator with a fixed number of workers.
+// The zero value is not usable; construct with New.
+type Device struct {
+	workers int
+	// scratch and intScratch hold one shared-memory arena per worker (byte
+	// and int32 flavours), grown on demand and reused across launches so
+	// steady-state kernels allocate nothing.
+	scratch    [][]byte
+	intScratch [][]int32
+	// timingState implements the optional virtual clock (see timing.go).
+	timingState
+}
+
+// New returns a Device with the given number of workers. workers ≤ 0 selects
+// runtime.GOMAXPROCS(0), the natural "all the hardware there is" default.
+func New(workers int) *Device {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Device{
+		workers:    workers,
+		scratch:    make([][]byte, workers),
+		intScratch: make([][]int32, workers),
+	}
+}
+
+// Workers returns the size of the device's worker pool.
+func (d *Device) Workers() int { return d.workers }
+
+// Block is the execution context handed to a kernel, one per block.
+// It plays the role of the (blockIdx, blockDim, gridDim) built-ins plus the
+// block's shared memory.
+type Block struct {
+	Idx     int // blockIdx.x
+	Grid    int // gridDim.x
+	Threads int // blockDim.x
+
+	worker int
+	dev    *Device
+}
+
+// Shared returns an n-byte shared-memory buffer for this block. Contents are
+// undefined on entry (as in CUDA, where __shared__ arrays are uninitialised)
+// and must not be retained past the kernel invocation. Repeated calls within
+// one block return the same arena, so a kernel carving several arrays out of
+// shared memory should call Shared once and slice the result.
+func (b *Block) Shared(n int) []byte {
+	if n < 0 {
+		panic(fmt.Sprintf("cuda: Shared(%d): negative size", n))
+	}
+	s := b.dev.scratch[b.worker]
+	if cap(s) < n {
+		s = make([]byte, n)
+		b.dev.scratch[b.worker] = s
+	}
+	return s[:n]
+}
+
+// SharedInts returns an n-element int32 shared array for this block —
+// convenient for kernels whose shared arrays hold accumulators rather than
+// pixels. CUDA kernels carve such arrays out of one extern __shared__ block;
+// Go cannot alias []byte as []int32 without unsafe (which this repo avoids),
+// so the device keeps a parallel int32 arena with identical semantics:
+// contents undefined on entry, private to the running block.
+func (b *Block) SharedInts(n int) []int32 {
+	if n < 0 {
+		panic(fmt.Sprintf("cuda: SharedInts(%d): negative size", n))
+	}
+	s := b.dev.intScratch[b.worker]
+	if cap(s) < n {
+		s = make([]int32, n)
+		b.dev.intScratch[b.worker] = s
+	}
+	return s[:n]
+}
+
+// ForThreads runs body(t) for t = 0..b.Threads−1. One call corresponds to a
+// barrier-delimited region of a CUDA kernel: every thread completes the
+// region before the next ForThreads region starts, because the threads of a
+// block run on the block's worker.
+func (b *Block) ForThreads(body func(t int)) {
+	for t := 0; t < b.Threads; t++ {
+		body(t)
+	}
+}
+
+// StrideLoop runs body(i) for i = t, t+stride, … < n — the canonical CUDA
+// grid-stride/thread-stride loop for covering n items with Threads threads.
+func (b *Block) StrideLoop(n int, body func(i int)) {
+	b.ForThreads(func(t int) {
+		for i := t; i < n; i += b.Threads {
+			body(i)
+		}
+	})
+}
+
+// Launch runs kernel once per block, blocks 0..grid−1, distributing blocks
+// over the device workers. It returns when all blocks have completed, like
+// a kernel launch followed by cudaDeviceSynchronize. threadsPerBlock only
+// sets Block.Threads for the kernel's loops; it does not change the worker
+// pool. A panic inside the kernel propagates to the caller.
+func (d *Device) Launch(grid, threadsPerBlock int, kernel func(b *Block)) {
+	if grid <= 0 {
+		return
+	}
+	if threadsPerBlock <= 0 {
+		panic(fmt.Sprintf("cuda: Launch with threadsPerBlock=%d", threadsPerBlock))
+	}
+	nw := d.workers
+	if nw > grid {
+		nw = grid
+	}
+	// With the virtual clock active, each block's body is timed so the
+	// launch can be charged its scheduled makespan (see timing.go). The
+	// measurements are most faithful on a single-worker device, where
+	// blocks never contend for host cores.
+	var durations []time.Duration
+	if d.timingEnabled() {
+		durations = make([]time.Duration, grid)
+	}
+	if nw == 1 {
+		// Degenerate single-worker device: run inline, no goroutines.
+		b := &Block{Grid: grid, Threads: threadsPerBlock, worker: 0, dev: d}
+		for i := 0; i < grid; i++ {
+			b.Idx = i
+			if durations != nil {
+				start := time.Now()
+				kernel(b)
+				durations[i] = time.Since(start)
+			} else {
+				kernel(b)
+			}
+		}
+		d.chargeLaunch(durations, threadsPerBlock)
+		return
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	panics := make(chan any, nw)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			b := &Block{Grid: grid, Threads: threadsPerBlock, worker: worker, dev: d}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= grid {
+					return
+				}
+				b.Idx = i
+				if durations != nil {
+					start := time.Now()
+					kernel(b)
+					durations[i] = time.Since(start)
+				} else {
+					kernel(b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+	d.chargeLaunch(durations, threadsPerBlock)
+}
+
+// LaunchRange is a convenience for embarrassingly parallel loops: it covers
+// i = 0..n−1 with the device workers using contiguous chunks, without the
+// block/thread structure. Used where the paper's kernel shape does not
+// matter (e.g. building baselines).
+func (d *Device) LaunchRange(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	chunk := (n + d.workers - 1) / d.workers
+	var wg sync.WaitGroup
+	panics := make(chan any, d.workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}

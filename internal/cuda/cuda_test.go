@@ -1,0 +1,232 @@
+package cuda
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers = %d, want %d", got, want)
+	}
+	if New(-3).Workers() != runtime.GOMAXPROCS(0) {
+		t.Error("negative workers not defaulted")
+	}
+	if New(5).Workers() != 5 {
+		t.Error("explicit worker count ignored")
+	}
+}
+
+func TestLaunchCoversEveryBlockExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		dev := New(workers)
+		for _, grid := range []int{1, 2, 16, 100} {
+			counts := make([]int32, grid)
+			dev.Launch(grid, 4, func(b *Block) {
+				atomic.AddInt32(&counts[b.Idx], 1)
+				if b.Grid != grid || b.Threads != 4 {
+					t.Errorf("block context wrong: grid=%d threads=%d", b.Grid, b.Threads)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d grid=%d: block %d ran %d times", workers, grid, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestLaunchZeroGridIsNoop(t *testing.T) {
+	ran := false
+	New(2).Launch(0, 1, func(b *Block) { ran = true })
+	if ran {
+		t.Error("kernel ran with grid 0")
+	}
+}
+
+func TestLaunchPanicsOnBadThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Launch with 0 threads did not panic")
+		}
+	}()
+	New(1).Launch(1, 0, func(b *Block) {})
+}
+
+func TestForThreadsRunsEachThreadOnce(t *testing.T) {
+	dev := New(1)
+	dev.Launch(1, 8, func(b *Block) {
+		seen := make([]bool, 8)
+		b.ForThreads(func(t2 int) {
+			if seen[t2] {
+				panic("thread ran twice")
+			}
+			seen[t2] = true
+		})
+		for i, s := range seen {
+			if !s {
+				t.Errorf("thread %d never ran", i)
+			}
+		}
+	})
+}
+
+func TestStrideLoopCoversRange(t *testing.T) {
+	dev := New(2)
+	for _, n := range []int{0, 1, 5, 16, 100} {
+		dev.Launch(1, 7, func(b *Block) {
+			hit := make([]int, n)
+			b.StrideLoop(n, func(i int) { hit[i]++ })
+			for i, h := range hit {
+				if h != 1 {
+					t.Errorf("n=%d: index %d hit %d times", n, i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestSharedMemoryIsPerBlockSafe(t *testing.T) {
+	// Many blocks hammer their shared buffers concurrently; each block must
+	// read back exactly what it wrote (no cross-block interference).
+	dev := New(4)
+	var fails atomic.Int32
+	dev.Launch(64, 8, func(b *Block) {
+		sh := b.Shared(128)
+		for i := range sh {
+			sh[i] = byte(b.Idx)
+		}
+		ints := b.SharedInts(32)
+		for i := range ints {
+			ints[i] = int32(b.Idx)
+		}
+		for _, v := range sh {
+			if v != byte(b.Idx) {
+				fails.Add(1)
+			}
+		}
+		for _, v := range ints {
+			if v != int32(b.Idx) {
+				fails.Add(1)
+			}
+		}
+	})
+	if fails.Load() != 0 {
+		t.Errorf("%d shared-memory corruption events", fails.Load())
+	}
+}
+
+func TestSharedGrowsAndReuses(t *testing.T) {
+	dev := New(1)
+	dev.Launch(1, 1, func(b *Block) {
+		small := b.Shared(8)
+		big := b.Shared(1024)
+		if len(small) != 8 || len(big) != 1024 {
+			t.Errorf("Shared sizes %d, %d", len(small), len(big))
+		}
+		again := b.Shared(16)
+		if len(again) != 16 {
+			t.Errorf("Shared(16) returned %d bytes", len(again))
+		}
+	})
+}
+
+func TestSharedPanicsOnNegative(t *testing.T) {
+	dev := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Shared(-1) did not panic")
+		}
+	}()
+	dev.Launch(1, 1, func(b *Block) { b.Shared(-1) })
+}
+
+func TestLaunchPropagatesKernelPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		dev := New(workers)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("workers=%d: kernel panic not propagated", workers)
+				}
+			}()
+			dev.Launch(8, 1, func(b *Block) {
+				if b.Idx == 3 {
+					panic("kernel fault")
+				}
+			})
+		}()
+	}
+}
+
+func TestLaunchRangeCoversAll(t *testing.T) {
+	dev := New(3)
+	for _, n := range []int{0, 1, 2, 17, 1000} {
+		counts := make([]int32, n)
+		dev.LaunchRange(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestLaunchRangePropagatesPanic(t *testing.T) {
+	dev := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("LaunchRange panic not propagated")
+		}
+	}()
+	dev.LaunchRange(10, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestLaunchDeterministicSumProperty(t *testing.T) {
+	// Property: a parallel reduction over blocks equals the serial sum for
+	// any worker count — the device must not lose or duplicate work.
+	f := func(rawWorkers, rawGrid uint8) bool {
+		workers := int(rawWorkers)%8 + 1
+		grid := int(rawGrid)%64 + 1
+		dev := New(workers)
+		var sum atomic.Int64
+		dev.Launch(grid, 3, func(b *Block) {
+			local := int64(0)
+			b.StrideLoop(10, func(i int) { local += int64(b.Idx*10 + i) })
+			sum.Add(local)
+		})
+		want := int64(0)
+		for g := 0; g < grid; g++ {
+			for i := 0; i < 10; i++ {
+				want += int64(g*10 + i)
+			}
+		}
+		return sum.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLaunchOverhead(b *testing.B) {
+	dev := New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Launch(64, 32, func(bl *Block) {})
+	}
+}
+
+func BenchmarkLaunchRangeOverhead(b *testing.B) {
+	dev := New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.LaunchRange(64, func(i int) {})
+	}
+}

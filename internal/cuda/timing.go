@@ -1,0 +1,163 @@
+package cuda
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TimingModel configures the device's virtual clock — a discrete-event
+// simulation of a P-way accelerator.
+//
+// This host may have fewer cores than the paper's Tesla K40 has streaming
+// multiprocessors, so wall-clock measurements cannot exhibit the paper's
+// GPU/CPU speedup shape. The timing model recovers it the way architecture
+// simulators do: every block's body is timed while it executes (ideally on
+// a single-worker device, so measurements are uncontended serial costs),
+// the measured blocks are list-scheduled in issue order onto SMs virtual
+// processors, and the launch is charged the schedule makespan plus a fixed
+// LaunchOverhead (the driver/launch latency that makes many tiny kernel
+// launches expensive on real GPUs — the effect behind Table III's slowdown
+// at S = 16²).
+type TimingModel struct {
+	// SMs is the number of virtual processors blocks are scheduled onto.
+	// The paper's K40 has 15 SMs.
+	SMs int
+	// CoresPerSM models intra-block thread parallelism: a block's measured
+	// serial duration is divided by min(block threads, CoresPerSM) before
+	// scheduling, approximating an SM that executes that many threads at
+	// once (the K40 has 192 cores per SM; memory-bound kernels sustain far
+	// fewer, so calibrate rather than copying the spec sheet). ≤ 0 means 1 —
+	// blocks charged at full serial cost.
+	CoresPerSM int
+	// LaunchOverhead is charged once per Launch, covering kernel dispatch.
+	// Real CUDA launches cost ~5–10µs.
+	LaunchOverhead time.Duration
+}
+
+// validate rejects nonsense models early.
+func (m *TimingModel) validate() error {
+	if m.SMs <= 0 {
+		return fmt.Errorf("cuda: TimingModel.SMs = %d", m.SMs)
+	}
+	if m.LaunchOverhead < 0 {
+		return fmt.Errorf("cuda: negative LaunchOverhead %v", m.LaunchOverhead)
+	}
+	return nil
+}
+
+// SetTimingModel enables (non-nil) or disables (nil) the virtual clock.
+// Enabling resets the clock. Returns an error for invalid models.
+func (d *Device) SetTimingModel(m *TimingModel) error {
+	if m != nil {
+		if err := m.validate(); err != nil {
+			return err
+		}
+	}
+	d.timingMu.Lock()
+	defer d.timingMu.Unlock()
+	d.timing = m
+	d.virtualClock = 0
+	return nil
+}
+
+// VirtualTime returns the accumulated virtual time of all launches since the
+// model was set or the clock reset. Zero when no model is active.
+func (d *Device) VirtualTime() time.Duration {
+	d.timingMu.Lock()
+	defer d.timingMu.Unlock()
+	return d.virtualClock
+}
+
+// ResetVirtualTime zeroes the virtual clock.
+func (d *Device) ResetVirtualTime() {
+	d.timingMu.Lock()
+	defer d.timingMu.Unlock()
+	d.virtualClock = 0
+}
+
+// smHeap is a min-heap of virtual-SM free times for list scheduling.
+type smHeap []time.Duration
+
+func (h smHeap) Len() int            { return len(h) }
+func (h smHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h smHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *smHeap) Push(x any)         { *h = append(*h, x.(time.Duration)) }
+func (h *smHeap) Pop() any           { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h smHeap) peek() time.Duration { return h[0] }
+
+// makespan list-schedules the block durations, in issue order, onto p
+// virtual processors (each block starts on the processor that frees first,
+// mirroring a GPU's block scheduler) and returns the completion time of the
+// last block.
+func makespan(durations []time.Duration, p int) time.Duration {
+	if len(durations) == 0 {
+		return 0
+	}
+	if p >= len(durations) {
+		// Every block gets its own processor: makespan is the longest block.
+		var max time.Duration
+		for _, d := range durations {
+			if d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	h := make(smHeap, p)
+	heap.Init(&h)
+	var finish time.Duration
+	for _, d := range durations {
+		start := h.peek()
+		end := start + d
+		h[0] = end
+		heap.Fix(&h, 0)
+		if end > finish {
+			finish = end
+		}
+	}
+	return finish
+}
+
+// chargeLaunch records one launch's measured block durations against the
+// virtual clock, scaling each block by the modelled intra-block thread
+// parallelism. No-op when no model is active.
+func (d *Device) chargeLaunch(durations []time.Duration, threadsPerBlock int) {
+	d.timingMu.Lock()
+	defer d.timingMu.Unlock()
+	if d.timing == nil {
+		return
+	}
+	width := d.timing.CoresPerSM
+	if width < 1 {
+		width = 1
+	}
+	if threadsPerBlock < width {
+		width = threadsPerBlock
+	}
+	if width > 1 {
+		scaled := make([]time.Duration, len(durations))
+		for i, dur := range durations {
+			scaled[i] = dur / time.Duration(width)
+		}
+		durations = scaled
+	}
+	d.virtualClock += d.timing.LaunchOverhead + makespan(durations, d.timing.SMs)
+}
+
+// timingEnabled reports whether a model is active (cheap racy read is fine:
+// callers re-check under the lock when charging).
+func (d *Device) timingEnabled() bool {
+	d.timingMu.Lock()
+	defer d.timingMu.Unlock()
+	return d.timing != nil
+}
+
+// timingState carries the virtual clock; embedded in Device so the timing
+// machinery lives in one file.
+type timingState struct {
+	timingMu     sync.Mutex
+	timing       *TimingModel
+	virtualClock time.Duration
+}

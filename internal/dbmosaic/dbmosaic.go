@@ -1,0 +1,139 @@
+// Package dbmosaic implements the classical database-driven photomosaic the
+// paper's introduction describes and contrasts with its own method (and
+// shows as Figure 1): divide the target into subimages, pick for each the
+// most similar image from a database of small images (reuse allowed), and
+// assemble.
+//
+// Unlike the paper's rearrangement method there is no bijection constraint,
+// so per-tile errors are independent nearest-neighbour lookups. The package
+// exists to reproduce Figure 1 and to serve as the conceptual baseline the
+// paper positions itself against: with a rich database it can beat the
+// rearrangement method on error (it may use a good tile many times), at the
+// cost of needing a database at all.
+package dbmosaic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/imgutil"
+	"repro/internal/metric"
+	"repro/internal/tile"
+)
+
+// ErrDatabase reports an unusable database or query.
+var ErrDatabase = errors.New("dbmosaic: invalid database")
+
+// Database is a flat collection of M×M grayscale tiles.
+type Database struct {
+	M     int
+	tiles []uint8 // tile i at [i·M², (i+1)·M²)
+}
+
+// NewDatabase returns an empty database of m×m tiles.
+func NewDatabase(m int) (*Database, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("dbmosaic: tile size %d: %w", m, ErrDatabase)
+	}
+	return &Database{M: m}, nil
+}
+
+// Len returns the number of tiles in the database.
+func (d *Database) Len() int { return len(d.tiles) / (d.M * d.M) }
+
+// AddTile appends one M×M image as a database tile.
+func (d *Database) AddTile(img *imgutil.Gray) error {
+	if img.W != d.M || img.H != d.M {
+		return fmt.Errorf("dbmosaic: tile %dx%d in a database of %d×%d tiles: %w", img.W, img.H, d.M, d.M, ErrDatabase)
+	}
+	d.tiles = append(d.tiles, img.Pix...)
+	return nil
+}
+
+// AddImage splits img into M×M tiles and adds them all — the usual way of
+// ingesting a source collection. The image dimensions must be multiples
+// of M.
+func (d *Database) AddImage(img *imgutil.Gray) error {
+	g, err := tile.NewGrid(img, d.M)
+	if err != nil {
+		return fmt.Errorf("dbmosaic: %w", err)
+	}
+	d.tiles = append(d.tiles, g.Flatten()...)
+	return nil
+}
+
+// Tile returns a copy of database tile i.
+func (d *Database) Tile(i int) *imgutil.Gray {
+	if i < 0 || i >= d.Len() {
+		panic(fmt.Sprintf("dbmosaic: Tile(%d) of %d", i, d.Len()))
+	}
+	m2 := d.M * d.M
+	out := imgutil.NewGray(d.M, d.M)
+	copy(out.Pix, d.tiles[i*m2:(i+1)*m2])
+	return out
+}
+
+// Result is the output of Generate.
+type Result struct {
+	Mosaic *imgutil.Gray
+	// Choice[v] is the database tile placed at target position v.
+	Choice []int
+	// TotalError is the summed per-tile error of the chosen tiles.
+	TotalError int64
+}
+
+// Generate builds the database mosaic of target: every target tile receives
+// its nearest database tile under the metric (tiles may repeat). dev, when
+// non-nil, parallelises the per-position searches.
+func (d *Database) Generate(target *imgutil.Gray, met metric.Metric, dev *cuda.Device) (*Result, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("dbmosaic: empty database: %w", ErrDatabase)
+	}
+	if !met.Valid() {
+		return nil, fmt.Errorf("dbmosaic: invalid metric %v: %w", met, ErrDatabase)
+	}
+	grid, err := tile.NewGrid(target, d.M)
+	if err != nil {
+		return nil, fmt.Errorf("dbmosaic: %w", err)
+	}
+	s := grid.S()
+	m2 := d.M * d.M
+	ftgt := grid.Flatten()
+	choice := make([]int, s)
+	errs := make([]int64, s)
+
+	searchOne := func(v int) {
+		tv := ftgt[v*m2 : (v+1)*m2]
+		best := metric.Cost(1<<31 - 1)
+		bestI := 0
+		for i := 0; i < d.Len(); i++ {
+			c := metric.TileError(d.tiles[i*m2:(i+1)*m2], tv, met)
+			if c < best {
+				best = c
+				bestI = i
+			}
+		}
+		choice[v] = bestI
+		errs[v] = int64(best)
+	}
+	if dev != nil {
+		dev.LaunchRange(s, searchOne)
+	} else {
+		for v := 0; v < s; v++ {
+			searchOne(v)
+		}
+	}
+
+	out := imgutil.NewGray(target.W, target.H)
+	var total int64
+	for v := 0; v < s; v++ {
+		x, y := grid.Origin(v)
+		src := d.tiles[choice[v]*m2 : (choice[v]+1)*m2]
+		for r := 0; r < d.M; r++ {
+			copy(out.Pix[(y+r)*out.W+x:(y+r)*out.W+x+d.M], src[r*d.M:(r+1)*d.M])
+		}
+		total += errs[v]
+	}
+	return &Result{Mosaic: out, Choice: choice, TotalError: total}, nil
+}

@@ -1,0 +1,199 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI): Table I (total errors), Table II (Step-2 error-matrix
+// times), Table III (Step-3 rearrangement times), Table IV (end-to-end
+// times), and the image panels of Figures 2, 7 and 8.
+//
+// The harness measures this repository's CPU (serial) and device (virtual
+// accelerator) implementations on the synthetic scene pairs that stand in
+// for the paper's USC-SIPI photographs. Absolute times and speedups depend
+// on the host; EXPERIMENTS.md records which qualitative shapes must hold
+// and what was measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/imgutil"
+	"repro/internal/synth"
+)
+
+// Pair names an input→target scene combination.
+type Pair struct {
+	Input, Target synth.Scene
+}
+
+// String formats the pair like the paper's captions ("Lena → Sailboat").
+func (p Pair) String() string { return fmt.Sprintf("%s → %s", p.Input, p.Target) }
+
+// PaperPairs returns the four image pairs of Figures 7 and 8, whose average
+// generation time is what Tables II–IV report.
+func PaperPairs() []Pair {
+	return []Pair{
+		{synth.Lena, synth.Sailboat},
+		{synth.Airplane, synth.Lena},
+		{synth.Peppers, synth.Barbara},
+		{synth.Tiffany, synth.Baboon},
+	}
+}
+
+// Config controls the sweep. NewConfig supplies the paper's grid.
+type Config struct {
+	// Sizes lists image side lengths (paper: 512, 1024, 2048).
+	Sizes []int
+	// TileCounts lists tiles-per-side values (paper: 16, 32, 64).
+	TileCounts []int
+	// Pairs lists the scene pairs averaged over (paper: the four pairs of
+	// Figures 7 and 8).
+	Pairs []Pair
+	// Workers sizes the device; 0 uses every core.
+	Workers int
+	// MaxOptimizationS skips the exact matching above this tile count
+	// (0 = never skip). The paper's optimization column at S = 64² costs
+	// ~20 min on their CPU; JV here is far faster but still the dominant
+	// cost of a full sweep.
+	MaxOptimizationS int
+	// VirtualSMs, when positive, switches the GPU columns from wall-clock to
+	// the device's virtual clock: blocks execute serially on one worker,
+	// each block's measured cost is list-scheduled onto VirtualSMs
+	// processors, and every kernel launch is charged VirtualLaunchOverhead.
+	// Use this on hosts with too few cores to exhibit parallel speedups
+	// (the paper's K40 has 15 SMs; real CUDA launches cost ~5–10µs).
+	VirtualSMs int
+	// VirtualLaunchOverhead is the per-launch charge in virtual mode.
+	VirtualLaunchOverhead time.Duration
+	// VirtualCoresPerSM models intra-block thread parallelism in virtual
+	// mode (see cuda.TimingModel.CoresPerSM); ≤ 0 charges blocks at full
+	// serial cost.
+	VirtualCoresPerSM int
+	// Out receives the formatted tables; nil discards them.
+	Out io.Writer
+}
+
+// NewConfig returns the paper's full evaluation grid.
+func NewConfig() Config {
+	return Config{
+		Sizes:      []int{512, 1024, 2048},
+		TileCounts: []int{16, 32, 64},
+		Pairs:      PaperPairs(),
+		Workers:    0,
+	}
+}
+
+// QuickConfig returns a laptop-scale subset (512 and 1024 images, one pair)
+// used by tests and the default CLI mode.
+func QuickConfig() Config {
+	return Config{
+		Sizes:      []int{512, 1024},
+		TileCounts: []int{16, 32},
+		Pairs:      PaperPairs()[:1],
+		Workers:    0,
+	}
+}
+
+// device builds the configured virtual accelerator. In virtual-timing mode
+// the device runs single-worker (so block measurements are uncontended) with
+// the timing model attached.
+func (c *Config) device() (*cuda.Device, error) {
+	if c.VirtualSMs <= 0 {
+		return cuda.New(c.Workers), nil
+	}
+	dev := cuda.New(1)
+	err := dev.SetTimingModel(&cuda.TimingModel{
+		SMs:            c.VirtualSMs,
+		CoresPerSM:     c.VirtualCoresPerSM,
+		LaunchOverhead: c.VirtualLaunchOverhead,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dev, nil
+}
+
+// measureDevice times f on the device: in virtual mode it reads the virtual
+// clock delta (averaging a few runs when the virtual time is tiny), and in
+// wall-clock mode it defers to measure.
+func (c *Config) measureDevice(dev *cuda.Device, f func()) time.Duration {
+	if c.VirtualSMs <= 0 {
+		return measure(f)
+	}
+	dev.ResetVirtualTime()
+	f()
+	v := dev.VirtualTime()
+	if v >= 10*time.Millisecond {
+		return v
+	}
+	// Tiny kernels: average several runs to tame per-block timer noise.
+	const reps = 5
+	dev.ResetVirtualTime()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return dev.VirtualTime() / reps
+}
+
+// out returns the configured writer, defaulting to a discard sink.
+func (c *Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+// scenePair renders (and caches per call) the images of a pair at size n.
+func scenePair(p Pair, n int) (input, target *imgutil.Gray, err error) {
+	input, err = synth.Generate(p.Input, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	target, err = synth.Generate(p.Target, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return input, target, nil
+}
+
+// measure times f with adaptive repetition: fast bodies are repeated until
+// the total exceeds minDuration so short kernels are not lost in timer
+// noise, while long bodies run exactly once.
+func measure(f func()) time.Duration {
+	const minDuration = 50 * time.Millisecond
+	start := time.Now()
+	f()
+	elapsed := time.Since(start)
+	if elapsed >= minDuration {
+		return elapsed
+	}
+	// Repeat in growing batches.
+	reps := 1
+	for elapsed < minDuration {
+		batch := reps
+		start = time.Now()
+		for i := 0; i < batch; i++ {
+			f()
+		}
+		batchElapsed := time.Since(start)
+		if batchElapsed >= minDuration {
+			return batchElapsed / time.Duration(batch)
+		}
+		if batchElapsed <= 0 {
+			batchElapsed = time.Nanosecond
+		}
+		reps = int(int64(batch) * int64(minDuration) / int64(batchElapsed))
+		if reps <= batch {
+			reps = batch * 2
+		}
+		elapsed = batchElapsed
+	}
+	return elapsed
+}
+
+// speedup renders a/b, guarding zero denominators.
+func speedup(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"image/png"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/dbmosaic"
+	"repro/internal/hist"
+	"repro/internal/imgutil"
+	"repro/internal/metric"
+	"repro/internal/synth"
+)
+
+// FigureResult records one generated panel image and its metadata.
+type FigureResult struct {
+	Label  string // e.g. "fig7-32x32-optimization"
+	Path   string // written PNG ("" when no output dir configured)
+	Error  int64  // Eq. (2), 0 for non-mosaic panels
+	Passes int    // local-search passes (k) when applicable
+}
+
+// savePanel writes img to dir/label.png when dir is non-empty.
+func savePanel(dir, label string, img *imgutil.Gray) (string, error) {
+	if dir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, label+".png")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := png.Encode(f, img.ToImage()); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// Figure2 reproduces Figures 2 and 3: the input image, the target image,
+// the histogram-matched input (Fig. 3) and the resulting photomosaic at
+// S = 32×32 on the first configured pair.
+func (cfg *Config) Figure2(dir string) ([]FigureResult, error) {
+	p := cfg.Pairs[0]
+	n := cfg.Sizes[0]
+	input, target, err := scenePair(p, n)
+	if err != nil {
+		return nil, err
+	}
+	matched, err := hist.Match(input, target)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Generate(input, target, core.Options{TilesPerSide: 32})
+	if err != nil {
+		return nil, err
+	}
+	panels := []struct {
+		label string
+		img   *imgutil.Gray
+		err   int64
+		k     int
+	}{
+		{"fig2-input", input, 0, 0},
+		{"fig2-target", target, 0, 0},
+		{"fig3-histogram-matched", matched, 0, 0},
+		{"fig2-photomosaic", res.Mosaic, res.TotalError, res.SearchStats.Passes},
+	}
+	var out []FigureResult
+	w := cfg.out()
+	fmt.Fprintf(w, "Figure 2/3 — %s at %d×%d, S = 32×32\n", p, n, n)
+	for _, panel := range panels {
+		path, err := savePanel(dir, panel.label, panel.img)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FigureResult{Label: panel.label, Path: path, Error: panel.err, Passes: panel.k})
+		fmt.Fprintf(w, "  %-26s", panel.label)
+		if panel.err > 0 {
+			fmt.Fprintf(w, " error=%d k=%d", panel.err, panel.k)
+		}
+		fmt.Fprintln(w)
+	}
+	return out, nil
+}
+
+// Figure7 reproduces Figure 7: for each tile count, the optimization,
+// serial-approximation and parallel-approximation mosaics of the first
+// pair, with their errors (Table I's data) and pass counts (the paper's
+// k ≤ 9, 8, 16 observation).
+func (cfg *Config) Figure7(dir string) ([]FigureResult, error) {
+	p := cfg.Pairs[0]
+	n := cfg.Sizes[0]
+	input, target, err := scenePair(p, n)
+	if err != nil {
+		return nil, err
+	}
+	dev := cuda.New(cfg.Workers) // figures render results; wall-clock device is fine
+	var out []FigureResult
+	w := cfg.out()
+	fmt.Fprintf(w, "Figure 7 — %s at %d×%d\n", p, n, n)
+	for _, tiles := range cfg.TileCounts {
+		s := tiles * tiles
+		variants := []struct {
+			label string
+			opts  core.Options
+			skip  bool
+		}{
+			{"optimization", core.Options{TilesPerSide: tiles, Algorithm: core.Optimization},
+				cfg.MaxOptimizationS > 0 && s > cfg.MaxOptimizationS},
+			{"approx-cpu", core.Options{TilesPerSide: tiles, Algorithm: core.Approximation}, false},
+			{"approx-gpu", core.Options{TilesPerSide: tiles, Algorithm: core.ParallelApproximation, Device: dev}, false},
+		}
+		for _, v := range variants {
+			label := fmt.Sprintf("fig7-%dx%d-%s", tiles, tiles, v.label)
+			if v.skip {
+				fmt.Fprintf(w, "  %-34s skipped (S > MaxOptimizationS)\n", label)
+				continue
+			}
+			res, err := core.Generate(input, target, v.opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", label, err)
+			}
+			path, err := savePanel(dir, label, res.Mosaic)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, FigureResult{Label: label, Path: path, Error: res.TotalError, Passes: res.SearchStats.Passes})
+			fmt.Fprintf(w, "  %-34s error=%-10d k=%d\n", label, res.TotalError, res.SearchStats.Passes)
+		}
+	}
+	return out, nil
+}
+
+// Figure8 reproduces Figure 8: the optimization mosaics of the remaining
+// three pairs at S = 32×32 (with input/target panels alongside).
+func (cfg *Config) Figure8(dir string) ([]FigureResult, error) {
+	n := cfg.Sizes[0]
+	pairs := cfg.Pairs
+	if len(pairs) > 1 {
+		pairs = pairs[1:] // Figure 8 shows the pairs beyond Lena→Sailboat
+	}
+	var out []FigureResult
+	w := cfg.out()
+	fmt.Fprintf(w, "Figure 8 — optimization mosaics at %d×%d, S = 32×32\n", n, n)
+	for _, p := range pairs {
+		input, target, err := scenePair(p, n)
+		if err != nil {
+			return nil, err
+		}
+		algo := core.Optimization
+		if cfg.MaxOptimizationS > 0 && 32*32 > cfg.MaxOptimizationS {
+			algo = core.Approximation
+		}
+		res, err := core.Generate(input, target, core.Options{TilesPerSide: 32, Algorithm: algo})
+		if err != nil {
+			return nil, err
+		}
+		base := fmt.Sprintf("fig8-%s-to-%s", p.Input, p.Target)
+		for _, panel := range []struct {
+			suffix string
+			img    *imgutil.Gray
+			e      int64
+		}{
+			{"input", input, 0},
+			{"target", target, 0},
+			{"mosaic", res.Mosaic, res.TotalError},
+		} {
+			label := base + "-" + panel.suffix
+			path, err := savePanel(dir, label, panel.img)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, FigureResult{Label: label, Path: path, Error: panel.e})
+		}
+		fmt.Fprintf(w, "  %-40s error=%d\n", base, res.TotalError)
+	}
+	return out, nil
+}
+
+// sceneMustExist guards config pairs early with a clear error.
+func sceneMustExist(s synth.Scene) error {
+	_, err := synth.ParseScene(string(s))
+	return err
+}
+
+// Validate checks the configuration before a long run.
+func (cfg *Config) Validate() error {
+	if len(cfg.Sizes) == 0 || len(cfg.TileCounts) == 0 || len(cfg.Pairs) == 0 {
+		return fmt.Errorf("experiments: Sizes, TileCounts and Pairs must all be non-empty")
+	}
+	for _, n := range cfg.Sizes {
+		for _, tiles := range cfg.TileCounts {
+			if tiles <= 0 || n%tiles != 0 {
+				return fmt.Errorf("experiments: image size %d not divisible into %d tiles per side", n, tiles)
+			}
+		}
+	}
+	for _, p := range cfg.Pairs {
+		if err := sceneMustExist(p.Input); err != nil {
+			return err
+		}
+		if err := sceneMustExist(p.Target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure1 reproduces Figure 1: the classical database-driven photomosaic of
+// the introduction. The database holds the tiles of every built-in scene
+// except the target itself (the paper drew on external image collections);
+// the target is the first pair's input image, as in the paper's Lena panel.
+func (cfg *Config) Figure1(dir string) ([]FigureResult, error) {
+	n := cfg.Sizes[0]
+	targetScene := cfg.Pairs[0].Input
+	target, err := synth.Generate(targetScene, n)
+	if err != nil {
+		return nil, err
+	}
+	tiles := 32
+	if len(cfg.TileCounts) > 0 {
+		tiles = cfg.TileCounts[len(cfg.TileCounts)-1]
+	}
+	db, err := dbmosaic.NewDatabase(n / tiles)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range synth.Scenes() {
+		if s == targetScene {
+			continue
+		}
+		img, err := synth.Generate(s, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AddImage(img); err != nil {
+			return nil, err
+		}
+	}
+	res, err := db.Generate(target, metric.L1, cuda.New(cfg.Workers))
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.out()
+	fmt.Fprintf(w, "Figure 1 — database photomosaic of %s (%d tiles from %d scenes), S = %d×%d\n",
+		targetScene, db.Len(), len(synth.Scenes())-1, tiles, tiles)
+	var out []FigureResult
+	for _, panel := range []struct {
+		label string
+		img   *imgutil.Gray
+		e     int64
+	}{
+		{"fig1-target", target, 0},
+		{"fig1-database-mosaic", res.Mosaic, res.TotalError},
+	} {
+		path, err := savePanel(dir, panel.label, panel.img)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FigureResult{Label: panel.label, Path: path, Error: panel.e})
+		fmt.Fprintf(w, "  %-26s", panel.label)
+		if panel.e > 0 {
+			fmt.Fprintf(w, " error=%d", panel.e)
+		}
+		fmt.Fprintln(w)
+	}
+	return out, nil
+}

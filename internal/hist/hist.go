@@ -1,0 +1,229 @@
+// Package hist implements intensity histograms, histogram equalization and
+// histogram matching (specification) for 8-bit images.
+//
+// The paper (§II) adjusts "the distribution of an input image to that of a
+// target image using the histogram equalization" before any tiles are
+// rearranged: that operation — equalize the input, then push it through the
+// inverse of the target's equalization — is classical histogram *matching*.
+// Both the plain equalization and the matching transform are provided; the
+// mosaic pipeline uses Match.
+package hist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/imgutil"
+)
+
+// Levels is the number of intensity levels of the 8-bit data model.
+const Levels = 256
+
+// ErrEmpty reports an operation on an image or histogram with no mass.
+var ErrEmpty = errors.New("hist: empty histogram")
+
+// Histogram counts pixels per intensity level.
+type Histogram [Levels]int64
+
+// Of computes the histogram of img.
+func Of(img *imgutil.Gray) Histogram {
+	var h Histogram
+	for _, p := range img.Pix {
+		h[p]++
+	}
+	return h
+}
+
+// Total returns the pixel mass of h.
+func (h *Histogram) Total() int64 {
+	var n int64
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
+// CDF returns the cumulative distribution of h, normalised to [0, 1]:
+// CDF()[v] is the fraction of pixels with intensity ≤ v. The last entry is
+// exactly 1 for any non-empty histogram.
+func (h *Histogram) CDF() ([Levels]float64, error) {
+	var cdf [Levels]float64
+	n := h.Total()
+	if n == 0 {
+		return cdf, ErrEmpty
+	}
+	var run int64
+	for v := 0; v < Levels; v++ {
+		run += h[v]
+		cdf[v] = float64(run) / float64(n)
+	}
+	return cdf, nil
+}
+
+// Min returns the lowest occupied level, or an error for an empty histogram.
+func (h *Histogram) Min() (uint8, error) {
+	for v := 0; v < Levels; v++ {
+		if h[v] > 0 {
+			return uint8(v), nil
+		}
+	}
+	return 0, ErrEmpty
+}
+
+// Max returns the highest occupied level, or an error for an empty histogram.
+func (h *Histogram) Max() (uint8, error) {
+	for v := Levels - 1; v >= 0; v-- {
+		if h[v] > 0 {
+			return uint8(v), nil
+		}
+	}
+	return 0, ErrEmpty
+}
+
+// Mean returns the average intensity of h.
+func (h *Histogram) Mean() (float64, error) {
+	n := h.Total()
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	var sum int64
+	for v, c := range h {
+		sum += int64(v) * c
+	}
+	return float64(sum) / float64(n), nil
+}
+
+// EqualizeLUT builds the classical histogram-equalization lookup table for
+// h: level v maps to round(255 · (cdf(v) − cdf_min) / (1 − cdf_min)), the
+// textbook form that anchors the lowest occupied level at 0.
+func EqualizeLUT(h Histogram) ([Levels]uint8, error) {
+	var lut [Levels]uint8
+	cdf, err := h.CDF()
+	if err != nil {
+		return lut, err
+	}
+	lo, err := h.Min()
+	if err != nil {
+		return lut, err
+	}
+	cdfMin := cdf[lo]
+	den := 1 - cdfMin
+	for v := 0; v < Levels; v++ {
+		if den <= 0 {
+			// Constant image: equalization is the identity on the single
+			// occupied level; map everything there.
+			lut[v] = lo
+			continue
+		}
+		f := (cdf[v] - cdfMin) / den
+		if f < 0 {
+			f = 0
+		}
+		lut[v] = uint8(f*(Levels-1) + 0.5)
+	}
+	return lut, nil
+}
+
+// Equalize returns a copy of img with an equalized histogram.
+func Equalize(img *imgutil.Gray) (*imgutil.Gray, error) {
+	lut, err := EqualizeLUT(Of(img))
+	if err != nil {
+		return nil, err
+	}
+	return applyLUT(img, lut), nil
+}
+
+// MatchLUT builds the histogram-specification lookup table that maps
+// intensities distributed like src onto the distribution of dst: for each
+// level v it picks the smallest target level whose CDF reaches src's CDF at
+// v. Monotonicity of the result follows from both CDFs being monotone.
+func MatchLUT(src, dst Histogram) ([Levels]uint8, error) {
+	var lut [Levels]uint8
+	sc, err := src.CDF()
+	if err != nil {
+		return lut, fmt.Errorf("hist: source: %w", err)
+	}
+	dc, err := dst.CDF()
+	if err != nil {
+		return lut, fmt.Errorf("hist: target: %w", err)
+	}
+	j := 0
+	for v := 0; v < Levels; v++ {
+		for j < Levels-1 && dc[j] < sc[v] {
+			j++
+		}
+		lut[v] = uint8(j)
+	}
+	return lut, nil
+}
+
+// Match returns a copy of img whose intensity distribution approximates that
+// of ref — the paper's §II preprocessing step.
+func Match(img, ref *imgutil.Gray) (*imgutil.Gray, error) {
+	lut, err := MatchLUT(Of(img), Of(ref))
+	if err != nil {
+		return nil, err
+	}
+	return applyLUT(img, lut), nil
+}
+
+// MatchRGB applies per-channel histogram matching, the color analogue used
+// by the color-mosaic extension.
+func MatchRGB(img, ref *imgutil.RGB) (*imgutil.RGB, error) {
+	if img.W <= 0 || img.H <= 0 || ref.W <= 0 || ref.H <= 0 {
+		return nil, ErrEmpty
+	}
+	out := imgutil.NewRGB(img.W, img.H)
+	n := img.W * img.H
+	rn := ref.W * ref.H
+	for ch := 0; ch < 3; ch++ {
+		var hs, hd Histogram
+		for i := 0; i < n; i++ {
+			hs[img.Pix[3*i+ch]]++
+		}
+		for i := 0; i < rn; i++ {
+			hd[ref.Pix[3*i+ch]]++
+		}
+		lut, err := MatchLUT(hs, hd)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out.Pix[3*i+ch] = lut[img.Pix[3*i+ch]]
+		}
+	}
+	return out, nil
+}
+
+// applyLUT maps every pixel of img through lut into a fresh image.
+func applyLUT(img *imgutil.Gray, lut [Levels]uint8) *imgutil.Gray {
+	out := imgutil.NewGray(img.W, img.H)
+	for i, p := range img.Pix {
+		out.Pix[i] = lut[p]
+	}
+	return out
+}
+
+// Distance returns the L1 distance between the normalised CDFs of a and b —
+// the Wasserstein-1 distance between the two intensity distributions divided
+// by 255. Zero means identical distributions; used by tests to verify that
+// Match actually moves the input toward the reference.
+func Distance(a, b Histogram) (float64, error) {
+	ca, err := a.CDF()
+	if err != nil {
+		return 0, err
+	}
+	cb, err := b.CDF()
+	if err != nil {
+		return 0, err
+	}
+	var d float64
+	for v := 0; v < Levels; v++ {
+		dv := ca[v] - cb[v]
+		if dv < 0 {
+			dv = -dv
+		}
+		d += dv
+	}
+	return d / Levels, nil
+}

@@ -1,0 +1,290 @@
+package hist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/imgutil"
+	"repro/internal/synth"
+)
+
+func TestHistogramCountsAndTotal(t *testing.T) {
+	g := imgutil.NewGray(2, 2)
+	g.Pix = []uint8{0, 0, 7, 255}
+	h := Of(g)
+	if h[0] != 2 || h[7] != 1 || h[255] != 1 {
+		t.Errorf("histogram wrong: h[0]=%d h[7]=%d h[255]=%d", h[0], h[7], h[255])
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d, want 4", h.Total())
+	}
+}
+
+func TestCDFMonotoneAndEndsAtOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		img := randomGray(seed, 12, 12)
+		h := Of(img)
+		cdf, err := h.CDF()
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for _, c := range cdf {
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return cdf[Levels-1] == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if _, err := h.CDF(); err == nil {
+		t.Error("CDF of empty histogram succeeded")
+	}
+	if _, err := h.Min(); err == nil {
+		t.Error("Min of empty histogram succeeded")
+	}
+	if _, err := h.Max(); err == nil {
+		t.Error("Max of empty histogram succeeded")
+	}
+	if _, err := h.Mean(); err == nil {
+		t.Error("Mean of empty histogram succeeded")
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	g := imgutil.NewGray(1, 4)
+	g.Pix = []uint8{10, 20, 20, 30}
+	h := Of(g)
+	if lo, _ := h.Min(); lo != 10 {
+		t.Errorf("Min = %d", lo)
+	}
+	if hi, _ := h.Max(); hi != 30 {
+		t.Errorf("Max = %d", hi)
+	}
+	if m, _ := h.Mean(); m != 20 {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestEqualizeFlattensRamp(t *testing.T) {
+	// A two-level image equalizes to {something, 255} with the top level at
+	// full scale; a uniform ramp is already equalized (identity up to
+	// rounding).
+	ramp := imgutil.NewGray(16, 16)
+	for i := range ramp.Pix {
+		ramp.Pix[i] = uint8(i)
+	}
+	eq, err := Equalize(ramp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every level occupied exactly once → CDF is linear → LUT ≈ identity.
+	for i, p := range eq.Pix {
+		want := ramp.Pix[i]
+		d := int(p) - int(want)
+		if d < -1 || d > 1 {
+			t.Fatalf("pixel %d: equalized ramp deviates: %d → %d", i, want, p)
+		}
+	}
+}
+
+func TestEqualizeConstantImage(t *testing.T) {
+	g := imgutil.NewGray(4, 4)
+	g.Fill(99)
+	eq, err := Equalize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range eq.Pix {
+		if p != 99 {
+			t.Fatalf("constant image moved under equalization: %d", p)
+		}
+	}
+}
+
+func TestEqualizeStretchesRange(t *testing.T) {
+	// A compressed two-level image must stretch to the full range: the
+	// lowest occupied level maps to 0 and the highest to 255.
+	g := imgutil.NewGray(4, 4)
+	for i := range g.Pix {
+		if i%2 == 0 {
+			g.Pix[i] = 100
+		} else {
+			g.Pix[i] = 110
+		}
+	}
+	eq, err := Equalize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Of(eq)
+	lo, _ := h.Min()
+	hi, _ := h.Max()
+	if lo != 0 || hi != 255 {
+		t.Errorf("equalized range [%d, %d], want [0, 255]", lo, hi)
+	}
+}
+
+func TestMatchLUTMonotone(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a := Of(randomGray(s1, 10, 10))
+		b := Of(randomGray(s2, 10, 10))
+		lut, err := MatchLUT(a, b)
+		if err != nil {
+			return false
+		}
+		for v := 1; v < Levels; v++ {
+			if lut[v] < lut[v-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchMovesDistributionTowardReference(t *testing.T) {
+	// The paper's preprocessing: after Match, the input's distribution must
+	// be much closer to the target's than before.
+	input := synth.MustGenerate(synth.Airplane, 128) // bright, skewed
+	target := synth.MustGenerate(synth.Sailboat, 128)
+	before, err := Distance(Of(input), Of(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, err := Match(input, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Distance(Of(matched), Of(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("Match did not reduce distribution distance: before %v, after %v", before, after)
+	}
+	// Quantization plateaus in the 8-bit source bound how exactly the CDFs
+	// can be aligned; 0.03 is well within visual equivalence.
+	if after > 0.03 {
+		t.Errorf("matched distribution still far from target: %v", after)
+	}
+}
+
+func TestMatchToSelfIsNearIdentity(t *testing.T) {
+	img := synth.MustGenerate(synth.Lena, 64)
+	matched, err := Match(img, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matching an image to its own histogram may relabel within plateaus
+	// but the distribution must be essentially unchanged.
+	d, err := Distance(Of(matched), Of(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.005 {
+		t.Errorf("self-match moved the distribution by %v", d)
+	}
+}
+
+func TestMatchPreservesGeometry(t *testing.T) {
+	a := randomGray(1, 8, 6)
+	b := randomGray(2, 30, 30) // reference of different size is fine
+	m, err := Match(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W != a.W || m.H != a.H {
+		t.Errorf("geometry changed: %dx%d", m.W, m.H)
+	}
+}
+
+func TestMatchRGBPerChannel(t *testing.T) {
+	a := randomRGB(3, 16, 16)
+	b := randomRGB(4, 16, 16)
+	m, err := MatchRGB(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each channel's distribution should approach the reference channel's.
+	for ch := 0; ch < 3; ch++ {
+		var hm, hb Histogram
+		for i := 0; i < m.W*m.H; i++ {
+			hm[m.Pix[3*i+ch]]++
+			hb[b.Pix[3*i+ch]]++
+		}
+		d, err := Distance(hm, hb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 0.02 {
+			t.Errorf("channel %d: distance %v after matching", ch, d)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	a := Of(randomGray(7, 10, 10))
+	b := Of(randomGray(8, 10, 10))
+	dab, err := Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dba, err := Distance(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dab != dba {
+		t.Error("Distance not symmetric")
+	}
+	if self, _ := Distance(a, a); self != 0 {
+		t.Errorf("Distance(a, a) = %v", self)
+	}
+	if dab < 0 || dab > 1 {
+		t.Errorf("Distance out of [0, 1]: %v", dab)
+	}
+}
+
+func randomGray(seed uint64, w, h int) *imgutil.Gray {
+	g := imgutil.NewGray(w, h)
+	s := seed | 1
+	for i := range g.Pix {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		g.Pix[i] = uint8(s >> 24)
+	}
+	return g
+}
+
+func randomRGB(seed uint64, w, h int) *imgutil.RGB {
+	m := imgutil.NewRGB(w, h)
+	s := seed | 1
+	for i := range m.Pix {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		m.Pix[i] = uint8(s >> 24)
+	}
+	return m
+}
+
+func BenchmarkMatch512(b *testing.B) {
+	img := synth.MustGenerate(synth.Lena, 512)
+	ref := synth.MustGenerate(synth.Sailboat, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Match(img, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package imgutil provides the 8-bit image types used throughout the
+// photomosaic library.
+//
+// The paper operates on N×N 8-bit grayscale images; the color extension
+// (paper §II) uses 24-bit RGB. Both are stored as flat row-major pixel
+// slices so tile extraction and error kernels can index without bounds
+// gymnastics, and so the CUDA-style kernels in internal/cuda can treat the
+// pixel buffer as "global memory".
+package imgutil
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+)
+
+// ErrBounds reports an out-of-range image access or malformed geometry.
+var ErrBounds = errors.New("imgutil: coordinates out of bounds")
+
+// Gray is an 8-bit grayscale image with row-major pixel storage.
+// Pixel (x, y) lives at Pix[y*W+x].
+type Gray struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewGray returns a zeroed w×h grayscale image.
+// It panics if w or h is not positive, mirroring image.NewGray's behaviour
+// for nonsensical geometry.
+func NewGray(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgutil: NewGray(%d, %d): non-positive dimensions", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// NewGrayFrom wraps an existing pixel slice as a Gray image.
+// The slice is used directly (not copied); len(pix) must equal w*h.
+func NewGrayFrom(w, h int, pix []uint8) (*Gray, error) {
+	if w <= 0 || h <= 0 || len(pix) != w*h {
+		return nil, fmt.Errorf("imgutil: NewGrayFrom(%d, %d) with %d pixels: %w", w, h, len(pix), ErrBounds)
+	}
+	return &Gray{W: w, H: h, Pix: pix}, nil
+}
+
+// At returns the pixel at (x, y). It panics on out-of-range access.
+func (g *Gray) At(x, y int) uint8 {
+	if uint(x) >= uint(g.W) || uint(y) >= uint(g.H) {
+		panic(fmt.Sprintf("imgutil: Gray.At(%d, %d) on %dx%d image", x, y, g.W, g.H))
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y). It panics on out-of-range access.
+func (g *Gray) Set(x, y int, v uint8) {
+	if uint(x) >= uint(g.W) || uint(y) >= uint(g.H) {
+		panic(fmt.Sprintf("imgutil: Gray.Set(%d, %d) on %dx%d image", x, y, g.W, g.H))
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Clone returns a deep copy of g.
+func (g *Gray) Clone() *Gray {
+	out := NewGray(g.W, g.H)
+	copy(out.Pix, g.Pix)
+	return out
+}
+
+// Equal reports whether g and o have identical geometry and pixels.
+func (g *Gray) Equal(o *Gray) bool {
+	if g.W != o.W || g.H != o.H {
+		return false
+	}
+	for i, p := range g.Pix {
+		if o.Pix[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every pixel to v.
+func (g *Gray) Fill(v uint8) {
+	for i := range g.Pix {
+		g.Pix[i] = v
+	}
+}
+
+// SubImage copies the w×h rectangle with top-left corner (x, y) into a new
+// image. Unlike image.Gray.SubImage the result does not alias g.
+func (g *Gray) SubImage(x, y, w, h int) (*Gray, error) {
+	if x < 0 || y < 0 || w <= 0 || h <= 0 || x+w > g.W || y+h > g.H {
+		return nil, fmt.Errorf("imgutil: SubImage(%d, %d, %d, %d) of %dx%d: %w", x, y, w, h, g.W, g.H, ErrBounds)
+	}
+	out := NewGray(w, h)
+	for row := 0; row < h; row++ {
+		src := g.Pix[(y+row)*g.W+x : (y+row)*g.W+x+w]
+		copy(out.Pix[row*w:(row+1)*w], src)
+	}
+	return out, nil
+}
+
+// Blit copies src into g with src's top-left corner at (x, y).
+func (g *Gray) Blit(src *Gray, x, y int) error {
+	if x < 0 || y < 0 || x+src.W > g.W || y+src.H > g.H {
+		return fmt.Errorf("imgutil: Blit %dx%d at (%d, %d) into %dx%d: %w", src.W, src.H, x, y, g.W, g.H, ErrBounds)
+	}
+	for row := 0; row < src.H; row++ {
+		copy(g.Pix[(y+row)*g.W+x:(y+row)*g.W+x+src.W], src.Pix[row*src.W:(row+1)*src.W])
+	}
+	return nil
+}
+
+// ToImage converts g to a stdlib *image.Gray (pixels are copied).
+func (g *Gray) ToImage() *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, g.W, g.H))
+	for y := 0; y < g.H; y++ {
+		copy(img.Pix[y*img.Stride:y*img.Stride+g.W], g.Pix[y*g.W:(y+1)*g.W])
+	}
+	return img
+}
+
+// GrayFromImage converts any stdlib image to a Gray using the standard
+// luminance conversion performed by the color.GrayModel.
+func GrayFromImage(src image.Image) *Gray {
+	b := src.Bounds()
+	out := NewGray(b.Dx(), b.Dy())
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			c := color.GrayModel.Convert(src.At(b.Min.X+x, b.Min.Y+y)).(color.Gray)
+			out.Pix[y*out.W+x] = c.Y
+		}
+	}
+	return out
+}
+
+// ResizeNearest returns g scaled to w×h with nearest-neighbour sampling.
+// It is used to bring arbitrary user images to the power-of-two sizes the
+// paper evaluates (512, 1024, 2048).
+func (g *Gray) ResizeNearest(w, h int) *Gray {
+	out := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		sy := y * g.H / h
+		for x := 0; x < w; x++ {
+			sx := x * g.W / w
+			out.Pix[y*w+x] = g.Pix[sy*g.W+sx]
+		}
+	}
+	return out
+}
+
+// ResizeBilinear returns g scaled to w×h with bilinear interpolation.
+func (g *Gray) ResizeBilinear(w, h int) *Gray {
+	out := NewGray(w, h)
+	if g.W == 1 && g.H == 1 {
+		out.Fill(g.Pix[0])
+		return out
+	}
+	for y := 0; y < h; y++ {
+		fy := 0.0
+		if h > 1 {
+			fy = float64(y) * float64(g.H-1) / float64(h-1)
+		}
+		y0 := int(fy)
+		y1 := y0
+		if y1 < g.H-1 {
+			y1++
+		}
+		wy := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := 0.0
+			if w > 1 {
+				fx = float64(x) * float64(g.W-1) / float64(w-1)
+			}
+			x0 := int(fx)
+			x1 := x0
+			if x1 < g.W-1 {
+				x1++
+			}
+			wx := fx - float64(x0)
+			p00 := float64(g.Pix[y0*g.W+x0])
+			p01 := float64(g.Pix[y0*g.W+x1])
+			p10 := float64(g.Pix[y1*g.W+x0])
+			p11 := float64(g.Pix[y1*g.W+x1])
+			top := p00 + (p01-p00)*wx
+			bot := p10 + (p11-p10)*wx
+			v := top + (bot-top)*wy
+			out.Pix[y*w+x] = uint8(v + 0.5)
+		}
+	}
+	return out
+}
+
+// MeanIntensity returns the average pixel value of g.
+func (g *Gray) MeanIntensity() float64 {
+	var sum uint64
+	for _, p := range g.Pix {
+		sum += uint64(p)
+	}
+	return float64(sum) / float64(len(g.Pix))
+}
+
+// AbsDiffSum returns Σ|g−o| over all pixels, the paper's Eq. (1) error
+// applied to whole images. Geometry must match.
+func (g *Gray) AbsDiffSum(o *Gray) (int64, error) {
+	if g.W != o.W || g.H != o.H {
+		return 0, fmt.Errorf("imgutil: AbsDiffSum %dx%d vs %dx%d: %w", g.W, g.H, o.W, o.H, ErrBounds)
+	}
+	var sum int64
+	for i, p := range g.Pix {
+		d := int64(p) - int64(o.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum, nil
+}

@@ -1,0 +1,284 @@
+package imgutil
+
+import (
+	"image"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGrayGeometry(t *testing.T) {
+	g := NewGray(4, 3)
+	if g.W != 4 || g.H != 3 || len(g.Pix) != 12 {
+		t.Errorf("NewGray(4,3): W=%d H=%d len=%d", g.W, g.H, len(g.Pix))
+	}
+	for _, p := range g.Pix {
+		if p != 0 {
+			t.Fatal("NewGray not zeroed")
+		}
+	}
+}
+
+func TestNewGrayPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGray(%d, %d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewGray(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestNewGrayFrom(t *testing.T) {
+	pix := []uint8{1, 2, 3, 4, 5, 6}
+	g, err := NewGrayFrom(3, 2, pix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %d, want 6", g.At(2, 1))
+	}
+	if _, err := NewGrayFrom(3, 2, pix[:5]); err == nil {
+		t.Error("NewGrayFrom accepted a short slice")
+	}
+	if _, err := NewGrayFrom(0, 2, nil); err == nil {
+		t.Error("NewGrayFrom accepted zero width")
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	g := NewGray(8, 8)
+	g.Set(3, 5, 200)
+	if g.At(3, 5) != 200 {
+		t.Errorf("At(3,5) = %d", g.At(3, 5))
+	}
+	if g.Pix[5*8+3] != 200 {
+		t.Error("Set wrote to the wrong flat index")
+	}
+}
+
+func TestAtPanicsOutOfBounds(t *testing.T) {
+	g := NewGray(2, 2)
+	for _, xy := range [][2]int{{2, 0}, {0, 2}, {-1, 0}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d, %d) did not panic", xy[0], xy[1])
+				}
+			}()
+			g.At(xy[0], xy[1])
+		}()
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := NewGray(4, 4)
+	g.Set(1, 1, 42)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Error("clone not equal to original")
+	}
+	c.Set(0, 0, 9)
+	if g.Equal(c) {
+		t.Error("mutating clone changed original")
+	}
+	if g.Equal(NewGray(4, 5)) {
+		t.Error("images of different sizes reported equal")
+	}
+}
+
+func TestSubImageAndBlitRoundTrip(t *testing.T) {
+	g := NewGray(8, 8)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(i)
+	}
+	sub, err := g.SubImage(2, 3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.W != 4 || sub.H != 2 {
+		t.Fatalf("sub geometry %dx%d", sub.W, sub.H)
+	}
+	if sub.At(0, 0) != g.At(2, 3) || sub.At(3, 1) != g.At(5, 4) {
+		t.Error("SubImage copied wrong pixels")
+	}
+	// Blit it back somewhere else and verify.
+	if err := g.Blit(sub, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.At(0, 0) != sub.At(0, 0) || g.At(3, 1) != sub.At(3, 1) {
+		t.Error("Blit wrote wrong pixels")
+	}
+}
+
+func TestSubImageRejectsBadRects(t *testing.T) {
+	g := NewGray(8, 8)
+	bad := [][4]int{{-1, 0, 2, 2}, {0, -1, 2, 2}, {7, 0, 2, 2}, {0, 7, 2, 2}, {0, 0, 0, 2}, {0, 0, 9, 1}}
+	for _, r := range bad {
+		if _, err := g.SubImage(r[0], r[1], r[2], r[3]); err == nil {
+			t.Errorf("SubImage(%v) accepted", r)
+		}
+	}
+}
+
+func TestBlitRejectsOutOfBounds(t *testing.T) {
+	g := NewGray(4, 4)
+	src := NewGray(3, 3)
+	for _, xy := range [][2]int{{2, 0}, {0, 2}, {-1, 0}} {
+		if err := g.Blit(src, xy[0], xy[1]); err == nil {
+			t.Errorf("Blit at (%d, %d) accepted", xy[0], xy[1])
+		}
+	}
+}
+
+func TestToImageFromImageRoundTrip(t *testing.T) {
+	g := NewGray(5, 7)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(i * 3)
+	}
+	back := GrayFromImage(g.ToImage())
+	if !g.Equal(back) {
+		t.Error("ToImage/GrayFromImage round trip changed pixels")
+	}
+}
+
+func TestGrayFromImageRespectsBounds(t *testing.T) {
+	// A sub-image with non-zero Min must still convert correctly.
+	base := image.NewGray(image.Rect(0, 0, 10, 10))
+	for i := range base.Pix {
+		base.Pix[i] = uint8(i)
+	}
+	sub := base.SubImage(image.Rect(2, 2, 6, 6)).(*image.Gray)
+	g := GrayFromImage(sub)
+	if g.W != 4 || g.H != 4 {
+		t.Fatalf("geometry %dx%d", g.W, g.H)
+	}
+	if g.At(0, 0) != base.GrayAt(2, 2).Y {
+		t.Error("conversion ignored bounds offset")
+	}
+}
+
+func TestResizeNearestExact(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Set(0, 0, 10)
+	g.Set(1, 0, 20)
+	g.Set(0, 1, 30)
+	g.Set(1, 1, 40)
+	up := g.ResizeNearest(4, 4)
+	if up.At(0, 0) != 10 || up.At(3, 3) != 40 || up.At(2, 1) != 20 {
+		t.Errorf("ResizeNearest quadrants wrong: %v", up.Pix)
+	}
+	down := up.ResizeNearest(2, 2)
+	if !down.Equal(g) {
+		t.Error("down-scaling an exact upscale did not return the original")
+	}
+}
+
+func TestResizeBilinearPreservesConstant(t *testing.T) {
+	g := NewGray(5, 5)
+	g.Fill(123)
+	r := g.ResizeBilinear(9, 3)
+	for _, p := range r.Pix {
+		if p != 123 {
+			t.Fatalf("constant image changed under bilinear resize: %d", p)
+		}
+	}
+}
+
+func TestResizeBilinearEndpoints(t *testing.T) {
+	g := NewGray(2, 1)
+	g.Set(0, 0, 0)
+	g.Set(1, 0, 200)
+	r := g.ResizeBilinear(5, 1)
+	if r.At(0, 0) != 0 || r.At(4, 0) != 200 {
+		t.Errorf("endpoints %d..%d, want 0..200", r.At(0, 0), r.At(4, 0))
+	}
+	if r.At(2, 0) != 100 {
+		t.Errorf("midpoint %d, want 100", r.At(2, 0))
+	}
+}
+
+func TestResizeBilinearFromSinglePixel(t *testing.T) {
+	g := NewGray(1, 1)
+	g.Fill(77)
+	r := g.ResizeBilinear(3, 3)
+	for _, p := range r.Pix {
+		if p != 77 {
+			t.Fatal("1x1 upscale not constant")
+		}
+	}
+}
+
+func TestMeanIntensity(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Pix = []uint8{0, 100, 100, 200}
+	if m := g.MeanIntensity(); m != 100 {
+		t.Errorf("mean = %v, want 100", m)
+	}
+}
+
+func TestAbsDiffSum(t *testing.T) {
+	a := NewGray(2, 2)
+	b := NewGray(2, 2)
+	a.Pix = []uint8{10, 20, 30, 40}
+	b.Pix = []uint8{12, 18, 30, 45}
+	got, err := a.AbsDiffSum(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2+2+0+5 {
+		t.Errorf("AbsDiffSum = %d, want 9", got)
+	}
+	// Symmetry and zero-on-self.
+	rev, _ := b.AbsDiffSum(a)
+	if rev != got {
+		t.Error("AbsDiffSum not symmetric")
+	}
+	self, _ := a.AbsDiffSum(a)
+	if self != 0 {
+		t.Error("AbsDiffSum(a, a) != 0")
+	}
+	if _, err := a.AbsDiffSum(NewGray(3, 3)); err == nil {
+		t.Error("AbsDiffSum accepted mismatched geometry")
+	}
+}
+
+func TestAbsDiffSumProperties(t *testing.T) {
+	// Property: 0 ≤ AbsDiffSum ≤ 255·pixels, and triangle inequality.
+	f := func(seed1, seed2, seed3 uint64) bool {
+		a, b, c := randomGray(seed1, 6, 6), randomGray(seed2, 6, 6), randomGray(seed3, 6, 6)
+		ab, _ := a.AbsDiffSum(b)
+		bc, _ := b.AbsDiffSum(c)
+		ac, _ := a.AbsDiffSum(c)
+		return ab >= 0 && ab <= 255*36 && ac <= ab+bc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomGray builds a deterministic pseudo-random image for property tests.
+func randomGray(seed uint64, w, h int) *Gray {
+	g := NewGray(w, h)
+	s := seed
+	for i := range g.Pix {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		g.Pix[i] = uint8(s)
+	}
+	return g
+}
+
+func BenchmarkAbsDiffSum512(b *testing.B) {
+	x := randomGray(1, 512, 512)
+	y := randomGray(2, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.AbsDiffSum(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package imgutil
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+)
+
+// RGB is a 24-bit color image with interleaved row-major storage.
+// Pixel (x, y) occupies Pix[3*(y*W+x) : 3*(y*W+x)+3] as R, G, B.
+//
+// The paper's mosaic method extends to color "only by changing the error
+// function" (§II); RGB is the substrate for that extension.
+type RGB struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewRGB returns a zeroed (black) w×h color image.
+func NewRGB(w, h int) *RGB {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgutil: NewRGB(%d, %d): non-positive dimensions", w, h))
+	}
+	return &RGB{W: w, H: h, Pix: make([]uint8, 3*w*h)}
+}
+
+// NewRGBFrom wraps an existing interleaved pixel slice; len(pix) must be 3*w*h.
+func NewRGBFrom(w, h int, pix []uint8) (*RGB, error) {
+	if w <= 0 || h <= 0 || len(pix) != 3*w*h {
+		return nil, fmt.Errorf("imgutil: NewRGBFrom(%d, %d) with %d bytes: %w", w, h, len(pix), ErrBounds)
+	}
+	return &RGB{W: w, H: h, Pix: pix}, nil
+}
+
+// At returns the (r, g, b) triple at (x, y).
+func (m *RGB) At(x, y int) (r, g, b uint8) {
+	if uint(x) >= uint(m.W) || uint(y) >= uint(m.H) {
+		panic(fmt.Sprintf("imgutil: RGB.At(%d, %d) on %dx%d image", x, y, m.W, m.H))
+	}
+	i := 3 * (y*m.W + x)
+	return m.Pix[i], m.Pix[i+1], m.Pix[i+2]
+}
+
+// Set writes the (r, g, b) triple at (x, y).
+func (m *RGB) Set(x, y int, r, g, b uint8) {
+	if uint(x) >= uint(m.W) || uint(y) >= uint(m.H) {
+		panic(fmt.Sprintf("imgutil: RGB.Set(%d, %d) on %dx%d image", x, y, m.W, m.H))
+	}
+	i := 3 * (y*m.W + x)
+	m.Pix[i], m.Pix[i+1], m.Pix[i+2] = r, g, b
+}
+
+// Clone returns a deep copy of m.
+func (m *RGB) Clone() *RGB {
+	out := NewRGB(m.W, m.H)
+	copy(out.Pix, m.Pix)
+	return out
+}
+
+// Equal reports whether m and o have identical geometry and pixels.
+func (m *RGB) Equal(o *RGB) bool {
+	if m.W != o.W || m.H != o.H {
+		return false
+	}
+	for i, p := range m.Pix {
+		if o.Pix[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// SubImage copies the w×h rectangle at (x, y) into a new RGB image.
+func (m *RGB) SubImage(x, y, w, h int) (*RGB, error) {
+	if x < 0 || y < 0 || w <= 0 || h <= 0 || x+w > m.W || y+h > m.H {
+		return nil, fmt.Errorf("imgutil: RGB.SubImage(%d, %d, %d, %d) of %dx%d: %w", x, y, w, h, m.W, m.H, ErrBounds)
+	}
+	out := NewRGB(w, h)
+	for row := 0; row < h; row++ {
+		src := m.Pix[3*((y+row)*m.W+x) : 3*((y+row)*m.W+x+w)]
+		copy(out.Pix[3*row*w:3*(row+1)*w], src)
+	}
+	return out, nil
+}
+
+// Blit copies src into m with src's top-left corner at (x, y).
+func (m *RGB) Blit(src *RGB, x, y int) error {
+	if x < 0 || y < 0 || x+src.W > m.W || y+src.H > m.H {
+		return fmt.Errorf("imgutil: RGB.Blit %dx%d at (%d, %d) into %dx%d: %w", src.W, src.H, x, y, m.W, m.H, ErrBounds)
+	}
+	for row := 0; row < src.H; row++ {
+		copy(m.Pix[3*((y+row)*m.W+x):3*((y+row)*m.W+x+src.W)], src.Pix[3*row*src.W:3*(row+1)*src.W])
+	}
+	return nil
+}
+
+// Gray converts m to grayscale with the JFIF/ITU-R BT.601 luma weights used
+// by the stdlib color.GrayModel, so Gray(m) matches GrayFromImage(m.ToImage()).
+func (m *RGB) Gray() *Gray {
+	out := NewGray(m.W, m.H)
+	for i := 0; i < m.W*m.H; i++ {
+		r := uint32(m.Pix[3*i])
+		g := uint32(m.Pix[3*i+1])
+		b := uint32(m.Pix[3*i+2])
+		// 0.299 R + 0.587 G + 0.114 B with the stdlib's fixed-point rounding.
+		y := (19595*r + 38470*g + 7471*b + 1<<15) >> 16
+		out.Pix[i] = uint8(y)
+	}
+	return out
+}
+
+// ToImage converts m to a stdlib *image.RGBA (alpha fully opaque).
+func (m *RGB) ToImage() *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, m.W, m.H))
+	for i := 0; i < m.W*m.H; i++ {
+		img.Pix[4*i] = m.Pix[3*i]
+		img.Pix[4*i+1] = m.Pix[3*i+1]
+		img.Pix[4*i+2] = m.Pix[3*i+2]
+		img.Pix[4*i+3] = 0xff
+	}
+	return img
+}
+
+// RGBFromImage converts any stdlib image to RGB, discarding alpha.
+func RGBFromImage(src image.Image) *RGB {
+	b := src.Bounds()
+	out := NewRGB(b.Dx(), b.Dy())
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			c := color.RGBAModel.Convert(src.At(b.Min.X+x, b.Min.Y+y)).(color.RGBA)
+			out.Set(x, y, c.R, c.G, c.B)
+		}
+	}
+	return out
+}
+
+// RGBFromGray lifts a grayscale image into RGB (r = g = b).
+func RGBFromGray(g *Gray) *RGB {
+	out := NewRGB(g.W, g.H)
+	for i, p := range g.Pix {
+		out.Pix[3*i], out.Pix[3*i+1], out.Pix[3*i+2] = p, p, p
+	}
+	return out
+}
+
+// AbsDiffSum returns Σ(|Δr|+|Δg|+|Δb|) over all pixels — the color analogue
+// of the paper's Eq. (1).
+func (m *RGB) AbsDiffSum(o *RGB) (int64, error) {
+	if m.W != o.W || m.H != o.H {
+		return 0, fmt.Errorf("imgutil: RGB.AbsDiffSum %dx%d vs %dx%d: %w", m.W, m.H, o.W, o.H, ErrBounds)
+	}
+	var sum int64
+	for i, p := range m.Pix {
+		d := int64(p) - int64(o.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum, nil
+}

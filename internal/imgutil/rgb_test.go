@@ -1,0 +1,151 @@
+package imgutil
+
+import (
+	"testing"
+)
+
+func TestNewRGBGeometry(t *testing.T) {
+	m := NewRGB(3, 2)
+	if m.W != 3 || m.H != 2 || len(m.Pix) != 18 {
+		t.Errorf("NewRGB(3,2): W=%d H=%d len=%d", m.W, m.H, len(m.Pix))
+	}
+}
+
+func TestRGBAtSet(t *testing.T) {
+	m := NewRGB(4, 4)
+	m.Set(2, 3, 10, 20, 30)
+	r, g, b := m.At(2, 3)
+	if r != 10 || g != 20 || b != 30 {
+		t.Errorf("At = (%d, %d, %d)", r, g, b)
+	}
+}
+
+func TestRGBAtPanicsOutOfBounds(t *testing.T) {
+	m := NewRGB(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("RGB.At out of bounds did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestNewRGBFromValidation(t *testing.T) {
+	if _, err := NewRGBFrom(2, 2, make([]uint8, 11)); err == nil {
+		t.Error("NewRGBFrom accepted wrong-length slice")
+	}
+	m, err := NewRGBFrom(2, 2, make([]uint8, 12))
+	if err != nil || m.W != 2 {
+		t.Errorf("NewRGBFrom failed: %v", err)
+	}
+}
+
+func TestRGBCloneEqual(t *testing.T) {
+	m := NewRGB(3, 3)
+	m.Set(1, 1, 5, 6, 7)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Error("clone differs")
+	}
+	c.Set(0, 0, 1, 1, 1)
+	if m.Equal(c) {
+		t.Error("clone aliased original")
+	}
+}
+
+func TestRGBSubImageBlit(t *testing.T) {
+	m := NewRGB(6, 6)
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 6; x++ {
+			m.Set(x, y, uint8(x), uint8(y), uint8(x+y))
+		}
+	}
+	sub, err := m.SubImage(1, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b := sub.At(0, 0)
+	if r != 1 || g != 2 || b != 3 {
+		t.Errorf("sub At(0,0) = (%d, %d, %d)", r, g, b)
+	}
+	dst := NewRGB(6, 6)
+	if err := dst.Blit(sub, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	r, g, b = dst.At(3, 3)
+	if r != 1 || g != 2 || b != 3 {
+		t.Errorf("blit landed wrong: (%d, %d, %d)", r, g, b)
+	}
+	if _, err := m.SubImage(5, 5, 3, 3); err == nil {
+		t.Error("SubImage accepted out-of-range rect")
+	}
+	if err := dst.Blit(sub, 5, 5); err == nil {
+		t.Error("Blit accepted out-of-range position")
+	}
+}
+
+func TestRGBGrayMatchesStdlib(t *testing.T) {
+	// RGB.Gray must agree with converting through the stdlib image pipeline.
+	m := NewRGB(4, 4)
+	vals := []uint8{0, 37, 99, 128, 200, 255, 14, 77}
+	k := 0
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			m.Set(x, y, vals[k%len(vals)], vals[(k+1)%len(vals)], vals[(k+2)%len(vals)])
+			k++
+		}
+	}
+	direct := m.Gray()
+	viaStdlib := GrayFromImage(m.ToImage())
+	if !direct.Equal(viaStdlib) {
+		t.Error("RGB.Gray disagrees with the stdlib conversion path")
+	}
+}
+
+func TestRGBFromGrayIsNeutral(t *testing.T) {
+	g := NewGray(3, 3)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(i * 20)
+	}
+	m := RGBFromGray(g)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			r, gg, b := m.At(x, y)
+			if r != gg || gg != b || r != g.At(x, y) {
+				t.Fatalf("(%d,%d): (%d,%d,%d) vs gray %d", x, y, r, gg, b, g.At(x, y))
+			}
+		}
+	}
+	// Gray → RGB → Gray must be the identity on gray pixels.
+	if !m.Gray().Equal(g) {
+		t.Error("gray→rgb→gray not identity")
+	}
+}
+
+func TestRGBToImageRoundTrip(t *testing.T) {
+	m := NewRGB(5, 4)
+	for i := range m.Pix {
+		m.Pix[i] = uint8(i * 7)
+	}
+	back := RGBFromImage(m.ToImage())
+	if !m.Equal(back) {
+		t.Error("ToImage/RGBFromImage round trip changed pixels")
+	}
+}
+
+func TestRGBAbsDiffSum(t *testing.T) {
+	a := NewRGB(1, 2)
+	b := NewRGB(1, 2)
+	a.Pix = []uint8{10, 20, 30, 0, 0, 0}
+	b.Pix = []uint8{11, 18, 30, 5, 0, 0}
+	got, err := a.AbsDiffSum(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1+2+0+5 {
+		t.Errorf("AbsDiffSum = %d, want 8", got)
+	}
+	if _, err := a.AbsDiffSum(NewRGB(2, 2)); err == nil {
+		t.Error("accepted mismatched geometry")
+	}
+}

@@ -1,0 +1,153 @@
+package imgutil
+
+// Geometric transforms used by the oriented-tile extension: the mosaic
+// quality improves further if each tile may be placed in any of its eight
+// dihedral orientations (4 rotations × optional mirror), at the cost of an
+// 8× larger Step-2 search per pair. The paper keeps tiles upright; the
+// extension is documented in DESIGN.md.
+
+// Orientation names one of the eight dihedral-group placements of a square
+// tile. Values 0–3 are counter-clockwise rotations by 0°, 90°, 180°, 270°;
+// values 4–7 are the same rotations applied after a horizontal flip.
+type Orientation uint8
+
+// The eight dihedral orientations.
+const (
+	Upright Orientation = iota
+	Rot90
+	Rot180
+	Rot270
+	Flip
+	FlipRot90
+	FlipRot180
+	FlipRot270
+
+	// NumOrientations counts the dihedral group D₄.
+	NumOrientations = 8
+	// NumRotations counts the pure rotations (orientations 0–3).
+	NumRotations = 4
+)
+
+// String names the orientation.
+func (o Orientation) String() string {
+	switch o {
+	case Upright:
+		return "upright"
+	case Rot90:
+		return "rot90"
+	case Rot180:
+		return "rot180"
+	case Rot270:
+		return "rot270"
+	case Flip:
+		return "flip"
+	case FlipRot90:
+		return "flip+rot90"
+	case FlipRot180:
+		return "flip+rot180"
+	case FlipRot270:
+		return "flip+rot270"
+	}
+	return "orientation(?)"
+}
+
+// Rotate90 returns g rotated 90° counter-clockwise (W and H swap).
+func (g *Gray) Rotate90() *Gray {
+	out := NewGray(g.H, g.W)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			// (x, y) → (y, W−1−x) in the rotated frame.
+			out.Pix[(g.W-1-x)*out.W+y] = g.Pix[y*g.W+x]
+		}
+	}
+	return out
+}
+
+// Rotate180 returns g rotated 180°.
+func (g *Gray) Rotate180() *Gray {
+	out := NewGray(g.W, g.H)
+	n := len(g.Pix)
+	for i, p := range g.Pix {
+		out.Pix[n-1-i] = p
+	}
+	return out
+}
+
+// Rotate270 returns g rotated 270° counter-clockwise (= 90° clockwise).
+func (g *Gray) Rotate270() *Gray {
+	out := NewGray(g.H, g.W)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			out.Pix[x*out.W+(g.H-1-y)] = g.Pix[y*g.W+x]
+		}
+	}
+	return out
+}
+
+// FlipH returns g mirrored about the vertical axis.
+func (g *Gray) FlipH() *Gray {
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		row := g.Pix[y*g.W : (y+1)*g.W]
+		dst := out.Pix[y*g.W : (y+1)*g.W]
+		for x, p := range row {
+			dst[g.W-1-x] = p
+		}
+	}
+	return out
+}
+
+// FlipV returns g mirrored about the horizontal axis.
+func (g *Gray) FlipV() *Gray {
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		copy(out.Pix[(g.H-1-y)*g.W:(g.H-y)*g.W], g.Pix[y*g.W:(y+1)*g.W])
+	}
+	return out
+}
+
+// Orient returns g placed in orientation o. Non-square images are supported
+// (rotations swap the axes).
+func (g *Gray) Orient(o Orientation) *Gray {
+	base := g
+	if o >= Flip {
+		base = g.FlipH()
+		o -= Flip
+	}
+	switch o {
+	case Rot90:
+		return base.Rotate90()
+	case Rot180:
+		return base.Rotate180()
+	case Rot270:
+		return base.Rotate270()
+	}
+	if base == g {
+		return g.Clone()
+	}
+	return base
+}
+
+// OrientIndex returns the flat pixel index into an m×m tile that orientation
+// o maps to position (x, y): reading source pixel OrientIndex(o, m, x, y)
+// and writing it at (x, y) produces Orient(o). This is the zero-allocation
+// form the error kernels use to score oriented tiles without materialising
+// them.
+func OrientIndex(o Orientation, m, x, y int) int {
+	// Compute the source coordinate (sx, sy) whose pixel lands at (x, y).
+	var sx, sy int
+	switch o & 3 {
+	case 0: // upright
+		sx, sy = x, y
+	case 1: // rot90 CCW: dst(x, y) = src(m−1−y … ) — inverse of Rotate90
+		sx, sy = m-1-y, x
+	case 2: // rot180
+		sx, sy = m-1-x, m-1-y
+	case 3: // rot270
+		sx, sy = y, m-1-x
+	}
+	if o >= Flip {
+		sx = m - 1 - sx
+	}
+	return sy*m + sx
+}

@@ -1,0 +1,184 @@
+package imgutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRotate90Known(t *testing.T) {
+	// 2×2: [a b; c d] rotated 90° CCW → [b d; a c].
+	g := NewGray(2, 2)
+	g.Pix = []uint8{1, 2, 3, 4} // a=1 b=2 c=3 d=4
+	r := g.Rotate90()
+	want := []uint8{2, 4, 1, 3}
+	for i, p := range want {
+		if r.Pix[i] != p {
+			t.Fatalf("Rotate90 = %v, want %v", r.Pix, want)
+		}
+	}
+}
+
+func TestRotate90NonSquare(t *testing.T) {
+	g := NewGray(3, 2)
+	g.Pix = []uint8{1, 2, 3, 4, 5, 6}
+	r := g.Rotate90()
+	if r.W != 2 || r.H != 3 {
+		t.Fatalf("geometry %dx%d", r.W, r.H)
+	}
+	// Column x of g (top→bottom) becomes row (W−1−x) of r… verify via At:
+	// r(x', y') = g(m… ) — spot check corners.
+	if r.At(0, 0) != g.At(2, 0) || r.At(1, 2) != g.At(0, 1) {
+		t.Errorf("Rotate90 wrong: %v", r.Pix)
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	g := randomGray(3, 8, 8)
+	if !g.Rotate90().Rotate90().Equal(g.Rotate180()) {
+		t.Error("Rotate90² != Rotate180")
+	}
+	if !g.Rotate90().Rotate180().Equal(g.Rotate270()) {
+		t.Error("Rotate90·Rotate180 != Rotate270")
+	}
+	if !g.Rotate90().Rotate270().Equal(g) {
+		t.Error("Rotate90·Rotate270 != identity")
+	}
+	if !g.Rotate180().Rotate180().Equal(g) {
+		t.Error("Rotate180² != identity")
+	}
+}
+
+func TestFlipsAreInvolutions(t *testing.T) {
+	g := randomGray(5, 6, 9)
+	if !g.FlipH().FlipH().Equal(g) {
+		t.Error("FlipH² != identity")
+	}
+	if !g.FlipV().FlipV().Equal(g) {
+		t.Error("FlipV² != identity")
+	}
+	// FlipH·FlipV = Rotate180.
+	if !g.FlipH().FlipV().Equal(g.Rotate180()) {
+		t.Error("FlipH·FlipV != Rotate180")
+	}
+}
+
+func TestFlipHKnown(t *testing.T) {
+	g := NewGray(3, 1)
+	g.Pix = []uint8{1, 2, 3}
+	if got := g.FlipH().Pix; got[0] != 3 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("FlipH = %v", got)
+	}
+}
+
+func TestOrientCoversAllEight(t *testing.T) {
+	// On a generic square image the eight orientations are pairwise distinct.
+	g := randomGray(7, 8, 8)
+	seen := map[string]Orientation{}
+	for o := Orientation(0); o < NumOrientations; o++ {
+		key := string(g.Orient(o).Pix)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("orientations %v and %v coincide", prev, o)
+		}
+		seen[key] = o
+	}
+}
+
+func TestOrientUprightIsCopy(t *testing.T) {
+	g := randomGray(9, 4, 4)
+	u := g.Orient(Upright)
+	if !u.Equal(g) {
+		t.Error("Upright changed pixels")
+	}
+	u.Pix[0] ^= 0xff
+	if g.Pix[0] == u.Pix[0] {
+		t.Error("Orient(Upright) aliased the source")
+	}
+}
+
+func TestOrientMatchesExplicitTransforms(t *testing.T) {
+	g := randomGray(11, 6, 6)
+	cases := []struct {
+		o    Orientation
+		want *Gray
+	}{
+		{Rot90, g.Rotate90()},
+		{Rot180, g.Rotate180()},
+		{Rot270, g.Rotate270()},
+		{Flip, g.FlipH()},
+		{FlipRot90, g.FlipH().Rotate90()},
+		{FlipRot180, g.FlipH().Rotate180()},
+		{FlipRot270, g.FlipH().Rotate270()},
+	}
+	for _, tc := range cases {
+		if !g.Orient(tc.o).Equal(tc.want) {
+			t.Errorf("Orient(%v) mismatch", tc.o)
+		}
+	}
+}
+
+func TestOrientIndexAgreesWithOrient(t *testing.T) {
+	// The zero-allocation index form must reproduce Orient exactly for every
+	// orientation and several tile sizes — the invariant the oriented error
+	// kernel depends on.
+	for _, m := range []int{1, 2, 3, 8} {
+		g := randomGray(uint64(m)+1, m, m)
+		for o := Orientation(0); o < NumOrientations; o++ {
+			want := g.Orient(o)
+			for y := 0; y < m; y++ {
+				for x := 0; x < m; x++ {
+					got := g.Pix[OrientIndex(o, m, x, y)]
+					if got != want.Pix[y*m+x] {
+						t.Fatalf("m=%d o=%v (%d,%d): OrientIndex gives %d, Orient gives %d",
+							m, o, x, y, got, want.Pix[y*m+x])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOrientIndexIsBijectionProperty(t *testing.T) {
+	// For every orientation, OrientIndex(o, m, ·, ·) is a bijection on the
+	// m² pixel indices.
+	f := func(rawO, rawM uint8) bool {
+		o := Orientation(rawO % NumOrientations)
+		m := int(rawM)%12 + 1
+		seen := make([]bool, m*m)
+		for y := 0; y < m; y++ {
+			for x := 0; x < m; x++ {
+				i := OrientIndex(o, m, x, y)
+				if i < 0 || i >= m*m || seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientationString(t *testing.T) {
+	names := map[Orientation]string{
+		Upright: "upright", Rot90: "rot90", Rot180: "rot180", Rot270: "rot270",
+		Flip: "flip", FlipRot90: "flip+rot90", FlipRot180: "flip+rot180", FlipRot270: "flip+rot270",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), want)
+		}
+	}
+	if Orientation(99).String() != "orientation(?)" {
+		t.Error("unknown orientation name")
+	}
+}
+
+func BenchmarkOrient16(b *testing.B) {
+	g := randomGray(1, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Orient(Orientation(i % NumOrientations))
+	}
+}

@@ -1,0 +1,89 @@
+package imgutil
+
+// Color counterparts of the grayscale geometric transforms, so color
+// pipelines can manipulate tiles the same way (the oriented-mosaic
+// extension itself is grayscale-only; these keep the RGB type complete for
+// downstream users rotating or mirroring whole images).
+
+// Rotate90 returns m rotated 90° counter-clockwise (W and H swap).
+func (m *RGB) Rotate90() *RGB {
+	out := NewRGB(m.H, m.W)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			si := 3 * (y*m.W + x)
+			di := 3 * ((m.W-1-x)*out.W + y)
+			out.Pix[di], out.Pix[di+1], out.Pix[di+2] = m.Pix[si], m.Pix[si+1], m.Pix[si+2]
+		}
+	}
+	return out
+}
+
+// Rotate180 returns m rotated 180°.
+func (m *RGB) Rotate180() *RGB {
+	out := NewRGB(m.W, m.H)
+	n := m.W * m.H
+	for i := 0; i < n; i++ {
+		si := 3 * i
+		di := 3 * (n - 1 - i)
+		out.Pix[di], out.Pix[di+1], out.Pix[di+2] = m.Pix[si], m.Pix[si+1], m.Pix[si+2]
+	}
+	return out
+}
+
+// Rotate270 returns m rotated 270° counter-clockwise (= 90° clockwise).
+func (m *RGB) Rotate270() *RGB {
+	out := NewRGB(m.H, m.W)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			si := 3 * (y*m.W + x)
+			di := 3 * (x*out.W + (m.H - 1 - y))
+			out.Pix[di], out.Pix[di+1], out.Pix[di+2] = m.Pix[si], m.Pix[si+1], m.Pix[si+2]
+		}
+	}
+	return out
+}
+
+// FlipH returns m mirrored about the vertical axis.
+func (m *RGB) FlipH() *RGB {
+	out := NewRGB(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			si := 3 * (y*m.W + x)
+			di := 3 * (y*m.W + (m.W - 1 - x))
+			out.Pix[di], out.Pix[di+1], out.Pix[di+2] = m.Pix[si], m.Pix[si+1], m.Pix[si+2]
+		}
+	}
+	return out
+}
+
+// FlipV returns m mirrored about the horizontal axis.
+func (m *RGB) FlipV() *RGB {
+	out := NewRGB(m.W, m.H)
+	row := 3 * m.W
+	for y := 0; y < m.H; y++ {
+		copy(out.Pix[(m.H-1-y)*row:(m.H-y)*row], m.Pix[y*row:(y+1)*row])
+	}
+	return out
+}
+
+// Orient returns m placed in orientation o (FlipH first for the mirrored
+// orientations, then the rotation — the same convention as Gray.Orient).
+func (m *RGB) Orient(o Orientation) *RGB {
+	base := m
+	if o >= Flip {
+		base = m.FlipH()
+		o -= Flip
+	}
+	switch o {
+	case Rot90:
+		return base.Rotate90()
+	case Rot180:
+		return base.Rotate180()
+	case Rot270:
+		return base.Rotate270()
+	}
+	if base == m {
+		return m.Clone()
+	}
+	return base
+}

@@ -1,0 +1,97 @@
+package imgutil
+
+import "testing"
+
+func randomRGBImg(seed uint64, w, h int) *RGB {
+	m := NewRGB(w, h)
+	s := seed | 1
+	for i := range m.Pix {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		m.Pix[i] = uint8(s >> 24)
+	}
+	return m
+}
+
+func TestRGBTransformsMatchPerChannelGray(t *testing.T) {
+	// Every RGB transform must act on each channel exactly as the (already
+	// heavily verified) Gray transform acts on a single-channel image.
+	m := randomRGBImg(7, 6, 4)
+	channel := func(img *RGB, ch int) *Gray {
+		g := NewGray(img.W, img.H)
+		for i := 0; i < img.W*img.H; i++ {
+			g.Pix[i] = img.Pix[3*i+ch]
+		}
+		return g
+	}
+	cases := []struct {
+		name string
+		rgb  func(*RGB) *RGB
+		gray func(*Gray) *Gray
+	}{
+		{"rot90", (*RGB).Rotate90, (*Gray).Rotate90},
+		{"rot180", (*RGB).Rotate180, (*Gray).Rotate180},
+		{"rot270", (*RGB).Rotate270, (*Gray).Rotate270},
+		{"flipH", (*RGB).FlipH, (*Gray).FlipH},
+		{"flipV", (*RGB).FlipV, (*Gray).FlipV},
+	}
+	for _, tc := range cases {
+		got := tc.rgb(m)
+		for ch := 0; ch < 3; ch++ {
+			want := tc.gray(channel(m, ch))
+			if !channel(got, ch).Equal(want) {
+				t.Errorf("%s: channel %d differs from gray reference", tc.name, ch)
+			}
+		}
+	}
+}
+
+func TestRGBOrientMatchesGrayConvention(t *testing.T) {
+	m := randomRGBImg(9, 5, 5)
+	for o := Orientation(0); o < NumOrientations; o++ {
+		got := m.Orient(o)
+		// Compare via luminance-free per-channel check against the Gray
+		// convention.
+		for ch := 0; ch < 3; ch++ {
+			g := NewGray(m.W, m.H)
+			for i := 0; i < m.W*m.H; i++ {
+				g.Pix[i] = m.Pix[3*i+ch]
+			}
+			want := g.Orient(o)
+			for i := 0; i < m.W*m.H; i++ {
+				if got.Pix[3*i+ch] != want.Pix[i] {
+					t.Fatalf("orientation %v channel %d pixel %d", o, ch, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRGBRotationGroupLaws(t *testing.T) {
+	m := randomRGBImg(3, 8, 8)
+	if !m.Rotate90().Rotate90().Equal(m.Rotate180()) {
+		t.Error("Rotate90² != Rotate180")
+	}
+	if !m.Rotate90().Rotate270().Equal(m) {
+		t.Error("Rotate90·Rotate270 != identity")
+	}
+	if !m.FlipH().FlipH().Equal(m) {
+		t.Error("FlipH² != identity")
+	}
+	if !m.FlipV().FlipV().Equal(m) {
+		t.Error("FlipV² != identity")
+	}
+}
+
+func TestRGBOrientUprightIsCopy(t *testing.T) {
+	m := randomRGBImg(5, 4, 4)
+	u := m.Orient(Upright)
+	if !u.Equal(m) {
+		t.Error("Upright changed pixels")
+	}
+	u.Pix[0] ^= 0xff
+	if m.Pix[0] == u.Pix[0] {
+		t.Error("Orient(Upright) aliased the source")
+	}
+}

@@ -1,0 +1,146 @@
+package localsearch
+
+import (
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/perm"
+)
+
+func TestAnnealReturnsBestSeen(t *testing.T) {
+	m := randCosts(40, 7)
+	start := perm.Identity(40)
+	best, bestErr, st, err := Anneal(m, start, AnnealOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bestErr != m.Total(best) {
+		t.Errorf("reported error %d != recomputed %d", bestErr, m.Total(best))
+	}
+	if bestErr > m.Total(start) {
+		t.Errorf("annealing ended worse than start: %d > %d", bestErr, m.Total(start))
+	}
+	if st.Swaps == 0 {
+		t.Error("no swaps accepted")
+	}
+	// Start untouched.
+	if !start.IsIdentity() {
+		t.Error("Anneal mutated its start")
+	}
+}
+
+func TestAnnealDeterministicForSeed(t *testing.T) {
+	m := randCosts(30, 3)
+	a, ae, _, err := Anneal(m, perm.Identity(30), AnnealOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, be, _, err := Anneal(m, perm.Identity(30), AnnealOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) || ae != be {
+		t.Error("same seed produced different results")
+	}
+	c, _, _, err := Anneal(m, perm.Identity(30), AnnealOptions{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Error("different seeds produced identical trajectories (very unlikely)")
+	}
+}
+
+func TestAnnealNeverBeatsOptimum(t *testing.T) {
+	m := randCosts(24, 9)
+	opt, err := assign.JV(m.S, m.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optErr, err := assign.TotalCost(m.S, m.W, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bestErr, _, err := Anneal(m, perm.Identity(24), AnnealOptions{Seed: 5, Steps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestErr < optErr {
+		t.Fatalf("annealing 'beat' the exact optimum: %d < %d — accounting bug", bestErr, optErr)
+	}
+}
+
+func TestAnnealThenPolishReachesLocalOptimum(t *testing.T) {
+	m := randCosts(32, 11)
+	p, _, err := AnnealThenPolish(m, perm.Identity(32), AnnealOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.S
+	for x := 0; x < s; x++ {
+		for y := x + 1; y < s; y++ {
+			keep := int64(m.W[p[x]*s+x]) + int64(m.W[p[y]*s+y])
+			swap := int64(m.W[p[y]*s+x]) + int64(m.W[p[x]*s+y])
+			if keep > swap {
+				t.Fatal("polished result is not a swap-local optimum")
+			}
+		}
+	}
+}
+
+func TestAnnealGetsCloseToOptimumOnRealMatrix(t *testing.T) {
+	m := sceneCosts(t, 64, 8) // S = 64
+	opt, err := assign.JV(m.S, m.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optErr, _ := assign.TotalCost(m.S, m.W, opt)
+	p, _, err := AnnealThenPolish(m, perm.Identity(m.S), AnnealOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Total(p)
+	if float64(got) > 1.15*float64(optErr) {
+		t.Errorf("anneal+polish %d more than 15%% above optimum %d", got, optErr)
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	m := randCosts(8, 1)
+	if _, _, _, err := Anneal(m, perm.Perm{0, 1}, AnnealOptions{}); err == nil {
+		t.Error("accepted short start")
+	}
+	if _, _, _, err := Anneal(m, perm.Identity(8), AnnealOptions{Steps: -1}); err == nil {
+		t.Error("accepted negative steps")
+	}
+	if _, _, _, err := Anneal(m, perm.Identity(8), AnnealOptions{Alpha: 1.5}); err == nil {
+		t.Error("accepted alpha ≥ 1")
+	}
+	if _, _, _, err := Anneal(m, perm.Identity(8), AnnealOptions{T0: -2}); err == nil {
+		t.Error("accepted negative temperature")
+	}
+}
+
+func TestAnnealTrivialInstance(t *testing.T) {
+	m := randCosts(1, 1)
+	p, e, _, err := Anneal(m, perm.Identity(1), AnnealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || e != m.Total(p) {
+		t.Error("S=1 annealing broken")
+	}
+}
+
+func BenchmarkAnnealS256(b *testing.B) {
+	m := sceneCosts(b, 256, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Anneal(m, perm.Identity(m.S), AnnealOptions{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

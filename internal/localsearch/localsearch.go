@@ -1,0 +1,226 @@
+// Package localsearch implements the paper's approximation algorithms:
+// the serial pairwise-swap local search (Algorithm 1) and its parallel
+// variant scheduled by an edge coloring of K_S (Algorithm 2).
+//
+// State is an assignment p with p[v] = u (input tile u at target position
+// v); the improving-swap test for positions x and y is Eq. from Algorithm 1:
+//
+//	E(I_{p[x]}, T_x) + E(I_{p[y]}, T_y) > E(I_{p[y]}, T_x) + E(I_{p[x]}, T_y)
+//
+// Every applied swap strictly decreases the integer total error of Eq. (2),
+// so both algorithms terminate; tests assert the monotone decrease and the
+// paper's observed pass counts (k ≤ 9, 8, 16 for S = 16², 32², 64²).
+package localsearch
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cuda"
+	"repro/internal/edgecolor"
+	"repro/internal/metric"
+	"repro/internal/perm"
+)
+
+// ErrBadStart reports a start assignment unusable for the matrix.
+var ErrBadStart = errors.New("localsearch: bad start assignment")
+
+// Stats describes one local-search run.
+type Stats struct {
+	Passes int   // number of full sweeps (the paper's k)
+	Swaps  int64 // improving swaps applied
+}
+
+// Options tunes the search. The zero value reproduces the paper exactly.
+type Options struct {
+	// MaxPasses caps the number of sweeps; 0 means run to convergence
+	// (guaranteed to terminate — the total error is a non-negative integer
+	// that every swap strictly decreases).
+	MaxPasses int
+}
+
+// checkStart validates (m, start) and returns a working copy of start.
+func checkStart(m *metric.Matrix, start perm.Perm) (perm.Perm, error) {
+	if len(start) != m.S {
+		return nil, fmt.Errorf("localsearch: %d-element start for S = %d: %w", len(start), m.S, ErrBadStart)
+	}
+	if err := start.Validate(); err != nil {
+		return nil, fmt.Errorf("localsearch: %v: %w", err, ErrBadStart)
+	}
+	return start.Clone(), nil
+}
+
+// Serial runs Algorithm 1 from the given start assignment: repeated sweeps
+// over all position pairs x < y, swapping whenever the swap reduces the
+// error, until a sweep applies no swap. Swaps take effect immediately within
+// a sweep (first-improvement), exactly as in the paper's listing.
+func Serial(m *metric.Matrix, start perm.Perm, opts Options) (perm.Perm, Stats, error) {
+	p, err := checkStart(m, start)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	s := m.S
+	w := m.W
+	for {
+		swapped := false
+		for x := 0; x < s; x++ {
+			// Hoist the x-dependent row pointers; p[x] changes when a swap
+			// lands, so reload inside the y loop only after swaps.
+			px := p[x]
+			for y := x + 1; y < s; y++ {
+				py := p[y]
+				keep := int64(w[px*s+x]) + int64(w[py*s+y])
+				swap := int64(w[py*s+x]) + int64(w[px*s+y])
+				if keep > swap {
+					p[x], p[y] = py, px
+					px = py
+					swapped = true
+					st.Swaps++
+				}
+			}
+		}
+		st.Passes++
+		if !swapped || (opts.MaxPasses > 0 && st.Passes >= opts.MaxPasses) {
+			break
+		}
+	}
+	return p, st, nil
+}
+
+// SerialBestImprovement is the best-improvement ablation of Algorithm 1:
+// each sweep finds the single most-improving swap and applies only that.
+// It converges to the same kind of swap-local optimum but needs one sweep
+// per swap, which is why the paper's first-improvement sweep is the right
+// design — the ablation bench quantifies the gap.
+func SerialBestImprovement(m *metric.Matrix, start perm.Perm, opts Options) (perm.Perm, Stats, error) {
+	p, err := checkStart(m, start)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	s := m.S
+	w := m.W
+	for {
+		bestDelta := int64(0)
+		bestX, bestY := -1, -1
+		for x := 0; x < s; x++ {
+			px := p[x]
+			for y := x + 1; y < s; y++ {
+				py := p[y]
+				delta := int64(w[py*s+x]) + int64(w[px*s+y]) -
+					int64(w[px*s+x]) - int64(w[py*s+y])
+				if delta < bestDelta {
+					bestDelta = delta
+					bestX, bestY = x, y
+				}
+			}
+		}
+		st.Passes++
+		if bestX < 0 {
+			break
+		}
+		p[bestX], p[bestY] = p[bestY], p[bestX]
+		st.Swaps++
+		if opts.MaxPasses > 0 && st.Passes >= opts.MaxPasses {
+			break
+		}
+	}
+	return p, st, nil
+}
+
+// pairsPerBlock is the number of color-class pairs each CUDA block handles
+// in the parallel sweep. The per-pair work is four matrix reads, so blocks
+// batch pairs to amortise scheduling.
+const pairsPerBlock = 256
+
+// Parallel runs Algorithm 2 on the device: each sweep walks the color
+// classes of K_S in order, launching one kernel per class whose threads
+// test-and-swap the class's pairs concurrently. Pairs within a class are
+// vertex-disjoint (guaranteed by the coloring), so the concurrent swaps
+// touch disjoint entries of the assignment and each applied swap strictly
+// improves the error just as in the serial algorithm.
+//
+// coloring must be a verified coloring of K_S; pass nil to have one built
+// (the paper precomputes it once per S and reuses it across images — reuse
+// by passing the same coloring to repeated calls).
+func Parallel(dev *cuda.Device, m *metric.Matrix, start perm.Perm, coloring *edgecolor.Coloring, opts Options) (perm.Perm, Stats, error) {
+	p, err := checkStart(m, start)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if coloring == nil {
+		coloring = edgecolor.Complete(m.S)
+	} else if coloring.N != m.S {
+		return nil, Stats{}, fmt.Errorf("localsearch: coloring of K_%d for S = %d: %w", coloring.N, m.S, ErrBadStart)
+	}
+	var st Stats
+	s := m.S
+	w := m.W
+	var swapCount atomic.Int64
+	for {
+		var swapped atomic.Bool
+		for _, class := range coloring.Classes {
+			pairs := class
+			grid := (len(pairs) + pairsPerBlock - 1) / pairsPerBlock
+			if grid == 0 {
+				continue
+			}
+			// One kernel launch per color class; the launch boundary is the
+			// global barrier between classes (paper §V).
+			dev.Launch(grid, pairsPerBlock, func(b *cuda.Block) {
+				lo := b.Idx * pairsPerBlock
+				hi := lo + pairsPerBlock
+				if hi > len(pairs) {
+					hi = len(pairs)
+				}
+				local := int64(0)
+				b.StrideLoop(hi-lo, func(i int) {
+					pr := pairs[lo+i]
+					x, y := pr.U, pr.V
+					px, py := p[x], p[y]
+					keep := int64(w[px*s+x]) + int64(w[py*s+y])
+					swap := int64(w[py*s+x]) + int64(w[px*s+y])
+					if keep > swap {
+						p[x], p[y] = py, px
+						local++
+					}
+				})
+				if local > 0 {
+					swapCount.Add(local)
+					swapped.Store(true)
+				}
+			})
+		}
+		st.Passes++
+		if !swapped.Load() || (opts.MaxPasses > 0 && st.Passes >= opts.MaxPasses) {
+			break
+		}
+	}
+	st.Swaps = swapCount.Load()
+	return p, st, nil
+}
+
+// WithRestarts runs Algorithm 1 from the identity start plus `restarts`
+// seeded random starts and keeps the lowest-error result — the restart
+// ablation showing how close single-start local search already gets to the
+// matching optimum. Returns the winning assignment, its error under m, and
+// the stats of the winning run.
+func WithRestarts(m *metric.Matrix, restarts int, seed uint64, opts Options) (perm.Perm, int64, Stats, error) {
+	best, st, err := Serial(m, perm.Identity(m.S), opts)
+	if err != nil {
+		return nil, 0, Stats{}, err
+	}
+	bestCost := m.Total(best)
+	for r := 0; r < restarts; r++ {
+		cand, cst, err := Serial(m, perm.Random(m.S, seed+uint64(r)), opts)
+		if err != nil {
+			return nil, 0, Stats{}, err
+		}
+		if c := m.Total(cand); c < bestCost {
+			best, bestCost, st = cand, c, cst
+		}
+	}
+	return best, bestCost, st, nil
+}

@@ -1,0 +1,163 @@
+package metric
+
+import (
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/imgutil"
+	"repro/internal/perm"
+	"repro/internal/tile"
+)
+
+// OrientedMatrix extends the cost matrix with, per (input tile, target
+// position) pair, the dihedral orientation of the input tile that minimises
+// Eq. (1). This is the rotation/mirror extension described in DESIGN.md: the
+// paper places tiles upright; allowing the eight orientations of the square
+// strictly enlarges the search space, so the optimal oriented mosaic is
+// never worse. W holds the minimised costs (so every Step-3 algorithm works
+// unchanged) and Orient[u*S+v] records the minimising orientation.
+type OrientedMatrix struct {
+	Matrix
+	Orient []imgutil.Orientation
+}
+
+// BestOrientation returns the orientation achieving At(u, v).
+func (m *OrientedMatrix) BestOrientation(u, v int) imgutil.Orientation {
+	return m.Orient[u*m.S+v]
+}
+
+// orientedTileError scores tile a (flattened m×m) against tile b under
+// orientation o of a, without materialising the oriented tile.
+func orientedTileError(a, b []uint8, m int, o imgutil.Orientation, met Metric) Cost {
+	if o == imgutil.Upright {
+		return TileError(a, b, met)
+	}
+	var sum int64
+	i := 0
+	switch met {
+	case L2:
+		for y := 0; y < m; y++ {
+			for x := 0; x < m; x++ {
+				d := int64(a[imgutil.OrientIndex(o, m, x, y)]) - int64(b[i])
+				sum += d * d
+				i++
+			}
+		}
+	default:
+		for y := 0; y < m; y++ {
+			for x := 0; x < m; x++ {
+				d := int64(a[imgutil.OrientIndex(o, m, x, y)]) - int64(b[i])
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+				i++
+			}
+		}
+	}
+	return Cost(sum)
+}
+
+// BuildOriented computes the oriented cost matrix serially: for each pair it
+// evaluates all eight orientations and keeps the best. Roughly 8× the work
+// of BuildSerial.
+func BuildOriented(in, tgt *tile.Grid, met Metric) (*OrientedMatrix, error) {
+	if err := checkGrids(in, tgt); err != nil {
+		return nil, err
+	}
+	if !met.Valid() {
+		return nil, fmt.Errorf("metric: invalid metric %v", met)
+	}
+	s := in.S()
+	m := in.M
+	m2 := m * m
+	fin := in.Flatten()
+	ftgt := tgt.Flatten()
+	out := &OrientedMatrix{
+		Matrix: *NewMatrix(s),
+		Orient: make([]imgutil.Orientation, s*s),
+	}
+	for u := 0; u < s; u++ {
+		tu := fin[u*m2 : (u+1)*m2]
+		row := out.Row(u)
+		orow := out.Orient[u*s : (u+1)*s]
+		for v := 0; v < s; v++ {
+			tv := ftgt[v*m2 : (v+1)*m2]
+			best := TileError(tu, tv, met)
+			bestO := imgutil.Upright
+			for o := imgutil.Orientation(1); o < imgutil.NumOrientations; o++ {
+				if c := orientedTileError(tu, tv, m, o, met); c < best {
+					best = c
+					bestO = o
+				}
+			}
+			row[v] = best
+			orow[v] = bestO
+		}
+	}
+	return out, nil
+}
+
+// BuildOrientedDevice is BuildOriented with the paper's Step-2 kernel shape:
+// S blocks, block u staging tile I_u in shared memory and producing row u
+// (all eight orientations scored from the staged copy).
+func BuildOrientedDevice(dev *cuda.Device, in, tgt *tile.Grid, met Metric) (*OrientedMatrix, error) {
+	if err := checkGrids(in, tgt); err != nil {
+		return nil, err
+	}
+	if !met.Valid() {
+		return nil, fmt.Errorf("metric: invalid metric %v", met)
+	}
+	s := in.S()
+	m := in.M
+	m2 := m * m
+	fin := in.Flatten()
+	ftgt := tgt.Flatten()
+	out := &OrientedMatrix{
+		Matrix: *NewMatrix(s),
+		Orient: make([]imgutil.Orientation, s*s),
+	}
+	threads := 256
+	if threads > s {
+		threads = s
+	}
+	dev.Launch(s, threads, func(b *cuda.Block) {
+		u := b.Idx
+		sh := b.Shared(m2)
+		src := fin[u*m2 : (u+1)*m2]
+		b.StrideLoop(m2, func(i int) { sh[i] = src[i] })
+		row := out.Row(u)
+		orow := out.Orient[u*s : (u+1)*s]
+		b.StrideLoop(s, func(v int) {
+			tv := ftgt[v*m2 : (v+1)*m2]
+			best := TileError(sh, tv, met)
+			bestO := imgutil.Upright
+			for o := imgutil.Orientation(1); o < imgutil.NumOrientations; o++ {
+				if c := orientedTileError(sh, tv, m, o, met); c < best {
+					best = c
+					bestO = o
+				}
+			}
+			row[v] = best
+			orow[v] = bestO
+		})
+	})
+	return out, nil
+}
+
+// Orientations extracts, for an assignment p, the per-position orientation
+// vector tile.Grid.AssembleOriented consumes: position v gets the best
+// orientation of the tile p[v] placed there.
+func (m *OrientedMatrix) Orientations(p perm.Perm) ([]imgutil.Orientation, error) {
+	if len(p) != m.S {
+		return nil, fmt.Errorf("metric: %d-element assignment for S = %d: %w", len(p), m.S, ErrMismatch)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]imgutil.Orientation, m.S)
+	for v, u := range p {
+		out[v] = m.Orient[u*m.S+v]
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package metric
+
+import (
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/tile"
+)
+
+// MaxTileSideRGB bounds M for color matrices: the worst-case L2 tile error
+// is 3·M²·255², which must fit in Cost.
+const MaxTileSideRGB = 104
+
+// checkRGBGrids validates that two color grids are comparable.
+func checkRGBGrids(in, tgt *tile.RGBGrid) error {
+	if in.M != tgt.M || in.Cols != tgt.Cols || in.Rows != tgt.Rows {
+		return fmt.Errorf("metric: input %dx%d tiles of %d vs target %dx%d tiles of %d: %w",
+			in.Cols, in.Rows, in.M, tgt.Cols, tgt.Rows, tgt.M, ErrMismatch)
+	}
+	if in.M > MaxTileSideRGB {
+		return fmt.Errorf("metric: color tile side %d exceeds %d (Cost overflow): %w", in.M, MaxTileSideRGB, ErrMismatch)
+	}
+	return nil
+}
+
+// BuildSerialRGB computes the cost matrix for color grids. The error
+// function is the per-channel extension of Eq. (1) — exactly the change the
+// paper says is sufficient for color (§II) — applied to the interleaved
+// tile bytes, so TileError is reused unchanged.
+func BuildSerialRGB(in, tgt *tile.RGBGrid, m Metric) (*Matrix, error) {
+	if err := checkRGBGrids(in, tgt); err != nil {
+		return nil, err
+	}
+	if !m.Valid() {
+		return nil, fmt.Errorf("metric: invalid metric %v", m)
+	}
+	s := in.S()
+	m2 := 3 * in.M * in.M
+	fin := in.Flatten()
+	ftgt := tgt.Flatten()
+	out := NewMatrix(s)
+	for u := 0; u < s; u++ {
+		tu := fin[u*m2 : (u+1)*m2]
+		row := out.Row(u)
+		for v := 0; v < s; v++ {
+			row[v] = TileError(tu, ftgt[v*m2:(v+1)*m2], m)
+		}
+	}
+	return out, nil
+}
+
+// BuildDeviceRGB is BuildDevice for color grids: S blocks, block u staging
+// the 3M² bytes of input tile u in shared memory before producing row u.
+func BuildDeviceRGB(dev *cuda.Device, in, tgt *tile.RGBGrid, m Metric) (*Matrix, error) {
+	if err := checkRGBGrids(in, tgt); err != nil {
+		return nil, err
+	}
+	if !m.Valid() {
+		return nil, fmt.Errorf("metric: invalid metric %v", m)
+	}
+	s := in.S()
+	m2 := 3 * in.M * in.M
+	fin := in.Flatten()
+	ftgt := tgt.Flatten()
+	out := NewMatrix(s)
+	threads := 256
+	if threads > s {
+		threads = s
+	}
+	dev.Launch(s, threads, func(b *cuda.Block) {
+		u := b.Idx
+		sh := b.Shared(m2)
+		src := fin[u*m2 : (u+1)*m2]
+		b.StrideLoop(m2, func(i int) { sh[i] = src[i] })
+		row := out.Row(u)
+		b.StrideLoop(s, func(v int) {
+			row[v] = TileError(sh, ftgt[v*m2:(v+1)*m2], m)
+		})
+	})
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	if !p.IsIdentity() {
+		t.Errorf("Identity(5) = %v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	if p.FixedPoints() != 5 {
+		t.Errorf("FixedPoints = %d, want 5", p.FixedPoints())
+	}
+}
+
+func TestValidateRejectsBadSlices(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Perm
+	}{
+		{"out-of-range-high", Perm{0, 1, 3}},
+		{"out-of-range-negative", Perm{0, -1, 2}},
+		{"duplicate", Perm{0, 1, 1}},
+		{"all-same", Perm{2, 2, 2}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %v", tc.name, tc.p)
+		}
+	}
+	if err := (Perm{}).Validate(); err != nil {
+		t.Errorf("empty permutation rejected: %v", err)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN)%40 + 1
+		p := Random(n, seed)
+		inv := p.Inverse()
+		return p.Compose(inv).IsIdentity() && inv.Compose(p).IsIdentity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeAssociativity(t *testing.T) {
+	f := func(s1, s2, s3 uint64, rawN uint8) bool {
+		n := int(rawN)%20 + 1
+		a, b, c := Random(n, s1), Random(n, s2), Random(n, s3)
+		return a.Compose(b).Compose(c).Equal(a.Compose(b.Compose(c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeIdentityIsNeutral(t *testing.T) {
+	p := Random(12, 99)
+	id := Identity(12)
+	if !p.Compose(id).Equal(p) || !id.Compose(p).Equal(p) {
+		t.Error("identity is not neutral under Compose")
+	}
+}
+
+func TestComposePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Compose with mismatched lengths did not panic")
+		}
+	}()
+	Identity(3).Compose(Identity(4))
+}
+
+func TestComposeDefinition(t *testing.T) {
+	// r[i] = p[q[i]].
+	p := Perm{2, 0, 1}
+	q := Perm{1, 2, 0}
+	r := p.Compose(q)
+	want := Perm{p[1], p[2], p[0]}
+	if !r.Equal(want) {
+		t.Errorf("Compose = %v, want %v", r, want)
+	}
+}
+
+func TestCyclesPartition(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN)%30 + 1
+		p := Random(n, seed)
+		cycles := p.Cycles()
+		seen := make([]bool, n)
+		total := 0
+		for _, cyc := range cycles {
+			if len(cyc) == 0 {
+				return false
+			}
+			for i, v := range cyc {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+				// Consecutive elements follow p.
+				next := cyc[(i+1)%len(cyc)]
+				if p[v] != next {
+					return false
+				}
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclesOfIdentity(t *testing.T) {
+	cycles := Identity(4).Cycles()
+	if len(cycles) != 4 {
+		t.Fatalf("identity has %d cycles, want 4", len(cycles))
+	}
+	for i, c := range cycles {
+		if len(c) != 1 || c[0] != i {
+			t.Errorf("cycle %d = %v", i, c)
+		}
+	}
+}
+
+func TestCyclesOfSingleSwap(t *testing.T) {
+	p := Perm{1, 0, 2}
+	cycles := p.Cycles()
+	if len(cycles) != 2 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	if len(cycles[0]) != 2 || len(cycles[1]) != 1 {
+		t.Errorf("cycles = %v", cycles)
+	}
+}
+
+func TestRandomIsValidAndSeeded(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 257} {
+		a := Random(n, 7)
+		if err := a.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		if !a.Equal(Random(n, 7)) {
+			t.Errorf("n=%d: Random is not deterministic for a fixed seed", n)
+		}
+	}
+	if Random(100, 1).Equal(Random(100, 2)) {
+		t.Error("different seeds gave the same permutation of 100 elements")
+	}
+}
+
+func TestRandomIsRoughlyUniform(t *testing.T) {
+	// χ²-flavoured sanity check: over many seeds, element 0 should land in
+	// every slot of a 4-permutation with roughly equal frequency.
+	const trials = 4000
+	var counts [4]int
+	for seed := 0; seed < trials; seed++ {
+		p := Random(4, uint64(seed))
+		for i, v := range p {
+			if v == 0 {
+				counts[i]++
+			}
+		}
+	}
+	for slot, c := range counts {
+		if c < trials/4-trials/10 || c > trials/4+trials/10 {
+			t.Errorf("slot %d: element 0 appeared %d/%d times (expected ≈%d)", slot, c, trials, trials/4)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := Random(10, 3)
+	q := p.Clone()
+	q[0], q[1] = q[1], q[0]
+	if p.Equal(q) {
+		t.Error("mutating the clone changed the original")
+	}
+}
+
+func TestEqualLengthMismatch(t *testing.T) {
+	if Identity(3).Equal(Identity(4)) {
+		t.Error("permutations of different lengths reported equal")
+	}
+}
+
+func TestFixedPointsAfterSwap(t *testing.T) {
+	p := Identity(6)
+	p[2], p[5] = p[5], p[2]
+	if got := p.FixedPoints(); got != 4 {
+		t.Errorf("FixedPoints = %d, want 4", got)
+	}
+}
+
+func BenchmarkRandom4096(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Random(4096, uint64(i))
+	}
+}
+
+func BenchmarkValidate4096(b *testing.B) {
+	p := Random(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package pnm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/imgutil"
+)
+
+// FuzzDecode hardens the codec against hostile streams: any input must
+// either fail cleanly or produce an image that re-encodes and re-decodes to
+// identical pixels. Run with `go test -fuzz FuzzDecode ./internal/pnm`;
+// the seeds below always run as part of the normal suite.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	img := imgutil.NewGray(3, 2)
+	img.Pix = []uint8{0, 127, 255, 1, 2, 3}
+	if err := EncodeGray(&buf, img, PGMRaw); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	buf.Reset()
+	if err := EncodeGray(&buf, img, PGMPlain); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("P2\n2 2\n255\n0 1 2 3"))
+	f.Add([]byte("P5\n1 1\n255\nx"))
+	f.Add([]byte("P6\n1 1\n255\nabc"))
+	f.Add([]byte("P3\n1 1\n255\n1 2 3"))
+	f.Add([]byte("P2 # comment\n1 1\n100\n50"))
+	f.Add([]byte("P9\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("P2\n65536 65536\n255\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // clean rejection is fine
+		}
+		switch img := v.(type) {
+		case *imgutil.Gray:
+			if img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H {
+				t.Fatalf("decoded gray image has inconsistent geometry %dx%d/%d", img.W, img.H, len(img.Pix))
+			}
+			var out bytes.Buffer
+			if err := EncodeGray(&out, img, PGMRaw); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			back, err := DecodeGray(bytes.NewReader(out.Bytes()))
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if !img.Equal(back) {
+				t.Fatal("gray round trip changed pixels")
+			}
+		case *imgutil.RGB:
+			if img.W <= 0 || img.H <= 0 || len(img.Pix) != 3*img.W*img.H {
+				t.Fatalf("decoded color image has inconsistent geometry %dx%d/%d", img.W, img.H, len(img.Pix))
+			}
+			var out bytes.Buffer
+			if err := EncodeRGB(&out, img, PPMRaw); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			back, err := DecodeRGB(bytes.NewReader(out.Bytes()))
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if !img.Equal(back) {
+				t.Fatal("color round trip changed pixels")
+			}
+		default:
+			t.Fatalf("Decode returned %T", v)
+		}
+	})
+}

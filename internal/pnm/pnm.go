@@ -1,0 +1,387 @@
+// Package pnm implements the Netpbm PGM and PPM codecs (magic numbers P2,
+// P3, P5 and P6) for 8-bit images.
+//
+// The standard library decodes PNG/JPEG/GIF but not PGM, while the image
+// research corpus the paper draws on (USC-SIPI) ships grayscale images as
+// raw PGM; this codec lets users feed real database images to the mosaic
+// pipeline. Only maxval ≤ 255 is supported, matching the 8-bit data model of
+// the rest of the library.
+package pnm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/imgutil"
+)
+
+// ErrFormat reports a malformed or unsupported Netpbm stream.
+var ErrFormat = errors.New("pnm: invalid format")
+
+// Format identifies a Netpbm subformat.
+type Format int
+
+// Supported Netpbm subformats.
+const (
+	PGMPlain Format = iota // P2: ASCII grayscale
+	PPMPlain               // P3: ASCII color
+	PGMRaw                 // P5: binary grayscale
+	PPMRaw                 // P6: binary color
+)
+
+// String returns the magic number for f.
+func (f Format) String() string {
+	switch f {
+	case PGMPlain:
+		return "P2"
+	case PPMPlain:
+		return "P3"
+	case PGMRaw:
+		return "P5"
+	case PPMRaw:
+		return "P6"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// header is the parsed width/height/maxval triple following the magic.
+type header struct {
+	format Format
+	w, h   int
+	maxval int
+}
+
+// readToken scans the next whitespace-delimited token, skipping '#' comments
+// as required by the Netpbm grammar.
+func readToken(r *bufio.Reader) (string, error) {
+	var tok []byte
+	inComment := false
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+			}
+		case b == '#':
+			if len(tok) > 0 {
+				// Comment terminates a token like whitespace would.
+				if err := r.UnreadByte(); err != nil {
+					return "", err
+				}
+				return string(tok), nil
+			}
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func readUint(r *bufio.Reader, what string, max int) (int, error) {
+	tok, err := readToken(r)
+	if err != nil {
+		return 0, fmt.Errorf("pnm: reading %s: %w", what, err)
+	}
+	n := 0
+	for _, c := range []byte(tok) {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("pnm: %s %q is not a number: %w", what, tok, ErrFormat)
+		}
+		n = n*10 + int(c-'0')
+		if n > max {
+			return 0, fmt.Errorf("pnm: %s %d exceeds limit %d: %w", what, n, max, ErrFormat)
+		}
+	}
+	if len(tok) == 0 {
+		return 0, fmt.Errorf("pnm: empty %s: %w", what, ErrFormat)
+	}
+	return n, nil
+}
+
+// maxDim bounds decoded dimensions so a corrupt header cannot trigger a
+// multi-gigabyte allocation.
+const maxDim = 1 << 16
+
+func readHeader(r *bufio.Reader) (header, error) {
+	var hd header
+	magic, err := readToken(r)
+	if err != nil {
+		return hd, fmt.Errorf("pnm: reading magic: %w", err)
+	}
+	switch magic {
+	case "P2":
+		hd.format = PGMPlain
+	case "P3":
+		hd.format = PPMPlain
+	case "P5":
+		hd.format = PGMRaw
+	case "P6":
+		hd.format = PPMRaw
+	default:
+		return hd, fmt.Errorf("pnm: magic %q: %w", magic, ErrFormat)
+	}
+	if hd.w, err = readUint(r, "width", maxDim); err != nil {
+		return hd, err
+	}
+	if hd.h, err = readUint(r, "height", maxDim); err != nil {
+		return hd, err
+	}
+	if hd.w == 0 || hd.h == 0 {
+		return hd, fmt.Errorf("pnm: zero dimension %dx%d: %w", hd.w, hd.h, ErrFormat)
+	}
+	if hd.maxval, err = readUint(r, "maxval", 99999); err != nil {
+		return hd, err
+	}
+	if hd.maxval == 0 || hd.maxval > 65535 {
+		return hd, fmt.Errorf("pnm: unsupported maxval %d (want 1..65535): %w", hd.maxval, ErrFormat)
+	}
+	return hd, nil
+}
+
+// wide reports whether the raw rasters of hd use two bytes per sample
+// (big-endian, per the Netpbm specification for maxval > 255). Decoded
+// samples are scaled onto the library's 8-bit range.
+func (hd header) wide() bool { return hd.maxval > 255 }
+
+// scale maps a sample in [0, maxval] onto [0, 255].
+func scale(v, maxval int) uint8 {
+	if maxval == 255 {
+		return uint8(v)
+	}
+	return uint8((v*255 + maxval/2) / maxval)
+}
+
+// DecodeGray reads a PGM (P2 or P5) image. A color PPM stream is rejected;
+// use Decode for format-agnostic reading.
+func DecodeGray(r io.Reader) (*imgutil.Gray, error) {
+	br := bufio.NewReader(r)
+	hd, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if hd.format != PGMPlain && hd.format != PGMRaw {
+		return nil, fmt.Errorf("pnm: %v is not grayscale: %w", hd.format, ErrFormat)
+	}
+	return decodeGrayBody(br, hd)
+}
+
+func decodeGrayBody(br *bufio.Reader, hd header) (*imgutil.Gray, error) {
+	img := imgutil.NewGray(hd.w, hd.h)
+	if hd.format == PGMRaw {
+		// The single whitespace byte after maxval was already consumed by
+		// the token scanner.
+		if err := readRaster(br, img.Pix, hd); err != nil {
+			return nil, err
+		}
+		return img, nil
+	}
+	for i := range img.Pix {
+		v, err := readUint(br, "sample", hd.maxval)
+		if err != nil {
+			return nil, err
+		}
+		img.Pix[i] = scale(v, hd.maxval)
+	}
+	return img, nil
+}
+
+// readRaster fills dst with the raw raster of hd: one byte per sample up to
+// maxval 255, two big-endian bytes above, scaled onto 0..255 either way.
+func readRaster(br *bufio.Reader, dst []uint8, hd header) error {
+	if hd.wide() {
+		raw := make([]uint8, 2*len(dst))
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return fmt.Errorf("pnm: raster: %w", err)
+		}
+		for i := range dst {
+			v := int(raw[2*i])<<8 | int(raw[2*i+1])
+			if v > hd.maxval {
+				return fmt.Errorf("pnm: sample %d exceeds maxval %d: %w", v, hd.maxval, ErrFormat)
+			}
+			dst[i] = scale(v, hd.maxval)
+		}
+		return nil
+	}
+	if _, err := io.ReadFull(br, dst); err != nil {
+		return fmt.Errorf("pnm: raster: %w", err)
+	}
+	if hd.maxval != 255 {
+		for i, p := range dst {
+			if int(p) > hd.maxval {
+				return fmt.Errorf("pnm: sample %d exceeds maxval %d: %w", p, hd.maxval, ErrFormat)
+			}
+			dst[i] = scale(int(p), hd.maxval)
+		}
+	}
+	return nil
+}
+
+// DecodeRGB reads a PPM (P3 or P6) image. A grayscale PGM stream is rejected.
+func DecodeRGB(r io.Reader) (*imgutil.RGB, error) {
+	br := bufio.NewReader(r)
+	hd, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if hd.format != PPMPlain && hd.format != PPMRaw {
+		return nil, fmt.Errorf("pnm: %v is not color: %w", hd.format, ErrFormat)
+	}
+	return decodeRGBBody(br, hd)
+}
+
+func decodeRGBBody(br *bufio.Reader, hd header) (*imgutil.RGB, error) {
+	img := imgutil.NewRGB(hd.w, hd.h)
+	if hd.format == PPMRaw {
+		if err := readRaster(br, img.Pix, hd); err != nil {
+			return nil, err
+		}
+		return img, nil
+	}
+	for i := range img.Pix {
+		v, err := readUint(br, "sample", hd.maxval)
+		if err != nil {
+			return nil, err
+		}
+		img.Pix[i] = scale(v, hd.maxval)
+	}
+	return img, nil
+}
+
+// Decode reads any supported Netpbm stream. Grayscale streams come back as
+// *imgutil.Gray, color streams as *imgutil.RGB.
+func Decode(r io.Reader) (any, error) {
+	br := bufio.NewReader(r)
+	hd, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	switch hd.format {
+	case PGMPlain, PGMRaw:
+		return decodeGrayBody(br, hd)
+	default:
+		return decodeRGBBody(br, hd)
+	}
+}
+
+// EncodeGray writes img in the given grayscale format (PGMPlain or PGMRaw).
+func EncodeGray(w io.Writer, img *imgutil.Gray, f Format) error {
+	bw := bufio.NewWriter(w)
+	switch f {
+	case PGMRaw:
+		if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", img.W, img.H); err != nil {
+			return err
+		}
+		if _, err := bw.Write(img.Pix); err != nil {
+			return err
+		}
+	case PGMPlain:
+		if _, err := fmt.Fprintf(bw, "P2\n%d %d\n255\n", img.W, img.H); err != nil {
+			return err
+		}
+		if err := writePlainSamples(bw, img.Pix); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("pnm: EncodeGray with color format %v: %w", f, ErrFormat)
+	}
+	return bw.Flush()
+}
+
+// EncodeRGB writes img in the given color format (PPMPlain or PPMRaw).
+func EncodeRGB(w io.Writer, img *imgutil.RGB, f Format) error {
+	bw := bufio.NewWriter(w)
+	switch f {
+	case PPMRaw:
+		if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", img.W, img.H); err != nil {
+			return err
+		}
+		if _, err := bw.Write(img.Pix); err != nil {
+			return err
+		}
+	case PPMPlain:
+		if _, err := fmt.Fprintf(bw, "P3\n%d %d\n255\n", img.W, img.H); err != nil {
+			return err
+		}
+		if err := writePlainSamples(bw, img.Pix); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("pnm: EncodeRGB with grayscale format %v: %w", f, ErrFormat)
+	}
+	return bw.Flush()
+}
+
+// writePlainSamples emits decimal samples, at most 17 per line so lines stay
+// under the Netpbm 70-character recommendation.
+func writePlainSamples(bw *bufio.Writer, pix []uint8) error {
+	for i, p := range pix {
+		sep := byte(' ')
+		if i%17 == 16 || i == len(pix)-1 {
+			sep = '\n'
+		}
+		if _, err := fmt.Fprintf(bw, "%d%c", p, sep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadGray reads a PGM file from disk.
+func LoadGray(path string) (*imgutil.Gray, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeGray(f)
+}
+
+// SaveGray writes img to path as binary PGM (P5).
+func SaveGray(path string, img *imgutil.Gray) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodeGray(f, img, PGMRaw); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRGB reads a PPM file from disk.
+func LoadRGB(path string) (*imgutil.RGB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeRGB(f)
+}
+
+// SaveRGB writes img to path as binary PPM (P6).
+func SaveRGB(path string, img *imgutil.RGB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodeRGB(f, img, PPMRaw); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

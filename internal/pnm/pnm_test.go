@@ -1,0 +1,346 @@
+package pnm
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/imgutil"
+)
+
+func randomGray(seed uint64, w, h int) *imgutil.Gray {
+	g := imgutil.NewGray(w, h)
+	s := seed | 1
+	for i := range g.Pix {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		g.Pix[i] = uint8(s)
+	}
+	return g
+}
+
+func randomRGB(seed uint64, w, h int) *imgutil.RGB {
+	m := imgutil.NewRGB(w, h)
+	s := seed | 1
+	for i := range m.Pix {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		m.Pix[i] = uint8(s)
+	}
+	return m
+}
+
+func TestGrayRoundTripBothFormats(t *testing.T) {
+	img := randomGray(42, 13, 7)
+	for _, f := range []Format{PGMPlain, PGMRaw} {
+		var buf bytes.Buffer
+		if err := EncodeGray(&buf, img, f); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		got, err := DecodeGray(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if !img.Equal(got) {
+			t.Errorf("%v: round trip changed pixels", f)
+		}
+	}
+}
+
+func TestRGBRoundTripBothFormats(t *testing.T) {
+	img := randomRGB(43, 9, 5)
+	for _, f := range []Format{PPMPlain, PPMRaw} {
+		var buf bytes.Buffer
+		if err := EncodeRGB(&buf, img, f); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		got, err := DecodeRGB(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if !img.Equal(got) {
+			t.Errorf("%v: round trip changed pixels", f)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, rw, rh uint8) bool {
+		w := int(rw)%16 + 1
+		h := int(rh)%16 + 1
+		img := randomGray(seed, w, h)
+		var buf bytes.Buffer
+		if err := EncodeGray(&buf, img, PGMRaw); err != nil {
+			return false
+		}
+		got, err := DecodeGray(&buf)
+		return err == nil && img.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeHandlesComments(t *testing.T) {
+	src := "P2 # magic comment\n# full line comment\n2 2\n# another\n255\n0 50\n100 255\n"
+	img, err := DecodeGray(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{0, 50, 100, 255}
+	for i, p := range want {
+		if img.Pix[i] != p {
+			t.Errorf("pix[%d] = %d, want %d", i, img.Pix[i], p)
+		}
+	}
+}
+
+func TestDecodeCommentTerminatesToken(t *testing.T) {
+	// A comment directly after a number must terminate it.
+	src := "P2\n2#c\n1 255 7 9\n"
+	img, err := DecodeGray(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 2 || img.H != 1 || img.Pix[0] != 7 || img.Pix[1] != 9 {
+		t.Errorf("got %dx%d %v", img.W, img.H, img.Pix)
+	}
+}
+
+func TestDecodeScalesMaxval(t *testing.T) {
+	// maxval 100 → samples scale onto 0..255.
+	src := "P2\n2 1\n100\n0 100\n"
+	img, err := DecodeGray(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Pix[0] != 0 || img.Pix[1] != 255 {
+		t.Errorf("scaled pixels = %v, want [0 255]", img.Pix)
+	}
+	// Midpoint rounds.
+	src = "P2\n1 1\n100\n50\n"
+	img, err = DecodeGray(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Pix[0] != 128 { // (50*255 + 50) / 100 = 128
+		t.Errorf("midpoint = %d, want 128", img.Pix[0])
+	}
+}
+
+func TestDecodeRejectsMalformedStreams(t *testing.T) {
+	cases := map[string]string{
+		"bad-magic":        "P9\n2 2\n255\n0 0 0 0",
+		"zero-width":       "P2\n0 2\n255\n",
+		"huge-width":       "P2\n99999999 2\n255\n",
+		"missing-maxval":   "P2\n2 2\n",
+		"maxval-too-big":   "P2\n2 2\n70000\n0 0 0 0",
+		"maxval-zero":      "P2\n2 2\n0\n0 0 0 0",
+		"short-raster":     "P2\n2 2\n255\n0 0 0",
+		"sample-too-big":   "P2\n1 1\n10\n11\n",
+		"non-numeric":      "P2\nab 2\n255\n",
+		"empty":            "",
+		"truncated-binary": "P5\n4 4\n255\nab",
+	}
+	for name, src := range cases {
+		if _, err := DecodeGray(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: decode accepted %q", name, src)
+		}
+	}
+}
+
+func TestDecodeGrayRejectsColor(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeRGB(&buf, randomRGB(1, 2, 2), PPMRaw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeGray(&buf); err == nil {
+		t.Error("DecodeGray accepted a PPM stream")
+	}
+}
+
+func TestDecodeRGBRejectsGray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeGray(&buf, randomGray(1, 2, 2), PGMRaw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRGB(&buf); err == nil {
+		t.Error("DecodeRGB accepted a PGM stream")
+	}
+}
+
+func TestGenericDecode(t *testing.T) {
+	var buf bytes.Buffer
+	gray := randomGray(5, 3, 3)
+	if err := EncodeGray(&buf, gray, PGMRaw); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := v.(*imgutil.Gray); !ok || !g.Equal(gray) {
+		t.Errorf("Decode returned %T", v)
+	}
+	buf.Reset()
+	color := randomRGB(6, 3, 3)
+	if err := EncodeRGB(&buf, color, PPMPlain); err != nil {
+		t.Fatal(err)
+	}
+	v, err = Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := v.(*imgutil.RGB); !ok || !c.Equal(color) {
+		t.Errorf("Decode returned %T", v)
+	}
+}
+
+func TestEncodeRejectsWrongFamily(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeGray(&buf, randomGray(1, 2, 2), PPMRaw); err == nil {
+		t.Error("EncodeGray accepted a color format")
+	}
+	if err := EncodeRGB(&buf, randomRGB(1, 2, 2), PGMPlain); err == nil {
+		t.Error("EncodeRGB accepted a gray format")
+	}
+}
+
+func TestPlainEncodingLineLength(t *testing.T) {
+	var buf bytes.Buffer
+	img := imgutil.NewGray(64, 64)
+	img.Fill(255)
+	if err := EncodeGray(&buf, img, PGMPlain); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > 70 {
+			t.Fatalf("line %d is %d chars (>70): %q", i, len(line), line)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "x.pgm")
+	img := randomGray(9, 16, 16)
+	if err := SaveGray(gp, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGray(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(got) {
+		t.Error("file round trip changed pixels")
+	}
+	cp := filepath.Join(dir, "x.ppm")
+	cimg := randomRGB(9, 8, 8)
+	if err := SaveRGB(cp, cimg); err != nil {
+		t.Fatal(err)
+	}
+	cgot, err := LoadRGB(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cimg.Equal(cgot) {
+		t.Error("color file round trip changed pixels")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadGray(filepath.Join(t.TempDir(), "nope.pgm")); err == nil {
+		t.Error("LoadGray of a missing file succeeded")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if PGMPlain.String() != "P2" || PPMPlain.String() != "P3" || PGMRaw.String() != "P5" || PPMRaw.String() != "P6" {
+		t.Error("Format.String mismatch")
+	}
+	if !strings.Contains(Format(99).String(), "99") {
+		t.Error("unknown format string")
+	}
+}
+
+func BenchmarkEncodeRaw512(b *testing.B) {
+	img := randomGray(1, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := EncodeGray(&buf, img, PGMRaw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRaw512(b *testing.B) {
+	var buf bytes.Buffer
+	if err := EncodeGray(&buf, randomGray(1, 512, 512), PGMRaw); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeGray(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecode16BitRawGray(t *testing.T) {
+	// maxval 65535, big-endian samples: 0x0000 → 0, 0xffff → 255,
+	// 0x8000 → round(32768·255/65535) = 128.
+	src := append([]byte("P5\n3 1\n65535\n"), 0x00, 0x00, 0xff, 0xff, 0x80, 0x00)
+	img, err := DecodeGray(bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Pix[0] != 0 || img.Pix[1] != 255 || img.Pix[2] != 128 {
+		t.Errorf("16-bit samples decoded to %v, want [0 255 128]", img.Pix)
+	}
+}
+
+func TestDecode16BitPlainGray(t *testing.T) {
+	img, err := DecodeGray(strings.NewReader("P2\n2 1\n1000\n0 1000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Pix[0] != 0 || img.Pix[1] != 255 {
+		t.Errorf("plain 16-bit scaled to %v", img.Pix)
+	}
+}
+
+func TestDecode16BitRawRGB(t *testing.T) {
+	src := append([]byte("P6\n1 1\n65535\n"),
+		0xff, 0xff, 0x00, 0x00, 0x80, 0x00)
+	img, err := DecodeRGB(bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b := img.At(0, 0)
+	if r != 255 || g != 0 || b != 128 {
+		t.Errorf("16-bit RGB decoded to (%d, %d, %d)", r, g, b)
+	}
+}
+
+func TestDecode16BitRejectsBadStreams(t *testing.T) {
+	// Truncated wide raster.
+	src := append([]byte("P5\n2 1\n65535\n"), 0x00, 0x01, 0x02)
+	if _, err := DecodeGray(bytes.NewReader(src)); err == nil {
+		t.Error("accepted truncated 16-bit raster")
+	}
+	// Sample above a sub-16-bit maxval.
+	src = append([]byte("P5\n1 1\n1000\n"), 0x04, 0x00) // 1024 > 1000
+	if _, err := DecodeGray(bytes.NewReader(src)); err == nil {
+		t.Error("accepted sample above maxval")
+	}
+	// maxval above 65535.
+	if _, err := DecodeGray(strings.NewReader("P2\n1 1\n70000\n1\n")); err == nil {
+		t.Error("accepted maxval > 65535")
+	}
+}

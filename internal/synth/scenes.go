@@ -1,0 +1,314 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/imgutil"
+)
+
+// Scene names a synthetic stand-in for one of the paper's test photographs.
+type Scene string
+
+// The scene library. Each name corresponds to the USC-SIPI photograph used
+// in the paper's figures; see the package comment for the substitution
+// rationale.
+const (
+	Lena     Scene = "lena"     // portrait: face-like oval, hat band, soft background
+	Sailboat Scene = "sailboat" // sky/water split, triangular sail, hull
+	Airplane Scene = "airplane" // bright fuselage over mid-gray ground
+	Peppers  Scene = "peppers"  // overlapping smooth blobs, strong shading
+	Barbara  Scene = "barbara"  // high-frequency oriented stripe texture
+	Baboon   Scene = "baboon"   // dense fur-like high-frequency noise
+	Tiffany  Scene = "tiffany"  // high-key portrait, compressed highlights
+	Plasma   Scene = "plasma"   // pure fBm cloud (extra, for property tests)
+	Gradient Scene = "gradient" // diagonal ramp (extra, analytic histogram)
+	Checker  Scene = "checker"  // 8×8 checkerboard (extra, worst-case tiles)
+)
+
+// Scenes lists every available scene in stable order.
+func Scenes() []Scene {
+	return []Scene{Lena, Sailboat, Airplane, Peppers, Barbara, Baboon, Tiffany, Plasma, Gradient, Checker}
+}
+
+// ParseScene resolves a scene name, returning an error listing the valid
+// names on failure.
+func ParseScene(name string) (Scene, error) {
+	for _, s := range Scenes() {
+		if string(s) == name {
+			return s, nil
+		}
+	}
+	valid := make([]string, 0, len(Scenes()))
+	for _, s := range Scenes() {
+		valid = append(valid, string(s))
+	}
+	sort.Strings(valid)
+	return "", fmt.Errorf("synth: unknown scene %q (valid: %v)", name, valid)
+}
+
+// Generate renders an n×n grayscale image of the scene. The same (scene, n)
+// pair always produces identical pixels.
+func Generate(scene Scene, n int) (*imgutil.Gray, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("synth: Generate(%q, %d): size must be positive", scene, n)
+	}
+	f, err := intensityFunc(scene)
+	if err != nil {
+		return nil, err
+	}
+	img := imgutil.NewGray(n, n)
+	for y := 0; y < n; y++ {
+		fy := (float64(y) + 0.5) / float64(n)
+		for x := 0; x < n; x++ {
+			fx := (float64(x) + 0.5) / float64(n)
+			img.Pix[y*n+x] = clamp8(f(fx, fy))
+		}
+	}
+	return img, nil
+}
+
+// MustGenerate is Generate for known-good arguments; it panics on error and
+// exists for tests and examples.
+func MustGenerate(scene Scene, n int) *imgutil.Gray {
+	img, err := Generate(scene, n)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// intensityFunc returns the unit-square intensity field of a scene.
+func intensityFunc(scene Scene) (func(x, y float64) float64, error) {
+	switch scene {
+	case Lena:
+		return lenaField, nil
+	case Sailboat:
+		return sailboatField, nil
+	case Airplane:
+		return airplaneField, nil
+	case Peppers:
+		return peppersField, nil
+	case Barbara:
+		return barbaraField, nil
+	case Baboon:
+		return baboonField, nil
+	case Tiffany:
+		return tiffanyField, nil
+	case Plasma:
+		return plasmaField, nil
+	case Gradient:
+		return gradientField, nil
+	case Checker:
+		return checkerField, nil
+	}
+	return nil, fmt.Errorf("synth: unknown scene %q", scene)
+}
+
+// Per-scene noise seeds; distinct so scenes are decorrelated.
+const (
+	seedLena     = 0xA001
+	seedSailboat = 0xB002
+	seedAirplane = 0xC003
+	seedPeppers  = 0xD004
+	seedBarbara  = 0xE005
+	seedBaboon   = 0xF006
+	seedTiffany  = 0xA107
+	seedPlasma   = 0xB208
+)
+
+// lenaField: a soft portrait — oval "face" highlight, darker "hat" diagonal
+// band, mid-tone textured background with a vignette.
+func lenaField(x, y float64) float64 {
+	bg := 0.35 + 0.25*fbm(seedLena, x, y, 4, 3, 0.55)
+	face := disk(x, y, 0.52, 0.55, 0.22, 0.10)
+	faceTone := 0.62 + 0.10*fbm(seedLena+1, x, y, 3, 8, 0.5)
+	// Hat: a diagonal band above the face.
+	band := sstep(0.05, 0.12, y-0.45*x) * (1 - sstep(0.28, 0.36, y-0.45*x))
+	bandTone := 0.22 + 0.08*fbm(seedLena+2, x, y, 3, 12, 0.5)
+	v := bg
+	v = v*(1-band) + bandTone*band
+	v = v*(1-face) + faceTone*face
+	// Shoulder: bright lower-left wedge.
+	sh := sstep(0.75, 0.9, y) * (1 - sstep(0.5, 0.8, x))
+	v = v*(1-sh) + (0.7+0.05*fbm(seedLena+3, x, y, 2, 6, 0.5))*sh
+	vign := 1 - 0.35*math.Pow(math.Hypot(x-0.5, y-0.5)*1.4, 2)
+	return clamp01(v * vign)
+}
+
+// sailboatField: bright sky over dark rippled water, a triangular sail and
+// a dark hull at the waterline.
+func sailboatField(x, y float64) float64 {
+	horizon := 0.55
+	sky := 0.72 + 0.12*fbm(seedSailboat, x, y*2, 4, 3, 0.5)
+	water := 0.28 + 0.14*fbm(seedSailboat+1, x*2, y*8, 4, 6, 0.6)
+	v := sky
+	if y > horizon {
+		v = water
+	} else {
+		// Soften the horizon over a couple of pixels of the unit square.
+		t := sstep(horizon-0.01, horizon+0.01, y)
+		v = sky*(1-t) + water*t
+	}
+	// Sail: triangle with apex at (0.5, 0.12), base on the waterline.
+	if y < horizon && y > 0.12 {
+		halfWidth := 0.18 * (y - 0.12) / (horizon - 0.12)
+		if math.Abs(x-0.5) < halfWidth {
+			v = 0.88 - 0.06*fbm(seedSailboat+2, x, y, 2, 10, 0.5)
+		}
+	}
+	// Hull: dark sliver sitting on the waterline.
+	hull := sstep(horizon, horizon+0.015, y) * (1 - sstep(horizon+0.045, horizon+0.06, y)) *
+		sstep(0.3, 0.34, x) * (1 - sstep(0.66, 0.7, x))
+	v = v*(1-hull) + 0.12*hull
+	return clamp01(v)
+}
+
+// airplaneField: a very bright fuselage and wings over a mid-gray textured
+// ground — the high-key histogram that makes histogram matching matter.
+func airplaneField(x, y float64) float64 {
+	ground := 0.58 + 0.18*fbm(seedAirplane, x, y, 5, 4, 0.55)
+	// Fuselage: elongated soft ellipse along the main diagonal.
+	dx, dy := x-0.5, y-0.5
+	u := (dx*0.866 + dy*0.5) / 0.38  // major axis
+	w := (-dx*0.5 + dy*0.866) / 0.07 // minor axis
+	body := 1 - sstep(0.8, 1.1, math.Hypot(u, w))
+	// Wings: perpendicular ellipse.
+	u2 := (dx*0.866 + dy*0.5) / 0.08
+	w2 := (-dx*0.5 + dy*0.866) / 0.30
+	wing := 1 - sstep(0.8, 1.1, math.Hypot(u2, w2))
+	plane := math.Max(body, wing)
+	// Ground shadow under the aircraft gives the scene its dark tail, as the
+	// photograph's mountain shadows do.
+	su := (dx + 0.08) / 0.40
+	sw := (dy + 0.10) / 0.10
+	shadow := (1 - sstep(0.8, 1.2, math.Hypot(su, sw))) * (1 - plane)
+	v := ground*(1-shadow) + 0.15*shadow
+	v = v*(1-plane) + (0.92-0.04*fbm(seedAirplane+1, x, y, 2, 8, 0.5))*plane
+	// Tail fin with a dark insignia stripe.
+	fin := disk(x, y, 0.26, 0.35, 0.05, 0.02)
+	v = v*(1-fin) + 0.85*fin
+	stripe := disk(x, y, 0.26, 0.35, 0.018, 0.008)
+	v = v*(1-stripe) + 0.2*stripe
+	return clamp01(v)
+}
+
+// peppersField: overlapping smooth blobs with strong per-blob shading.
+func peppersField(x, y float64) float64 {
+	type blob struct{ cx, cy, r, tone float64 }
+	blobs := []blob{
+		{0.30, 0.35, 0.24, 0.55},
+		{0.68, 0.30, 0.20, 0.30},
+		{0.45, 0.68, 0.26, 0.70},
+		{0.78, 0.70, 0.18, 0.45},
+		{0.15, 0.75, 0.16, 0.25},
+	}
+	v := 0.18 + 0.08*fbm(seedPeppers, x, y, 3, 5, 0.5)
+	for i, b := range blobs {
+		m := disk(x, y, b.cx, b.cy, b.r, 0.05)
+		// Lambertian-ish shading: brighter toward the upper-left of each blob.
+		shade := b.tone + 0.25*((b.cx-x)+(b.cy-y))/b.r
+		shade += 0.05 * fbm(seedPeppers+uint64(i)+1, x, y, 3, 9, 0.5)
+		v = v*(1-m) + clamp01(shade)*m
+	}
+	return clamp01(v)
+}
+
+// barbaraField: the oriented high-frequency stripes Barbara is famous for,
+// over a smooth base, with stripe direction varying by region.
+func barbaraField(x, y float64) float64 {
+	base := 0.45 + 0.20*fbm(seedBarbara, x, y, 3, 3, 0.5)
+	// Region A (lower-left): 45° stripes. Region B (right): vertical stripes.
+	sA := 0.5 + 0.5*math.Sin(2*math.Pi*28*(x+y))
+	sB := 0.5 + 0.5*math.Sin(2*math.Pi*36*x)
+	mA := sstep(0.55, 0.65, y) * (1 - sstep(0.45, 0.55, x))
+	mB := sstep(0.6, 0.7, x)
+	v := base
+	v = v*(1-mA) + (0.35+0.4*sA)*mA
+	v = v*(1-mB) + (0.3+0.45*sB)*mB
+	// A smooth "face" disk keeps a low-frequency subject present.
+	f := disk(x, y, 0.38, 0.3, 0.15, 0.06)
+	v = v*(1-f) + (0.6+0.08*fbm(seedBarbara+1, x, y, 2, 7, 0.5))*f
+	return clamp01(v)
+}
+
+// baboonField: dense fur-like texture — high-gain fBm with a central bright
+// "nose" stripe, the busiest spectrum in the set.
+func baboonField(x, y float64) float64 {
+	fur := fbm(seedBaboon, x, y, 6, 16, 0.75)
+	v := 0.25 + 0.6*fur
+	nose := (1 - sstep(0.06, 0.12, math.Abs(x-0.5))) * sstep(0.35, 0.45, y)
+	v = v*(1-0.7*nose) + 0.75*0.7*nose
+	eyeL := disk(x, y, 0.36, 0.3, 0.05, 0.02)
+	eyeR := disk(x, y, 0.64, 0.3, 0.05, 0.02)
+	v = v * (1 - 0.8*math.Max(eyeL, eyeR))
+	return clamp01(v)
+}
+
+// tiffanyField: high-key portrait — most mass in the upper intensity range,
+// mirroring Tiffany's compressed bright histogram.
+func tiffanyField(x, y float64) float64 {
+	v := 0.70 + 0.15*fbm(seedTiffany, x, y, 4, 4, 0.55)
+	face := disk(x, y, 0.5, 0.5, 0.25, 0.1)
+	v = v*(1-face) + (0.82+0.06*fbm(seedTiffany+1, x, y, 3, 7, 0.5))*face
+	hair := sstep(0.0, 0.2, y) * (1 - sstep(0.25, 0.4, y))
+	v = v*(1-0.5*hair) + 0.35*0.5*hair
+	return clamp01(v)
+}
+
+// plasmaField: pure mid-gain fBm cloud.
+func plasmaField(x, y float64) float64 {
+	return clamp01(fbm(seedPlasma, x, y, 6, 4, 0.6))
+}
+
+// gradientField: diagonal ramp with an analytic, uniform-ish histogram.
+func gradientField(x, y float64) float64 {
+	return clamp01((x + y) / 2)
+}
+
+// checkerField: 8×8 checkerboard — the degenerate two-level histogram that
+// stresses histogram matching and gives tiles only two error levels.
+func checkerField(x, y float64) float64 {
+	ix := int(x * 8)
+	iy := int(y * 8)
+	if (ix+iy)%2 == 0 {
+		return 0.85
+	}
+	return 0.15
+}
+
+// GenerateRGB renders an n×n color version of the scene: the grayscale field
+// drives luminance while a per-scene hue field modulates the channels. Used
+// by the color-mosaic extension.
+func GenerateRGB(scene Scene, n int) (*imgutil.RGB, error) {
+	gray, err := Generate(scene, n)
+	if err != nil {
+		return nil, err
+	}
+	f, _ := intensityFunc(scene) // error already checked by Generate
+	_ = f
+	out := imgutil.NewRGB(n, n)
+	seed := sceneSeed(scene)
+	for y := 0; y < n; y++ {
+		fy := (float64(y) + 0.5) / float64(n)
+		for x := 0; x < n; x++ {
+			fx := (float64(x) + 0.5) / float64(n)
+			l := float64(gray.Pix[y*n+x]) / 255
+			// Low-frequency hue fields, decorrelated per channel.
+			cr := 0.8 + 0.4*(fbm(seed+11, fx, fy, 3, 2, 0.5)-0.5)
+			cg := 0.8 + 0.4*(fbm(seed+23, fx, fy, 3, 2, 0.5)-0.5)
+			cb := 0.8 + 0.4*(fbm(seed+37, fx, fy, 3, 2, 0.5)-0.5)
+			out.Set(x, y, clamp8(l*cr), clamp8(l*cg), clamp8(l*cb))
+		}
+	}
+	return out, nil
+}
+
+func sceneSeed(scene Scene) uint64 {
+	var s uint64 = 0x5EED
+	for _, c := range string(scene) {
+		s = splitmix64(s ^ uint64(c))
+	}
+	return s
+}

@@ -1,0 +1,282 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hist"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, s := range Scenes() {
+		a := MustGenerate(s, 64)
+		b := MustGenerate(s, 64)
+		if !a.Equal(b) {
+			t.Errorf("%s: generation is not deterministic", s)
+		}
+	}
+}
+
+func TestGenerateGeometry(t *testing.T) {
+	img := MustGenerate(Lena, 96)
+	if img.W != 96 || img.H != 96 {
+		t.Errorf("geometry %dx%d", img.W, img.H)
+	}
+}
+
+func TestGenerateRejectsBadArgs(t *testing.T) {
+	if _, err := Generate(Lena, 0); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := Generate(Scene("nope"), 32); err == nil {
+		t.Error("accepted unknown scene")
+	}
+}
+
+func TestParseScene(t *testing.T) {
+	s, err := ParseScene("baboon")
+	if err != nil || s != Baboon {
+		t.Errorf("ParseScene(baboon) = %q, %v", s, err)
+	}
+	if _, err := ParseScene("mona-lisa"); err == nil {
+		t.Error("ParseScene accepted an unknown name")
+	}
+}
+
+func TestScenesAreDistinct(t *testing.T) {
+	const n = 64
+	imgs := make(map[Scene][]uint8)
+	for _, s := range Scenes() {
+		imgs[s] = MustGenerate(s, n).Pix
+	}
+	list := Scenes()
+	for i := 0; i < len(list); i++ {
+		for j := i + 1; j < len(list); j++ {
+			a, b := imgs[list[i]], imgs[list[j]]
+			var diff int64
+			for k := range a {
+				d := int64(a[k]) - int64(b[k])
+				if d < 0 {
+					d = -d
+				}
+				diff += d
+			}
+			// Average per-pixel difference must be substantial.
+			if diff/int64(n*n) < 5 {
+				t.Errorf("%s and %s are nearly identical (mean |Δ| = %d)", list[i], list[j], diff/int64(n*n))
+			}
+		}
+	}
+}
+
+func TestScenesHaveNonDegenerateHistograms(t *testing.T) {
+	// Every photographic stand-in must occupy a reasonable spread of
+	// intensity levels — the property histogram matching relies on.
+	// Tiffany is excluded: its deliberately compressed high-key histogram is
+	// covered by TestTiffanyIsHighKey below.
+	for _, s := range []Scene{Lena, Sailboat, Airplane, Peppers, Barbara, Baboon, Plasma} {
+		img := MustGenerate(s, 128)
+		h := hist.Of(img)
+		occupied := 0
+		for _, c := range h {
+			if c > 0 {
+				occupied++
+			}
+		}
+		if occupied < 32 {
+			t.Errorf("%s: only %d intensity levels occupied", s, occupied)
+		}
+		lo, _ := h.Min()
+		hi, _ := h.Max()
+		if int(hi)-int(lo) < 100 {
+			t.Errorf("%s: dynamic range only [%d, %d]", s, lo, hi)
+		}
+	}
+}
+
+func TestTiffanyIsHighKey(t *testing.T) {
+	// The paper uses Tiffany precisely because its intensity mass is
+	// compressed into the bright range — the case where §II's histogram
+	// adjustment matters most. The stand-in must keep that character:
+	// bright mean, narrow spread.
+	img := MustGenerate(Tiffany, 128)
+	h := hist.Of(img)
+	mean, err := h.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 150 {
+		t.Errorf("tiffany mean %v, want high-key (≥ 150)", mean)
+	}
+	lo, _ := h.Min()
+	hi, _ := h.Max()
+	if int(hi)-int(lo) > 160 {
+		t.Errorf("tiffany range [%d, %d] too wide for a high-key scene", lo, hi)
+	}
+}
+
+func TestCheckerIsTwoLevel(t *testing.T) {
+	img := MustGenerate(Checker, 64)
+	h := hist.Of(img)
+	occupied := 0
+	for _, c := range h {
+		if c > 0 {
+			occupied++
+		}
+	}
+	if occupied != 2 {
+		t.Errorf("checker occupies %d levels, want 2", occupied)
+	}
+}
+
+func TestGradientIsMonotoneAlongDiagonal(t *testing.T) {
+	img := MustGenerate(Gradient, 64)
+	prev := -1
+	for i := 0; i < 64; i++ {
+		v := int(img.At(i, i))
+		if v < prev {
+			t.Fatalf("diagonal not monotone at %d: %d < %d", i, v, prev)
+		}
+		prev = v
+	}
+	if img.At(0, 0) > 10 || img.At(63, 63) < 245 {
+		t.Errorf("gradient endpoints %d..%d", img.At(0, 0), img.At(63, 63))
+	}
+}
+
+func TestHighKeyScenesAreBright(t *testing.T) {
+	// Tiffany and Airplane are the paper's bright images; their synthetic
+	// stand-ins must be brighter than Sailboat's water-heavy scene.
+	tiffany := MustGenerate(Tiffany, 128).MeanIntensity()
+	sailboat := MustGenerate(Sailboat, 128).MeanIntensity()
+	airplane := MustGenerate(Airplane, 128).MeanIntensity()
+	if tiffany <= sailboat {
+		t.Errorf("tiffany mean %v not brighter than sailboat %v", tiffany, sailboat)
+	}
+	if airplane <= sailboat {
+		t.Errorf("airplane mean %v not brighter than sailboat %v", airplane, sailboat)
+	}
+}
+
+func TestBaboonIsBusiestScene(t *testing.T) {
+	// Total variation (sum of |horizontal gradient|) of the fur texture must
+	// exceed the portrait scenes — the property that makes Baboon the hard
+	// target in the paper's Figure 8.
+	tv := func(s Scene) int64 {
+		img := MustGenerate(s, 128)
+		var sum int64
+		for y := 0; y < img.H; y++ {
+			for x := 1; x < img.W; x++ {
+				d := int64(img.At(x, y)) - int64(img.At(x-1, y))
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+		}
+		return sum
+	}
+	baboon := tv(Baboon)
+	for _, s := range []Scene{Lena, Tiffany, Peppers, Sailboat} {
+		if other := tv(s); baboon <= other {
+			t.Errorf("baboon TV %d not above %s TV %d", baboon, s, other)
+		}
+	}
+}
+
+func TestGenerateRGBConsistentWithGray(t *testing.T) {
+	rgb, err := GenerateRGB(Lena, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rgb.W != 64 || rgb.H != 64 {
+		t.Fatalf("geometry %dx%d", rgb.W, rgb.H)
+	}
+	// The color version's luminance must correlate with the gray scene:
+	// bright gray pixels should be bright in color too. Check the mean
+	// ordering of the darkest and brightest deciles.
+	gray := MustGenerate(Lena, 64)
+	lum := rgb.Gray()
+	var sumBright, sumDark, nBright, nDark int64
+	for i, p := range gray.Pix {
+		switch {
+		case p > 200:
+			sumBright += int64(lum.Pix[i])
+			nBright++
+		case p < 55:
+			sumDark += int64(lum.Pix[i])
+			nDark++
+		}
+	}
+	if nBright > 0 && nDark > 0 && sumBright/nBright <= sumDark/nDark {
+		t.Error("color luminance does not track the gray scene")
+	}
+}
+
+func TestValueNoiseRange(t *testing.T) {
+	f := func(seed uint64, xi, yi int16) bool {
+		x := float64(xi) / 32
+		y := float64(yi) / 32
+		v := valueNoise(seed, x, y)
+		return v >= 0 && v < 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFbmRange(t *testing.T) {
+	f := func(seed uint64, xi, yi int16) bool {
+		v := fbm(seed, float64(xi)/64, float64(yi)/64, 5, 4, 0.6)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueNoiseContinuity(t *testing.T) {
+	// Adjacent samples at fine resolution must not jump: smoothed lattice
+	// noise is Lipschitz at the lattice scale.
+	const step = 1.0 / 256
+	prev := valueNoise(1, 0, 0.3)
+	for i := 1; i < 512; i++ {
+		cur := valueNoise(1, float64(i)*step, 0.3)
+		if math.Abs(cur-prev) > 0.05 {
+			t.Fatalf("noise jumps by %v at step %d", math.Abs(cur-prev), i)
+		}
+		prev = cur
+	}
+}
+
+func TestClampHelpers(t *testing.T) {
+	if clamp8(-0.5) != 0 || clamp8(2) != 255 || clamp8(0.5) != 128 {
+		t.Error("clamp8 wrong")
+	}
+	if clamp01(-1) != 0 || clamp01(2) != 1 || clamp01(0.25) != 0.25 {
+		t.Error("clamp01 wrong")
+	}
+	if sstep(0, 1, -1) != 0 || sstep(0, 1, 2) != 1 {
+		t.Error("sstep endpoints wrong")
+	}
+	if sstep(1, 1, 0.5) != 0 || sstep(1, 1, 1.5) != 1 {
+		t.Error("sstep degenerate edge wrong")
+	}
+}
+
+func BenchmarkGenerateLena512(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Lena, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateBaboon256(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Baboon, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package tile
+
+import (
+	"fmt"
+
+	"repro/internal/imgutil"
+	"repro/internal/perm"
+)
+
+// AssembleOriented builds the rearranged image like Assemble, additionally
+// placing each tile in the per-position orientation chosen by the oriented
+// cost matrix (see metric.OrientedMatrix). orients[v] is the orientation
+// applied to tile p[v] at position v; len(orients) must equal S.
+func (g *Grid) AssembleOriented(p perm.Perm, orients []imgutil.Orientation) (*imgutil.Gray, error) {
+	if len(p) != g.S() {
+		return nil, fmt.Errorf("tile: AssembleOriented with %d-element permutation on %d tiles: %w", len(p), g.S(), ErrGeometry)
+	}
+	if len(orients) != g.S() {
+		return nil, fmt.Errorf("tile: AssembleOriented with %d orientations on %d tiles: %w", len(orients), g.S(), ErrGeometry)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for i, o := range orients {
+		if o >= imgutil.NumOrientations {
+			return nil, fmt.Errorf("tile: orientation %d at position %d out of range: %w", o, i, ErrGeometry)
+		}
+	}
+	out := imgutil.NewGray(g.Img.W, g.Img.H)
+	m := g.M
+	for v := 0; v < g.S(); v++ {
+		dx, dy := g.Origin(v)
+		src := p[v]
+		o := orients[v]
+		if o == imgutil.Upright {
+			for r := 0; r < m; r++ {
+				copy(out.Pix[(dy+r)*out.W+dx:(dy+r)*out.W+dx+m], g.Row(src, r))
+			}
+			continue
+		}
+		sx, sy := g.Origin(src)
+		for y := 0; y < m; y++ {
+			dst := out.Pix[(dy+y)*out.W+dx : (dy+y)*out.W+dx+m]
+			for x := 0; x < m; x++ {
+				idx := imgutil.OrientIndex(o, m, x, y)
+				dst[x] = g.Img.Pix[(sy+idx/m)*g.Img.W+sx+idx%m]
+			}
+		}
+	}
+	return out, nil
+}

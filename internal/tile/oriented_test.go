@@ -1,0 +1,100 @@
+package tile
+
+import (
+	"testing"
+
+	"repro/internal/imgutil"
+	"repro/internal/perm"
+)
+
+func TestAssembleOrientedUprightMatchesAssemble(t *testing.T) {
+	g, err := NewGrid(ramp(16, 16), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := perm.Random(g.S(), 5)
+	orients := make([]imgutil.Orientation, g.S()) // all upright
+	a, err := g.Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.AssembleOriented(p, orients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("upright oriented assembly differs from plain assembly")
+	}
+}
+
+func TestAssembleOrientedAppliesTransform(t *testing.T) {
+	g, err := NewGrid(ramp(8, 8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := perm.Identity(g.S())
+	orients := []imgutil.Orientation{imgutil.Rot90, imgutil.Upright, imgutil.Flip, imgutil.Rot180}
+	out, err := g.AssembleOriented(p, orients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.S(); v++ {
+		want := g.Tile(v).Orient(orients[v])
+		x, y := g.Origin(v)
+		got, err := out.SubImage(x, y, g.M, g.M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("position %d (%v): tile not oriented correctly", v, orients[v])
+		}
+	}
+}
+
+func TestAssembleOrientedPreservesMultiset(t *testing.T) {
+	g, err := NewGrid(ramp(16, 16), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := perm.Random(g.S(), 9)
+	orients := make([]imgutil.Orientation, g.S())
+	for i := range orients {
+		orients[i] = imgutil.Orientation(i % imgutil.NumOrientations)
+	}
+	out, err := g.AssembleOriented(p, orients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hin, hout [256]int
+	for _, px := range g.Img.Pix {
+		hin[px]++
+	}
+	for _, px := range out.Pix {
+		hout[px]++
+	}
+	if hin != hout {
+		t.Error("oriented assembly changed the pixel multiset")
+	}
+}
+
+func TestAssembleOrientedValidation(t *testing.T) {
+	g, err := NewGrid(ramp(8, 8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]imgutil.Orientation, g.S())
+	if _, err := g.AssembleOriented(perm.Perm{0, 1}, good); err == nil {
+		t.Error("accepted short permutation")
+	}
+	if _, err := g.AssembleOriented(perm.Identity(g.S()), good[:1]); err == nil {
+		t.Error("accepted short orientation vector")
+	}
+	bad := make([]imgutil.Orientation, g.S())
+	bad[2] = imgutil.NumOrientations
+	if _, err := g.AssembleOriented(perm.Identity(g.S()), bad); err == nil {
+		t.Error("accepted out-of-range orientation")
+	}
+	if _, err := g.AssembleOriented(perm.Perm{0, 0, 1, 2}, good); err == nil {
+		t.Error("accepted non-bijection")
+	}
+}

@@ -1,0 +1,187 @@
+// Package video generates photomosaic sequences — the real-time video use
+// case the paper gives as the motivation for its approximation algorithm
+// (§III cites interactive and video photomosaic systems [16]–[18]).
+//
+// A Sequencer holds everything reusable across frames of one stream:
+//
+//   - the tiled input image and its flattened tile buffer (Step 1, once);
+//   - the edge coloring of K_S for the parallel search, which depends only
+//     on S (§IV-B: "computed in advance");
+//   - the previous frame's assignment, used to warm-start the local search —
+//     consecutive frames differ little, so far fewer passes are needed than
+//     from the identity start.
+//
+// Per frame, only Step 2 (the cost matrix against the new target) and the
+// warm-started Step 3 run.
+package video
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/edgecolor"
+	"repro/internal/hist"
+	"repro/internal/imgutil"
+	"repro/internal/localsearch"
+	"repro/internal/metric"
+	"repro/internal/perm"
+	"repro/internal/tile"
+)
+
+// ErrConfig reports an invalid sequencer configuration or frame.
+var ErrConfig = errors.New("video: invalid configuration")
+
+// Config sets up a Sequencer.
+type Config struct {
+	// TilesPerSide divides frames into TilesPerSide² tiles.
+	TilesPerSide int
+	// Metric is the per-pixel error; default L1.
+	Metric metric.Metric
+	// Device runs Step 2 and the parallel search; nil keeps everything
+	// serial (Algorithm 1 with warm starts).
+	Device *cuda.Device
+	// NoWarmStart disables reusing the previous frame's assignment — each
+	// frame then starts from the identity, as the single-image pipeline
+	// does. Exposed for the ablation that measures what warm starts buy.
+	NoWarmStart bool
+	// NoHistogramMatch skips the per-frame §II preprocessing.
+	NoHistogramMatch bool
+}
+
+// FrameResult is the output for one target frame.
+type FrameResult struct {
+	Mosaic     *imgutil.Gray
+	Assignment perm.Perm
+	TotalError int64
+	Passes     int // local-search sweeps this frame (k)
+}
+
+// Sequencer produces mosaics for a stream of equally-sized target frames
+// from one fixed input image. Not safe for concurrent use.
+type Sequencer struct {
+	cfg      Config
+	input    *imgutil.Gray
+	coloring *edgecolor.Coloring
+	prev     perm.Perm
+	frames   int
+	s        int
+}
+
+// NewSequencer validates the configuration and precomputes the per-stream
+// state. input must be square and divisible into the requested grid.
+func NewSequencer(input *imgutil.Gray, cfg Config) (*Sequencer, error) {
+	if cfg.TilesPerSide <= 0 {
+		return nil, fmt.Errorf("video: TilesPerSide %d: %w", cfg.TilesPerSide, ErrConfig)
+	}
+	if input.W != input.H {
+		return nil, fmt.Errorf("video: input %dx%d not square: %w", input.W, input.H, ErrConfig)
+	}
+	if input.W%cfg.TilesPerSide != 0 {
+		return nil, fmt.Errorf("video: side %d not divisible by %d: %w", input.W, cfg.TilesPerSide, ErrConfig)
+	}
+	if !cfg.Metric.Valid() {
+		return nil, fmt.Errorf("video: invalid metric %v: %w", cfg.Metric, ErrConfig)
+	}
+	s := cfg.TilesPerSide * cfg.TilesPerSide
+	seq := &Sequencer{cfg: cfg, input: input.Clone(), s: s}
+	if cfg.Device != nil {
+		seq.coloring = edgecolor.Complete(s)
+	}
+	return seq, nil
+}
+
+// S returns the number of tiles per frame.
+func (q *Sequencer) S() int { return q.s }
+
+// Frames returns how many frames have been processed.
+func (q *Sequencer) Frames() int { return q.frames }
+
+// Reset discards the warm-start state (use at scene cuts, where the next
+// frame no longer resembles the previous one).
+func (q *Sequencer) Reset() { q.prev = nil }
+
+// Next mosaics one target frame.
+func (q *Sequencer) Next(target *imgutil.Gray) (*FrameResult, error) {
+	if target.W != q.input.W || target.H != q.input.H {
+		return nil, fmt.Errorf("video: frame %dx%d, stream is %dx%d: %w",
+			target.W, target.H, q.input.W, q.input.H, ErrConfig)
+	}
+	work := q.input
+	var err error
+	if !q.cfg.NoHistogramMatch {
+		work, err = hist.Match(q.input, target)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := q.input.W / q.cfg.TilesPerSide
+	inGrid, err := tile.NewGrid(work, m)
+	if err != nil {
+		return nil, err
+	}
+	tgtGrid, err := tile.NewGrid(target, m)
+	if err != nil {
+		return nil, err
+	}
+
+	var costs *metric.Matrix
+	if q.cfg.Device != nil {
+		costs, err = metric.BuildDevice(q.cfg.Device, inGrid, tgtGrid, q.cfg.Metric)
+	} else {
+		costs, err = metric.BuildSerial(inGrid, tgtGrid, q.cfg.Metric)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	start := q.prev
+	if start == nil || q.cfg.NoWarmStart {
+		start = perm.Identity(q.s)
+	}
+	var p perm.Perm
+	var st localsearch.Stats
+	if q.cfg.Device != nil {
+		p, st, err = localsearch.Parallel(q.cfg.Device, costs, start, q.coloring, localsearch.Options{})
+	} else {
+		p, st, err = localsearch.Serial(costs, start, localsearch.Options{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	mos, err := inGrid.Assemble(p)
+	if err != nil {
+		return nil, err
+	}
+	q.prev = p
+	q.frames++
+	return &FrameResult{
+		Mosaic:     mos,
+		Assignment: p,
+		TotalError: costs.Total(p),
+		Passes:     st.Passes,
+	}, nil
+}
+
+// Pan synthesises a horizontal camera pan across a wide scene: frame f is
+// the size×size window at offset f·stride. A convenient target stream for
+// tests and demos.
+func Pan(scene *imgutil.Gray, size, frames int) ([]*imgutil.Gray, error) {
+	if size <= 0 || frames <= 0 || scene.W < size || scene.H < size {
+		return nil, fmt.Errorf("video: pan of %dx%d windows over %dx%d: %w", size, size, scene.W, scene.H, ErrConfig)
+	}
+	out := make([]*imgutil.Gray, frames)
+	span := scene.W - size
+	for f := 0; f < frames; f++ {
+		off := 0
+		if frames > 1 {
+			off = f * span / (frames - 1)
+		}
+		w, err := scene.SubImage(off, (scene.H-size)/2, size, size)
+		if err != nil {
+			return nil, err
+		}
+		out[f] = w
+	}
+	return out, nil
+}

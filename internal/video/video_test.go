@@ -1,0 +1,208 @@
+package video
+
+import (
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/imgutil"
+	"repro/internal/synth"
+)
+
+func stream(t testing.TB, size, frames int) (*imgutil.Gray, []*imgutil.Gray) {
+	t.Helper()
+	input := synth.MustGenerate(synth.Lena, size)
+	wide := synth.MustGenerate(synth.Sailboat, size*2)
+	targets, err := Pan(wide, size, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return input, targets
+}
+
+func TestSequencerProducesValidFrames(t *testing.T) {
+	input, targets := stream(t, 64, 5)
+	seq, err := NewSequencer(input, Config{TilesPerSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tgt := range targets {
+		fr, err := seq.Next(tgt)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if err := fr.Assignment.Validate(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if fr.Mosaic.W != 64 || fr.TotalError <= 0 || fr.Passes < 1 {
+			t.Fatalf("frame %d degenerate: %+v", i, fr)
+		}
+		// Reported error equals the image-level error of the mosaic.
+		imgErr, err := fr.Mosaic.AbsDiffSum(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.TotalError != imgErr {
+			t.Fatalf("frame %d: error %d != image error %d", i, fr.TotalError, imgErr)
+		}
+	}
+	if seq.Frames() != 5 {
+		t.Errorf("Frames() = %d", seq.Frames())
+	}
+}
+
+func TestWarmStartReducesPasses(t *testing.T) {
+	// The sequencing claim: after the first frame, warm-started searches
+	// need fewer sweeps than identity-started ones on the same stream.
+	input, targets := stream(t, 128, 6)
+	warm, err := NewSequencer(input, Config{TilesPerSide: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewSequencer(input, Config{TilesPerSide: 16, NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warmPasses, coldPasses int
+	for i, tgt := range targets {
+		fw, err := warm.Next(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := cold.Next(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 { // first frame has no warm start to use
+			warmPasses += fw.Passes
+			coldPasses += fc.Passes
+		}
+	}
+	if warmPasses >= coldPasses {
+		t.Errorf("warm starts did not reduce passes: warm %d vs cold %d", warmPasses, coldPasses)
+	}
+}
+
+func TestWarmAndColdQualityComparable(t *testing.T) {
+	// Warm starting must not cost meaningful quality: both land at swap-
+	// local optima of the same matrix.
+	input, targets := stream(t, 128, 4)
+	warm, _ := NewSequencer(input, Config{TilesPerSide: 16})
+	cold, _ := NewSequencer(input, Config{TilesPerSide: 16, NoWarmStart: true})
+	for i, tgt := range targets {
+		fw, err := warm.Next(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := cold.Next(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(fw.TotalError) / float64(fc.TotalError)
+		if ratio > 1.05 || ratio < 0.95 {
+			t.Errorf("frame %d: warm %d vs cold %d (ratio %.3f)", i, fw.TotalError, fc.TotalError, ratio)
+		}
+	}
+}
+
+func TestSequencerWithDevice(t *testing.T) {
+	input, targets := stream(t, 64, 3)
+	seq, err := NewSequencer(input, Config{TilesPerSide: 8, Device: cuda.New(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tgt := range targets {
+		fr, err := seq.Next(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fr.Assignment.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestResetDropsWarmStart(t *testing.T) {
+	input, targets := stream(t, 64, 2)
+	seq, _ := NewSequencer(input, Config{TilesPerSide: 8})
+	if _, err := seq.Next(targets[0]); err != nil {
+		t.Fatal(err)
+	}
+	seq.Reset()
+	// After a reset the next frame behaves like a first frame; mainly this
+	// must not crash or corrupt state.
+	fr, err := seq.Next(targets[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequencerValidation(t *testing.T) {
+	input := synth.MustGenerate(synth.Lena, 64)
+	if _, err := NewSequencer(input, Config{}); err == nil {
+		t.Error("accepted zero TilesPerSide")
+	}
+	if _, err := NewSequencer(input, Config{TilesPerSide: 7}); err == nil {
+		t.Error("accepted indivisible grid")
+	}
+	if _, err := NewSequencer(imgutil.NewGray(64, 32), Config{TilesPerSide: 8}); err == nil {
+		t.Error("accepted non-square input")
+	}
+	seq, err := NewSequencer(input, Config{TilesPerSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.Next(imgutil.NewGray(32, 32)); err == nil {
+		t.Error("accepted mismatched frame size")
+	}
+}
+
+func TestPan(t *testing.T) {
+	scene := synth.MustGenerate(synth.Plasma, 128)
+	frames, err := Pan(scene, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 5 {
+		t.Fatalf("%d frames", len(frames))
+	}
+	for _, f := range frames {
+		if f.W != 64 || f.H != 64 {
+			t.Fatalf("frame %dx%d", f.W, f.H)
+		}
+	}
+	// First and last frames are the extreme windows.
+	want, _ := scene.SubImage(0, 32, 64, 64)
+	if !frames[0].Equal(want) {
+		t.Error("first frame wrong window")
+	}
+	want, _ = scene.SubImage(64, 32, 64, 64)
+	if !frames[4].Equal(want) {
+		t.Error("last frame wrong window")
+	}
+	if _, err := Pan(scene, 256, 2); err == nil {
+		t.Error("accepted window larger than scene")
+	}
+	if _, err := Pan(scene, 64, 0); err == nil {
+		t.Error("accepted zero frames")
+	}
+}
+
+func BenchmarkSequencerFrame(b *testing.B) {
+	input, targets := stream(b, 256, 2)
+	seq, err := NewSequencer(input, Config{TilesPerSide: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seq.Next(targets[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := seq.Next(targets[1-i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

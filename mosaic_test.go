@@ -1,0 +1,291 @@
+package mosaic_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	mosaic "repro"
+)
+
+func scenes(t testing.TB, n int) (*mosaic.Gray, *mosaic.Gray) {
+	t.Helper()
+	input, err := mosaic.Scene("lena", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := mosaic.Scene("sailboat", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return input, target
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quickstart, verbatim.
+	input, target := scenes(t, 128)
+	res, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mosaic == nil || res.TotalError <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	path := filepath.Join(t.TempDir(), "mosaic.png")
+	if err := mosaic.SavePNG(path, res.Mosaic); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("PNG not written: %v", err)
+	}
+}
+
+func TestOptimizationVsApproximationPublicAPI(t *testing.T) {
+	input, target := scenes(t, 64)
+	opt, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 8, Algorithm: mosaic.Optimization})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 8, Algorithm: mosaic.Approximation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.TotalError > app.TotalError {
+		t.Errorf("optimization error %d above approximation %d", opt.TotalError, app.TotalError)
+	}
+}
+
+func TestParallelApproximationPublicAPI(t *testing.T) {
+	input, target := scenes(t, 64)
+	dev := mosaic.NewDevice(0)
+	coloring := mosaic.NewColoring(64)
+	res, err := mosaic.Generate(input, target, mosaic.Options{
+		TilesPerSide: 8,
+		Algorithm:    mosaic.ParallelApproximation,
+		Device:       dev,
+		Coloring:     coloring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolverSelection(t *testing.T) {
+	input, target := scenes(t, 64)
+	var errs []int64
+	for _, s := range []mosaic.Solver{mosaic.SolverJV, mosaic.SolverHungarian, mosaic.SolverAuction, mosaic.SolverBlossom} {
+		res, err := mosaic.Generate(input, target, mosaic.Options{
+			TilesPerSide: 8, Algorithm: mosaic.Optimization, Solver: s,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		errs = append(errs, res.TotalError)
+	}
+	if errs[0] != errs[1] || errs[0] != errs[2] {
+		t.Errorf("exact solvers disagree: %v", errs)
+	}
+}
+
+func TestMetricSelection(t *testing.T) {
+	input, target := scenes(t, 64)
+	l1, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 8, Metric: mosaic.L1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 8, Metric: mosaic.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different objectives generally give different errors (reported in the
+	// configured metric); both must be positive.
+	if l1.TotalError <= 0 || l2.TotalError <= 0 {
+		t.Error("degenerate metric results")
+	}
+}
+
+func TestHistogramHelpers(t *testing.T) {
+	input, target := scenes(t, 64)
+	m, err := mosaic.HistogramMatch(input, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W != 64 {
+		t.Error("matched image has wrong geometry")
+	}
+	e, err := mosaic.HistogramEqualize(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.W != 64 {
+		t.Error("equalized image has wrong geometry")
+	}
+}
+
+func TestSceneNamesAndErrors(t *testing.T) {
+	names := mosaic.SceneNames()
+	if len(names) < 7 {
+		t.Fatalf("only %d scenes", len(names))
+	}
+	for _, name := range names {
+		if _, err := mosaic.Scene(name, 16); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := mosaic.Scene("not-a-scene", 16); err == nil {
+		t.Error("unknown scene accepted")
+	}
+}
+
+func TestColorFlow(t *testing.T) {
+	in, err := mosaic.SceneRGB("peppers", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := mosaic.SceneRGB("barbara", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mosaic.GenerateRGB(in, tgt, mosaic.Options{TilesPerSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := mosaic.SavePNGRGB(filepath.Join(dir, "c.png"), res.Mosaic); err != nil {
+		t.Fatal(err)
+	}
+	if err := mosaic.SavePPM(filepath.Join(dir, "c.ppm"), res.Mosaic); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mosaic.LoadPPM(filepath.Join(dir, "c.ppm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(res.Mosaic) {
+		t.Error("PPM round trip changed the mosaic")
+	}
+}
+
+func TestPGMRoundTripPublicAPI(t *testing.T) {
+	input, _ := scenes(t, 32)
+	path := filepath.Join(t.TempDir(), "x.pgm")
+	if err := mosaic.SavePGM(path, input); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mosaic.LoadPGM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(input) {
+		t.Error("PGM round trip changed pixels")
+	}
+}
+
+func TestResultTimingExposed(t *testing.T) {
+	input, target := scenes(t, 128)
+	res, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tm mosaic.Timing = res.Timing
+	if tm.Total() <= 0 {
+		t.Error("Timing.Total not positive")
+	}
+}
+
+func TestAnnealingAlgorithmPublicAPI(t *testing.T) {
+	input, target := scenes(t, 64)
+	res, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 8, Algorithm: mosaic.Annealing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The annealed+polished result must not lose to the identity baseline.
+	id, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 8, Algorithm: mosaic.IdentityBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalError >= id.TotalError {
+		t.Errorf("annealing %d did not improve on identity %d", res.TotalError, id.TotalError)
+	}
+}
+
+func TestOrientationsPublicAPI(t *testing.T) {
+	input, target := scenes(t, 64)
+	plain, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oriented, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 8, AllowOrientations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oriented.TotalError > plain.TotalError {
+		t.Errorf("oriented error %d above upright %d", oriented.TotalError, plain.TotalError)
+	}
+	if len(oriented.Orientations) != 64 {
+		t.Errorf("Orientations length %d", len(oriented.Orientations))
+	}
+}
+
+func TestProxyResolutionPublicAPI(t *testing.T) {
+	input, target := scenes(t, 128)
+	exact, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 16, ProxyResolution: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proxy-guided error is evaluated exactly and must equal the mosaic's
+	// image-level error even though Step 3 ran on approximate costs.
+	imgErr, err := proxy.Mosaic.AbsDiffSum(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy.TotalError != imgErr {
+		t.Errorf("proxy TotalError %d != image error %d", proxy.TotalError, imgErr)
+	}
+	// Bounded quality loss vs. the exact pipeline.
+	if float64(proxy.TotalError) > 1.35*float64(exact.TotalError) {
+		t.Errorf("proxy error %d more than 35%% above exact %d", proxy.TotalError, exact.TotalError)
+	}
+	if _, err := mosaic.Generate(input, target, mosaic.Options{TilesPerSide: 16, ProxyResolution: 3}); err == nil {
+		t.Error("accepted proxy resolution not dividing the tile side")
+	}
+}
+
+func TestSequencerPublicAPI(t *testing.T) {
+	input, err := mosaic.Scene("lena", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := mosaic.Scene("sailboat", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := mosaic.Pan(wide, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := mosaic.NewSequencer(input, mosaic.SequencerConfig{TilesPerSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *mosaic.FrameResult
+	for _, tgt := range targets {
+		last, err = seq.Next(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seq.Frames() != 3 || last == nil || last.TotalError <= 0 {
+		t.Errorf("sequencer state wrong: frames=%d", seq.Frames())
+	}
+}
