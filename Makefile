@@ -1,0 +1,44 @@
+# Developer entry points for the photomosaic reproduction.
+#
+#   make check       vet + build + race-enabled tests + fuzz seed corpus
+#   make test        plain test suite (what CI tier 1 runs)
+#   make race        full suite under the race detector
+#   make fuzz-smoke  run every Fuzz* seed corpus as ordinary tests
+#   make fuzz        short live fuzzing session per target (FUZZTIME=10s)
+#   make bench       package micro-benchmarks
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race fuzz-smoke fuzz bench clean
+
+check: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Every fuzz target's seed corpus, executed as deterministic tests.
+fuzz-smoke:
+	$(GO) test -run Fuzz ./...
+
+# Live coverage-guided fuzzing, one target at a time (go test allows a
+# single -fuzz pattern per package invocation).
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/pnm
+	$(GO) test -fuzz FuzzHistogramMatch -fuzztime $(FUZZTIME) ./internal/hist
+	$(GO) test -fuzz FuzzGenerateOptions -fuzztime $(FUZZTIME) ./internal/core
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"image/png"
@@ -47,6 +48,10 @@ func run() error {
 		noHist    = flag.Bool("no-histogram-match", false, "skip matching the input's intensity distribution to the target")
 		color     = flag.Bool("color", false, "color pipeline (scene names render color variants; files must be PPM/PNG)")
 		workers   = flag.Int("workers", 0, "device workers for parallel stages (0 = all cores)")
+		gpu       = flag.Bool("gpu", false, "run Step 2 on the virtual device even for serial algorithms")
+		timeout   = flag.Duration("timeout", 0, "abort generation after this long (0 = no deadline)")
+		traceOut  = flag.Bool("trace", false, "dump the pipeline span tree and counters as JSON to stderr")
+		metrics   = flag.Bool("metrics", false, "dump the pipeline counters to stderr")
 		quiet     = flag.Bool("q", false, "suppress the summary line")
 	)
 	flag.Parse()
@@ -68,12 +73,36 @@ func run() error {
 		AllowOrientations: *rotations,
 		ProxyResolution:   *proxy,
 	}
-	if opts.Algorithm == mosaic.ParallelApproximation {
+	if opts.Algorithm == mosaic.ParallelApproximation || *gpu {
 		opts.Device = mosaic.NewDevice(*workers)
+	}
+	var tree *mosaic.TraceTree
+	if *traceOut || *metrics {
+		tree = mosaic.NewTraceTree()
+		opts.Trace = tree
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	dump := func() error {
+		if *traceOut {
+			if err := tree.WriteJSON(os.Stderr); err != nil {
+				return err
+			}
+		}
+		if *metrics {
+			if err := tree.WriteCounters(os.Stderr); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	if *color {
-		return runColor(*inputArg, *targetArg, *out, *size, opts, *quiet)
+		return runColor(ctx, *inputArg, *targetArg, *out, *size, opts, *quiet, dump)
 	}
 	input, err := loadGray(*inputArg, *size)
 	if err != nil {
@@ -83,8 +112,11 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("target: %w", err)
 	}
-	res, err := mosaic.Generate(input, target, opts)
+	res, err := mosaic.GenerateContext(ctx, input, target, opts)
 	if err != nil {
+		return err
+	}
+	if err := dump(); err != nil {
 		return err
 	}
 	if err := saveGray(*out, res.Mosaic); err != nil {
@@ -98,7 +130,7 @@ func run() error {
 	return nil
 }
 
-func runColor(inputArg, targetArg, out string, size int, opts mosaic.Options, quiet bool) error {
+func runColor(ctx context.Context, inputArg, targetArg, out string, size int, opts mosaic.Options, quiet bool, dump func() error) error {
 	input, err := loadRGB(inputArg, size)
 	if err != nil {
 		return fmt.Errorf("input: %w", err)
@@ -107,8 +139,11 @@ func runColor(inputArg, targetArg, out string, size int, opts mosaic.Options, qu
 	if err != nil {
 		return fmt.Errorf("target: %w", err)
 	}
-	res, err := mosaic.GenerateRGB(input, target, opts)
+	res, err := mosaic.GenerateRGBContext(ctx, input, target, opts)
 	if err != nil {
+		return err
+	}
+	if err := dump(); err != nil {
 		return err
 	}
 	if err := saveRGB(out, res.Mosaic); err != nil {

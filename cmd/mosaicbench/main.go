@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,8 @@ func run() error {
 		launchOverhead = flag.Duration("launch-overhead", 3*time.Microsecond, "per-kernel-launch charge in virtual mode")
 		coresPerSM     = flag.Int("virtual-cores-per-sm", 32, "modelled intra-block thread parallelism in virtual mode")
 		csvPath        = flag.String("csv", "", "also write the sweep cells as CSV to this file (tables mode only)")
+		traceRun       = flag.Bool("trace", false, "run one traced end-to-end generation and dump its span tree as JSON")
+		metricsRun     = flag.Bool("metrics", false, "run one traced end-to-end generation and dump its counters")
 	)
 	flag.Parse()
 
@@ -88,6 +91,27 @@ func run() error {
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+
+	if *traceRun || *metricsRun {
+		res, tree, err := cfg.TraceRun(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("traced run — %s at %d×%d, %d tiles/side: error=%d, %d sweeps\n",
+			cfg.Pairs[0], cfg.Sizes[0], cfg.Sizes[0], cfg.TileCounts[0],
+			res.TotalError, res.SearchStats.Passes)
+		if *traceRun {
+			if err := tree.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if *metricsRun {
+			if err := tree.WriteCounters(os.Stdout); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	banner(cfg)

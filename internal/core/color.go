@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/cuda"
 	"repro/internal/hist"
 	"repro/internal/imgutil"
 	"repro/internal/metric"
 	"repro/internal/tile"
+	"repro/internal/trace"
 )
 
 // ResultRGB is the color counterpart of Result.
@@ -18,6 +21,7 @@ type ResultRGB struct {
 	Input       *imgutil.RGB
 	SearchStats SearchStats
 	Timing      Timing
+	Stats       trace.Stats
 }
 
 // SearchStats re-exports the local-search statistics without forcing color
@@ -27,12 +31,35 @@ type SearchStats struct {
 	Swaps  int64
 }
 
+// checkGeometryRGB is checkGeometry for color images (3 bytes per pixel).
+func checkGeometryRGB(img *imgutil.RGB, role string) error {
+	if img == nil {
+		return fmt.Errorf("core: nil %s image: %w", role, ErrOptions)
+	}
+	if img.W <= 0 || img.H <= 0 || len(img.Pix) != 3*img.W*img.H {
+		return fmt.Errorf("core: %s image %dx%d with %d pixel bytes: %w", role, img.W, img.H, len(img.Pix), ErrOptions)
+	}
+	return nil
+}
+
 // GenerateRGB runs the pipeline on color images. The paper's §II remark —
 // color needs "only … changing the error function in Eq. (1)" — is realised
 // by the per-channel L1/L2 error of metric.BuildSerialRGB; histogram
 // matching becomes per-channel matching.
 func GenerateRGB(input, target *imgutil.RGB, opts Options) (*ResultRGB, error) {
+	return GenerateRGBContext(context.Background(), input, target, opts)
+}
+
+// GenerateRGBContext is GenerateRGB with the cancellation and tracing
+// semantics of GenerateContext.
+func GenerateRGBContext(ctx context.Context, input, target *imgutil.RGB, opts Options) (*ResultRGB, error) {
 	// Geometry and option checks mirror the grayscale path.
+	if err := checkGeometryRGB(input, "input"); err != nil {
+		return nil, err
+	}
+	if err := checkGeometryRGB(target, "target"); err != nil {
+		return nil, err
+	}
 	if input.W != input.H || target.W != target.H || input.W != target.W {
 		return nil, fmt.Errorf("core: color images must be square and equal-sized (input %dx%d, target %dx%d): %w",
 			input.W, input.H, target.W, target.H, ErrOptions)
@@ -47,9 +74,32 @@ func GenerateRGB(input, target *imgutil.RGB, opts Options) (*ResultRGB, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &ResultRGB{}
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before preprocessing: %w", err)
+	}
+	tree := trace.NewTree()
+	tr := trace.Multi(tree, opts.Trace)
+	var dev0 cuda.Metrics
+	if opts.Device != nil {
+		dev0 = opts.Device.Metrics()
+	}
+	res, err := generateRGB(ctx, input, target, opts, m, tr)
+	deviceDelta(tr, opts.Device, dev0)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = tree.Snapshot()
+	return res, nil
+}
+
+// generateRGB runs the color pipeline stages under the root span.
+func generateRGB(ctx context.Context, input, target *imgutil.RGB, opts Options, m int, tr trace.Collector) (res *ResultRGB, err error) {
+	root := trace.Start(tr, trace.SpanPipeline)
+	defer root.End()
+	res = &ResultRGB{}
 
 	t0 := time.Now()
+	sp := trace.Start(tr, trace.SpanPreprocess)
 	work := input
 	if !opts.NoHistogramMatch {
 		work, err = hist.MatchRGB(input, target)
@@ -57,9 +107,14 @@ func GenerateRGB(input, target *imgutil.RGB, opts Options) (*ResultRGB, error) {
 			return nil, fmt.Errorf("core: histogram match: %w", err)
 		}
 	}
+	sp.End()
 	res.Input = work
 	res.Timing.Preprocess = time.Since(t0)
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before tiling: %w", err)
+	}
 
+	sp = trace.Start(tr, trace.SpanTiling)
 	inGrid, err := tile.NewRGBGrid(work, m)
 	if err != nil {
 		return nil, err
@@ -68,8 +123,13 @@ func GenerateRGB(input, target *imgutil.RGB, opts Options) (*ResultRGB, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before Step 2: %w", err)
+	}
 
 	t0 = time.Now()
+	sp = trace.Start(tr, trace.SpanCostMatrix)
 	var costs *metric.Matrix
 	if opts.Device != nil {
 		costs, err = metric.BuildDeviceRGB(opts.Device, inGrid, tgtGrid, opts.Metric)
@@ -79,23 +139,34 @@ func GenerateRGB(input, target *imgutil.RGB, opts Options) (*ResultRGB, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	res.Timing.CostMatrix = time.Since(t0)
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before Step 3: %w", err)
+	}
 
 	t0 = time.Now()
-	p, st, err := rearrange(costs, opts)
+	sp = trace.Start(tr, trace.SpanRearrange)
+	p, st, err := rearrangeContext(ctx, costs, opts, tr)
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	res.Timing.Rearrange = time.Since(t0)
 	res.Assignment = p
 	res.SearchStats = SearchStats{Passes: st.Passes, Swaps: st.Swaps}
 	res.TotalError = costs.Total(p)
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before assembly: %w", err)
+	}
 
 	t0 = time.Now()
+	sp = trace.Start(tr, trace.SpanAssemble)
 	res.Mosaic, err = inGrid.Assemble(p)
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	res.Timing.Assemble = time.Since(t0)
 	return res, nil
 }

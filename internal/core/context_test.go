@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/localsearch"
+	"repro/internal/metric"
+	"repro/internal/perm"
+	"repro/internal/synth"
+)
+
+// TestPreCancelledContext: a context cancelled before the call must return
+// context.Canceled without executing Step 2 or Step 3 — verified through the
+// device's launch counters, which stay at zero.
+func TestPreCancelledContext(t *testing.T) {
+	input, target := pair(t, 64)
+	dev := cuda.New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := GenerateContext(ctx, input, target, Options{
+		TilesPerSide: 8,
+		Algorithm:    ParallelApproximation,
+		Device:       dev,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled call returned a non-nil Result")
+	}
+	if m := dev.Metrics(); m.Launches != 0 || m.Blocks != 0 {
+		t.Fatalf("device executed %d launches / %d blocks despite pre-cancelled context", m.Launches, m.Blocks)
+	}
+}
+
+func TestPreCancelledContextRGB(t *testing.T) {
+	input, err := synth.GenerateRGB(synth.Peppers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := synth.GenerateRGB(synth.Barbara, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := GenerateRGBContext(ctx, input, target, Options{TilesPerSide: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled call returned a non-nil ResultRGB")
+	}
+}
+
+// countingCtx is a deterministic context: Done() reports cancellation after
+// the channel has been polled `after` times. It makes "cancelled between
+// sweep rounds" reproducible without racing real timers against the search.
+type countingCtx struct {
+	context.Context
+	mu     sync.Mutex
+	after  int
+	polls  int
+	closed chan struct{}
+	fired  bool
+}
+
+func newCountingCtx(after int) *countingCtx {
+	return &countingCtx{Context: context.Background(), after: after, closed: make(chan struct{})}
+}
+
+func (c *countingCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.polls++
+	if c.polls >= c.after && !c.fired {
+		c.fired = true
+		close(c.closed)
+	}
+	return c.closed
+}
+
+func (c *countingCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fired {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// randomMatrix builds a reproducible S×S cost matrix with enough structure
+// that the local search needs several sweeps.
+func randomMatrix(s int, seed uint64) *metric.Matrix {
+	m := metric.NewMatrix(s)
+	state := seed ^ 0x9e3779b97f4a7c15
+	for i := range m.W {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		m.W[i] = metric.Cost((z ^ (z >> 31)) % 100000)
+	}
+	return m
+}
+
+// TestCancellationBoundedByOneSweep: with a context that fires on its third
+// poll, SerialContext completes exactly two sweeps and stops at the next
+// sweep boundary — cancellation latency is bounded by one sweep round.
+func TestCancellationBoundedByOneSweep(t *testing.T) {
+	m := randomMatrix(128, 7)
+	ctx := newCountingCtx(3)
+	p, st, err := localsearch.SerialContext(ctx, m, perm.Identity(m.S), localsearch.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if p != nil {
+		t.Fatal("cancelled search returned an assignment")
+	}
+	if st.Passes != 2 {
+		t.Fatalf("search ran %d sweeps before honouring the cancellation, want exactly 2", st.Passes)
+	}
+	// Sanity: the same search uncancelled needs more than two sweeps, so the
+	// cancellation genuinely interrupted it mid-run.
+	_, full, err := localsearch.Serial(m, perm.Identity(m.S), localsearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Passes <= 2 {
+		t.Fatalf("instance converges in %d sweeps; pick a harder one", full.Passes)
+	}
+}
+
+// TestParallelCancellationBetweenClasses: the parallel search checks the
+// context between the kernel launches of consecutive color classes.
+func TestParallelCancellationBetweenClasses(t *testing.T) {
+	m := randomMatrix(64, 11)
+	dev := cuda.New(2)
+	// Fires on the second poll: the sweep-level check passes once, the first
+	// between-class check cancels — mid-sweep, before convergence.
+	ctx := newCountingCtx(2)
+	p, _, err := localsearch.ParallelContext(ctx, dev, m, perm.Identity(m.S), nil, localsearch.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if p != nil {
+		t.Fatal("cancelled search returned an assignment")
+	}
+}
+
+// TestDeadlineMidPipeline: a wall-clock deadline far shorter than the
+// pipeline aborts the run promptly with DeadlineExceeded and no Result.
+func TestDeadlineMidPipeline(t *testing.T) {
+	input, target := pair(t, 256)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	res, err := GenerateContext(ctx, input, target, Options{TilesPerSide: 64})
+	elapsed := time.Since(begin)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatal("timed-out call returned a non-nil Result")
+	}
+	// Generous promptness bound: the pipeline must stop at the next stage or
+	// sweep boundary, not run to completion.
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestAnnealingCancellation: the annealing engine honours cancellation at
+// cooling-epoch boundaries.
+func TestAnnealingCancellation(t *testing.T) {
+	m := randomMatrix(64, 3)
+	ctx := newCountingCtx(2)
+	p, _, err := localsearch.AnnealThenPolishContext(ctx, m, perm.Identity(m.S), localsearch.AnnealOptions{}, localsearch.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if p != nil {
+		t.Fatal("cancelled annealing returned an assignment")
+	}
+}
+
+// TestContextCompleteRunMatchesGenerate: an unconstrained context changes
+// nothing — GenerateContext and Generate agree bit-for-bit.
+func TestContextCompleteRunMatchesGenerate(t *testing.T) {
+	input, target := pair(t, 64)
+	opts := Options{TilesPerSide: 8}
+	a, err := Generate(input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateContext(context.Background(), input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Assignment.Equal(b.Assignment) || a.TotalError != b.TotalError {
+		t.Fatal("GenerateContext diverged from Generate on the same inputs")
+	}
+}

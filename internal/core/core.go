@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/metric"
 	"repro/internal/perm"
 	"repro/internal/tile"
+	"repro/internal/trace"
 )
 
 // ErrOptions reports an invalid pipeline configuration.
@@ -110,6 +112,11 @@ type Options struct {
 	// Must divide the tile side M. Result.TotalError is still evaluated
 	// exactly. Mutually exclusive with AllowOrientations.
 	ProxyResolution int
+	// Trace optionally receives span and counter events as the pipeline
+	// runs (stage spans, local-search counters, device launch counters) —
+	// see internal/trace for the built-in collectors. Result.Stats is
+	// populated whether or not a collector is supplied.
+	Trace trace.Collector
 	// AllowOrientations extends the search space beyond the paper: each
 	// placed tile may additionally use any of its eight dihedral
 	// orientations (4 rotations × optional mirror). Step 2 scores all eight
@@ -148,11 +155,33 @@ type Result struct {
 	Orientations []imgutil.Orientation
 	// Timing records per-stage wall time.
 	Timing Timing
+	// Stats is the aggregated trace of this run: per-stage span totals plus
+	// the sweep/swap/kernel counters, mirroring what a Trace collector saw.
+	Stats trace.Stats
+}
+
+// checkGeometry rejects images whose declared dimensions do not describe
+// their pixel buffer, so no later stage indexes or allocates from
+// inconsistent geometry.
+func checkGeometry(img *imgutil.Gray, role string) error {
+	if img == nil {
+		return fmt.Errorf("core: nil %s image: %w", role, ErrOptions)
+	}
+	if img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H {
+		return fmt.Errorf("core: %s image %dx%d with %d pixels: %w", role, img.W, img.H, len(img.Pix), ErrOptions)
+	}
+	return nil
 }
 
 // validate normalises opts against the image geometry, returning the tile
 // side M.
 func (o *Options) validate(input, target *imgutil.Gray) (int, error) {
+	if err := checkGeometry(input, "input"); err != nil {
+		return 0, err
+	}
+	if err := checkGeometry(target, "target"); err != nil {
+		return 0, err
+	}
 	if input.W != input.H {
 		return 0, fmt.Errorf("core: input image %dx%d is not square: %w", input.W, input.H, ErrOptions)
 	}
@@ -212,14 +241,70 @@ func (o *Options) validate(input, target *imgutil.Gray) (int, error) {
 
 // Generate runs the full pipeline on grayscale images.
 func Generate(input, target *imgutil.Gray, opts Options) (*Result, error) {
+	return GenerateContext(context.Background(), input, target, opts)
+}
+
+// ctxErr returns ctx's error if it is already done, nil otherwise.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// deviceDelta charges a trace collector with the kernel launches/blocks a
+// device executed since the snapshot m0. No-op for a nil device.
+func deviceDelta(tr trace.Collector, dev *cuda.Device, m0 cuda.Metrics) {
+	if dev == nil {
+		return
+	}
+	d := dev.Metrics().Sub(m0)
+	trace.Count(tr, trace.CounterKernelLaunches, d.Launches)
+	trace.Count(tr, trace.CounterKernelBlocks, d.Blocks)
+}
+
+// GenerateContext is Generate with cancellation and tracing: ctx is checked
+// before every pipeline stage and, inside Step 3, between local-search sweep
+// rounds and color classes, so a cancelled or timed-out call returns
+// promptly with the ctx error (test with errors.Is) and a nil Result —
+// never a partially-populated one. A pre-cancelled context returns before
+// Step 2 or Step 3 run any work.
+func GenerateContext(ctx context.Context, input, target *imgutil.Gray, opts Options) (*Result, error) {
 	m, err := opts.validate(input, target)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before preprocessing: %w", err)
+	}
+	// Every run is recorded into a private tree so Result.Stats is always
+	// available; a caller-supplied collector observes the same events.
+	tree := trace.NewTree()
+	tr := trace.Multi(tree, opts.Trace)
+	var dev0 cuda.Metrics
+	if opts.Device != nil {
+		dev0 = opts.Device.Metrics()
+	}
+	res, err := generate(ctx, input, target, opts, m, tr)
+	deviceDelta(tr, opts.Device, dev0)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = tree.Snapshot()
+	return res, nil
+}
+
+// generate runs the pipeline stages under the root span.
+func generate(ctx context.Context, input, target *imgutil.Gray, opts Options, m int, tr trace.Collector) (res *Result, err error) {
+	root := trace.Start(tr, trace.SpanPipeline)
+	defer root.End()
+	res = &Result{}
 
 	// §II preprocessing: reshape the input's intensity distribution.
 	t0 := time.Now()
+	sp := trace.Start(tr, trace.SpanPreprocess)
 	work := input
 	if !opts.NoHistogramMatch {
 		work, err = hist.Match(input, target)
@@ -227,10 +312,15 @@ func Generate(input, target *imgutil.Gray, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("core: histogram match: %w", err)
 		}
 	}
+	sp.End()
 	res.Input = work
 	res.Timing.Preprocess = time.Since(t0)
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before tiling: %w", err)
+	}
 
 	// Step 1: tiling.
+	sp = trace.Start(tr, trace.SpanTiling)
 	inGrid, err := tile.NewGrid(work, m)
 	if err != nil {
 		return nil, err
@@ -239,10 +329,15 @@ func Generate(input, target *imgutil.Gray, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before Step 2: %w", err)
+	}
 
 	// Step 2: the S×S error matrix (oriented variant scores all eight
 	// dihedral placements per pair and keeps the best).
 	t0 = time.Now()
+	sp = trace.Start(tr, trace.SpanCostMatrix)
 	var costs *metric.Matrix
 	var oriented *metric.OrientedMatrix
 	switch {
@@ -263,14 +358,20 @@ func Generate(input, target *imgutil.Gray, opts Options) (*Result, error) {
 	if oriented != nil {
 		costs = &oriented.Matrix
 	}
+	sp.End()
 	res.Timing.CostMatrix = time.Since(t0)
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before Step 3: %w", err)
+	}
 
 	// Step 3: rearrangement.
 	t0 = time.Now()
-	res.Assignment, res.SearchStats, err = rearrange(costs, opts)
+	sp = trace.Start(tr, trace.SpanRearrange)
+	res.Assignment, res.SearchStats, err = rearrangeContext(ctx, costs, opts, tr)
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	res.Timing.Rearrange = time.Since(t0)
 	if opts.ProxyResolution > 0 && opts.ProxyResolution < m {
 		// Step 3 ran on approximate costs; report the true Eq. (2) error.
@@ -281,9 +382,13 @@ func Generate(input, target *imgutil.Gray, opts Options) (*Result, error) {
 	} else {
 		res.TotalError = costs.Total(res.Assignment)
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before assembly: %w", err)
+	}
 
 	// Assembly.
 	t0 = time.Now()
+	sp = trace.Start(tr, trace.SpanAssemble)
 	if oriented != nil {
 		res.Orientations, err = oriented.Orientations(res.Assignment)
 		if err != nil {
@@ -296,24 +401,29 @@ func Generate(input, target *imgutil.Gray, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	res.Timing.Assemble = time.Since(t0)
 	return res, nil
 }
 
-// rearrange dispatches Step 3 on an already-built cost matrix.
-func rearrange(costs *metric.Matrix, opts Options) (perm.Perm, localsearch.Stats, error) {
+// rearrangeContext dispatches Step 3 on an already-built cost matrix. The
+// local-search algorithms observe ctx between sweep rounds / color classes
+// and report their counters to tr (merged with any caller-set Search.Trace).
+func rearrangeContext(ctx context.Context, costs *metric.Matrix, opts Options, tr trace.Collector) (perm.Perm, localsearch.Stats, error) {
 	start := opts.Start
 	if start == nil {
 		start = perm.Identity(costs.S)
 	}
+	search := opts.Search
+	search.Trace = trace.Multi(search.Trace, tr)
 	switch opts.Algorithm {
 	case Optimization:
 		p, err := assign.Solvers()[opts.Solver](costs.S, costs.W)
 		return p, localsearch.Stats{}, err
 	case Approximation:
-		return localsearch.Serial(costs, start, opts.Search)
+		return localsearch.SerialContext(ctx, costs, start, search)
 	case ParallelApproximation:
-		return localsearch.Parallel(opts.Device, costs, start, opts.Coloring, opts.Search)
+		return localsearch.ParallelContext(ctx, opts.Device, costs, start, opts.Coloring, search)
 	case GreedyBaseline:
 		p, err := assign.Greedy(costs.S, costs.W)
 		return p, localsearch.Stats{}, err
@@ -323,7 +433,7 @@ func rearrange(costs *metric.Matrix, opts Options) (perm.Perm, localsearch.Stats
 		}
 		return start, localsearch.Stats{}, nil
 	case Annealing:
-		return localsearch.AnnealThenPolish(costs, start, opts.Anneal)
+		return localsearch.AnnealThenPolishContext(ctx, costs, start, opts.Anneal, search)
 	}
 	return nil, localsearch.Stats{}, fmt.Errorf("core: unknown algorithm %q: %w", opts.Algorithm, ErrOptions)
 }
@@ -344,5 +454,5 @@ func Rearrange(costs *metric.Matrix, opts Options) (perm.Perm, localsearch.Stats
 	if opts.Algorithm == ParallelApproximation && opts.Device == nil {
 		return nil, localsearch.Stats{}, fmt.Errorf("core: %s requires a Device: %w", ParallelApproximation, ErrOptions)
 	}
-	return rearrange(costs, opts)
+	return rearrangeContext(context.Background(), costs, opts, opts.Trace)
 }

@@ -48,6 +48,8 @@ type Device struct {
 	intScratch [][]int32
 	// timingState implements the optional virtual clock (see timing.go).
 	timingState
+	// metricsState carries launch/block counters (see metrics.go).
+	metricsState
 }
 
 // New returns a Device with the given number of workers. workers ≤ 0 selects
@@ -145,6 +147,7 @@ func (d *Device) Launch(grid, threadsPerBlock int, kernel func(b *Block)) {
 	if threadsPerBlock <= 0 {
 		panic(fmt.Sprintf("cuda: Launch with threadsPerBlock=%d", threadsPerBlock))
 	}
+	d.countLaunch(grid)
 	nw := d.workers
 	if nw > grid {
 		nw = grid
@@ -221,6 +224,7 @@ func (d *Device) LaunchRange(n int, body func(i int)) {
 		return
 	}
 	chunk := (n + d.workers - 1) / d.workers
+	d.countLaunch((n + chunk - 1) / chunk)
 	var wg sync.WaitGroup
 	panics := make(chan any, d.workers)
 	for lo := 0; lo < n; lo += chunk {

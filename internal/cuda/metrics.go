@@ -1,0 +1,69 @@
+package cuda
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// Metrics is a snapshot of a device's lifetime execution counters — the
+// virtual analogue of the launch/occupancy counters a CUDA profiler reports.
+type Metrics struct {
+	// Launches counts kernel launches (Launch calls with grid > 0 plus
+	// LaunchRange calls with n > 0).
+	Launches int64
+	// Blocks counts thread blocks executed across all launches (LaunchRange
+	// counts its contiguous worker chunks as blocks).
+	Blocks int64
+}
+
+// Sub returns m − o, the delta between two snapshots — how callers charge a
+// pipeline stage with the launches it performed on a long-lived device.
+func (m Metrics) Sub(o Metrics) Metrics {
+	return Metrics{Launches: m.Launches - o.Launches, Blocks: m.Blocks - o.Blocks}
+}
+
+// metricsState carries the execution counters and the optional forwarding
+// collector; embedded in Device alongside timingState.
+type metricsState struct {
+	launches atomic.Int64
+	blocks   atomic.Int64
+
+	collectorMu sync.Mutex
+	collector   trace.Collector
+}
+
+// Metrics returns the device's counters since construction or the last
+// ResetMetrics. Safe to call concurrently with launches.
+func (d *Device) Metrics() Metrics {
+	return Metrics{Launches: d.launches.Load(), Blocks: d.blocks.Load()}
+}
+
+// ResetMetrics zeroes the counters.
+func (d *Device) ResetMetrics() {
+	d.launches.Store(0)
+	d.blocks.Store(0)
+}
+
+// SetCollector attaches a trace collector that receives
+// trace.CounterKernelLaunches / trace.CounterKernelBlocks increments on
+// every launch, in addition to the device's own counters. nil detaches.
+func (d *Device) SetCollector(c trace.Collector) {
+	d.collectorMu.Lock()
+	d.collector = c
+	d.collectorMu.Unlock()
+}
+
+// countLaunch records one launch of the given block count.
+func (d *Device) countLaunch(blocks int) {
+	d.launches.Add(1)
+	d.blocks.Add(int64(blocks))
+	d.collectorMu.Lock()
+	c := d.collector
+	d.collectorMu.Unlock()
+	if c != nil {
+		trace.Count(c, trace.CounterKernelLaunches, 1)
+		trace.Count(c, trace.CounterKernelBlocks, int64(blocks))
+	}
+}

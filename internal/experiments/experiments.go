@@ -11,13 +11,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/imgutil"
 	"repro/internal/synth"
+	"repro/internal/trace"
 )
 
 // Pair names an input→target scene combination.
@@ -132,6 +135,36 @@ func (c *Config) measureDevice(dev *cuda.Device, f func()) time.Duration {
 		f()
 	}
 	return dev.VirtualTime() / reps
+}
+
+// TraceRun runs one fully-traced, device-backed end-to-end generation — the
+// first configured pair at the smallest size and tile count, parallel
+// approximation so both GPU stages execute — and returns the result plus the
+// recording collector. It backs mosaicbench's -trace/-metrics modes, giving
+// the span-level view of exactly the stages Tables II–IV aggregate.
+func (c *Config) TraceRun(ctx context.Context) (*core.Result, *trace.Tree, error) {
+	if len(c.Sizes) == 0 || len(c.TileCounts) == 0 || len(c.Pairs) == 0 {
+		return nil, nil, fmt.Errorf("experiments: empty configuration")
+	}
+	input, target, err := scenePair(c.Pairs[0], c.Sizes[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	dev, err := c.device()
+	if err != nil {
+		return nil, nil, err
+	}
+	tree := trace.NewTree()
+	res, err := core.GenerateContext(ctx, input, target, core.Options{
+		TilesPerSide: c.TileCounts[0],
+		Algorithm:    core.ParallelApproximation,
+		Device:       dev,
+		Trace:        tree,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tree, nil
 }
 
 // out returns the configured writer, defaulting to a discard sink.

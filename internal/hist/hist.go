@@ -22,6 +22,26 @@ const Levels = 256
 // ErrEmpty reports an operation on an image or histogram with no mass.
 var ErrEmpty = errors.New("hist: empty histogram")
 
+// ErrGeometry reports an image whose declared dimensions do not describe its
+// pixel buffer (non-positive sides, or a buffer of the wrong length).
+var ErrGeometry = errors.New("hist: invalid image geometry")
+
+// checkGray rejects images whose W×H does not match the pixel buffer, so the
+// transforms below never index or allocate from inconsistent geometry.
+func checkGray(img *imgutil.Gray, role string) error {
+	if img == nil || img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H {
+		return fmt.Errorf("hist: %s image: %w", role, ErrGeometry)
+	}
+	return nil
+}
+
+func checkRGB(img *imgutil.RGB, role string) error {
+	if img == nil || img.W <= 0 || img.H <= 0 || len(img.Pix) != 3*img.W*img.H {
+		return fmt.Errorf("hist: %s image: %w", role, ErrGeometry)
+	}
+	return nil
+}
+
 // Histogram counts pixels per intensity level.
 type Histogram [Levels]int64
 
@@ -126,6 +146,9 @@ func EqualizeLUT(h Histogram) ([Levels]uint8, error) {
 
 // Equalize returns a copy of img with an equalized histogram.
 func Equalize(img *imgutil.Gray) (*imgutil.Gray, error) {
+	if err := checkGray(img, "input"); err != nil {
+		return nil, err
+	}
 	lut, err := EqualizeLUT(Of(img))
 	if err != nil {
 		return nil, err
@@ -160,6 +183,12 @@ func MatchLUT(src, dst Histogram) ([Levels]uint8, error) {
 // Match returns a copy of img whose intensity distribution approximates that
 // of ref — the paper's §II preprocessing step.
 func Match(img, ref *imgutil.Gray) (*imgutil.Gray, error) {
+	if err := checkGray(img, "input"); err != nil {
+		return nil, err
+	}
+	if err := checkGray(ref, "reference"); err != nil {
+		return nil, err
+	}
 	lut, err := MatchLUT(Of(img), Of(ref))
 	if err != nil {
 		return nil, err
@@ -170,8 +199,11 @@ func Match(img, ref *imgutil.Gray) (*imgutil.Gray, error) {
 // MatchRGB applies per-channel histogram matching, the color analogue used
 // by the color-mosaic extension.
 func MatchRGB(img, ref *imgutil.RGB) (*imgutil.RGB, error) {
-	if img.W <= 0 || img.H <= 0 || ref.W <= 0 || ref.H <= 0 {
-		return nil, ErrEmpty
+	if err := checkRGB(img, "input"); err != nil {
+		return nil, err
+	}
+	if err := checkRGB(ref, "reference"); err != nil {
+		return nil, err
 	}
 	out := imgutil.NewRGB(img.W, img.H)
 	n := img.W * img.H

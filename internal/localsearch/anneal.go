@@ -1,11 +1,13 @@
 package localsearch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/metric"
 	"repro/internal/perm"
+	"repro/internal/trace"
 )
 
 // AnnealOptions tunes Anneal. The zero value selects defaults derived from
@@ -33,6 +35,14 @@ type AnnealOptions struct {
 // seen, its error, and the accepted-swap count in Stats.Swaps (Stats.Passes
 // counts cooling epochs).
 func Anneal(m *metric.Matrix, start perm.Perm, opts AnnealOptions) (perm.Perm, int64, Stats, error) {
+	return AnnealContext(context.Background(), m, start, opts, nil)
+}
+
+// AnnealContext is Anneal with cancellation and tracing: ctx is checked at
+// every cooling epoch (every S proposed swaps), bounding cancellation
+// latency, and tr (which may be nil) receives trace.CounterAnnealSteps
+// increments per epoch.
+func AnnealContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts AnnealOptions, tr trace.Collector) (perm.Perm, int64, Stats, error) {
 	cur, err := checkStart(m, start)
 	if err != nil {
 		return nil, 0, Stats{}, err
@@ -96,8 +106,13 @@ func Anneal(m *metric.Matrix, start perm.Perm, opts AnnealOptions) (perm.Perm, i
 		if (step+1)%s == 0 {
 			temp *= alpha
 			st.Passes++
+			trace.Count(tr, trace.CounterAnnealSteps, int64(s))
+			if err := ctxErr(ctx); err != nil {
+				return nil, 0, st, fmt.Errorf("localsearch: annealing cancelled after %d epochs: %w", st.Passes, err)
+			}
 		}
 	}
+	trace.Count(tr, trace.CounterAnnealSteps, int64(steps%s))
 	return best, bestErr, st, nil
 }
 
@@ -109,11 +124,18 @@ func Anneal(m *metric.Matrix, start perm.Perm, opts AnnealOptions) (perm.Perm, i
 // good as the annealed point"). Returns the polished assignment and
 // combined stats.
 func AnnealThenPolish(m *metric.Matrix, start perm.Perm, opts AnnealOptions) (perm.Perm, Stats, error) {
-	annealed, _, st, err := Anneal(m, start, opts)
+	return AnnealThenPolishContext(context.Background(), m, start, opts, Options{})
+}
+
+// AnnealThenPolishContext is AnnealThenPolish with cancellation and tracing;
+// search tunes (and traces) the polishing run, and its Trace collector also
+// observes the annealing phase.
+func AnnealThenPolishContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts AnnealOptions, search Options) (perm.Perm, Stats, error) {
+	annealed, _, st, err := AnnealContext(ctx, m, start, opts, search.Trace)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	polished, st2, err := Serial(m, annealed, Options{})
+	polished, st2, err := SerialContext(ctx, m, annealed, search)
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -13,6 +13,7 @@
 package localsearch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/edgecolor"
 	"repro/internal/metric"
 	"repro/internal/perm"
+	"repro/internal/trace"
 )
 
 // ErrBadStart reports a start assignment unusable for the matrix.
@@ -38,6 +40,20 @@ type Options struct {
 	// (guaranteed to terminate — the total error is a non-negative integer
 	// that every swap strictly decreases).
 	MaxPasses int
+	// Trace optionally receives sweep-round / swap-attempt / improving-swap
+	// counters as the search runs; nil traces nothing.
+	Trace trace.Collector
+}
+
+// ctxErr returns ctx's error if it is already done, nil otherwise — the
+// non-blocking check the searches run between sweeps and color classes.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // checkStart validates (m, start) and returns a working copy of start.
@@ -56,6 +72,15 @@ func checkStart(m *metric.Matrix, start perm.Perm) (perm.Perm, error) {
 // error, until a sweep applies no swap. Swaps take effect immediately within
 // a sweep (first-improvement), exactly as in the paper's listing.
 func Serial(m *metric.Matrix, start perm.Perm, opts Options) (perm.Perm, Stats, error) {
+	return SerialContext(context.Background(), m, start, opts)
+}
+
+// SerialContext is Serial with cancellation: ctx is checked before every
+// sweep, so cancellation latency is bounded by one sweep round. On
+// cancellation the partial assignment is discarded and the ctx error is
+// returned (wrapped; test with errors.Is) alongside the stats accumulated
+// so far.
+func SerialContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts Options) (perm.Perm, Stats, error) {
 	p, err := checkStart(m, start)
 	if err != nil {
 		return nil, Stats{}, err
@@ -64,7 +89,11 @@ func Serial(m *metric.Matrix, start perm.Perm, opts Options) (perm.Perm, Stats, 
 	s := m.S
 	w := m.W
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, st, fmt.Errorf("localsearch: serial search cancelled after %d sweeps: %w", st.Passes, err)
+		}
 		swapped := false
+		swapsBefore := st.Swaps
 		for x := 0; x < s; x++ {
 			// Hoist the x-dependent row pointers; p[x] changes when a swap
 			// lands, so reload inside the y loop only after swaps.
@@ -82,6 +111,9 @@ func Serial(m *metric.Matrix, start perm.Perm, opts Options) (perm.Perm, Stats, 
 			}
 		}
 		st.Passes++
+		trace.Count(opts.Trace, trace.CounterSweepRounds, 1)
+		trace.Count(opts.Trace, trace.CounterSwapAttempts, int64(s)*int64(s-1)/2)
+		trace.Count(opts.Trace, trace.CounterImprovingSwaps, st.Swaps-swapsBefore)
 		if !swapped || (opts.MaxPasses > 0 && st.Passes >= opts.MaxPasses) {
 			break
 		}
@@ -146,6 +178,14 @@ const pairsPerBlock = 256
 // (the paper precomputes it once per S and reuses it across images — reuse
 // by passing the same coloring to repeated calls).
 func Parallel(dev *cuda.Device, m *metric.Matrix, start perm.Perm, coloring *edgecolor.Coloring, opts Options) (perm.Perm, Stats, error) {
+	return ParallelContext(context.Background(), dev, m, start, coloring, opts)
+}
+
+// ParallelContext is Parallel with cancellation: ctx is checked before every
+// sweep and between the kernel launches of consecutive color classes (the
+// paper's global barriers), so cancellation latency is bounded by one
+// class's kernel. The partial assignment is discarded on cancellation.
+func ParallelContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, start perm.Perm, coloring *edgecolor.Coloring, opts Options) (perm.Perm, Stats, error) {
 	p, err := checkStart(m, start)
 	if err != nil {
 		return nil, Stats{}, err
@@ -160,8 +200,21 @@ func Parallel(dev *cuda.Device, m *metric.Matrix, start perm.Perm, coloring *edg
 	w := m.W
 	var swapCount atomic.Int64
 	for {
+		if err := ctxErr(ctx); err != nil {
+			st.Swaps = swapCount.Load()
+			return nil, st, fmt.Errorf("localsearch: parallel search cancelled after %d sweeps: %w", st.Passes, err)
+		}
+		swapsBefore := swapCount.Load()
 		var swapped atomic.Bool
-		for _, class := range coloring.Classes {
+		for ci, class := range coloring.Classes {
+			if ci > 0 {
+				// The launch boundary below is the natural cancellation
+				// point between color classes.
+				if err := ctxErr(ctx); err != nil {
+					st.Swaps = swapCount.Load()
+					return nil, st, fmt.Errorf("localsearch: parallel search cancelled in sweep %d: %w", st.Passes+1, err)
+				}
+			}
 			pairs := class
 			grid := (len(pairs) + pairsPerBlock - 1) / pairsPerBlock
 			if grid == 0 {
@@ -194,6 +247,9 @@ func Parallel(dev *cuda.Device, m *metric.Matrix, start perm.Perm, coloring *edg
 			})
 		}
 		st.Passes++
+		trace.Count(opts.Trace, trace.CounterSweepRounds, 1)
+		trace.Count(opts.Trace, trace.CounterSwapAttempts, int64(s)*int64(s-1)/2)
+		trace.Count(opts.Trace, trace.CounterImprovingSwaps, swapCount.Load()-swapsBefore)
 		if !swapped.Load() || (opts.MaxPasses > 0 && st.Passes >= opts.MaxPasses) {
 			break
 		}

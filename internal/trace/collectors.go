@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Node is one recorded span in a Tree. Start is the offset from the tree's
+// creation, so serialised trees are reproducible modulo durations.
+type Node struct {
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	Children []*Node       `json:"children,omitempty"`
+}
+
+// Tree records spans into a tree (nesting follows the StartSpan/End order)
+// and counters into totals. It is the JSON collector behind the -trace flag
+// and the source of the Stats snapshot on Result. Safe for concurrent Count;
+// spans must be emitted strictly nested from one goroutine, which is how the
+// pipeline emits them.
+type Tree struct {
+	mu       sync.Mutex
+	epoch    time.Time
+	roots    []*Node
+	stack    []*Node
+	counters map[string]int64
+}
+
+// NewTree returns an empty tree collector.
+func NewTree() *Tree {
+	return &Tree{epoch: time.Now(), counters: make(map[string]int64)}
+}
+
+type treeSpan struct {
+	t     *Tree
+	node  *Node
+	begin time.Time
+}
+
+// StartSpan implements Collector.
+func (t *Tree) StartSpan(name string) Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	n := &Node{Name: name, Start: now.Sub(t.epoch)}
+	if len(t.stack) == 0 {
+		t.roots = append(t.roots, n)
+	} else {
+		parent := t.stack[len(t.stack)-1]
+		parent.Children = append(parent.Children, n)
+	}
+	t.stack = append(t.stack, n)
+	return &treeSpan{t: t, node: n, begin: now}
+}
+
+// End implements Span, closing the most recently opened span. Closing out of
+// order closes every span opened after this one too (defensive; the pipeline
+// never does it).
+func (s *treeSpan) End() {
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.node.Duration = time.Since(s.begin)
+	for i := len(s.t.stack) - 1; i >= 0; i-- {
+		if s.t.stack[i] == s.node {
+			s.t.stack = s.t.stack[:i]
+			break
+		}
+	}
+}
+
+// Count implements Collector.
+func (t *Tree) Count(name string, delta int64) {
+	t.mu.Lock()
+	t.counters[name] += delta
+	t.mu.Unlock()
+}
+
+// Roots returns the recorded top-level spans (live pointers; callers must
+// not mutate).
+func (t *Tree) Roots() []*Node {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Node(nil), t.roots...)
+}
+
+// Counters returns a copy of the counter totals.
+func (t *Tree) Counters() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.counters))
+	for k, v := range t.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot aggregates the tree into a Stats value: spans grouped by name in
+// first-seen preorder, counters copied.
+func (t *Tree) Snapshot() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := Stats{}
+	index := make(map[string]int)
+	var walk func(ns []*Node)
+	walk = func(ns []*Node) {
+		for _, n := range ns {
+			i, ok := index[n.Name]
+			if !ok {
+				i = len(st.Spans)
+				index[n.Name] = i
+				st.Spans = append(st.Spans, SpanStat{Name: n.Name})
+			}
+			st.Spans[i].Count++
+			st.Spans[i].Total += n.Duration
+			walk(n.Children)
+		}
+	}
+	walk(t.roots)
+	if len(t.counters) > 0 {
+		st.Counters = make(map[string]int64, len(t.counters))
+		for k, v := range t.counters {
+			st.Counters[k] = v
+		}
+	}
+	return st
+}
+
+// jsonDump is the serialised form of a Tree.
+type jsonDump struct {
+	Spans    []*Node          `json:"spans"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// WriteJSON serialises the span tree and counters as indented JSON — the
+// payload of the -trace flag.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	dump := jsonDump{Spans: t.roots, Counters: t.counters}
+	b, err := json.MarshalIndent(dump, "", "  ")
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+// WriteCounters prints the counter totals sorted by name, one per line —
+// the payload of the -metrics flag.
+func (t *Tree) WriteCounters(w io.Writer) error {
+	counters := t.Counters()
+	names := make([]string, 0, len(counters))
+	for k := range counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%-24s %d\n", k, counters[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Log streams one line per event to an io.Writer, prefixed with the offset
+// from the collector's creation. Concurrency-safe; span End lines carry the
+// span duration.
+type Log struct {
+	mu    sync.Mutex
+	w     io.Writer
+	epoch time.Time
+	depth int
+}
+
+// NewLog returns a line-oriented collector writing to w.
+func NewLog(w io.Writer) *Log { return &Log{w: w, epoch: time.Now()} }
+
+type logSpan struct {
+	l     *Log
+	name  string
+	begin time.Time
+}
+
+// StartSpan implements Collector.
+func (l *Log) StartSpan(name string) Span {
+	l.mu.Lock()
+	fmt.Fprintf(l.w, "%12s %*s> %s\n", time.Since(l.epoch).Round(time.Microsecond), 2*l.depth, "", name)
+	l.depth++
+	l.mu.Unlock()
+	return &logSpan{l: l, name: name, begin: time.Now()}
+}
+
+func (s *logSpan) End() {
+	s.l.mu.Lock()
+	if s.l.depth > 0 {
+		s.l.depth--
+	}
+	fmt.Fprintf(s.l.w, "%12s %*s< %s (%s)\n",
+		time.Since(s.l.epoch).Round(time.Microsecond), 2*s.l.depth, "", s.name,
+		time.Since(s.begin).Round(time.Microsecond))
+	s.l.mu.Unlock()
+}
+
+// Count implements Collector.
+func (l *Log) Count(name string, delta int64) {
+	l.mu.Lock()
+	fmt.Fprintf(l.w, "%12s + %s += %d\n", time.Since(l.epoch).Round(time.Microsecond), name, delta)
+	l.mu.Unlock()
+}

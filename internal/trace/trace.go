@@ -1,0 +1,197 @@
+// Package trace is the pipeline's observability layer: named spans around
+// the paper's pipeline stages (tiling, histogram matching, the Step-2 error
+// matrix, the Step-3 rearrangement, assembly) and monotonic counters for the
+// quantities the paper's tables aggregate (sweep rounds, swap attempts,
+// improving swaps, kernel launches, blocks executed).
+//
+// A Collector receives the events; the pipeline emits them through the
+// nil-safe helpers Start and Count, so an unobserved run pays only a nil
+// check per stage. Built-in collectors:
+//
+//   - Tree records a span tree plus counter totals and serialises to JSON
+//     (the -trace flag of cmd/mosaic) or aggregates into a Stats snapshot
+//     (Result.Stats);
+//   - Log streams one line per event to an io.Writer;
+//   - Multi fans events out to several collectors.
+//
+// Span and counter names are exported constants so tests, CLIs and future
+// serving code agree on the vocabulary; the names map one-to-one onto the
+// stage breakdown of the paper's Tables II–IV (see EXPERIMENTS.md).
+package trace
+
+import "time"
+
+// Pipeline stage span names. The five stages of the acceptance vocabulary —
+// tiling, histogram match, error matrix, rearrangement, assembly — plus the
+// roots that group them.
+const (
+	SpanPipeline   = "pipeline"        // one Generate/GenerateRGB call
+	SpanFrame      = "frame"           // one Sequencer.Next call
+	SpanPreprocess = "histogram-match" // §II preprocessing
+	SpanTiling     = "tiling"          // Step 1
+	SpanCostMatrix = "error-matrix"    // Step 2 (Table II)
+	SpanRearrange  = "rearrangement"   // Step 3 (Table III)
+	SpanAssemble   = "assembly"        // writing the mosaic
+)
+
+// Counter names.
+const (
+	// CounterSweepRounds counts local-search sweeps (the paper's k).
+	CounterSweepRounds = "search.sweep-rounds"
+	// CounterSwapAttempts counts pair tests performed by the local search
+	// (each sweep attempts S·(S−1)/2 of them).
+	CounterSwapAttempts = "search.swap-attempts"
+	// CounterImprovingSwaps counts swaps that were applied because they
+	// strictly reduced the Eq. (2) error.
+	CounterImprovingSwaps = "search.improving-swaps"
+	// CounterAnnealSteps counts proposed annealing moves.
+	CounterAnnealSteps = "search.anneal-steps"
+	// CounterKernelLaunches counts Device.Launch/LaunchRange invocations.
+	CounterKernelLaunches = "cuda.kernel-launches"
+	// CounterKernelBlocks counts thread blocks executed across all launches.
+	CounterKernelBlocks = "cuda.blocks-executed"
+)
+
+// Collector receives span and counter events. Implementations must be safe
+// for concurrent Count calls (kernels count from worker goroutines); spans
+// are emitted from the pipeline goroutine and are strictly nested.
+type Collector interface {
+	// StartSpan opens a named span; the returned Span's End closes it.
+	StartSpan(name string) Span
+	// Count adds delta (which may be negative only in tests; the pipeline
+	// emits non-negative deltas) to the named counter.
+	Count(name string, delta int64)
+}
+
+// Span is an open span handle. End must be called exactly once.
+type Span interface {
+	End()
+}
+
+// noopSpan backs the nil-safe helpers.
+type noopSpan struct{}
+
+func (noopSpan) End() {}
+
+// Start opens a span on c, tolerating a nil collector — the idiom at every
+// instrumentation site is `defer trace.Start(c, name).End()` or an explicit
+// sp := Start(...) / sp.End() pair around the stage.
+func Start(c Collector, name string) Span {
+	if c == nil {
+		return noopSpan{}
+	}
+	return c.StartSpan(name)
+}
+
+// Count adds to a counter on c, tolerating a nil collector and dropping
+// zero deltas so unobserved fast paths stay quiet.
+func Count(c Collector, name string, delta int64) {
+	if c == nil || delta == 0 {
+		return
+	}
+	c.Count(name, delta)
+}
+
+// multi fans out to several collectors.
+type multi struct{ cs []Collector }
+
+type multiSpan struct{ spans []Span }
+
+func (m multiSpan) End() {
+	for _, s := range m.spans {
+		s.End()
+	}
+}
+
+func (m multi) StartSpan(name string) Span {
+	spans := make([]Span, len(m.cs))
+	for i, c := range m.cs {
+		spans[i] = c.StartSpan(name)
+	}
+	return multiSpan{spans}
+}
+
+func (m multi) Count(name string, delta int64) {
+	for _, c := range m.cs {
+		c.Count(name, delta)
+	}
+}
+
+// Multi returns a collector broadcasting every event to all non-nil
+// arguments. Zero or one effective collectors collapse to nil or the
+// collector itself, keeping the nil fast path.
+func Multi(cs ...Collector) Collector {
+	eff := make([]Collector, 0, len(cs))
+	for _, c := range cs {
+		if c != nil {
+			eff = append(eff, c)
+		}
+	}
+	switch len(eff) {
+	case 0:
+		return nil
+	case 1:
+		return eff[0]
+	}
+	return multi{eff}
+}
+
+// SpanStat aggregates all spans sharing one name.
+type SpanStat struct {
+	Name  string        `json:"name"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total_ns"`
+}
+
+// Stats is an aggregated snapshot of a traced run: per-name span totals in
+// first-seen order and counter totals. It is a plain value — safe to copy,
+// compare and embed in results.
+type Stats struct {
+	Spans    []SpanStat       `json:"spans"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Span returns the aggregate for the named span (zero SpanStat if absent).
+func (s Stats) Span(name string) SpanStat {
+	for _, sp := range s.Spans {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	return SpanStat{Name: name}
+}
+
+// Counter returns the named counter total (zero if absent).
+func (s Stats) Counter(name string) int64 { return s.Counters[name] }
+
+// Merge returns the element-wise sum of two snapshots — used by the video
+// sequencer to keep a stream-lifetime aggregate over per-frame stats.
+func (s Stats) Merge(o Stats) Stats {
+	out := Stats{}
+	order := make(map[string]int)
+	add := func(sp SpanStat) {
+		if i, ok := order[sp.Name]; ok {
+			out.Spans[i].Count += sp.Count
+			out.Spans[i].Total += sp.Total
+			return
+		}
+		order[sp.Name] = len(out.Spans)
+		out.Spans = append(out.Spans, sp)
+	}
+	for _, sp := range s.Spans {
+		add(sp)
+	}
+	for _, sp := range o.Spans {
+		add(sp)
+	}
+	if len(s.Counters) > 0 || len(o.Counters) > 0 {
+		out.Counters = make(map[string]int64, len(s.Counters)+len(o.Counters))
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range o.Counters {
+			out.Counters[k] += v
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorHelpers(t *testing.T) {
+	// Start/Count on a nil collector must be safe no-ops.
+	sp := Start(nil, "x")
+	sp.End()
+	Count(nil, "c", 5)
+}
+
+func TestTreeNesting(t *testing.T) {
+	tr := NewTree()
+	root := tr.StartSpan(SpanPipeline)
+	a := tr.StartSpan(SpanCostMatrix)
+	a.End()
+	b := tr.StartSpan(SpanRearrange)
+	b.End()
+	root.End()
+	top := tr.StartSpan(SpanAssemble)
+	top.End()
+
+	roots := tr.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2", len(roots))
+	}
+	if roots[0].Name != SpanPipeline || roots[1].Name != SpanAssemble {
+		t.Fatalf("root names %q, %q", roots[0].Name, roots[1].Name)
+	}
+	kids := roots[0].Children
+	if len(kids) != 2 || kids[0].Name != SpanCostMatrix || kids[1].Name != SpanRearrange {
+		t.Fatalf("unexpected children %+v", kids)
+	}
+	if roots[0].Duration <= 0 {
+		t.Fatalf("root duration %v not positive", roots[0].Duration)
+	}
+	if roots[0].Duration < kids[0].Duration+kids[1].Duration {
+		t.Fatalf("parent %v shorter than children %v + %v",
+			roots[0].Duration, kids[0].Duration, kids[1].Duration)
+	}
+}
+
+func TestTreeCountersConcurrent(t *testing.T) {
+	tr := NewTree()
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Count(CounterKernelLaunches, 1)
+				tr.Count(CounterKernelBlocks, 3)
+			}
+		}()
+	}
+	wg.Wait()
+	c := tr.Counters()
+	if c[CounterKernelLaunches] != workers*per {
+		t.Fatalf("launches = %d, want %d", c[CounterKernelLaunches], workers*per)
+	}
+	if c[CounterKernelBlocks] != 3*workers*per {
+		t.Fatalf("blocks = %d, want %d", c[CounterKernelBlocks], 3*workers*per)
+	}
+}
+
+func TestSnapshotAggregatesByName(t *testing.T) {
+	tr := NewTree()
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan(SpanFrame)
+		inner := tr.StartSpan(SpanCostMatrix)
+		time.Sleep(time.Millisecond)
+		inner.End()
+		sp.End()
+	}
+	tr.Count(CounterSweepRounds, 7)
+	st := tr.Snapshot()
+	if got := st.Span(SpanFrame); got.Count != 3 || got.Total <= 0 {
+		t.Fatalf("frame stat %+v", got)
+	}
+	if got := st.Span(SpanCostMatrix); got.Count != 3 || got.Total < 3*time.Millisecond {
+		t.Fatalf("cost-matrix stat %+v", got)
+	}
+	if st.Counter(CounterSweepRounds) != 7 {
+		t.Fatalf("counter = %d, want 7", st.Counter(CounterSweepRounds))
+	}
+	if st.Span("absent").Count != 0 || st.Counter("absent") != 0 {
+		t.Fatal("absent lookups must be zero")
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{
+		Spans:    []SpanStat{{Name: "x", Count: 1, Total: time.Second}},
+		Counters: map[string]int64{"c": 2},
+	}
+	b := Stats{
+		Spans:    []SpanStat{{Name: "x", Count: 2, Total: time.Second}, {Name: "y", Count: 1, Total: time.Millisecond}},
+		Counters: map[string]int64{"c": 3, "d": 1},
+	}
+	m := a.Merge(b)
+	if got := m.Span("x"); got.Count != 3 || got.Total != 2*time.Second {
+		t.Fatalf("merged x = %+v", got)
+	}
+	if got := m.Span("y"); got.Count != 1 {
+		t.Fatalf("merged y = %+v", got)
+	}
+	if m.Counter("c") != 5 || m.Counter("d") != 1 {
+		t.Fatalf("merged counters %v", m.Counters)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	tr := NewTree()
+	sp := tr.StartSpan(SpanPipeline)
+	in := tr.StartSpan(SpanTiling)
+	in.End()
+	sp.End()
+	tr.Count(CounterSwapAttempts, 42)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Spans    []*Node          `json:"spans"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(decoded.Spans) != 1 || decoded.Spans[0].Name != SpanPipeline {
+		t.Fatalf("decoded spans %+v", decoded.Spans)
+	}
+	if len(decoded.Spans[0].Children) != 1 || decoded.Spans[0].Children[0].Name != SpanTiling {
+		t.Fatalf("decoded children %+v", decoded.Spans[0].Children)
+	}
+	if decoded.Counters[CounterSwapAttempts] != 42 {
+		t.Fatalf("decoded counters %v", decoded.Counters)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	t1, t2 := NewTree(), NewTree()
+	m := Multi(t1, nil, t2)
+	sp := m.StartSpan("s")
+	m.Count("c", 4)
+	sp.End()
+	for i, tr := range []*Tree{t1, t2} {
+		if len(tr.Roots()) != 1 || tr.Roots()[0].Name != "s" {
+			t.Fatalf("collector %d missed the span", i)
+		}
+		if tr.Counters()["c"] != 4 {
+			t.Fatalf("collector %d missed the counter", i)
+		}
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of nils must collapse to nil")
+	}
+	if Multi(t1) != Collector(t1) {
+		t.Fatal("Multi of one must collapse to it")
+	}
+}
+
+func TestLogCollectorLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLog(&buf)
+	sp := l.StartSpan("stage")
+	l.Count("ctr", 9)
+	sp.End()
+	out := buf.String()
+	for _, want := range []string{"> stage", "< stage", "ctr += 9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package video
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/metric"
 	"repro/internal/perm"
 	"repro/internal/tile"
+	"repro/internal/trace"
 )
 
 // ErrConfig reports an invalid sequencer configuration or frame.
@@ -47,6 +49,9 @@ type Config struct {
 	NoWarmStart bool
 	// NoHistogramMatch skips the per-frame §II preprocessing.
 	NoHistogramMatch bool
+	// Trace optionally receives span and counter events for every frame
+	// (one trace.SpanFrame root per Next call); nil traces nothing.
+	Trace trace.Collector
 }
 
 // FrameResult is the output for one target frame.
@@ -55,6 +60,9 @@ type FrameResult struct {
 	Assignment perm.Perm
 	TotalError int64
 	Passes     int // local-search sweeps this frame (k)
+	// Stats is the aggregated trace of this frame — the per-frame analogue
+	// of core.Result.Stats.
+	Stats trace.Stats
 }
 
 // Sequencer produces mosaics for a stream of equally-sized target frames
@@ -103,10 +111,48 @@ func (q *Sequencer) Reset() { q.prev = nil }
 
 // Next mosaics one target frame.
 func (q *Sequencer) Next(target *imgutil.Gray) (*FrameResult, error) {
+	return q.NextContext(context.Background(), target)
+}
+
+// NextContext is Next with cancellation and tracing: ctx is checked between
+// stages and between local-search sweep rounds / color classes, so a
+// cancelled or timed-out frame returns promptly with the ctx error (test
+// with errors.Is) and a nil FrameResult. A cancelled frame leaves the
+// sequencer's warm-start state and frame count untouched, so the stream can
+// continue with the next frame.
+func (q *Sequencer) NextContext(ctx context.Context, target *imgutil.Gray) (*FrameResult, error) {
 	if target.W != q.input.W || target.H != q.input.H {
 		return nil, fmt.Errorf("video: frame %dx%d, stream is %dx%d: %w",
 			target.W, target.H, q.input.W, q.input.H, ErrConfig)
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("video: frame cancelled before preprocessing: %w", err)
+	}
+	tree := trace.NewTree()
+	tr := trace.Multi(tree, q.cfg.Trace)
+	var dev0 cuda.Metrics
+	if q.cfg.Device != nil {
+		dev0 = q.cfg.Device.Metrics()
+	}
+	fr, err := q.next(ctx, target, tr)
+	if q.cfg.Device != nil {
+		d := q.cfg.Device.Metrics().Sub(dev0)
+		trace.Count(tr, trace.CounterKernelLaunches, d.Launches)
+		trace.Count(tr, trace.CounterKernelBlocks, d.Blocks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fr.Stats = tree.Snapshot()
+	return fr, nil
+}
+
+// next runs the per-frame stages under the frame span.
+func (q *Sequencer) next(ctx context.Context, target *imgutil.Gray, tr trace.Collector) (*FrameResult, error) {
+	root := trace.Start(tr, trace.SpanFrame)
+	defer root.End()
+
+	sp := trace.Start(tr, trace.SpanPreprocess)
 	work := q.input
 	var err error
 	if !q.cfg.NoHistogramMatch {
@@ -115,6 +161,12 @@ func (q *Sequencer) Next(target *imgutil.Gray) (*FrameResult, error) {
 			return nil, err
 		}
 	}
+	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("video: frame cancelled before tiling: %w", err)
+	}
+
+	sp = trace.Start(tr, trace.SpanTiling)
 	m := q.input.W / q.cfg.TilesPerSide
 	inGrid, err := tile.NewGrid(work, m)
 	if err != nil {
@@ -124,7 +176,12 @@ func (q *Sequencer) Next(target *imgutil.Gray) (*FrameResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("video: frame cancelled before Step 2: %w", err)
+	}
 
+	sp = trace.Start(tr, trace.SpanCostMatrix)
 	var costs *metric.Matrix
 	if q.cfg.Device != nil {
 		costs, err = metric.BuildDevice(q.cfg.Device, inGrid, tgtGrid, q.cfg.Metric)
@@ -134,25 +191,38 @@ func (q *Sequencer) Next(target *imgutil.Gray) (*FrameResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("video: frame cancelled before Step 3: %w", err)
+	}
 
 	start := q.prev
 	if start == nil || q.cfg.NoWarmStart {
 		start = perm.Identity(q.s)
 	}
+	sp = trace.Start(tr, trace.SpanRearrange)
 	var p perm.Perm
 	var st localsearch.Stats
+	searchOpts := localsearch.Options{Trace: tr}
 	if q.cfg.Device != nil {
-		p, st, err = localsearch.Parallel(q.cfg.Device, costs, start, q.coloring, localsearch.Options{})
+		p, st, err = localsearch.ParallelContext(ctx, q.cfg.Device, costs, start, q.coloring, searchOpts)
 	} else {
-		p, st, err = localsearch.Serial(costs, start, localsearch.Options{})
+		p, st, err = localsearch.SerialContext(ctx, costs, start, searchOpts)
 	}
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("video: frame cancelled before assembly: %w", err)
+	}
+
+	sp = trace.Start(tr, trace.SpanAssemble)
 	mos, err := inGrid.Assemble(p)
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	q.prev = p
 	q.frames++
 	return &FrameResult{
@@ -161,6 +231,16 @@ func (q *Sequencer) Next(target *imgutil.Gray) (*FrameResult, error) {
 		TotalError: costs.Total(p),
 		Passes:     st.Passes,
 	}, nil
+}
+
+// ctxErr returns ctx's error if it is already done, nil otherwise.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // Pan synthesises a horizontal camera pan across a wide scene: frame f is

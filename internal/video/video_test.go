@@ -1,11 +1,15 @@
 package video
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/cuda"
 	"repro/internal/imgutil"
+	"repro/internal/perm"
 	"repro/internal/synth"
+	"repro/internal/trace"
 )
 
 func stream(t testing.TB, size, frames int) (*imgutil.Gray, []*imgutil.Gray) {
@@ -204,5 +208,70 @@ func BenchmarkSequencerFrame(b *testing.B) {
 		if _, err := seq.Next(targets[1-i%2]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestSequencerCancelledFrameLeavesStateUntouched(t *testing.T) {
+	input, targets := stream(t, 64, 3)
+	seq, err := NewSequencer(input, Config{TilesPerSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.Next(targets[0]); err != nil {
+		t.Fatal(err)
+	}
+	prevBefore := append(perm.Perm(nil), seq.prev...)
+	framesBefore := seq.Frames()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fr, err := seq.NextContext(ctx, targets[1])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fr != nil {
+		t.Fatal("cancelled frame returned a non-nil FrameResult")
+	}
+	if seq.Frames() != framesBefore {
+		t.Fatalf("frame count moved %d → %d on a cancelled frame", framesBefore, seq.Frames())
+	}
+	if !seq.prev.Equal(prevBefore) {
+		t.Fatal("warm-start assignment mutated by a cancelled frame")
+	}
+
+	// The stream continues cleanly after the cancelled frame.
+	fr, err = seq.Next(targets[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Frames() != framesBefore+1 {
+		t.Fatalf("Frames() = %d after recovery, want %d", seq.Frames(), framesBefore+1)
+	}
+}
+
+func TestSequencerDeviceFrameCancellation(t *testing.T) {
+	input, targets := stream(t, 64, 2)
+	dev := cuda.New(2)
+	seq, err := NewSequencer(input, Config{TilesPerSide: 8, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := seq.NextContext(ctx, targets[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m := dev.Metrics(); m.Launches != 0 {
+		t.Fatalf("device launched %d kernels for a pre-cancelled frame", m.Launches)
+	}
+	fr, err := seq.NextContext(context.Background(), targets[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Stats.Counter(trace.CounterKernelLaunches) <= 0 {
+		t.Fatal("frame stats missing kernel-launch counter after device run")
 	}
 }

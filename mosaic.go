@@ -29,7 +29,9 @@
 package mosaic
 
 import (
+	"context"
 	"image/png"
+	"io"
 	"os"
 
 	"repro/internal/assign"
@@ -42,6 +44,7 @@ import (
 	"repro/internal/perm"
 	"repro/internal/pnm"
 	"repro/internal/synth"
+	"repro/internal/trace"
 	"repro/internal/video"
 )
 
@@ -141,11 +144,72 @@ func Generate(input, target *Gray, opts Options) (*Result, error) {
 	return core.Generate(input, target, opts)
 }
 
+// GenerateContext is Generate with cancellation and deadline support: ctx is
+// checked between pipeline stages and, during the local searches, between
+// sweep rounds and color classes. A cancelled call returns the ctx error
+// (test with errors.Is) and a nil Result — never a partial one.
+func GenerateContext(ctx context.Context, input, target *Gray, opts Options) (*Result, error) {
+	return core.GenerateContext(ctx, input, target, opts)
+}
+
 // GenerateRGB produces a color photomosaic — the paper's color extension,
 // using the per-channel form of the error function.
 func GenerateRGB(input, target *RGB, opts Options) (*ResultRGB, error) {
 	return core.GenerateRGB(input, target, opts)
 }
+
+// GenerateRGBContext is GenerateRGB with the cancellation semantics of
+// GenerateContext.
+func GenerateRGBContext(ctx context.Context, input, target *RGB, opts Options) (*ResultRGB, error) {
+	return core.GenerateRGBContext(ctx, input, target, opts)
+}
+
+// TraceCollector receives span and counter events from a traced pipeline
+// run; set one on Options.Trace or SequencerConfig.Trace. See NewTraceTree
+// and NewTraceLog for the built-in collectors.
+type TraceCollector = trace.Collector
+
+// Stats is the aggregated observability snapshot of one run — per-stage span
+// totals plus the sweep/swap/kernel counters — exposed on Result.Stats and
+// FrameResult.Stats.
+type Stats = trace.Stats
+
+// SpanStat aggregates the spans sharing one name within a Stats snapshot.
+type SpanStat = trace.SpanStat
+
+// TraceTree is the recording collector: it captures the span tree and
+// counter totals, serialises them to JSON (WriteJSON) and aggregates them
+// into a Stats snapshot (Snapshot).
+type TraceTree = trace.Tree
+
+// NewTraceTree returns an empty recording collector.
+func NewTraceTree() *TraceTree { return trace.NewTree() }
+
+// NewTraceLog returns a collector streaming one line per span/counter event
+// to w — the quick way to watch a pipeline run live.
+func NewTraceLog(w io.Writer) TraceCollector { return trace.NewLog(w) }
+
+// The span names emitted by the pipeline: one per stage of the paper's
+// decomposition, under a pipeline (Generate) or frame (Sequencer.Next) root.
+const (
+	SpanPipeline   = trace.SpanPipeline
+	SpanFrame      = trace.SpanFrame
+	SpanPreprocess = trace.SpanPreprocess
+	SpanTiling     = trace.SpanTiling
+	SpanCostMatrix = trace.SpanCostMatrix
+	SpanRearrange  = trace.SpanRearrange
+	SpanAssemble   = trace.SpanAssemble
+)
+
+// The counter names emitted by the search engines and the virtual device.
+const (
+	CounterSweepRounds    = trace.CounterSweepRounds
+	CounterSwapAttempts   = trace.CounterSwapAttempts
+	CounterImprovingSwaps = trace.CounterImprovingSwaps
+	CounterAnnealSteps    = trace.CounterAnnealSteps
+	CounterKernelLaunches = trace.CounterKernelLaunches
+	CounterKernelBlocks   = trace.CounterKernelBlocks
+)
 
 // HistogramMatch returns a copy of img whose intensity distribution matches
 // ref — the paper's §II preprocessing, exposed for callers that prepare
