@@ -6,11 +6,14 @@
 #   make fuzz-smoke  run every Fuzz* seed corpus as ordinary tests
 #   make fuzz        short live fuzzing session per target (FUZZTIME=10s)
 #   make bench       package micro-benchmarks
+#   make bench-json  regenerate the committed BENCH_pipeline.json report
+#   make telemetry-smoke  end-to-end probe of the -serve debug endpoint
 
 GO      ?= go
 FUZZTIME ?= 10s
+TELEMETRY_ADDR ?= 127.0.0.1:9190
 
-.PHONY: check vet build test race fuzz-smoke fuzz bench clean
+.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json telemetry-smoke clean
 
 check: vet build race fuzz-smoke
 
@@ -39,6 +42,35 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Regenerate the committed machine-readable benchmark report (pinned
+# workload; see internal/benchjson for the schema).
+bench-json:
+	$(GO) run ./cmd/mosaicbench -bench-json BENCH_pipeline.json
+
+# End-to-end probe of the debug server: run a generation with -serve, wait
+# for /healthz, require a 200 and mosaic_* series from /metrics plus a 200
+# from /metrics.json, then let the run finish. Fails on any non-200.
+telemetry-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/mosaic ./cmd/mosaic; \
+	$$tmp/mosaic -input lena -target sailboat -size 1024 -tiles 64 \
+		-algorithm approximation-parallel -serve $(TELEMETRY_ADDR) \
+		-q -o $$tmp/mosaic.png & pid=$$!; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS -o /dev/null http://$(TELEMETRY_ADDR)/healthz 2>/dev/null; then up=1; break; fi; \
+		kill -0 $$pid 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	if [ $$up -ne 1 ]; then echo "telemetry-smoke: /healthz never answered 200"; kill $$pid 2>/dev/null; exit 1; fi; \
+	if ! curl -fsS http://$(TELEMETRY_ADDR)/metrics | grep -q '^mosaic_'; then \
+		echo "telemetry-smoke: /metrics missing mosaic_* series"; kill $$pid 2>/dev/null; exit 1; fi; \
+	if ! curl -fsS -o /dev/null http://$(TELEMETRY_ADDR)/metrics.json; then \
+		echo "telemetry-smoke: /metrics.json failed"; kill $$pid 2>/dev/null; exit 1; fi; \
+	wait $$pid; \
+	echo "telemetry-smoke: ok"
 
 clean:
 	$(GO) clean ./...

@@ -18,12 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"image/png"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 
 	mosaic "repro"
 	"repro/internal/imgutil"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -50,8 +53,10 @@ func run() error {
 		workers   = flag.Int("workers", 0, "device workers for parallel stages (0 = all cores)")
 		gpu       = flag.Bool("gpu", false, "run Step 2 on the virtual device even for serial algorithms")
 		timeout   = flag.Duration("timeout", 0, "abort generation after this long (0 = no deadline)")
-		traceOut  = flag.Bool("trace", false, "dump the pipeline span tree and counters as JSON to stderr")
-		metrics   = flag.Bool("metrics", false, "dump the pipeline counters to stderr")
+		traceOut  = flag.Bool("trace", false, "include the pipeline span tree in the observability JSON on stderr")
+		metrics   = flag.Bool("metrics", false, "include the counter totals and registry snapshot in the observability JSON on stderr")
+		serveAddr = flag.String("serve", "", "serve /metrics, /healthz, /metrics.json and /debug/pprof on this address during the run (e.g. 127.0.0.1:9190)")
+		convPath  = flag.String("convergence", "", "write the local-search cost-vs-sweep convergence curve as JSON to this file")
 		quiet     = flag.Bool("q", false, "suppress the summary line")
 	)
 	flag.Parse()
@@ -76,29 +81,72 @@ func run() error {
 	if opts.Algorithm == mosaic.ParallelApproximation || *gpu {
 		opts.Device = mosaic.NewDevice(*workers)
 	}
-	var tree *mosaic.TraceTree
-	if *traceOut || *metrics {
+
+	// One registry backs every observability surface: the -metrics snapshot,
+	// the -serve endpoint, and the convergence recorder's live cost gauge.
+	observing := *traceOut || *metrics || *serveAddr != "" || *convPath != ""
+	var (
+		tree *mosaic.TraceTree
+		reg  *telemetry.Registry
+		rec  *telemetry.ConvergenceRecorder
+	)
+	if observing {
 		tree = mosaic.NewTraceTree()
-		opts.Trace = tree
+		reg = telemetry.NewRegistry()
+		opts.Trace = trace.Multi(tree, telemetry.NewTraceCollector(reg))
+		if opts.Device != nil {
+			telemetry.RegisterDevice(reg, opts.Device, nil)
+		}
+		rec = telemetry.NewConvergenceRecorder(reg)
+		opts.Search.Progress = rec.Sweep
+		opts.Anneal.Progress = rec.Anneal
 	}
+	if *serveAddr != "" {
+		mux := telemetry.NewMux(reg)
+		mux.HandleFunc("/convergence.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = rec.WriteJSON(w)
+		})
+		server, err := telemetry.StartServer(*serveAddr, reg, mux)
+		if err != nil {
+			return err
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "mosaic: telemetry on http://%s (/metrics, /healthz, /metrics.json, /convergence.json, /debug/pprof/)\n", server.Addr)
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// dump emits the single observability JSON document: spans when -trace,
+	// counters + registry snapshot when -metrics, convergence samples when
+	// recorded. Every duration field in it is nanoseconds (_ns suffix);
+	// registry histograms are seconds, as their names state.
 	dump := func() error {
+		if *convPath != "" {
+			if err := writeConvergence(*convPath, rec); err != nil {
+				return err
+			}
+		}
+		if !*traceOut && !*metrics {
+			return nil
+		}
+		d := telemetry.Dump{}
 		if *traceOut {
-			if err := tree.WriteJSON(os.Stderr); err != nil {
-				return err
-			}
+			d.Spans = tree.Roots()
 		}
+		d.Counters = tree.Counters()
 		if *metrics {
-			if err := tree.WriteCounters(os.Stderr); err != nil {
-				return err
-			}
+			snap := reg.Snapshot()
+			d.Registry = &snap
 		}
-		return nil
+		if samples := rec.Snapshot(); len(samples) > 0 {
+			d.Convergence = samples
+		}
+		return telemetry.WriteDump(os.Stderr, d)
 	}
 
 	if *color {
@@ -123,11 +171,26 @@ func run() error {
 		return err
 	}
 	if !*quiet {
-		fmt.Printf("%s → %s: S=%d×%d error=%d k=%d step2=%v step3=%v → %s\n",
+		// Both stage times in one unit (ms), so the line never mixes µs/ms/s.
+		fmt.Printf("%s → %s: S=%d×%d error=%d k=%d step2=%.1fms step3=%.1fms → %s\n",
 			*inputArg, *targetArg, *tiles, *tiles, res.TotalError, res.SearchStats.Passes,
-			res.Timing.CostMatrix.Round(1e6), res.Timing.Rearrange.Round(1e6), *out)
+			float64(res.Timing.CostMatrix.Microseconds())/1e3,
+			float64(res.Timing.Rearrange.Microseconds())/1e3, *out)
 	}
 	return nil
+}
+
+// writeConvergence writes the recorder's samples as JSON to path.
+func writeConvergence(path string, rec *telemetry.ConvergenceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runColor(ctx context.Context, inputArg, targetArg, out string, size int, opts mosaic.Options, quiet bool, dump func() error) error {

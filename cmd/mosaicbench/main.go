@@ -24,7 +24,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchjson"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -50,8 +52,10 @@ func run() error {
 		launchOverhead = flag.Duration("launch-overhead", 3*time.Microsecond, "per-kernel-launch charge in virtual mode")
 		coresPerSM     = flag.Int("virtual-cores-per-sm", 32, "modelled intra-block thread parallelism in virtual mode")
 		csvPath        = flag.String("csv", "", "also write the sweep cells as CSV to this file (tables mode only)")
-		traceRun       = flag.Bool("trace", false, "run one traced end-to-end generation and dump its span tree as JSON")
-		metricsRun     = flag.Bool("metrics", false, "run one traced end-to-end generation and dump its counters")
+		traceRun       = flag.Bool("trace", false, "run one traced end-to-end generation and include its span tree in the observability JSON")
+		metricsRun     = flag.Bool("metrics", false, "run one traced end-to-end generation and include its counters and registry snapshot in the observability JSON")
+		serveAddr      = flag.String("serve", "", "serve /metrics, /healthz, /metrics.json and /debug/pprof on this address during the run (e.g. 127.0.0.1:9190)")
+		benchJSON      = flag.String("bench-json", "", "execute the pinned benchmark workload and write the JSON report to this file")
 	)
 	flag.Parse()
 
@@ -93,6 +97,39 @@ func run() error {
 		return err
 	}
 
+	// One registry observes whatever mode runs below: the local searches feed
+	// it through cfg.Trace, the shared device feeds the occupancy gauges.
+	var reg *telemetry.Registry
+	if *serveAddr != "" || *metricsRun {
+		reg = telemetry.NewRegistry()
+		cfg.Trace = telemetry.NewTraceCollector(reg)
+		dev, err := cfg.Device()
+		if err != nil {
+			return err
+		}
+		telemetry.RegisterDevice(reg, dev, nil)
+	}
+	if *serveAddr != "" {
+		server, err := telemetry.StartServer(*serveAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "mosaicbench: telemetry on http://%s (/metrics, /healthz, /metrics.json, /debug/pprof/)\n", server.Addr)
+	}
+
+	if *benchJSON != "" {
+		rep, err := benchjson.Execute(context.Background())
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteFile(*benchJSON); err != nil {
+			return err
+		}
+		fmt.Printf("benchmark report written to %s (%d runs)\n", *benchJSON, len(rep.Runs))
+		return nil
+	}
+
 	if *traceRun || *metricsRun {
 		res, tree, err := cfg.TraceRun(context.Background())
 		if err != nil {
@@ -101,17 +138,17 @@ func run() error {
 		fmt.Printf("traced run — %s at %d×%d, %d tiles/side: error=%d, %d sweeps\n",
 			cfg.Pairs[0], cfg.Sizes[0], cfg.Sizes[0], cfg.TileCounts[0],
 			res.TotalError, res.SearchStats.Passes)
+		// One JSON document for both flags, matching cmd/mosaic: spans when
+		// -trace, registry snapshot when -metrics, counters always.
+		d := telemetry.Dump{Counters: tree.Counters()}
 		if *traceRun {
-			if err := tree.WriteJSON(os.Stdout); err != nil {
-				return err
-			}
+			d.Spans = tree.Roots()
 		}
-		if *metricsRun {
-			if err := tree.WriteCounters(os.Stdout); err != nil {
-				return err
-			}
+		if reg != nil {
+			snap := reg.Snapshot()
+			d.Registry = &snap
 		}
-		return nil
+		return telemetry.WriteDump(os.Stdout, d)
 	}
 
 	banner(cfg)

@@ -1,0 +1,66 @@
+package benchjson
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExecutePinnedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pinned workload runs the full 512²/32² pipeline twice")
+	}
+	rep, err := Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaVersion || len(rep.Runs) != 2 {
+		t.Fatalf("report shape wrong: schema=%d runs=%d", rep.Schema, len(rep.Runs))
+	}
+	serial, parallel := rep.Runs[0], rep.Runs[1]
+	if serial.Workload.Algorithm != "approximation" || parallel.Workload.Algorithm != "approximation-parallel" {
+		t.Fatalf("unexpected algorithms: %q, %q", serial.Workload.Algorithm, parallel.Workload.Algorithm)
+	}
+	for i, run := range rep.Runs {
+		if run.Stages.CostMatrixNS <= 0 || run.Stages.RearrangeNS <= 0 {
+			t.Fatalf("run %d: stage timings not positive: %+v", i, run.Stages)
+		}
+		if run.Search.Sweeps < 1 || run.Search.FinalCost <= 0 {
+			t.Fatalf("run %d: degenerate search outcome: %+v", i, run.Search)
+		}
+		if len(run.Convergence) != run.Search.Sweeps {
+			t.Fatalf("run %d: %d convergence samples for %d sweeps", i, len(run.Convergence), run.Search.Sweeps)
+		}
+		for j := 1; j < len(run.Convergence); j++ {
+			if run.Convergence[j].Cost > run.Convergence[j-1].Cost {
+				t.Fatalf("run %d: convergence cost rose at sample %d", i, j)
+			}
+		}
+		if last := run.Convergence[len(run.Convergence)-1]; last.Cost != run.Search.FinalCost {
+			t.Fatalf("run %d: curve endpoint %d != final cost %d", i, last.Cost, run.Search.FinalCost)
+		}
+	}
+	// Both searches descend on the same matrix; their fixed points need not
+	// be identical but must be in the same regime.
+	if serial.Search.FinalCost <= 0 || parallel.Search.FinalCost <= 0 {
+		t.Fatal("non-positive final costs")
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("written report is not valid JSON: %v", err)
+	}
+	if len(decoded.Runs) != 2 || decoded.Runs[0].Search.FinalCost != serial.Search.FinalCost {
+		t.Fatalf("round trip lost data: %+v", decoded)
+	}
+}

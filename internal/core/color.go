@@ -86,8 +86,10 @@ func GenerateRGBContext(ctx context.Context, input, target *imgutil.RGB, opts Op
 	res, err := generateRGB(ctx, input, target, opts, m, tr)
 	deviceDelta(tr, opts.Device, dev0)
 	if err != nil {
+		trace.Count(tr, trace.CounterPipelineErrors, 1)
 		return nil, err
 	}
+	trace.Count(tr, trace.CounterPipelineRuns, 1)
 	res.Stats = tree.Snapshot()
 	return res, nil
 }

@@ -290,8 +290,10 @@ func GenerateContext(ctx context.Context, input, target *imgutil.Gray, opts Opti
 	res, err := generate(ctx, input, target, opts, m, tr)
 	deviceDelta(tr, opts.Device, dev0)
 	if err != nil {
+		trace.Count(tr, trace.CounterPipelineErrors, 1)
 		return nil, err
 	}
+	trace.Count(tr, trace.CounterPipelineRuns, 1)
 	res.Stats = tree.Snapshot()
 	return res, nil
 }

@@ -148,6 +148,8 @@ func (d *Device) Launch(grid, threadsPerBlock int, kernel func(b *Block)) {
 		panic(fmt.Sprintf("cuda: Launch with threadsPerBlock=%d", threadsPerBlock))
 	}
 	d.countLaunch(grid)
+	launchStart := time.Now()
+	defer func() { d.launchNanos.Add(time.Since(launchStart).Nanoseconds()) }()
 	nw := d.workers
 	if nw > grid {
 		nw = grid
@@ -162,17 +164,19 @@ func (d *Device) Launch(grid, threadsPerBlock int, kernel func(b *Block)) {
 	}
 	if nw == 1 {
 		// Degenerate single-worker device: run inline, no goroutines.
-		b := &Block{Grid: grid, Threads: threadsPerBlock, worker: 0, dev: d}
-		for i := 0; i < grid; i++ {
-			b.Idx = i
-			if durations != nil {
-				start := time.Now()
-				kernel(b)
-				durations[i] = time.Since(start)
-			} else {
-				kernel(b)
+		d.workerRun(func() {
+			b := &Block{Grid: grid, Threads: threadsPerBlock, worker: 0, dev: d}
+			for i := 0; i < grid; i++ {
+				b.Idx = i
+				if durations != nil {
+					start := time.Now()
+					d.blockRun(func() { kernel(b) })
+					durations[i] = time.Since(start)
+				} else {
+					d.blockRun(func() { kernel(b) })
+				}
 			}
-		}
+		})
 		d.chargeLaunch(durations, threadsPerBlock)
 		return
 	}
@@ -189,21 +193,23 @@ func (d *Device) Launch(grid, threadsPerBlock int, kernel func(b *Block)) {
 					panics <- r
 				}
 			}()
-			b := &Block{Grid: grid, Threads: threadsPerBlock, worker: worker, dev: d}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= grid {
-					return
+			d.workerRun(func() {
+				b := &Block{Grid: grid, Threads: threadsPerBlock, worker: worker, dev: d}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= grid {
+						return
+					}
+					b.Idx = i
+					if durations != nil {
+						start := time.Now()
+						d.blockRun(func() { kernel(b) })
+						durations[i] = time.Since(start)
+					} else {
+						d.blockRun(func() { kernel(b) })
+					}
 				}
-				b.Idx = i
-				if durations != nil {
-					start := time.Now()
-					kernel(b)
-					durations[i] = time.Since(start)
-				} else {
-					kernel(b)
-				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -225,6 +231,8 @@ func (d *Device) LaunchRange(n int, body func(i int)) {
 	}
 	chunk := (n + d.workers - 1) / d.workers
 	d.countLaunch((n + chunk - 1) / chunk)
+	launchStart := time.Now()
+	defer func() { d.launchNanos.Add(time.Since(launchStart).Nanoseconds()) }()
 	var wg sync.WaitGroup
 	panics := make(chan any, d.workers)
 	for lo := 0; lo < n; lo += chunk {
@@ -240,9 +248,13 @@ func (d *Device) LaunchRange(n int, body func(i int)) {
 					panics <- r
 				}
 			}()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
+			d.workerRun(func() {
+				d.blockRun(func() {
+					for i := lo; i < hi; i++ {
+						body(i)
+					}
+				})
+			})
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -16,19 +16,50 @@ type Metrics struct {
 	// Blocks counts thread blocks executed across all launches (LaunchRange
 	// counts its contiguous worker chunks as blocks).
 	Blocks int64
+	// LaunchNanos is the total wall time, in nanoseconds, spent inside the
+	// synchronous Launch/LaunchRange calls — the launch-accounting total a
+	// profiler sums when attributing time to kernels.
+	LaunchNanos int64
 }
 
 // Sub returns m − o, the delta between two snapshots — how callers charge a
 // pipeline stage with the launches it performed on a long-lived device.
 func (m Metrics) Sub(o Metrics) Metrics {
-	return Metrics{Launches: m.Launches - o.Launches, Blocks: m.Blocks - o.Blocks}
+	return Metrics{
+		Launches:    m.Launches - o.Launches,
+		Blocks:      m.Blocks - o.Blocks,
+		LaunchNanos: m.LaunchNanos - o.LaunchNanos,
+	}
+}
+
+// Occupancy is an instantaneous view of the device's execution state — the
+// gauge-shaped counterpart to the monotonic Metrics totals, mirroring the
+// occupancy numbers a CUDA profiler derives from blocks resident per SM.
+type Occupancy struct {
+	// BlocksInFlight is the number of thread blocks executing right now.
+	BlocksInFlight int64
+	// BusyWorkers is the number of pool workers currently running a block.
+	BusyWorkers int64
+	// Workers is the pool size, so utilisation is BusyWorkers/Workers.
+	Workers int
+}
+
+// Utilisation returns BusyWorkers/Workers in [0, 1].
+func (o Occupancy) Utilisation() float64 {
+	if o.Workers == 0 {
+		return 0
+	}
+	return float64(o.BusyWorkers) / float64(o.Workers)
 }
 
 // metricsState carries the execution counters and the optional forwarding
 // collector; embedded in Device alongside timingState.
 type metricsState struct {
-	launches atomic.Int64
-	blocks   atomic.Int64
+	launches    atomic.Int64
+	blocks      atomic.Int64
+	launchNanos atomic.Int64
+	inFlight    atomic.Int64
+	busyWorkers atomic.Int64
 
 	collectorMu sync.Mutex
 	collector   trace.Collector
@@ -37,13 +68,30 @@ type metricsState struct {
 // Metrics returns the device's counters since construction or the last
 // ResetMetrics. Safe to call concurrently with launches.
 func (d *Device) Metrics() Metrics {
-	return Metrics{Launches: d.launches.Load(), Blocks: d.blocks.Load()}
+	return Metrics{
+		Launches:    d.launches.Load(),
+		Blocks:      d.blocks.Load(),
+		LaunchNanos: d.launchNanos.Load(),
+	}
 }
 
-// ResetMetrics zeroes the counters.
+// Occupancy returns the device's instantaneous execution state. Safe to call
+// concurrently with launches — this is what a live /metrics scrape reads
+// while a kernel is running.
+func (d *Device) Occupancy() Occupancy {
+	return Occupancy{
+		BlocksInFlight: d.inFlight.Load(),
+		BusyWorkers:    d.busyWorkers.Load(),
+		Workers:        d.workers,
+	}
+}
+
+// ResetMetrics zeroes the counters (the in-flight gauges are left alone —
+// they return to zero when running launches drain).
 func (d *Device) ResetMetrics() {
 	d.launches.Store(0)
 	d.blocks.Store(0)
+	d.launchNanos.Store(0)
 }
 
 // SetCollector attaches a trace collector that receives
@@ -53,6 +101,21 @@ func (d *Device) SetCollector(c trace.Collector) {
 	d.collectorMu.Lock()
 	d.collector = c
 	d.collectorMu.Unlock()
+}
+
+// blockRun brackets one block execution for the in-flight gauge.
+func (d *Device) blockRun(kernel func()) {
+	d.inFlight.Add(1)
+	defer d.inFlight.Add(-1)
+	kernel()
+}
+
+// workerRun brackets one worker's participation in a launch for the
+// busy-worker gauge.
+func (d *Device) workerRun(body func()) {
+	d.busyWorkers.Add(1)
+	defer d.busyWorkers.Add(-1)
+	body()
 }
 
 // countLaunch records one launch of the given block count.

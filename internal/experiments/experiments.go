@@ -73,6 +73,13 @@ type Config struct {
 	VirtualCoresPerSM int
 	// Out receives the formatted tables; nil discards them.
 	Out io.Writer
+	// Trace optionally receives the counters emitted by the local searches
+	// during table sweeps and, in TraceRun, the full span stream — so a
+	// telemetry registry attached here observes the evaluation live. nil
+	// discards them.
+	Trace trace.Collector
+
+	dev *cuda.Device // cached by Device so every run shares one instance
 }
 
 // NewConfig returns the paper's full evaluation grid.
@@ -96,12 +103,19 @@ func QuickConfig() Config {
 	}
 }
 
-// device builds the configured virtual accelerator. In virtual-timing mode
-// the device runs single-worker (so block measurements are uncontended) with
-// the timing model attached.
-func (c *Config) device() (*cuda.Device, error) {
+// Device returns the configured virtual accelerator, building it on the
+// first call and reusing it afterwards. Sharing one instance across every
+// run lets callers attach occupancy gauges (telemetry.RegisterDevice) to the
+// same device the sweeps execute on. In virtual-timing mode the device runs
+// single-worker (so block measurements are uncontended) with the timing
+// model attached.
+func (c *Config) Device() (*cuda.Device, error) {
+	if c.dev != nil {
+		return c.dev, nil
+	}
 	if c.VirtualSMs <= 0 {
-		return cuda.New(c.Workers), nil
+		c.dev = cuda.New(c.Workers)
+		return c.dev, nil
 	}
 	dev := cuda.New(1)
 	err := dev.SetTimingModel(&cuda.TimingModel{
@@ -112,8 +126,12 @@ func (c *Config) device() (*cuda.Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.dev = dev
 	return dev, nil
 }
+
+// device is the internal spelling of Device.
+func (c *Config) device() (*cuda.Device, error) { return c.Device() }
 
 // measureDevice times f on the device: in virtual mode it reads the virtual
 // clock delta (averaging a few runs when the virtual time is tiny), and in
@@ -159,7 +177,7 @@ func (c *Config) TraceRun(ctx context.Context) (*core.Result, *trace.Tree, error
 		TilesPerSide: c.TileCounts[0],
 		Algorithm:    core.ParallelApproximation,
 		Device:       dev,
-		Trace:        tree,
+		Trace:        trace.Multi(tree, c.Trace),
 	})
 	if err != nil {
 		return nil, nil, err

@@ -114,7 +114,7 @@ func (cfg *Config) runCell(p Pair, n, tiles int, cc colorings) (*Cell, error) {
 	var pcpu perm.Perm
 	var stCPU localsearch.Stats
 	cell.Step3ApproxCPU = measure(func() {
-		q, st, err2 := localsearch.Serial(costs, perm.Identity(s), localsearch.Options{})
+		q, st, err2 := localsearch.Serial(costs, perm.Identity(s), localsearch.Options{Trace: cfg.Trace})
 		if err2 != nil {
 			panic(err2)
 		}
@@ -128,7 +128,7 @@ func (cfg *Config) runCell(p Pair, n, tiles int, cc colorings) (*Cell, error) {
 	var pgpu perm.Perm
 	var stGPU localsearch.Stats
 	cell.Step3ApproxGPU = cfg.measureDevice(dev, func() {
-		q, st, err2 := localsearch.Parallel(dev, costs, perm.Identity(s), coloring, localsearch.Options{})
+		q, st, err2 := localsearch.Parallel(dev, costs, perm.Identity(s), coloring, localsearch.Options{Trace: cfg.Trace})
 		if err2 != nil {
 			panic(err2)
 		}

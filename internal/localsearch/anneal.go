@@ -10,6 +10,14 @@ import (
 	"repro/internal/trace"
 )
 
+// AnnealProgress receives one convergence sample per cooling epoch (every S
+// proposed swaps): the 1-based epoch number, the current Eq. (2) error of
+// the walking state (not the best-so-far), and the temperature before
+// cooling. Unlike the sweep curve, annealing samples may rise — that is the
+// Metropolis acceptance doing its job. telemetry.ConvergenceRecorder.Anneal
+// has exactly this signature.
+type AnnealProgress func(epoch int, cost int64, temperature float64)
+
 // AnnealOptions tunes Anneal. The zero value selects defaults derived from
 // the instance.
 type AnnealOptions struct {
@@ -24,6 +32,9 @@ type AnnealOptions struct {
 	// Seed drives the proposal and acceptance randomness; fixed seeds make
 	// runs reproducible.
 	Seed uint64
+	// Progress optionally receives a cost/temperature sample at every
+	// cooling epoch; nil records nothing.
+	Progress AnnealProgress
 }
 
 // Anneal is a simulated-annealing extension of the paper's local search
@@ -104,8 +115,11 @@ func AnnealContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts 
 			}
 		}
 		if (step+1)%s == 0 {
-			temp *= alpha
 			st.Passes++
+			if opts.Progress != nil {
+				opts.Progress(st.Passes, curErr, temp)
+			}
+			temp *= alpha
 			trace.Count(tr, trace.CounterAnnealSteps, int64(s))
 			if err := ctxErr(ctx); err != nil {
 				return nil, 0, st, fmt.Errorf("localsearch: annealing cancelled after %d epochs: %w", st.Passes, err)

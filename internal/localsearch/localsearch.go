@@ -34,6 +34,14 @@ type Stats struct {
 	Swaps  int64 // improving swaps applied
 }
 
+// Progress receives one convergence sample per completed sweep round: the
+// 1-based round number, the Eq. (2) total error of the assignment after the
+// round, and the cumulative applied-swap count. The local searches maintain
+// the error incrementally from the applied swap deltas, so sampling adds one
+// O(S) evaluation at the start of the run and O(1) per sweep.
+// telemetry.ConvergenceRecorder.Sweep has exactly this signature.
+type Progress func(round int, cost, swaps int64)
+
 // Options tunes the search. The zero value reproduces the paper exactly.
 type Options struct {
 	// MaxPasses caps the number of sweeps; 0 means run to convergence
@@ -43,6 +51,10 @@ type Options struct {
 	// Trace optionally receives sweep-round / swap-attempt / improving-swap
 	// counters as the search runs; nil traces nothing.
 	Trace trace.Collector
+	// Progress optionally receives a cost sample after every sweep round —
+	// the cost-vs-work convergence curve; nil records nothing and the search
+	// skips the cost bookkeeping entirely.
+	Progress Progress
 }
 
 // ctxErr returns ctx's error if it is already done, nil otherwise — the
@@ -88,6 +100,14 @@ func SerialContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts 
 	var st Stats
 	s := m.S
 	w := m.W
+	// The convergence curve is maintained incrementally: one O(S) evaluation
+	// up front, then each applied swap's delta, so sampling never re-walks
+	// the matrix.
+	sample := opts.Progress != nil
+	var curCost int64
+	if sample {
+		curCost = m.Total(p)
+	}
 	for {
 		if err := ctxErr(ctx); err != nil {
 			return nil, st, fmt.Errorf("localsearch: serial search cancelled after %d sweeps: %w", st.Passes, err)
@@ -107,6 +127,9 @@ func SerialContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts 
 					px = py
 					swapped = true
 					st.Swaps++
+					if sample {
+						curCost += swap - keep
+					}
 				}
 			}
 		}
@@ -114,6 +137,9 @@ func SerialContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts 
 		trace.Count(opts.Trace, trace.CounterSweepRounds, 1)
 		trace.Count(opts.Trace, trace.CounterSwapAttempts, int64(s)*int64(s-1)/2)
 		trace.Count(opts.Trace, trace.CounterImprovingSwaps, st.Swaps-swapsBefore)
+		if sample {
+			opts.Progress(st.Passes, curCost, st.Swaps)
+		}
 		if !swapped || (opts.MaxPasses > 0 && st.Passes >= opts.MaxPasses) {
 			break
 		}
@@ -199,6 +225,15 @@ func ParallelContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, st
 	s := m.S
 	w := m.W
 	var swapCount atomic.Int64
+	// Convergence sampling mirrors the serial search: one O(S) evaluation up
+	// front, then per-block swap deltas folded into an atomic accumulator
+	// (the concurrent swaps touch disjoint pairs, so the deltas are exact).
+	sample := opts.Progress != nil
+	var cost0 int64
+	var costDelta atomic.Int64
+	if sample {
+		cost0 = m.Total(p)
+	}
 	for {
 		if err := ctxErr(ctx); err != nil {
 			st.Swaps = swapCount.Load()
@@ -229,6 +264,7 @@ func ParallelContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, st
 					hi = len(pairs)
 				}
 				local := int64(0)
+				localDelta := int64(0)
 				b.StrideLoop(hi-lo, func(i int) {
 					pr := pairs[lo+i]
 					x, y := pr.U, pr.V
@@ -238,11 +274,15 @@ func ParallelContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, st
 					if keep > swap {
 						p[x], p[y] = py, px
 						local++
+						localDelta += swap - keep
 					}
 				})
 				if local > 0 {
 					swapCount.Add(local)
 					swapped.Store(true)
+					if sample {
+						costDelta.Add(localDelta)
+					}
 				}
 			})
 		}
@@ -250,6 +290,9 @@ func ParallelContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, st
 		trace.Count(opts.Trace, trace.CounterSweepRounds, 1)
 		trace.Count(opts.Trace, trace.CounterSwapAttempts, int64(s)*int64(s-1)/2)
 		trace.Count(opts.Trace, trace.CounterImprovingSwaps, swapCount.Load()-swapsBefore)
+		if sample {
+			opts.Progress(st.Passes, cost0+costDelta.Load(), swapCount.Load())
+		}
 		if !swapped.Load() || (opts.MaxPasses > 0 && st.Passes >= opts.MaxPasses) {
 			break
 		}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ConvergenceSample is one point on a cost-vs-work curve: the Eq. (2) total
+// error after a unit of search work. Round counts local-search sweeps or
+// annealing cooling epochs; Swaps is the cumulative applied-swap count;
+// Temperature is the annealing temperature at the sample (0 for the plain
+// local search); ElapsedNS is the monotonic offset from the recorder's
+// creation.
+type ConvergenceSample struct {
+	Round       int     `json:"round"`
+	Cost        int64   `json:"cost"`
+	Swaps       int64   `json:"swaps"`
+	Temperature float64 `json:"temperature,omitempty"`
+	ElapsedNS   int64   `json:"elapsed_ns"`
+}
+
+// ConvergenceRecorder samples local-search cost per unit of work — the
+// paper-style convergence curve (He/Zhou/Yuen evaluate photomosaic search
+// exactly this way). Its Sweep method matches localsearch.Progress and its
+// Anneal method matches localsearch.AnnealProgress, so wiring is
+//
+//	opts.Search.Progress = rec.Sweep
+//	opts.Anneal.Progress = rec.Anneal
+//
+// Safe for concurrent use; Snapshot is coherent at any moment, including
+// after a context abort mid-search — samples are appended atomically, so a
+// cancelled run simply yields the prefix recorded so far.
+type ConvergenceRecorder struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	samples []ConvergenceSample
+	gauge   *Gauge // optional live cost gauge
+}
+
+// NewConvergenceRecorder returns an empty recorder. reg may be nil; when
+// set, the recorder also maintains the mosaic_search_cost gauge so a -serve
+// endpoint shows the live cost of a running search.
+func NewConvergenceRecorder(reg *Registry) *ConvergenceRecorder {
+	r := &ConvergenceRecorder{epoch: time.Now()}
+	if reg != nil {
+		r.gauge = reg.Gauge("mosaic_search_cost", "Current local-search total error.", nil)
+	}
+	return r
+}
+
+// Sweep records one local-search sweep sample; its signature matches
+// localsearch.Progress.
+func (r *ConvergenceRecorder) Sweep(round int, cost, swaps int64) {
+	r.record(ConvergenceSample{Round: round, Cost: cost, Swaps: swaps})
+}
+
+// Anneal records one cooling-epoch sample; its signature matches
+// localsearch.AnnealProgress.
+func (r *ConvergenceRecorder) Anneal(epoch int, cost int64, temperature float64) {
+	r.record(ConvergenceSample{Round: epoch, Cost: cost, Temperature: temperature})
+}
+
+func (r *ConvergenceRecorder) record(s ConvergenceSample) {
+	r.mu.Lock()
+	s.ElapsedNS = time.Since(r.epoch).Nanoseconds()
+	r.samples = append(r.samples, s)
+	r.mu.Unlock()
+	if r.gauge != nil {
+		r.gauge.Set(float64(s.Cost))
+	}
+}
+
+// Len returns the number of samples recorded so far.
+func (r *ConvergenceRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Snapshot returns a copy of the samples in recording order.
+func (r *ConvergenceRecorder) Snapshot() []ConvergenceSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]ConvergenceSample(nil), r.samples...)
+}
+
+// WriteJSON writes the samples as an indented JSON array.
+func (r *ConvergenceRecorder) WriteJSON(w io.Writer) error {
+	return writeIndented(w, r.Snapshot())
+}
+
+// WriteCSV writes the samples as CSV with a header row; durations in
+// nanoseconds, matching the JSON field.
+func (r *ConvergenceRecorder) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "round,cost,swaps,temperature,elapsed_ns\n"); err != nil {
+		return err
+	}
+	for _, s := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%g,%d\n",
+			s.Round, s.Cost, s.Swaps, s.Temperature, s.ElapsedNS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/localsearch"
+	"repro/internal/metric"
+	"repro/internal/perm"
+)
+
+// testMatrix builds a deterministic pseudo-random cost matrix on which the
+// identity assignment is far from swap-locally optimal.
+func testMatrix(s int) *metric.Matrix {
+	m := metric.NewMatrix(s)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range m.W {
+		state = state*6364136223846793005 + 1442695040888963407
+		m.W[i] = metric.Cost((state >> 33) % 1000)
+	}
+	return m
+}
+
+// TestConvergenceSerialMonotone runs the paper's serial local search with a
+// recorder attached and checks the recorded curve is exactly what the
+// search did: one sample per sweep, non-increasing costs, and a final cost
+// equal to the returned assignment's true Eq. (2) total — which also proves
+// the incremental cost maintenance agrees with a from-scratch evaluation.
+func TestConvergenceSerialMonotone(t *testing.T) {
+	const s = 24
+	m := testMatrix(s)
+	rec := NewConvergenceRecorder(nil)
+	p, st, err := localsearch.Serial(m, perm.Identity(s), localsearch.Options{Progress: rec.Sweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := rec.Snapshot()
+	if len(samples) != st.Passes {
+		t.Fatalf("recorded %d samples for %d sweeps", len(samples), st.Passes)
+	}
+	if len(samples) < 2 {
+		t.Fatalf("search converged in %d sweeps; matrix too easy to test monotonicity", len(samples))
+	}
+	for i, smp := range samples {
+		if smp.Round != i+1 {
+			t.Fatalf("sample %d has round %d, want %d", i, smp.Round, i+1)
+		}
+		if i > 0 {
+			prev := samples[i-1]
+			if smp.Cost > prev.Cost {
+				t.Fatalf("cost rose between sweeps %d and %d: %d -> %d", prev.Round, smp.Round, prev.Cost, smp.Cost)
+			}
+			if smp.Swaps < prev.Swaps {
+				t.Fatalf("cumulative swaps fell between sweeps: %d -> %d", prev.Swaps, smp.Swaps)
+			}
+			if smp.ElapsedNS < prev.ElapsedNS {
+				t.Fatalf("elapsed offsets regressed: %d -> %d", prev.ElapsedNS, smp.ElapsedNS)
+			}
+		}
+	}
+	last := samples[len(samples)-1]
+	if want := m.Total(p); last.Cost != want {
+		t.Fatalf("final recorded cost %d != true total %d", last.Cost, want)
+	}
+	if last.Swaps != st.Swaps {
+		t.Fatalf("final recorded swaps %d != stats %d", last.Swaps, st.Swaps)
+	}
+}
+
+// TestConvergenceCancellation cancels the search from inside the progress
+// callback and checks the run fails with the context error while the
+// recorder coherently holds exactly the prefix sampled before the abort.
+func TestConvergenceCancellation(t *testing.T) {
+	const s = 32
+	m := testMatrix(s)
+	rec := NewConvergenceRecorder(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := localsearch.Options{Progress: func(round int, cost, swaps int64) {
+		rec.Sweep(round, cost, swaps)
+		if round == 1 {
+			cancel()
+		}
+	}}
+	_, _, err := localsearch.SerialContext(ctx, m, perm.Identity(s), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	samples := rec.Snapshot()
+	if len(samples) == 0 {
+		t.Fatal("no samples before cancellation")
+	}
+	for i, smp := range samples {
+		if smp.Round != i+1 {
+			t.Fatalf("post-abort snapshot incoherent: sample %d has round %d", i, smp.Round)
+		}
+	}
+}
+
+// TestConvergenceAnneal checks the annealing curve: one sample per cooling
+// epoch with strictly decreasing temperatures (costs may rise — that is
+// Metropolis acceptance working).
+func TestConvergenceAnneal(t *testing.T) {
+	const s = 16
+	m := testMatrix(s)
+	rec := NewConvergenceRecorder(nil)
+	_, _, st, err := localsearch.Anneal(m, perm.Identity(s), localsearch.AnnealOptions{
+		Steps: 10 * s, Seed: 1, Progress: rec.Anneal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := rec.Snapshot()
+	if len(samples) != st.Passes {
+		t.Fatalf("recorded %d samples for %d cooling epochs", len(samples), st.Passes)
+	}
+	if len(samples) < 2 {
+		t.Fatalf("want multiple epochs, got %d", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Temperature >= samples[i-1].Temperature {
+			t.Fatalf("temperature did not cool: %v -> %v", samples[i-1].Temperature, samples[i].Temperature)
+		}
+	}
+}
+
+func TestConvergenceLiveGaugeAndCSV(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewConvergenceRecorder(reg)
+	rec.Sweep(1, 500, 10)
+	rec.Sweep(2, 400, 15)
+	if got := reg.Snapshot().Gauges["mosaic_search_cost"]; got != 400 {
+		t.Fatalf("live cost gauge = %v, want 400", got)
+	}
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 || lines[0] != "round,cost,swaps,temperature,elapsed_ns" {
+		t.Fatalf("CSV shape wrong:\n%s", sb.String())
+	}
+	if !strings.HasPrefix(lines[2], "2,400,15,0,") {
+		t.Fatalf("CSV row wrong: %q", lines[2])
+	}
+}

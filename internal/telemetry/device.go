@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"repro/internal/cuda"
+)
+
+// RegisterDevice exposes a virtual device's execution state on reg:
+// monotonic launch/block/launch-time totals (read live from the device, so
+// they move while a kernel is running, unlike the per-run trace deltas) and
+// the occupancy gauges — blocks in flight, busy workers, pool utilisation —
+// that a profiler-style dashboard plots. The label set distinguishes
+// devices when several are registered.
+func RegisterDevice(reg *Registry, dev *cuda.Device, labels Labels) {
+	reg.CounterFunc("mosaic_cuda_launches_total",
+		"Kernel launches executed by the virtual device.", labels,
+		func() float64 { return float64(dev.Metrics().Launches) })
+	reg.CounterFunc("mosaic_cuda_blocks_total",
+		"Thread blocks executed by the virtual device.", labels,
+		func() float64 { return float64(dev.Metrics().Blocks) })
+	reg.CounterFunc("mosaic_cuda_launch_seconds_total",
+		"Total wall time spent inside synchronous kernel launches.", labels,
+		func() float64 { return float64(dev.Metrics().LaunchNanos) / 1e9 })
+	reg.GaugeFunc("mosaic_cuda_blocks_in_flight",
+		"Thread blocks executing right now.", labels,
+		func() float64 { return float64(dev.Occupancy().BlocksInFlight) })
+	reg.GaugeFunc("mosaic_cuda_busy_workers",
+		"Device pool workers currently running a block.", labels,
+		func() float64 { return float64(dev.Occupancy().BusyWorkers) })
+	reg.GaugeFunc("mosaic_cuda_workers",
+		"Device worker-pool size.", labels,
+		func() float64 { return float64(dev.Workers()) })
+	reg.GaugeFunc("mosaic_cuda_utilisation",
+		"Busy workers over pool size, 0 to 1.", labels,
+		func() float64 { return dev.Occupancy().Utilisation() })
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE header per family followed by
+// its series in registration order, histograms expanded into cumulative
+// _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.familiesSnapshot() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			if f.kind == kindHistogram {
+				err = writePromHistogram(w, f.name, s.labels, s.hist.snapshot())
+			} else {
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.value()))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram expands one histogram series into the cumulative bucket
+// form Prometheus expects.
+func writePromHistogram(w io.Writer, name, labels string, h HistogramSnapshot) error {
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if err := writeBucket(w, name, labels, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Counts)-1]
+	if err := writeBucket(w, name, labels, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count)
+	return err
+}
+
+// writeBucket writes one le-labelled bucket line, splicing le into any
+// existing label set.
+func writeBucket(w io.Writer, name, labels, le string, cum uint64) error {
+	merged := fmt.Sprintf("{le=%q}", le)
+	if labels != "" {
+		merged = labels[:len(labels)-1] + fmt.Sprintf(",le=%q}", le)
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, merged, cum)
+	return err
+}
+
+// formatFloat renders a sample value the way Prometheus does: shortest
+// round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot is the JSON form of a registry: flat maps keyed by
+// name{label="value",...} (the key equals the Prometheus series identity).
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every series' current value.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{}
+	for _, f := range r.familiesSnapshot() {
+		for _, s := range f.series {
+			key := f.name + s.labels
+			switch f.kind {
+			case kindCounter:
+				if snap.Counters == nil {
+					snap.Counters = map[string]float64{}
+				}
+				snap.Counters[key] = s.value()
+			case kindGauge:
+				if snap.Gauges == nil {
+					snap.Gauges = map[string]float64{}
+				}
+				snap.Gauges[key] = s.value()
+			case kindHistogram:
+				if snap.Histograms == nil {
+					snap.Histograms = map[string]HistogramSnapshot{}
+				}
+				snap.Histograms[key] = s.hist.snapshot()
+			}
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON — the /metrics.json payload.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return writeIndented(w, r.Snapshot())
+}
+
+// Dump is the single observability document the CLIs emit for the
+// -trace/-metrics flags: the span tree (when traced), the trace counter
+// totals, the registry snapshot (when a registry is live) and the
+// convergence samples (when recorded), in one JSON object. All durations in
+// the document are nanoseconds, marked by _ns field names; registry
+// histograms are in seconds, as their metric names state.
+type Dump struct {
+	Spans       []*trace.Node       `json:"spans,omitempty"`
+	Counters    map[string]int64    `json:"counters,omitempty"`
+	Registry    *Snapshot           `json:"registry,omitempty"`
+	Convergence []ConvergenceSample `json:"convergence,omitempty"`
+}
+
+// WriteDump serialises d as indented JSON.
+func WriteDump(w io.Writer, d Dump) error {
+	return writeIndented(w, d)
+}
+
+// writeIndented marshals v with indentation and a trailing newline.
+func writeIndented(w io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}

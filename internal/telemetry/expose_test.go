@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full text exposition of a small
+// registry: header lines, label rendering, float formatting and the
+// cumulative histogram expansion. Observation values are exact binary
+// fractions so the golden sum is byte-stable.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mosaic_ops_total", "Operations performed.", nil).Add(3)
+	reg.Counter("mosaic_stage_started_total", "Stages started.", Labels{"stage": "pipeline"}).Inc()
+	reg.Gauge("mosaic_queue_depth", "Queue depth.", nil).Set(2.5)
+	h := reg.Histogram("mosaic_latency_seconds", "Stage latency.", nil, []float64{0.1, 1})
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(4)
+
+	want := strings.Join([]string{
+		`# HELP mosaic_ops_total Operations performed.`,
+		`# TYPE mosaic_ops_total counter`,
+		`mosaic_ops_total 3`,
+		`# HELP mosaic_stage_started_total Stages started.`,
+		`# TYPE mosaic_stage_started_total counter`,
+		`mosaic_stage_started_total{stage="pipeline"} 1`,
+		`# HELP mosaic_queue_depth Queue depth.`,
+		`# TYPE mosaic_queue_depth gauge`,
+		`mosaic_queue_depth 2.5`,
+		`# HELP mosaic_latency_seconds Stage latency.`,
+		`# TYPE mosaic_latency_seconds histogram`,
+		`mosaic_latency_seconds_bucket{le="0.1"} 1`,
+		`mosaic_latency_seconds_bucket{le="1"} 2`,
+		`mosaic_latency_seconds_bucket{le="+Inf"} 3`,
+		`mosaic_latency_seconds_sum 4.5625`,
+		`mosaic_latency_seconds_count 3`,
+	}, "\n") + "\n"
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestHistogramBucketLabelSplicing(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("mosaic_stage_duration_seconds", "Stage duration.",
+		Labels{"stage": "cost-matrix"}, []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`mosaic_stage_duration_seconds_bucket{stage="cost-matrix",le="1"} 1`,
+		`mosaic_stage_duration_seconds_count{stage="cost-matrix"} 1`,
+	} {
+		if !strings.Contains(sb.String(), line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, sb.String())
+		}
+	}
+}
+
+func TestSnapshotKeysAndJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mosaic_ops_total", "Ops.", Labels{"stage": "x"}).Inc()
+	reg.Gauge("mosaic_queue_depth", "Depth.", nil).Set(1)
+	reg.Histogram("mosaic_latency_seconds", "Latency.", nil, []float64{1}).Observe(2)
+
+	snap := reg.Snapshot()
+	if snap.Counters[`mosaic_ops_total{stage="x"}`] != 1 {
+		t.Fatalf("counter key missing: %+v", snap.Counters)
+	}
+	if snap.Gauges["mosaic_queue_depth"] != 1 {
+		t.Fatalf("gauge key missing: %+v", snap.Gauges)
+	}
+	hs, ok := snap.Histograms["mosaic_latency_seconds"]
+	if !ok || hs.Count != 1 || hs.Sum != 2 {
+		t.Fatalf("histogram snapshot wrong: %+v", snap.Histograms)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	if decoded.Counters[`mosaic_ops_total{stage="x"}`] != 1 {
+		t.Fatalf("JSON round-trip lost the counter: %+v", decoded)
+	}
+}

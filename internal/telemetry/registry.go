@@ -1,0 +1,324 @@
+// Package telemetry is the aggregated metrics layer above internal/trace:
+// where trace records the events of one run (a span tree, counter deltas),
+// telemetry accumulates process-lifetime series — counters, gauges and
+// histograms — and exposes them in Prometheus text and JSON form, live over
+// HTTP (see server.go) or as a one-shot snapshot in the CLIs' combined
+// -trace/-metrics document.
+//
+// The pieces:
+//
+//   - Registry: a concurrency-safe collection of named metrics with optional
+//     constant labels. Metrics are get-or-create, so independent call sites
+//     sharing a name share a series.
+//   - TraceCollector (tracecollector.go): a trace.Collector that folds the
+//     pipeline's span/counter vocabulary into registry metrics automatically
+//     — per-stage duration histograms and monotonic counters.
+//   - ConvergenceRecorder (convergence.go): cost-vs-work samples from the
+//     local searches, the paper-style convergence curve as JSON/CSV.
+//   - Server (server.go): the -serve debug endpoint with /metrics, /healthz,
+//     /metrics.json and net/http/pprof.
+//
+// All duration-valued metrics are recorded in seconds (the Prometheus
+// convention); all JSON duration fields elsewhere in this repository are
+// nanoseconds with an explicit _ns suffix.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are constant key→value pairs attached to a metric series.
+// A nil or empty map means an unlabelled series.
+type Labels map[string]string
+
+// metric kinds for the Prometheus TYPE line.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// DefBuckets are the default histogram buckets, in seconds — a decade sweep
+// tuned for pipeline stages that range from microsecond tile passes to
+// multi-second full-grid sweeps.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Counter is a monotonically increasing float64 value. Safe for concurrent
+// use; Add panics on negative deltas (use a Gauge for values that can fall).
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must be non-negative.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("telemetry: Counter.Add(%v): negative delta", v))
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an instantaneous float64 value. Safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (which may be negative).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Inc adds 1; Dec subtracts 1.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloat atomically adds v to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Histogram is a cumulative histogram with fixed upper-bound buckets plus an
+// implicit +Inf bucket. Safe for concurrent Observe and snapshotting.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // sorted upper bounds, +Inf excluded
+	counts  []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum     float64
+	samples uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+	h.mu.Unlock()
+}
+
+// snapshot returns a copy of the histogram state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.samples,
+	}
+}
+
+// HistogramSnapshot is the JSON form of a histogram: Counts[i] is the number
+// of samples ≤ Bounds[i]; the final element of Counts is the +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// series is one labelled instance of a metric family.
+type series struct {
+	labels    string // rendered {k="v",...} suffix, "" when unlabelled
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	valueFunc func() float64 // CounterFunc / GaugeFunc
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry is a concurrency-safe collection of metrics. The zero value is
+// not usable; construct with NewRegistry. Metric constructors are
+// get-or-create: calling Counter twice with the same name and labels returns
+// the same *Counter. Registering one name with two different kinds panics —
+// that is a programming error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// checkName enforces the Prometheus metric-name charset.
+func checkName(name string) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+		}
+	}
+}
+
+// renderLabels produces the canonical {k="v",...} suffix with sorted keys.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns (creating if needed) the series for name+labels, enforcing
+// kind consistency. make constructs the series body on first use.
+func (r *Registry) lookup(name, help, kind string, labels Labels, make func(s *series)) *series {
+	checkName(name)
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: map[string]*series{}}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	s := f.byKey[key]
+	if s == nil {
+		s = &series{labels: key}
+		make(s)
+		f.byKey[key] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	s := r.lookup(name, help, kindCounter, labels, func(s *series) { s.counter = &Counter{} })
+	if s.counter == nil {
+		panic(fmt.Sprintf("telemetry: %q%s is a counter func", name, s.labels))
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels, func(s *series) { s.gauge = &Gauge{} })
+	if s.gauge == nil {
+		panic(fmt.Sprintf("telemetry: %q%s is a gauge func", name, s.labels))
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram for name+labels, creating it with the
+// given bucket upper bounds (nil selects DefBuckets) on first use. Buckets
+// are fixed at creation; later calls ignore the argument.
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	s := r.lookup(name, help, kindHistogram, labels, func(s *series) {
+		if buckets == nil {
+			buckets = DefBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] == bounds[i-1] {
+				panic(fmt.Sprintf("telemetry: histogram %q: duplicate bucket %v", name, bounds[i]))
+			}
+		}
+		s.hist = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	})
+	return s.hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time — for wrapping an externally maintained monotonic total (the virtual
+// device's launch counters). The func is fixed at first registration;
+// registering over a plain counter of the same name panics.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	s := r.lookup(name, help, kindCounter, labels, func(s *series) { s.valueFunc = fn })
+	if s.valueFunc == nil {
+		panic(fmt.Sprintf("telemetry: %q%s already registered as a plain counter", name, s.labels))
+	}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition time
+// — the natural shape for occupancy-style instantaneous readings. The func is
+// fixed at first registration; registering over a plain gauge panics.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	s := r.lookup(name, help, kindGauge, labels, func(s *series) { s.valueFunc = fn })
+	if s.valueFunc == nil {
+		panic(fmt.Sprintf("telemetry: %q%s already registered as a plain gauge", name, s.labels))
+	}
+}
+
+// value reads a counter/gauge series.
+func (s *series) value() float64 {
+	switch {
+	case s.valueFunc != nil:
+		return s.valueFunc()
+	case s.counter != nil:
+		return s.counter.Value()
+	case s.gauge != nil:
+		return s.gauge.Value()
+	}
+	return 0
+}
+
+// familiesSnapshot copies the family/series structure under the lock so
+// exposition can run without holding it while calling value funcs.
+func (r *Registry) familiesSnapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.families))
+	for i, f := range r.families {
+		cp := &family{name: f.name, help: f.help, kind: f.kind}
+		cp.series = append(cp.series, f.series...)
+		out[i] = cp
+	}
+	return out
+}

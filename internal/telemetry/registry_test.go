@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cuda"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("mosaic_ops_total", "Ops.", nil)
+	a.Inc()
+	a.Add(2)
+	b := reg.Counter("mosaic_ops_total", "Ops.", nil)
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if got := b.Value(); got != 3 {
+		t.Fatalf("counter value = %v, want 3", got)
+	}
+	labelled := reg.Counter("mosaic_ops_total", "Ops.", Labels{"stage": "x"})
+	if labelled == a {
+		t.Fatal("distinct labels returned the same series")
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	g := NewRegistry().Gauge("mosaic_depth", "Depth.", nil)
+	g.Set(4)
+	g.Inc()
+	g.Dec()
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge value = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewRegistry().Histogram("mosaic_latency_seconds", "Latency.", nil, []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.1, 0.5, 4} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	// Bucket bounds are inclusive (Prometheus le semantics): 0.1 lands in
+	// the first bucket.
+	if s.Counts[0] != 2 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("bucket counts = %v, want [2 1 1]", s.Counts)
+	}
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mosaic_ops_total", "Ops.", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("mosaic_ops_total", "Ops.", nil)
+}
+
+func TestNegativeCounterAddPanics(t *testing.T) {
+	c := NewRegistry().Counter("mosaic_ops_total", "Ops.", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Counter.Add(-1) did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	NewRegistry().Counter("mosaic ops", "Ops.", nil)
+}
+
+func TestFuncMetrics(t *testing.T) {
+	reg := NewRegistry()
+	v := 7.0
+	reg.GaugeFunc("mosaic_workers", "Workers.", nil, func() float64 { return v })
+	reg.CounterFunc("mosaic_launches_total", "Launches.", nil, func() float64 { return 2 * v })
+	snap := reg.Snapshot()
+	if snap.Gauges["mosaic_workers"] != 7 || snap.Counters["mosaic_launches_total"] != 14 {
+		t.Fatalf("func metrics snapshot = %+v", snap)
+	}
+	v = 8
+	if got := reg.Snapshot().Gauges["mosaic_workers"]; got != 8 {
+		t.Fatalf("GaugeFunc not re-read at exposition: got %v", got)
+	}
+}
+
+func TestFuncOverPlainPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("mosaic_depth", "Depth.", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GaugeFunc over a plain gauge did not panic")
+		}
+	}()
+	reg.GaugeFunc("mosaic_depth", "Depth.", nil, func() float64 { return 0 })
+}
+
+// TestRegistryConcurrentFromKernelWorkers updates and scrapes one registry
+// from the virtual device's worker goroutines — the exact concurrency shape
+// of an instrumented parallel run being scraped by -serve. Run under -race
+// (make race does) this is the registry's data-race proof.
+func TestRegistryConcurrentFromKernelWorkers(t *testing.T) {
+	reg := NewRegistry()
+	dev := cuda.New(4)
+	RegisterDevice(reg, dev, nil)
+	ctr := reg.Counter("mosaic_test_ops_total", "Ops.", nil)
+	gauge := reg.Gauge("mosaic_test_depth", "Depth.", nil)
+	hist := reg.Histogram("mosaic_test_latency_seconds", "Latency.", nil, []float64{0.001, 0.01, 0.1})
+
+	done := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := reg.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+			reg.Snapshot()
+		}
+	}()
+
+	const blocks = 256
+	dev.Launch(blocks, 1, func(b *cuda.Block) {
+		ctr.Inc()
+		gauge.Set(float64(b.Idx))
+		hist.Observe(float64(b.Idx) / float64(blocks))
+		// Get-or-create from worker goroutines must be safe too.
+		reg.Counter("mosaic_test_ops_total", "Ops.", nil).Inc()
+	})
+	close(done)
+	<-scraped
+
+	if got := ctr.Value(); got != 2*blocks {
+		t.Fatalf("counter = %v, want %d", got, 2*blocks)
+	}
+	if got := hist.snapshot().Count; got != blocks {
+		t.Fatalf("histogram count = %d, want %d", got, blocks)
+	}
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// NewMux returns the debug mux behind the CLIs' -serve flag:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/metrics.json  JSON snapshot of reg
+//	/healthz       200 "ok" liveness probe
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// Callers may register additional handlers (the CLIs add /convergence.json
+// when a recorder is live).
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running debug endpoint. Construct with StartServer; Close
+// shuts it down.
+type Server struct {
+	// Addr is the bound address ("127.0.0.1:9190"); with a ":0" request it
+	// carries the kernel-chosen port.
+	Addr string
+	srv  *http.Server
+	done chan error
+	once sync.Once
+	err  error
+}
+
+// StartServer binds addr, serves mux (nil selects NewMux(reg)) in a
+// background goroutine, and returns immediately — the CLIs call it before a
+// long run so /metrics and /debug/pprof are live while the pipeline
+// executes. The returned Server must be Closed.
+func StartServer(addr string, reg *Registry, mux http.Handler) (*Server, error) {
+	if mux == nil {
+		mux = NewMux(reg)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan error, 1),
+	}
+	go func() { s.done <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close gracefully shuts the server down (bounded by a short deadline so a
+// finishing CLI never hangs on a stuck scrape). Idempotent: repeated calls —
+// an explicit Close racing a deferred one — return the first call's result.
+func (s *Server) Close() error {
+	s.once.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		err := s.srv.Shutdown(ctx)
+		<-s.done // Serve has returned; its http.ErrServerClosed is expected
+		if err != nil {
+			s.err = fmt.Errorf("telemetry: shutdown: %w", err)
+		}
+	})
+	return s.err
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mosaic_ops_total", "Ops.", nil).Inc()
+	srv, err := StartServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz body = %q", body)
+	}
+	_ = ctype
+
+	body, ctype = get("/metrics")
+	if !strings.Contains(body, "mosaic_ops_total 1") {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+
+	body, ctype = get("/metrics.json")
+	if !strings.Contains(body, `"mosaic_ops_total": 1`) {
+		t.Fatalf("/metrics.json missing series:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/metrics.json content type = %q", ctype)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline returned an empty body")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := client.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after Close")
+	}
+}

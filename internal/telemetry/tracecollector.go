@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Metric names produced by the trace adapter and the pipeline wiring. They
+// follow the Prometheus conventions: a mosaic_ namespace, _total suffixes on
+// counters, base units (seconds) in histogram names.
+const (
+	// MetricStageDuration is the per-stage duration histogram; the span name
+	// becomes the stage label.
+	MetricStageDuration = "mosaic_stage_duration_seconds"
+	// MetricStageStarted counts span starts per stage, so a hung stage is
+	// visible as started > observed durations.
+	MetricStageStarted = "mosaic_stage_started_total"
+)
+
+// TraceCollector folds the pipeline's span/counter vocabulary into registry
+// metrics: every span becomes an observation on the
+// mosaic_stage_duration_seconds{stage=...} histogram, and every trace
+// counter becomes a mosaic_..._total registry counter (the dotted trace
+// names are rewritten, e.g. "search.sweep-rounds" →
+// mosaic_search_sweep_rounds_total).
+//
+// It implements trace.Collector, so wiring a whole run into a registry is
+// one line: opts.Trace = telemetry.NewTraceCollector(reg). Safe for
+// concurrent use to the same degree as the underlying registry.
+type TraceCollector struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	counters map[string]*Counter // trace counter name → registry counter
+}
+
+// NewTraceCollector returns an adapter feeding reg.
+func NewTraceCollector(reg *Registry) *TraceCollector {
+	return &TraceCollector{reg: reg, counters: make(map[string]*Counter)}
+}
+
+type traceSpan struct {
+	c     *TraceCollector
+	name  string
+	begin time.Time
+}
+
+// StartSpan implements trace.Collector.
+func (c *TraceCollector) StartSpan(name string) trace.Span {
+	c.reg.Counter(MetricStageStarted, "Pipeline stage spans started.", Labels{"stage": name}).Inc()
+	return &traceSpan{c: c, name: name, begin: time.Now()}
+}
+
+func (s *traceSpan) End() {
+	h := s.c.reg.Histogram(MetricStageDuration, "Pipeline stage duration in seconds.",
+		Labels{"stage": s.name}, nil)
+	h.Observe(time.Since(s.begin).Seconds())
+}
+
+// Count implements trace.Collector.
+func (c *TraceCollector) Count(name string, delta int64) {
+	c.mu.Lock()
+	ctr := c.counters[name]
+	if ctr == nil {
+		ctr = c.reg.Counter(promCounterName(name), "Trace counter "+name+".", nil)
+		c.counters[name] = ctr
+	}
+	c.mu.Unlock()
+	if delta > 0 {
+		ctr.Add(float64(delta))
+	}
+}
+
+// promCounterName rewrites a dotted trace counter name ("cuda.blocks-executed")
+// into the Prometheus form (mosaic_cuda_blocks_executed_total).
+func promCounterName(name string) string {
+	var b strings.Builder
+	b.WriteString("mosaic_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	b.WriteString("_total")
+	return b.String()
+}

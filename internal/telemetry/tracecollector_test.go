@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTraceCollectorFoldsSpansIntoRegistry(t *testing.T) {
+	reg := NewRegistry()
+	c := NewTraceCollector(reg)
+	sp := c.StartSpan(trace.SpanCostMatrix)
+	sp.End()
+	c.StartSpan(trace.SpanCostMatrix).End()
+
+	snap := reg.Snapshot()
+	key := MetricStageStarted + `{stage="` + trace.SpanCostMatrix + `"}`
+	if snap.Counters[key] != 2 {
+		t.Fatalf("stage-started counter = %v, want 2 (%+v)", snap.Counters[key], snap.Counters)
+	}
+	hs := snap.Histograms[MetricStageDuration+`{stage="`+trace.SpanCostMatrix+`"}`]
+	if hs.Count != 2 {
+		t.Fatalf("duration histogram count = %d, want 2", hs.Count)
+	}
+	if hs.Sum < 0 {
+		t.Fatalf("duration histogram sum = %v, want >= 0", hs.Sum)
+	}
+}
+
+func TestTraceCollectorRewritesCounterNames(t *testing.T) {
+	reg := NewRegistry()
+	c := NewTraceCollector(reg)
+	c.Count(trace.CounterSweepRounds, 3)
+	c.Count(trace.CounterSweepRounds, 2)
+	c.Count(trace.CounterKernelLaunches, 1)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["mosaic_search_sweep_rounds_total"]; got != 5 {
+		t.Fatalf("sweep rounds = %v, want 5 (%+v)", got, snap.Counters)
+	}
+	if got := snap.Counters["mosaic_cuda_kernel_launches_total"]; got != 1 {
+		t.Fatalf("kernel launches = %v, want 1 (%+v)", got, snap.Counters)
+	}
+}
+
+// TestTraceCollectorAsMultiMember checks the intended wiring: a Tree and a
+// TraceCollector behind one trace.Multi see the same events.
+func TestTraceCollectorAsMultiMember(t *testing.T) {
+	reg := NewRegistry()
+	tree := trace.NewTree()
+	tr := trace.Multi(tree, NewTraceCollector(reg))
+	sp := tr.StartSpan(trace.SpanPipeline)
+	tr.Count(trace.CounterSweepRounds, 4)
+	sp.End()
+
+	if got := tree.Counters()[trace.CounterSweepRounds]; got != 4 {
+		t.Fatalf("tree counter = %d, want 4", got)
+	}
+	if got := reg.Snapshot().Counters["mosaic_search_sweep_rounds_total"]; got != 4 {
+		t.Fatalf("registry counter = %v, want 4", got)
+	}
+}

@@ -170,9 +170,15 @@ func (t *Tree) WriteCounters(w io.Writer) error {
 	return nil
 }
 
-// Log streams one line per event to an io.Writer, prefixed with the offset
-// from the collector's creation. Concurrency-safe; span End lines carry the
-// span duration.
+// Log streams one line per event to an io.Writer. Every line — span open,
+// span close, counter — leads with the elapsed-time offset from the
+// collector's creation, read from one monotonic clock (Go's time.Since uses
+// the monotonic reading, so offsets never regress even if the wall clock is
+// stepped). Interleaved counter lines therefore correlate with the span
+// lines around them without any separate clock, and counter lines are
+// indented to the depth of the enclosing span. Span close lines additionally
+// carry the span's duration. Offsets and durations share one unit:
+// microsecond-rounded Go duration notation. Concurrency-safe.
 type Log struct {
 	mu    sync.Mutex
 	w     io.Writer
@@ -183,6 +189,12 @@ type Log struct {
 // NewLog returns a line-oriented collector writing to w.
 func NewLog(w io.Writer) *Log { return &Log{w: w, epoch: time.Now()} }
 
+// offset returns the monotonic elapsed time since the collector's creation,
+// formatted with the leading '+' that marks every event line's clock column.
+func (l *Log) offset() string {
+	return "+" + time.Since(l.epoch).Round(time.Microsecond).String()
+}
+
 type logSpan struct {
 	l     *Log
 	name  string
@@ -192,7 +204,7 @@ type logSpan struct {
 // StartSpan implements Collector.
 func (l *Log) StartSpan(name string) Span {
 	l.mu.Lock()
-	fmt.Fprintf(l.w, "%12s %*s> %s\n", time.Since(l.epoch).Round(time.Microsecond), 2*l.depth, "", name)
+	fmt.Fprintf(l.w, "%13s %*s> %s\n", l.offset(), 2*l.depth, "", name)
 	l.depth++
 	l.mu.Unlock()
 	return &logSpan{l: l, name: name, begin: time.Now()}
@@ -203,8 +215,8 @@ func (s *logSpan) End() {
 	if s.l.depth > 0 {
 		s.l.depth--
 	}
-	fmt.Fprintf(s.l.w, "%12s %*s< %s (%s)\n",
-		time.Since(s.l.epoch).Round(time.Microsecond), 2*s.l.depth, "", s.name,
+	fmt.Fprintf(s.l.w, "%13s %*s< %s (%s)\n",
+		s.l.offset(), 2*s.l.depth, "", s.name,
 		time.Since(s.begin).Round(time.Microsecond))
 	s.l.mu.Unlock()
 }
@@ -212,6 +224,6 @@ func (s *logSpan) End() {
 // Count implements Collector.
 func (l *Log) Count(name string, delta int64) {
 	l.mu.Lock()
-	fmt.Fprintf(l.w, "%12s + %s += %d\n", time.Since(l.epoch).Round(time.Microsecond), name, delta)
+	fmt.Fprintf(l.w, "%13s %*s%s += %d\n", l.offset(), 2*l.depth, "", name, delta)
 	l.mu.Unlock()
 }

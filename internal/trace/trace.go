@@ -50,6 +50,18 @@ const (
 	CounterKernelLaunches = "cuda.kernel-launches"
 	// CounterKernelBlocks counts thread blocks executed across all launches.
 	CounterKernelBlocks = "cuda.blocks-executed"
+	// CounterPipelineRuns counts Generate/GenerateRGB pipelines that
+	// completed successfully.
+	CounterPipelineRuns = "pipeline.runs"
+	// CounterPipelineErrors counts pipelines that returned an error,
+	// including cancellation — the error-rate numerator a serving dashboard
+	// alerts on.
+	CounterPipelineErrors = "pipeline.errors"
+	// CounterFrames counts video frames mosaicked successfully.
+	CounterFrames = "video.frames"
+	// CounterFrameErrors counts frames that returned an error, including
+	// cancellation.
+	CounterFrameErrors = "video.frame-errors"
 )
 
 // Collector receives span and counter events. Implementations must be safe

@@ -182,3 +182,41 @@ func TestLogCollectorLines(t *testing.T) {
 		}
 	}
 }
+
+// TestLogCollectorOffsets checks every Log line leads with a monotonic
+// elapsed-time offset: '+'-prefixed, parseable as a duration, and
+// non-decreasing down the stream — the property that lets interleaved
+// counter lines be correlated with the span lines around them.
+func TestLogCollectorOffsets(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLog(&buf)
+	outer := l.StartSpan("outer")
+	l.Count("ctr", 1)
+	inner := l.StartSpan("inner")
+	inner.End()
+	outer.End()
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	prev := time.Duration(-1)
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || !strings.HasPrefix(fields[0], "+") {
+			t.Fatalf("line %q does not lead with a +offset", line)
+		}
+		d, err := time.ParseDuration(fields[0][1:])
+		if err != nil {
+			t.Fatalf("line %q: offset not a duration: %v", line, err)
+		}
+		if d < prev {
+			t.Fatalf("offsets regressed at %q (%v after %v)", line, d, prev)
+		}
+		prev = d
+	}
+	// Counter lines are indented to the depth of the enclosing span.
+	if !strings.Contains(lines[1], "  ctr += 1") {
+		t.Fatalf("counter line not depth-indented: %q", lines[1])
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cuda"
 	"repro/internal/edgecolor"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/localsearch"
 	"repro/internal/metric"
 	"repro/internal/perm"
+	"repro/internal/telemetry"
 	"repro/internal/tile"
 	"repro/internal/trace"
 )
@@ -52,6 +54,11 @@ type Config struct {
 	// Trace optionally receives span and counter events for every frame
 	// (one trace.SpanFrame root per Next call); nil traces nothing.
 	Trace trace.Collector
+	// Metrics optionally receives per-frame registry metrics: the
+	// mosaic_video_frame_latency_seconds histogram, frame/error totals, and
+	// — in Stream mode — the mosaic_video_queue_depth gauge. nil records
+	// nothing.
+	Metrics *telemetry.Registry
 }
 
 // FrameResult is the output for one target frame.
@@ -60,6 +67,9 @@ type FrameResult struct {
 	Assignment perm.Perm
 	TotalError int64
 	Passes     int // local-search sweeps this frame (k)
+	// Latency is the wall time of this frame's Next call — what the frame
+	// latency histogram observes.
+	Latency time.Duration
 	// Stats is the aggregated trace of this frame — the per-frame analogue
 	// of core.Result.Stats.
 	Stats trace.Stats
@@ -74,6 +84,13 @@ type Sequencer struct {
 	prev     perm.Perm
 	frames   int
 	s        int
+
+	// Registry series, resolved once in NewSequencer when cfg.Metrics is
+	// set; all nil otherwise.
+	latencyHist *telemetry.Histogram
+	framesCtr   *telemetry.Counter
+	errorsCtr   *telemetry.Counter
+	queueGauge  *telemetry.Gauge
 }
 
 // NewSequencer validates the configuration and precomputes the per-stream
@@ -95,6 +112,16 @@ func NewSequencer(input *imgutil.Gray, cfg Config) (*Sequencer, error) {
 	seq := &Sequencer{cfg: cfg, input: input.Clone(), s: s}
 	if cfg.Device != nil {
 		seq.coloring = edgecolor.Complete(s)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		seq.latencyHist = reg.Histogram("mosaic_video_frame_latency_seconds",
+			"Wall time per mosaicked video frame.", nil, nil)
+		seq.framesCtr = reg.Counter("mosaic_video_frames_total",
+			"Video frames mosaicked successfully.", nil)
+		seq.errorsCtr = reg.Counter("mosaic_video_frame_errors_total",
+			"Video frames that failed, including cancellations.", nil)
+		seq.queueGauge = reg.Gauge("mosaic_video_queue_depth",
+			"Frames waiting in the Stream input channel.", nil)
 	}
 	return seq, nil
 }
@@ -122,10 +149,12 @@ func (q *Sequencer) Next(target *imgutil.Gray) (*FrameResult, error) {
 // continue with the next frame.
 func (q *Sequencer) NextContext(ctx context.Context, target *imgutil.Gray) (*FrameResult, error) {
 	if target.W != q.input.W || target.H != q.input.H {
+		q.countFrameError()
 		return nil, fmt.Errorf("video: frame %dx%d, stream is %dx%d: %w",
 			target.W, target.H, q.input.W, q.input.H, ErrConfig)
 	}
 	if err := ctxErr(ctx); err != nil {
+		q.countFrameError()
 		return nil, fmt.Errorf("video: frame cancelled before preprocessing: %w", err)
 	}
 	tree := trace.NewTree()
@@ -134,17 +163,39 @@ func (q *Sequencer) NextContext(ctx context.Context, target *imgutil.Gray) (*Fra
 	if q.cfg.Device != nil {
 		dev0 = q.cfg.Device.Metrics()
 	}
+	begin := time.Now()
 	fr, err := q.next(ctx, target, tr)
+	latency := time.Since(begin)
 	if q.cfg.Device != nil {
 		d := q.cfg.Device.Metrics().Sub(dev0)
 		trace.Count(tr, trace.CounterKernelLaunches, d.Launches)
 		trace.Count(tr, trace.CounterKernelBlocks, d.Blocks)
 	}
 	if err != nil {
+		trace.Count(tr, trace.CounterFrameErrors, 1)
+		if q.errorsCtr != nil {
+			q.errorsCtr.Inc()
+		}
 		return nil, err
 	}
+	trace.Count(tr, trace.CounterFrames, 1)
+	if q.latencyHist != nil {
+		q.latencyHist.Observe(latency.Seconds())
+		q.framesCtr.Inc()
+	}
+	fr.Latency = latency
 	fr.Stats = tree.Snapshot()
 	return fr, nil
+}
+
+// countFrameError charges one failed frame to the trace and registry
+// counters — used by the early returns that fail before the per-frame trace
+// tree exists.
+func (q *Sequencer) countFrameError() {
+	trace.Count(q.cfg.Trace, trace.CounterFrameErrors, 1)
+	if q.errorsCtr != nil {
+		q.errorsCtr.Inc()
+	}
 }
 
 // next runs the per-frame stages under the frame span.
@@ -231,6 +282,42 @@ func (q *Sequencer) next(ctx context.Context, target *imgutil.Gray, tr trace.Col
 		TotalError: costs.Total(p),
 		Passes:     st.Passes,
 	}, nil
+}
+
+// Stream drains target frames from in until the channel closes or ctx is
+// cancelled, mosaicking each with NextContext and handing the result to
+// emit. When Config.Metrics is set, the queue-depth gauge tracks len(in)
+// before each frame — with a buffered producer channel this is the
+// backpressure signal of the serving story: a rising queue means frames
+// arrive faster than the pipeline drains them.
+//
+// Stream returns the first error from a frame or from emit (the warm-start
+// state survives, so a caller may resume), or ctx's error on cancellation,
+// or nil when in closes.
+func (q *Sequencer) Stream(ctx context.Context, in <-chan *imgutil.Gray, emit func(*FrameResult) error) error {
+	for {
+		if q.queueGauge != nil {
+			q.queueGauge.Set(float64(len(in)))
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case target, ok := <-in:
+			if !ok {
+				if q.queueGauge != nil {
+					q.queueGauge.Set(0)
+				}
+				return nil
+			}
+			fr, err := q.NextContext(ctx, target)
+			if err != nil {
+				return err
+			}
+			if err := emit(fr); err != nil {
+				return err
+			}
+		}
+	}
 }
 
 // ctxErr returns ctx's error if it is already done, nil otherwise.

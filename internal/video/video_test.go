@@ -9,6 +9,7 @@ import (
 	"repro/internal/imgutil"
 	"repro/internal/perm"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -273,5 +274,106 @@ func TestSequencerDeviceFrameCancellation(t *testing.T) {
 	}
 	if fr.Stats.Counter(trace.CounterKernelLaunches) <= 0 {
 		t.Fatal("frame stats missing kernel-launch counter after device run")
+	}
+}
+
+func TestSequencerMetrics(t *testing.T) {
+	input, targets := stream(t, 64, 3)
+	reg := telemetry.NewRegistry()
+	seq, err := NewSequencer(input, Config{TilesPerSide: 8, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tgt := range targets {
+		fr, err := seq.Next(tgt)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if fr.Latency <= 0 {
+			t.Fatalf("frame %d: latency %v not positive", i, fr.Latency)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["mosaic_video_frames_total"]; got != 3 {
+		t.Fatalf("frames counter = %v, want 3", got)
+	}
+	if got := snap.Counters["mosaic_video_frame_errors_total"]; got != 0 {
+		t.Fatalf("error counter = %v, want 0", got)
+	}
+	h := snap.Histograms["mosaic_video_frame_latency_seconds"]
+	if h.Count != 3 || h.Sum <= 0 {
+		t.Fatalf("latency histogram = %+v, want 3 positive observations", h)
+	}
+}
+
+func TestSequencerMetricsCountErrors(t *testing.T) {
+	input, targets := stream(t, 64, 1)
+	reg := telemetry.NewRegistry()
+	seq, err := NewSequencer(input, Config{TilesPerSide: 8, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := seq.NextContext(ctx, targets[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["mosaic_video_frame_errors_total"]; got != 1 {
+		t.Fatalf("error counter = %v, want 1", got)
+	}
+	if got := snap.Counters["mosaic_video_frames_total"]; got != 0 {
+		t.Fatalf("frames counter = %v, want 0", got)
+	}
+}
+
+func TestStreamEmitsEveryFrame(t *testing.T) {
+	input, targets := stream(t, 64, 4)
+	reg := telemetry.NewRegistry()
+	seq, err := NewSequencer(input, Config{TilesPerSide: 8, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *imgutil.Gray, len(targets))
+	for _, tgt := range targets {
+		in <- tgt
+	}
+	close(in)
+	var emitted int
+	if err := seq.Stream(context.Background(), in, func(fr *FrameResult) error {
+		emitted++
+		if fr.Latency <= 0 {
+			return errors.New("frame without latency")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != len(targets) {
+		t.Fatalf("emitted %d frames, want %d", emitted, len(targets))
+	}
+	// The channel drained, so the final queue-depth reading is zero.
+	if got := reg.Snapshot().Gauges["mosaic_video_queue_depth"]; got != 0 {
+		t.Fatalf("queue depth gauge = %v, want 0 after drain", got)
+	}
+}
+
+func TestStreamStopsOnEmitError(t *testing.T) {
+	input, targets := stream(t, 64, 3)
+	seq, err := NewSequencer(input, Config{TilesPerSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *imgutil.Gray, len(targets))
+	for _, tgt := range targets {
+		in <- tgt
+	}
+	close(in)
+	boom := errors.New("sink full")
+	if err := seq.Stream(context.Background(), in, func(*FrameResult) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if seq.Frames() != 1 {
+		t.Fatalf("processed %d frames after emit failure, want 1", seq.Frames())
 	}
 }
