@@ -7,13 +7,14 @@
 #   make fuzz        short live fuzzing session per target (FUZZTIME=10s)
 #   make bench       package micro-benchmarks
 #   make bench-json  regenerate the committed BENCH_pipeline.json report
+#   make bench-smoke fast CI-sized run of the bench-json pipeline
 #   make telemetry-smoke  end-to-end probe of the -serve debug endpoint
 
 GO      ?= go
 FUZZTIME ?= 10s
 TELEMETRY_ADDR ?= 127.0.0.1:9190
 
-.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json telemetry-smoke clean
+.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke clean
 
 check: vet build race fuzz-smoke
 
@@ -47,6 +48,14 @@ bench:
 # workload; see internal/benchjson for the schema).
 bench-json:
 	$(GO) run ./cmd/mosaicbench -bench-json BENCH_pipeline.json
+
+# Same pipeline at a reduced size (128×128, 16 tiles/side) so CI can exercise
+# the full serial/dirty/parallel comparison — including the dirty-replay
+# tripwire — in seconds. The report goes to a scratch file, never committed.
+bench-smoke:
+	@tmp=$$(mktemp); trap 'rm -f $$tmp' EXIT; \
+	$(GO) run ./cmd/mosaicbench -bench-json $$tmp -bench-size 128 -bench-tiles 16 && \
+	echo "bench-smoke: ok"
 
 # End-to-end probe of the debug server: run a generation with -serve, wait
 # for /healthz, require a 200 and mosaic_* series from /metrics plus a 200

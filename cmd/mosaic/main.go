@@ -43,7 +43,9 @@ func run() error {
 		out       = flag.String("o", "mosaic.png", "output path (.png, .pgm or .ppm)")
 		size      = flag.Int("size", 512, "working image size (images are resampled to size×size)")
 		tiles     = flag.Int("tiles", 32, "tiles per side (the paper's 16, 32 or 64)")
-		algorithm = flag.String("algorithm", "approximation", "rearrangement algorithm: optimization | approximation | approximation-parallel | greedy | identity | annealing")
+		algorithm = flag.String("algorithm", "approximation", "rearrangement algorithm: optimization | approximation | approximation-dirty | approximation-parallel | greedy | identity | annealing")
+		builder   = flag.String("builder", "auto", "Step-2 matrix builder: auto | serial | scalar | blocked | device | rows-parallel (all bit-identical)")
+		cands     = flag.Int("candidates", 0, "top-K candidate-list warm sweeps for approximation-dirty (0 = off)")
 		rotations = flag.Bool("rotations", false, "allow the eight dihedral tile orientations (grayscale only)")
 		proxy     = flag.Int("proxy", 0, "build the error matrix from proxy×proxy downsampled tiles (0 = exact)")
 		solver    = flag.String("solver", "jv", "exact matcher for -algorithm optimization: jv | hungarian | auction | blossom")
@@ -69,16 +71,22 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown metric %q", *metricStr)
 	}
+	b, err := mosaic.ParseBuilder(*builder)
+	if err != nil {
+		return err
+	}
 	opts := mosaic.Options{
 		TilesPerSide:      *tiles,
 		Algorithm:         mosaic.Algorithm(*algorithm),
 		Solver:            mosaic.Solver(*solver),
+		Builder:           b,
 		Metric:            met,
 		NoHistogramMatch:  *noHist,
 		AllowOrientations: *rotations,
 		ProxyResolution:   *proxy,
 	}
-	if opts.Algorithm == mosaic.ParallelApproximation || *gpu {
+	opts.Search.Candidates = *cands
+	if opts.Algorithm == mosaic.ParallelApproximation || b.NeedsDevice() || *gpu {
 		opts.Device = mosaic.NewDevice(*workers)
 	}
 

@@ -10,18 +10,24 @@ import (
 
 func TestExecutePinnedWorkload(t *testing.T) {
 	if testing.Short() {
-		t.Skip("pinned workload runs the full 512²/32² pipeline twice")
+		t.Skip("pinned workload runs the full 512²/32² pipeline three times")
 	}
 	rep, err := Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != SchemaVersion || len(rep.Runs) != 2 {
+	if rep.Schema != SchemaVersion || len(rep.Runs) != 3 {
 		t.Fatalf("report shape wrong: schema=%d runs=%d", rep.Schema, len(rep.Runs))
 	}
-	serial, parallel := rep.Runs[0], rep.Runs[1]
-	if serial.Workload.Algorithm != "approximation" || parallel.Workload.Algorithm != "approximation-parallel" {
-		t.Fatalf("unexpected algorithms: %q, %q", serial.Workload.Algorithm, parallel.Workload.Algorithm)
+	serial, dirty, parallel := rep.Runs[0], rep.Runs[1], rep.Runs[2]
+	if serial.Workload.Algorithm != "approximation" ||
+		dirty.Workload.Algorithm != "approximation-dirty" ||
+		parallel.Workload.Algorithm != "approximation-parallel" {
+		t.Fatalf("unexpected algorithms: %q, %q, %q",
+			serial.Workload.Algorithm, dirty.Workload.Algorithm, parallel.Workload.Algorithm)
+	}
+	if rep.Host.GoMaxProcs < 1 || rep.Host.CPUs < 1 || rep.Host.DeviceWorkers < 1 {
+		t.Fatalf("host fingerprint incomplete: %+v", rep.Host)
 	}
 	for i, run := range rep.Runs {
 		if run.Stages.CostMatrixNS <= 0 || run.Stages.RearrangeNS <= 0 {
@@ -29,6 +35,9 @@ func TestExecutePinnedWorkload(t *testing.T) {
 		}
 		if run.Search.Sweeps < 1 || run.Search.FinalCost <= 0 {
 			t.Fatalf("run %d: degenerate search outcome: %+v", i, run.Search)
+		}
+		if run.Search.Attempts <= 0 {
+			t.Fatalf("run %d: no swap attempts recorded: %+v", i, run.Search)
 		}
 		if len(run.Convergence) != run.Search.Sweeps {
 			t.Fatalf("run %d: %d convergence samples for %d sweeps", i, len(run.Convergence), run.Search.Sweeps)
@@ -42,8 +51,16 @@ func TestExecutePinnedWorkload(t *testing.T) {
 			t.Fatalf("run %d: curve endpoint %d != final cost %d", i, last.Cost, run.Search.FinalCost)
 		}
 	}
-	// Both searches descend on the same matrix; their fixed points need not
-	// be identical but must be in the same regime.
+	// The dirty-tracked search is an exact replay of the serial sweep with
+	// known-outcome pairs skipped (Execute itself also checks this tripwire).
+	if dirty.Search.FinalCost != serial.Search.FinalCost || dirty.Search.Swaps != serial.Search.Swaps {
+		t.Fatalf("dirty run diverged from serial: %+v vs %+v", dirty.Search, serial.Search)
+	}
+	if dirty.Search.Attempts >= serial.Search.Attempts {
+		t.Fatalf("dirty run attempted %d pairs, serial %d", dirty.Search.Attempts, serial.Search.Attempts)
+	}
+	// Both exhaustive searches descend on the same matrix; their fixed points
+	// need not be identical but must be in the same regime.
 	if serial.Search.FinalCost <= 0 || parallel.Search.FinalCost <= 0 {
 		t.Fatal("non-positive final costs")
 	}
@@ -60,7 +77,22 @@ func TestExecutePinnedWorkload(t *testing.T) {
 	if err := json.Unmarshal(b, &decoded); err != nil {
 		t.Fatalf("written report is not valid JSON: %v", err)
 	}
-	if len(decoded.Runs) != 2 || decoded.Runs[0].Search.FinalCost != serial.Search.FinalCost {
+	if len(decoded.Runs) != 3 || decoded.Runs[0].Search.FinalCost != serial.Search.FinalCost {
 		t.Fatalf("round trip lost data: %+v", decoded)
+	}
+}
+
+func TestExecuteSizedSmoke(t *testing.T) {
+	rep, err := ExecuteSized(context.Background(), 128, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("want 3 runs, got %d", len(rep.Runs))
+	}
+	for i, run := range rep.Runs {
+		if run.Workload.Size != 128 || run.Workload.Tiles != 16 {
+			t.Fatalf("run %d: workload not resized: %+v", i, run.Workload)
+		}
 	}
 }

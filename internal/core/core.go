@@ -40,6 +40,11 @@ const (
 	Optimization Algorithm = "optimization"
 	// Approximation is the serial local search of §IV-A (Algorithm 1).
 	Approximation Algorithm = "approximation"
+	// ApproximationDirty is Algorithm 1 with dirty-pair tracking (and, via
+	// Options.Search.Candidates, optional candidate-list warm sweeps): it
+	// reaches the same swap-local fixed points while re-testing only pairs
+	// whose endpoints moved — the delta-driven Step 3.
+	ApproximationDirty Algorithm = "approximation-dirty"
 	// ParallelApproximation is the edge-coloring-scheduled local search of
 	// §IV-B (Algorithm 2) executed on the device.
 	ParallelApproximation Algorithm = "approximation-parallel"
@@ -57,7 +62,7 @@ const (
 
 // Algorithms lists the selectable algorithms in stable order.
 func Algorithms() []Algorithm {
-	return []Algorithm{Optimization, Approximation, ParallelApproximation, GreedyBaseline, IdentityBaseline, Annealing}
+	return []Algorithm{Optimization, Approximation, ApproximationDirty, ParallelApproximation, GreedyBaseline, IdentityBaseline, Annealing}
 }
 
 // ParseAlgorithm resolves a name.
@@ -88,6 +93,13 @@ type Options struct {
 	Solver assign.Algorithm
 	// Metric picks the per-pixel error of Eq. (1); default L1 (the paper's).
 	Metric metric.Metric
+	// Builder picks the Step-2 matrix construction strategy. The zero value
+	// (metric.BuilderAuto) resolves to the device kernel when Device is set
+	// and the cache-blocked single-core loop otherwise; every builder yields
+	// a bit-identical matrix. Only the plain grayscale matrix honours it —
+	// AllowOrientations and ProxyResolution have their own builders and
+	// require BuilderAuto.
+	Builder metric.Builder
 	// NoHistogramMatch disables the §II preprocessing that reshapes the
 	// input's intensity distribution to the target's.
 	NoHistogramMatch bool
@@ -226,6 +238,17 @@ func (o *Options) validate(input, target *imgutil.Gray) (int, error) {
 	if o.Algorithm == ParallelApproximation && o.Device == nil {
 		return 0, fmt.Errorf("core: %s requires a Device: %w", ParallelApproximation, ErrOptions)
 	}
+	if _, err := metric.ParseBuilder(string(o.Builder)); err != nil {
+		return 0, fmt.Errorf("core: %v: %w", err, ErrOptions)
+	}
+	if o.Builder != metric.BuilderAuto {
+		if o.AllowOrientations || o.ProxyResolution > 0 {
+			return 0, fmt.Errorf("core: Builder %q requires the plain matrix (no orientations/proxy): %w", o.Builder, ErrOptions)
+		}
+		if o.Builder.NeedsDevice() && o.Device == nil {
+			return 0, fmt.Errorf("core: builder %q requires a Device: %w", o.Builder, ErrOptions)
+		}
+	}
 	if o.ProxyResolution > 0 {
 		if o.AllowOrientations {
 			return 0, fmt.Errorf("core: ProxyResolution and AllowOrientations are mutually exclusive: %w", ErrOptions)
@@ -349,10 +372,8 @@ func generate(ctx context.Context, input, target *imgutil.Gray, opts Options, m 
 		oriented, err = metric.BuildOriented(inGrid, tgtGrid, opts.Metric)
 	case opts.ProxyResolution > 0:
 		costs, err = metric.BuildProxy(inGrid, tgtGrid, opts.Metric, opts.ProxyResolution)
-	case opts.Device != nil:
-		costs, err = metric.BuildDevice(opts.Device, inGrid, tgtGrid, opts.Metric)
 	default:
-		costs, err = metric.BuildSerial(inGrid, tgtGrid, opts.Metric)
+		costs, err = metric.Build(opts.Device, inGrid, tgtGrid, opts.Metric, opts.Builder)
 	}
 	if err != nil {
 		return nil, err
@@ -424,6 +445,8 @@ func rearrangeContext(ctx context.Context, costs *metric.Matrix, opts Options, t
 		return p, localsearch.Stats{}, err
 	case Approximation:
 		return localsearch.SerialContext(ctx, costs, start, search)
+	case ApproximationDirty:
+		return localsearch.SerialDirtyContext(ctx, costs, start, search)
 	case ParallelApproximation:
 		return localsearch.ParallelContext(ctx, opts.Device, costs, start, opts.Coloring, search)
 	case GreedyBaseline:

@@ -39,8 +39,20 @@ import (
 
 // Device is a virtual accelerator with a fixed number of workers.
 // The zero value is not usable; construct with New.
+//
+// A Device serialises kernel launches: Launch and LaunchRange are
+// synchronous and must not be called concurrently on one Device, because the
+// per-worker shared-memory arenas (Shared/SharedInts) are reused across
+// launches — two in-flight launches would hand the same arena to two
+// concurrently running blocks. This mirrors real CUDA, where kernels on one
+// stream execute in order. The invariant is enforced with a cheap atomic
+// in-flight flag; a concurrent launch panics rather than racing. Callers
+// needing concurrent kernels use separate Devices (separate streams).
 type Device struct {
 	workers int
+	// launchActive guards the launch invariant above: set for the duration of
+	// every Launch/LaunchRange, checked with a compare-and-swap on entry.
+	launchActive atomic.Bool
 	// scratch and intScratch hold one shared-memory arena per worker (byte
 	// and int32 flavours), grown on demand and reused across launches so
 	// steady-state kernels allocate nothing.
@@ -51,6 +63,18 @@ type Device struct {
 	// metricsState carries launch/block counters (see metrics.go).
 	metricsState
 }
+
+// beginLaunch acquires the single-launch-in-flight flag or panics: a
+// concurrent launch is a caller bug that would silently corrupt shared
+// memory, so it fails loudly instead.
+func (d *Device) beginLaunch(what string) {
+	if !d.launchActive.CompareAndSwap(false, true) {
+		panic(fmt.Sprintf("cuda: concurrent %s on one Device: launches are serialised like a CUDA stream (use separate Devices for concurrent kernels)", what))
+	}
+}
+
+// endLaunch releases the in-flight flag.
+func (d *Device) endLaunch() { d.launchActive.Store(false) }
 
 // New returns a Device with the given number of workers. workers ≤ 0 selects
 // runtime.GOMAXPROCS(0), the natural "all the hardware there is" default.
@@ -147,6 +171,8 @@ func (d *Device) Launch(grid, threadsPerBlock int, kernel func(b *Block)) {
 	if threadsPerBlock <= 0 {
 		panic(fmt.Sprintf("cuda: Launch with threadsPerBlock=%d", threadsPerBlock))
 	}
+	d.beginLaunch("Launch")
+	defer d.endLaunch()
 	d.countLaunch(grid)
 	launchStart := time.Now()
 	defer func() { d.launchNanos.Add(time.Since(launchStart).Nanoseconds()) }()
@@ -229,6 +255,8 @@ func (d *Device) LaunchRange(n int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
+	d.beginLaunch("LaunchRange")
+	defer d.endLaunch()
 	chunk := (n + d.workers - 1) / d.workers
 	d.countLaunch((n + chunk - 1) / chunk)
 	launchStart := time.Now()

@@ -1,0 +1,99 @@
+package cuda
+
+import (
+	"strings"
+	"testing"
+)
+
+// parkKernel launches a kernel on dev that blocks until release is closed,
+// signalling entered once the launch is in flight. It returns a channel that
+// closes when the launch goroutine has fully returned.
+func parkKernel(dev *Device, entered chan<- struct{}, release <-chan struct{}) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		dev.Launch(1, 1, func(*Block) {
+			entered <- struct{}{}
+			<-release
+		})
+	}()
+	return done
+}
+
+// TestConcurrentLaunchPanics pins the documented stream invariant: a second
+// Launch or LaunchRange while one is in flight panics deterministically, and
+// the device stays usable once the first launch drains.
+func TestConcurrentLaunchPanics(t *testing.T) {
+	dev := New(1)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := parkKernel(dev, entered, release)
+	<-entered // first launch is now provably in flight
+
+	mustPanic := func(what string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s during an in-flight launch did not panic", what)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "concurrent") {
+				t.Fatalf("%s panic = %v, want a concurrent-launch message", what, r)
+			}
+			if !strings.Contains(msg, what) {
+				t.Fatalf("%s panic %q does not name the offending entry point", what, msg)
+			}
+		}()
+		f()
+	}
+	mustPanic("Launch", func() { dev.Launch(1, 1, func(*Block) {}) })
+	mustPanic("LaunchRange", func() { dev.LaunchRange(4, func(int) {}) })
+
+	close(release)
+	<-done
+
+	// The flag must be released: a fresh launch succeeds.
+	ran := false
+	dev.Launch(1, 1, func(*Block) { ran = true })
+	if !ran {
+		t.Fatal("device unusable after the guarded launch drained")
+	}
+}
+
+// TestGuardReleasedAfterKernelPanic: a kernel panic propagates to the caller
+// (existing contract) and must also release the in-flight flag, so a
+// recovered panic leaves the device reusable.
+func TestGuardReleasedAfterKernelPanic(t *testing.T) {
+	dev := New(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("kernel panic did not propagate")
+			}
+		}()
+		dev.Launch(4, 2, func(*Block) { panic("boom") })
+	}()
+	if dev.launchActive.Load() {
+		t.Fatal("launch flag still set after a panicking kernel")
+	}
+	n := 0
+	dev.LaunchRange(8, func(int) { n++ })
+	if n != 8 {
+		t.Fatalf("LaunchRange after recovered panic ran %d of 8 iterations", n)
+	}
+}
+
+// TestNestedLaunchFromKernelPanics: launching from inside a kernel would
+// deadlock the worker pool; the guard turns it into an immediate panic.
+func TestNestedLaunchFromKernelPanics(t *testing.T) {
+	dev := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested launch did not panic")
+		}
+	}()
+	dev.Launch(1, 1, func(*Block) {
+		dev.LaunchRange(1, func(int) {})
+	})
+}

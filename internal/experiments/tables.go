@@ -20,19 +20,27 @@ type Cell struct {
 	N     int // image side
 	Tiles int // tiles per side; S = Tiles²
 
-	Step2CPU time.Duration // serial error-matrix build
-	Step2GPU time.Duration // device error-matrix build
+	Step2Scalar  time.Duration // serial build, byte-at-a-time scalar kernel (the "before")
+	Step2CPU     time.Duration // serial error-matrix build (SWAR kernel)
+	Step2Blocked time.Duration // cache-blocked serial build
+	Step2GPU     time.Duration // device error-matrix build
 
-	Step3Opt       time.Duration // exact matching (JV) on the CPU
-	Step3ApproxCPU time.Duration // Algorithm 1
-	Step3ApproxGPU time.Duration // Algorithm 2 on the device
+	Step3Opt         time.Duration // exact matching (JV) on the CPU
+	Step3ApproxCPU   time.Duration // Algorithm 1
+	Step3ApproxDirty time.Duration // Algorithm 1 with dirty-pair tracking
+	Step3ApproxGPU   time.Duration // Algorithm 2 on the device
 
-	ErrOpt       int64 // Eq. (2) of the optimization result
-	ErrApproxCPU int64
-	ErrApproxGPU int64
+	ErrOpt         int64 // Eq. (2) of the optimization result
+	ErrApproxCPU   int64
+	ErrApproxDirty int64
+	ErrApproxGPU   int64
 
 	PassesSerial   int // the paper's k for Algorithm 1
+	PassesDirty    int
 	PassesParallel int
+
+	AttemptsSerial int64 // pair tests evaluated by the exhaustive sweeps
+	AttemptsDirty  int64 // pair tests evaluated by the dirty-tracked search
 
 	OptSkipped bool // exact matching skipped by MaxOptimizationS
 }
@@ -79,15 +87,26 @@ func (cfg *Config) runCell(p Pair, n, tiles int, cc colorings) (*Cell, error) {
 	cell := &Cell{Pair: p, N: n, Tiles: tiles}
 	s := tiles * tiles
 
-	// Step 2, both implementations. The serial build's result is reused for
-	// every Step-3 variant so all algorithms see the identical matrix.
+	// Step 2, every implementation. The serial build's result is reused for
+	// each Step-3 variant so all algorithms see the identical matrix (the
+	// builders are bit-identical by construction — TestBuildersEquivalent).
 	var costs *metric.Matrix
+	cell.Step2Scalar = measure(func() {
+		if _, err2 := metric.BuildSerialScalar(inGrid, tgtGrid, metric.L1); err2 != nil {
+			panic(err2)
+		}
+	})
 	cell.Step2CPU = measure(func() {
 		m, err2 := metric.BuildSerial(inGrid, tgtGrid, metric.L1)
 		if err2 != nil {
 			panic(err2)
 		}
 		costs = m
+	})
+	cell.Step2Blocked = measure(func() {
+		if _, err2 := metric.BuildBlocked(inGrid, tgtGrid, metric.L1); err2 != nil {
+			panic(err2)
+		}
 	})
 	cell.Step2GPU = cfg.measureDevice(dev, func() {
 		if _, err2 := metric.BuildDevice(dev, inGrid, tgtGrid, metric.L1); err2 != nil {
@@ -122,6 +141,22 @@ func (cfg *Config) runCell(p Pair, n, tiles int, cc colorings) (*Cell, error) {
 	})
 	cell.ErrApproxCPU = costs.Total(pcpu)
 	cell.PassesSerial = stCPU.Passes
+	cell.AttemptsSerial = stCPU.Attempts
+
+	// Step 3: dirty-tracked serial approximation (exact replay of Algorithm 1
+	// with known-outcome pairs skipped).
+	var pdirty perm.Perm
+	var stDirty localsearch.Stats
+	cell.Step3ApproxDirty = measure(func() {
+		q, st, err2 := localsearch.SerialDirty(costs, perm.Identity(s), localsearch.Options{Trace: cfg.Trace})
+		if err2 != nil {
+			panic(err2)
+		}
+		pdirty, stDirty = q, st
+	})
+	cell.ErrApproxDirty = costs.Total(pdirty)
+	cell.PassesDirty = stDirty.Passes
+	cell.AttemptsDirty = stDirty.Attempts
 
 	// Step 3: parallel approximation with a precomputed coloring.
 	coloring := cc.get(s)
@@ -157,25 +192,35 @@ func (cfg *Config) Sweep() ([]*Cell, error) {
 				if err != nil {
 					return nil, err
 				}
+				agg.Step2Scalar += cell.Step2Scalar
 				agg.Step2CPU += cell.Step2CPU
+				agg.Step2Blocked += cell.Step2Blocked
 				agg.Step2GPU += cell.Step2GPU
 				agg.Step3Opt += cell.Step3Opt
 				agg.Step3ApproxCPU += cell.Step3ApproxCPU
+				agg.Step3ApproxDirty += cell.Step3ApproxDirty
 				agg.Step3ApproxGPU += cell.Step3ApproxGPU
 				agg.OptSkipped = agg.OptSkipped || cell.OptSkipped
 				if pi == 0 {
 					agg.ErrOpt = cell.ErrOpt
 					agg.ErrApproxCPU = cell.ErrApproxCPU
+					agg.ErrApproxDirty = cell.ErrApproxDirty
 					agg.ErrApproxGPU = cell.ErrApproxGPU
 					agg.PassesSerial = cell.PassesSerial
+					agg.PassesDirty = cell.PassesDirty
 					agg.PassesParallel = cell.PassesParallel
+					agg.AttemptsSerial = cell.AttemptsSerial
+					agg.AttemptsDirty = cell.AttemptsDirty
 				}
 			}
 			np := time.Duration(len(cfg.Pairs))
+			agg.Step2Scalar /= np
 			agg.Step2CPU /= np
+			agg.Step2Blocked /= np
 			agg.Step2GPU /= np
 			agg.Step3Opt /= np
 			agg.Step3ApproxCPU /= np
+			agg.Step3ApproxDirty /= np
 			agg.Step3ApproxGPU /= np
 			out = append(out, agg)
 		}
@@ -214,34 +259,49 @@ func (cfg *Config) Table1() ([]*Cell, error) {
 	return rows, nil
 }
 
-// Table2 reproduces Table II: Step-2 error-matrix time, CPU vs device.
+// Table2 reproduces Table II with the builder ablation alongside the paper's
+// CPU-vs-device comparison: Scalar is the byte-at-a-time kernel (the
+// "before"), CPU the SWAR serial build, Blocked the cache-blocked loop nest.
+// Vec× = Scalar/Blocked isolates the single-core vectorization win; GPU× =
+// CPU/GPU is the paper's speed-up column.
 func (cfg *Config) Table2(cells []*Cell) {
 	w := cfg.out()
 	fmt.Fprintf(w, "Table II — computing the error values between tiles in Step 2 (avg over %d pair(s))\n", len(cfg.Pairs))
-	fmt.Fprintf(w, "%-12s %-8s %12s %12s %10s\n", "Image", "S", "CPU [s]", "GPU [s]", "Speed-up")
+	fmt.Fprintf(w, "%-12s %-8s %11s %11s %11s %11s %7s %7s\n",
+		"Image", "S", "Scalar [s]", "CPU [s]", "Blocked [s]", "GPU [s]", "Vec×", "GPU×")
 	for _, c := range cells {
-		fmt.Fprintf(w, "%-12s %-8s %12.4f %12.4f %10.2f\n",
+		fmt.Fprintf(w, "%-12s %-8s %11.4f %11.4f %11.4f %11.4f %7.2f %7.2f\n",
 			fmt.Sprintf("%dx%d", c.N, c.N), fmt.Sprintf("%dx%d", c.Tiles, c.Tiles),
-			c.Step2CPU.Seconds(), c.Step2GPU.Seconds(), speedup(c.Step2CPU, c.Step2GPU))
+			c.Step2Scalar.Seconds(), c.Step2CPU.Seconds(), c.Step2Blocked.Seconds(),
+			c.Step2GPU.Seconds(), speedup(c.Step2Scalar, c.Step2Blocked), speedup(c.Step2CPU, c.Step2GPU))
 	}
 }
 
-// Table3 reproduces Table III: Step-3 rearrangement time — exact matching
-// on the CPU versus the serial and device local searches; the speed-up
-// column compares the two approximation implementations as the paper does.
+// Table3 reproduces Table III: Step-3 rearrangement time — exact matching on
+// the CPU versus the serial, dirty-tracked and device local searches. The
+// GPU speed-up column compares the two exhaustive implementations as the
+// paper does; Dirty× is the delta-driven win over the exhaustive serial
+// sweep, and Tested shows the fraction of pair tests the dirty search
+// actually evaluated (it reaches the identical final assignment).
 func (cfg *Config) Table3(cells []*Cell) {
 	w := cfg.out()
 	fmt.Fprintf(w, "Table III — rearrangement of tiles in Step 3 (avg over %d pair(s))\n", len(cfg.Pairs))
-	fmt.Fprintf(w, "%-12s %-8s %14s %14s %14s %10s\n", "Image", "S", "Opt CPU [s]", "Apx CPU [s]", "Apx GPU [s]", "Speed-up")
+	fmt.Fprintf(w, "%-12s %-8s %13s %13s %13s %13s %7s %7s %8s\n",
+		"Image", "S", "Opt CPU [s]", "Apx CPU [s]", "Dirty [s]", "Apx GPU [s]", "Dirty×", "GPU×", "Tested")
 	for _, c := range cells {
-		opt := fmt.Sprintf("%14.4f", c.Step3Opt.Seconds())
+		opt := fmt.Sprintf("%13.4f", c.Step3Opt.Seconds())
 		if c.OptSkipped {
-			opt = fmt.Sprintf("%14s", "skipped")
+			opt = fmt.Sprintf("%13s", "skipped")
 		}
-		fmt.Fprintf(w, "%-12s %-8s %s %14.4f %14.4f %10.2f\n",
+		tested := "-"
+		if c.AttemptsSerial > 0 {
+			tested = fmt.Sprintf("%7.1f%%", 100*float64(c.AttemptsDirty)/float64(c.AttemptsSerial))
+		}
+		fmt.Fprintf(w, "%-12s %-8s %s %13.4f %13.4f %13.4f %7.2f %7.2f %8s\n",
 			fmt.Sprintf("%dx%d", c.N, c.N), fmt.Sprintf("%dx%d", c.Tiles, c.Tiles),
-			opt, c.Step3ApproxCPU.Seconds(), c.Step3ApproxGPU.Seconds(),
-			speedup(c.Step3ApproxCPU, c.Step3ApproxGPU))
+			opt, c.Step3ApproxCPU.Seconds(), c.Step3ApproxDirty.Seconds(), c.Step3ApproxGPU.Seconds(),
+			speedup(c.Step3ApproxCPU, c.Step3ApproxDirty),
+			speedup(c.Step3ApproxCPU, c.Step3ApproxGPU), tested)
 	}
 }
 

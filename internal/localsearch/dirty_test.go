@@ -1,0 +1,186 @@
+package localsearch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/perm"
+)
+
+// TestSerialDirtyReplaysSerial is the dirty search's correctness anchor: on
+// random and real matrices it must retrace the exhaustive serial sweep
+// exactly — identical final assignment, cost, pass and swap counts — while
+// evaluating strictly fewer pairs whenever the search runs more than one
+// sweep.
+func TestSerialDirtyReplaysSerial(t *testing.T) {
+	matrices := []*metric.Matrix{
+		randCosts(40, 1),
+		randCosts(64, 2),
+		randCosts(97, 3),
+		sceneCosts(t, 128, 16),
+	}
+	for mi, m := range matrices {
+		for _, start := range []perm.Perm{perm.Identity(m.S), perm.Random(m.S, 11)} {
+			want, wantSt, err := Serial(m, start, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotSt, err := SerialDirty(m, start, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("matrix %d: dirty assignment differs from serial", mi)
+			}
+			if gotSt.Passes != wantSt.Passes || gotSt.Swaps != wantSt.Swaps {
+				t.Fatalf("matrix %d: dirty stats %+v != serial %+v", mi, gotSt, wantSt)
+			}
+			if m.Total(got) != m.Total(want) {
+				t.Fatalf("matrix %d: costs differ", mi)
+			}
+			if wantSt.Passes > 1 && gotSt.Attempts >= wantSt.Attempts {
+				t.Fatalf("matrix %d: dirty attempted %d of serial's %d pairs", mi, gotSt.Attempts, wantSt.Attempts)
+			}
+			if gotSt.Attempts > wantSt.Attempts {
+				t.Fatalf("matrix %d: dirty attempted more pairs than serial", mi)
+			}
+		}
+	}
+}
+
+// swapLocalOptimal reports whether no improving pair exists for p on m.
+func swapLocalOptimal(m *metric.Matrix, p perm.Perm) bool {
+	s := m.S
+	w := m.W
+	for x := 0; x < s; x++ {
+		for y := x + 1; y < s; y++ {
+			px, py := p[x], p[y]
+			if int64(w[px*s+x])+int64(w[py*s+y]) > int64(w[py*s+x])+int64(w[px*s+y]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSerialDirtyReachesSwapLocalPlateau: with or without candidate warm
+// sweeps the returned assignment admits no improving pairwise swap.
+func TestSerialDirtyReachesSwapLocalPlateau(t *testing.T) {
+	for _, k := range []int{0, 1, 4, 16, 1000} {
+		for _, seed := range []int64{5, 6} {
+			m := randCosts(48, seed)
+			p, st, err := SerialDirty(m, perm.Identity(m.S), Options{Candidates: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !swapLocalOptimal(m, p) {
+				t.Fatalf("candidates=%d seed=%d: result is not swap-local optimal", k, seed)
+			}
+			if st.Passes < 1 || st.Attempts < 1 {
+				t.Fatalf("candidates=%d: degenerate stats %+v", k, st)
+			}
+		}
+	}
+}
+
+// TestCandidatesSameCostClassAsExhaustive: the candidate-warmed search lands
+// on a swap-local optimum whose cost is in the same regime as the exhaustive
+// one (fixed points need not be identical, but warm sweeps must not wreck
+// quality — the plateau certification bounds how far they can drift).
+func TestCandidatesSameCostClassAsExhaustive(t *testing.T) {
+	m := sceneCosts(t, 128, 16)
+	base, _, err := Serial(m, perm.Identity(m.S), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := SerialDirty(m, perm.Identity(m.S), Options{Candidates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, wc := m.Total(base), m.Total(warm)
+	if float64(wc) > 1.1*float64(bc) {
+		t.Fatalf("candidate-warmed cost %d more than 10%% above exhaustive %d", wc, bc)
+	}
+	if !swapLocalOptimal(m, warm) {
+		t.Fatal("candidate-warmed result not swap-local optimal")
+	}
+}
+
+// TestTopKColumn pins the candidate extraction on a hand-built matrix.
+func TestTopKColumn(t *testing.T) {
+	m := metric.NewMatrix(5)
+	// Column 2 costs by input tile u: {9, 1, 8, 0, 5}.
+	col := []metric.Cost{9, 1, 8, 0, 5}
+	for u, c := range col {
+		m.Set(u, 2, c)
+	}
+	got := topKColumn(m, 2, 3)
+	want := []int32{3, 1, 4}
+	if len(got) != len(want) {
+		t.Fatalf("topKColumn returned %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topKColumn = %v, want %v", got, want)
+		}
+	}
+	if n := len(topKColumn(m, 2, 99)); n != 5 {
+		t.Fatalf("K beyond S returned %d candidates", n)
+	}
+}
+
+// TestSerialDirtyCancellation mirrors the serial search's contract: a
+// cancelled context aborts between sweeps with a wrapped ctx error.
+func TestSerialDirtyCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := randCosts(32, 9)
+	p, _, err := SerialDirtyContext(ctx, m, perm.Identity(m.S), Options{})
+	if p != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want canceled", p, err)
+	}
+}
+
+// TestSerialDirtyMaxPasses honours the sweep cap.
+func TestSerialDirtyMaxPasses(t *testing.T) {
+	m := sceneCosts(t, 64, 8)
+	_, st, err := SerialDirty(m, perm.Identity(m.S), Options{MaxPasses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Passes != 1 {
+		t.Fatalf("MaxPasses=1 ran %d passes", st.Passes)
+	}
+}
+
+// TestSerialDirtyProgressMatchesSerial: the incremental convergence curve of
+// the dirty replay equals the serial one sample for sample.
+func TestSerialDirtyProgressMatchesSerial(t *testing.T) {
+	m := randCosts(40, 12)
+	type sample struct {
+		round int
+		cost  int64
+		swaps int64
+	}
+	var a, b []sample
+	if _, _, err := Serial(m, perm.Identity(m.S), Options{
+		Progress: func(r int, c, s int64) { a = append(a, sample{r, c, s}) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SerialDirty(m, perm.Identity(m.S), Options{
+		Progress: func(r int, c, s int64) { b = append(b, sample{r, c, s}) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

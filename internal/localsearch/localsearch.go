@@ -30,8 +30,9 @@ var ErrBadStart = errors.New("localsearch: bad start assignment")
 
 // Stats describes one local-search run.
 type Stats struct {
-	Passes int   // number of full sweeps (the paper's k)
-	Swaps  int64 // improving swaps applied
+	Passes   int   // number of full sweeps (the paper's k)
+	Swaps    int64 // improving swaps applied
+	Attempts int64 // pair tests evaluated (exhaustive sweeps test S(S−1)/2 each)
 }
 
 // Progress receives one convergence sample per completed sweep round: the
@@ -55,6 +56,10 @@ type Options struct {
 	// the cost-vs-work convergence curve; nil records nothing and the search
 	// skips the cost bookkeeping entirely.
 	Progress Progress
+	// Candidates, when positive, makes SerialDirty warm-start with top-K
+	// candidate-list sweeps (K = Candidates) before certifying the plateau
+	// with exhaustive dirty sweeps. Ignored by the other searches.
+	Candidates int
 }
 
 // ctxErr returns ctx's error if it is already done, nil otherwise — the
@@ -134,6 +139,7 @@ func SerialContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts 
 			}
 		}
 		st.Passes++
+		st.Attempts += int64(s) * int64(s-1) / 2
 		trace.Count(opts.Trace, trace.CounterSweepRounds, 1)
 		trace.Count(opts.Trace, trace.CounterSwapAttempts, int64(s)*int64(s-1)/2)
 		trace.Count(opts.Trace, trace.CounterImprovingSwaps, st.Swaps-swapsBefore)
@@ -176,6 +182,7 @@ func SerialBestImprovement(m *metric.Matrix, start perm.Perm, opts Options) (per
 			}
 		}
 		st.Passes++
+		st.Attempts += int64(s) * int64(s-1) / 2
 		if bestX < 0 {
 			break
 		}
@@ -287,6 +294,7 @@ func ParallelContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, st
 			})
 		}
 		st.Passes++
+		st.Attempts += int64(s) * int64(s-1) / 2
 		trace.Count(opts.Trace, trace.CounterSweepRounds, 1)
 		trace.Count(opts.Trace, trace.CounterSwapAttempts, int64(s)*int64(s-1)/2)
 		trace.Count(opts.Trace, trace.CounterImprovingSwaps, swapCount.Load()-swapsBefore)

@@ -57,9 +57,28 @@ type Cost = int32
 const MaxTileSide = 181
 
 // TileError computes Eq. (1) between two flattened tiles of equal length.
+// Tiles of at least swarMinBytes pixels take the SWAR word-at-a-time path
+// (see swar.go); the result is bit-identical to TileErrorScalar on every
+// input, which the differential fuzz target FuzzTileErrorSWAR enforces.
 func TileError(a, b []uint8, m Metric) Cost {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("metric: TileError on %d vs %d pixels", len(a), len(b)))
+	}
+	if len(a) >= swarMinBytes {
+		if m == L2 {
+			return Cost(tileErrorL2SWAR(a, b))
+		}
+		return Cost(tileErrorL1SWAR(a, b))
+	}
+	return TileErrorScalar(a, b, m)
+}
+
+// TileErrorScalar is the byte-at-a-time transcription of Eq. (1) — the
+// reference oracle the vectorized kernels are differentially tested against,
+// and the builder backing BuilderScalar's before/after ablation column.
+func TileErrorScalar(a, b []uint8, m Metric) Cost {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metric: TileErrorScalar on %d vs %d pixels", len(a), len(b)))
 	}
 	switch m {
 	case L2:
@@ -147,7 +166,7 @@ func checkGrids(in, tgt *tile.Grid) error {
 
 // BuildSerial computes the full cost matrix on a single core — the paper's
 // CPU reference for Table II. Tiles are flattened first so the S² inner
-// loops stream contiguous memory.
+// loops stream contiguous memory; the inner loop is the SWAR TileError.
 func BuildSerial(in, tgt *tile.Grid, m Metric) (*Matrix, error) {
 	if err := checkGrids(in, tgt); err != nil {
 		return nil, err
@@ -165,6 +184,97 @@ func BuildSerial(in, tgt *tile.Grid, m Metric) (*Matrix, error) {
 		row := out.Row(u)
 		for v := 0; v < s; v++ {
 			row[v] = TileError(tu, ftgt[v*m2:(v+1)*m2], m)
+		}
+	}
+	return out, nil
+}
+
+// BuildSerialScalar is BuildSerial with the scalar reference kernel — the
+// "before" column of the vectorization ablation and the oracle the builder
+// equivalence tests compare everything against.
+func BuildSerialScalar(in, tgt *tile.Grid, m Metric) (*Matrix, error) {
+	if err := checkGrids(in, tgt); err != nil {
+		return nil, err
+	}
+	if !m.Valid() {
+		return nil, fmt.Errorf("metric: invalid metric %v", m)
+	}
+	s := in.S()
+	m2 := in.M * in.M
+	fin := in.Flatten()
+	ftgt := tgt.Flatten()
+	out := NewMatrix(s)
+	for u := 0; u < s; u++ {
+		tu := fin[u*m2 : (u+1)*m2]
+		row := out.Row(u)
+		for v := 0; v < s; v++ {
+			row[v] = TileErrorScalar(tu, ftgt[v*m2:(v+1)*m2], m)
+		}
+	}
+	return out, nil
+}
+
+// Cache-blocking budgets for BuildBlocked. The target-tile panel is sized to
+// stay resident in L2 while every input row of the block streams over it;
+// the input panel keeps a handful of tiles hot in L1. Both are byte budgets
+// divided by the tile size at run time, so small tiles get wide panels and
+// 181×181 tiles degrade gracefully to a few tiles per panel.
+const (
+	blockedTargetBytes = 128 << 10
+	blockedInputBytes  = 16 << 10
+)
+
+// blockSpan converts a byte budget into a tile-count block side for m2-byte
+// tiles, clamped to [1, s].
+func blockSpan(budget, m2, s int) int {
+	b := budget / m2
+	if b < 1 {
+		b = 1
+	}
+	if b > s {
+		b = s
+	}
+	return b
+}
+
+// BuildBlocked computes the matrix with a cache-blocked loop nest: the S×S
+// pair space is tiled into (input panel) × (target panel) blocks so each
+// target panel is loaded from memory once per input panel instead of once
+// per input row. The arithmetic is identical to BuildSerial's — every entry
+// is one TileError call — so the result is bit-identical; only the visit
+// order changes. This is the fastest single-core builder on matrices too
+// large for the target grid to stay cached (S·M² beyond ~L2).
+func BuildBlocked(in, tgt *tile.Grid, m Metric) (*Matrix, error) {
+	if err := checkGrids(in, tgt); err != nil {
+		return nil, err
+	}
+	if !m.Valid() {
+		return nil, fmt.Errorf("metric: invalid metric %v", m)
+	}
+	s := in.S()
+	m2 := in.M * in.M
+	fin := in.Flatten()
+	ftgt := tgt.Flatten()
+	out := NewMatrix(s)
+	bv := blockSpan(blockedTargetBytes, m2, s)
+	bu := blockSpan(blockedInputBytes, m2, s)
+	for v0 := 0; v0 < s; v0 += bv {
+		v1 := v0 + bv
+		if v1 > s {
+			v1 = s
+		}
+		for u0 := 0; u0 < s; u0 += bu {
+			u1 := u0 + bu
+			if u1 > s {
+				u1 = s
+			}
+			for u := u0; u < u1; u++ {
+				tu := fin[u*m2 : (u+1)*m2]
+				row := out.Row(u)
+				for v := v0; v < v1; v++ {
+					row[v] = TileError(tu, ftgt[v*m2:(v+1)*m2], m)
+				}
+			}
 		}
 	}
 	return out, nil
@@ -235,4 +345,79 @@ func BuildRowsParallel(dev *cuda.Device, in, tgt *tile.Grid, m Metric) (*Matrix,
 		}
 	})
 	return out, nil
+}
+
+// Builder names a Step-2 matrix construction strategy. All builders produce
+// bit-identical matrices (enforced by TestBuildersEquivalent); they differ
+// only in loop order and parallel decomposition.
+type Builder string
+
+// The selectable builders.
+const (
+	// BuilderAuto picks BuilderDevice when a device is supplied and
+	// BuilderBlocked otherwise.
+	BuilderAuto Builder = ""
+	// BuilderSerial is the paper's single-core reference loop.
+	BuilderSerial Builder = "serial"
+	// BuilderScalar is BuilderSerial with the byte-at-a-time oracle kernel —
+	// the pre-vectorization "before" for ablation benches.
+	BuilderScalar Builder = "scalar"
+	// BuilderBlocked is the cache-blocked single-core loop nest.
+	BuilderBlocked Builder = "blocked"
+	// BuilderDevice is the paper's §V kernel decomposition on the virtual
+	// accelerator.
+	BuilderDevice Builder = "device"
+	// BuilderRows is plain row-level multicore parallelism on the device's
+	// worker pool, without the kernel shape.
+	BuilderRows Builder = "rows-parallel"
+)
+
+// Builders lists the named builders in stable order (BuilderAuto excluded).
+func Builders() []Builder {
+	return []Builder{BuilderSerial, BuilderScalar, BuilderBlocked, BuilderDevice, BuilderRows}
+}
+
+// ParseBuilder resolves a name; the empty string is BuilderAuto.
+func ParseBuilder(name string) (Builder, error) {
+	if name == "" || name == "auto" {
+		return BuilderAuto, nil
+	}
+	for _, b := range Builders() {
+		if string(b) == name {
+			return b, nil
+		}
+	}
+	return "", fmt.Errorf("metric: unknown builder %q", name)
+}
+
+// NeedsDevice reports whether the builder runs on the device worker pool.
+func (b Builder) NeedsDevice() bool { return b == BuilderDevice || b == BuilderRows }
+
+// Build dispatches to the named builder. BuilderAuto resolves to
+// BuilderDevice when dev is non-nil and BuilderBlocked otherwise; the
+// device-backed builders require dev.
+func Build(dev *cuda.Device, in, tgt *tile.Grid, m Metric, b Builder) (*Matrix, error) {
+	if b == BuilderAuto {
+		if dev != nil {
+			b = BuilderDevice
+		} else {
+			b = BuilderBlocked
+		}
+	}
+	if b.NeedsDevice() && dev == nil {
+		return nil, fmt.Errorf("metric: builder %q requires a device", b)
+	}
+	switch b {
+	case BuilderSerial:
+		return BuildSerial(in, tgt, m)
+	case BuilderScalar:
+		return BuildSerialScalar(in, tgt, m)
+	case BuilderBlocked:
+		return BuildBlocked(in, tgt, m)
+	case BuilderDevice:
+		return BuildDevice(dev, in, tgt, m)
+	case BuilderRows:
+		return BuildRowsParallel(dev, in, tgt, m)
+	}
+	return nil, fmt.Errorf("metric: unknown builder %q", b)
 }
