@@ -9,12 +9,14 @@
 #   make bench-json  regenerate the committed BENCH_pipeline.json report
 #   make bench-smoke fast CI-sized run of the bench-json pipeline
 #   make telemetry-smoke  end-to-end probe of the -serve debug endpoint
+#   make service-smoke    end-to-end probe of the mosaicd HTTP service
 
 GO      ?= go
 FUZZTIME ?= 10s
 TELEMETRY_ADDR ?= 127.0.0.1:9190
+SERVICE_ADDR ?= 127.0.0.1:9200
 
-.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke clean
+.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke clean
 
 check: vet build race fuzz-smoke
 
@@ -80,6 +82,39 @@ telemetry-smoke:
 		echo "telemetry-smoke: /metrics.json failed"; kill $$pid 2>/dev/null; exit 1; fi; \
 	wait $$pid; \
 	echo "telemetry-smoke: ok"
+
+# End-to-end probe of the mosaicd service: start it, wait for /readyz,
+# submit the same job twice (the second must be a cache hit that skipped
+# Step 2), check the cache-hit counter on /metrics, then SIGTERM and
+# require a clean graceful drain (exit 0).
+service-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/mosaicd ./cmd/mosaicd; \
+	$$tmp/mosaicd -addr $(SERVICE_ADDR) & pid=$$!; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS -o /dev/null http://$(SERVICE_ADDR)/readyz 2>/dev/null; then up=1; break; fi; \
+		kill -0 $$pid 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	if [ $$up -ne 1 ]; then echo "service-smoke: /readyz never answered 200"; kill $$pid 2>/dev/null; exit 1; fi; \
+	req='{"input":"lena","target":"sailboat","size":256,"tiles":16}'; \
+	curl -fsS -X POST -H 'Content-Type: application/json' -d "$$req" \
+		http://$(SERVICE_ADDR)/v1/mosaic > $$tmp/first.json; \
+	grep -q '"cache": "miss"' $$tmp/first.json || { \
+		echo "service-smoke: first request was not a cache miss"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -fsS -X POST -H 'Content-Type: application/json' -d "$$req" \
+		http://$(SERVICE_ADDR)/v1/mosaic > $$tmp/second.json; \
+	grep -q '"cache": "hit"' $$tmp/second.json || { \
+		echo "service-smoke: second request did not hit the cache"; kill $$pid 2>/dev/null; exit 1; }; \
+	if grep -q '"error-matrix"' $$tmp/second.json; then \
+		echo "service-smoke: cache hit still ran the cost matrix"; kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -fsS http://$(SERVICE_ADDR)/metrics | grep '^mosaic_service_cache_hits_total' | grep -qv ' 0$$' || { \
+		echo "service-smoke: mosaic_service_cache_hits_total not incremented"; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "service-smoke: mosaicd did not drain cleanly"; exit 1; }; \
+	echo "service-smoke: ok"
 
 clean:
 	$(GO) clean ./...

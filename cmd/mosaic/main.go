@@ -110,7 +110,15 @@ func run() error {
 		opts.Anneal.Progress = rec.Anneal
 	}
 	if *serveAddr != "" {
-		mux := telemetry.NewMux(reg)
+		// pprof exposes heap contents and stack traces; keep it off unless
+		// the bind is loopback-only.
+		var muxOpts []telemetry.MuxOption
+		pprofNote := ""
+		if telemetry.IsLoopback(*serveAddr) {
+			muxOpts = append(muxOpts, telemetry.WithPProf())
+			pprofNote = ", /debug/pprof/"
+		}
+		mux := telemetry.NewMux(reg, muxOpts...)
 		mux.HandleFunc("/convergence.json", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = rec.WriteJSON(w)
@@ -120,7 +128,7 @@ func run() error {
 			return err
 		}
 		defer server.Close()
-		fmt.Fprintf(os.Stderr, "mosaic: telemetry on http://%s (/metrics, /healthz, /metrics.json, /convergence.json, /debug/pprof/)\n", server.Addr)
+		fmt.Fprintf(os.Stderr, "mosaic: telemetry on http://%s (/metrics, /healthz, /metrics.json, /convergence.json%s)\n", server.Addr, pprofNote)
 	}
 
 	ctx := context.Background()

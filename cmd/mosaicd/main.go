@@ -1,0 +1,111 @@
+// Command mosaicd serves photomosaic generation over HTTP: a bounded job
+// queue drained by a worker pool, devices shared safely across requests via
+// the service device pool, and a content-hash cache of prepared Step-2 work
+// so repeated requests against the same target skip the error matrix.
+//
+// Endpoints:
+//
+//	POST /v1/mosaic    submit a job (sync; mode=async for 202 + polling)
+//	GET  /v1/jobs/{id} poll an async job
+//	GET  /metrics      Prometheus exposition (plus /metrics.json)
+//	GET  /healthz      liveness — 200 while the process runs
+//	GET  /readyz       readiness — 503 during drain, so LBs stop routing
+//	GET  /debug/pprof  only on loopback binds or with -pprof
+//
+// SIGINT/SIGTERM starts a graceful drain: readiness flips, new submissions
+// get 503, queued and in-flight jobs finish (bounded by -drain-timeout),
+// then the process exits.
+//
+// Example:
+//
+//	mosaicd -addr 127.0.0.1:9200 &
+//	curl -s -X POST -H 'Content-Type: application/json' \
+//	  -d '{"input":"lena","target":"sailboat","size":256,"tiles":16}' \
+//	  http://127.0.0.1:9200/v1/mosaic | jq .cache,.total_error
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mosaicd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:9200", "listen address")
+		workers       = flag.Int("workers", 4, "concurrent jobs")
+		queueDepth    = flag.Int("queue", 16, "bounded job queue depth (full queue → 429)")
+		devices       = flag.Int("devices", 1, "virtual devices in the pool")
+		deviceWorkers = flag.Int("device-workers", 0, "kernel workers per device (0 = all cores)")
+		cacheMB       = flag.Int("cache-mb", 256, "prepared-work cache budget in MiB (0 disables)")
+		timeout       = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+		maxTimeout    = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+		maxSize       = flag.Int("max-size", 1024, "largest accepted working image side")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain")
+		pprofFlag     = flag.Bool("pprof", false, "expose /debug/pprof even on non-loopback binds (loopback binds always get it)")
+	)
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1
+	}
+	svc := service.New(service.Config{
+		Registry:       reg,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		Devices:        *devices,
+		DeviceWorkers:  *deviceWorkers,
+		CacheBytes:     cacheBytes,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxImageSide:   *maxSize,
+	})
+
+	muxOpts := []telemetry.MuxOption{telemetry.WithReadiness(svc.Ready)}
+	if *pprofFlag || telemetry.IsLoopback(*addr) {
+		muxOpts = append(muxOpts, telemetry.WithPProf())
+	}
+	mux := telemetry.NewMux(reg, muxOpts...)
+	svc.RegisterRoutes(mux)
+
+	server, err := telemetry.StartServer(*addr, reg, mux)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mosaicd: serving on http://%s (POST /v1/mosaic; /metrics, /healthz, /readyz)\n", server.Addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "mosaicd: draining (readyz now 503; in-flight jobs completing)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := svc.Drain(drainCtx)
+	svc.Close()
+	if err := server.Close(); err != nil {
+		return err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Fprintln(os.Stderr, "mosaicd: drained cleanly")
+	return nil
+}

@@ -17,12 +17,10 @@ import (
 	"repro/internal/assign"
 	"repro/internal/cuda"
 	"repro/internal/edgecolor"
-	"repro/internal/hist"
 	"repro/internal/imgutil"
 	"repro/internal/localsearch"
 	"repro/internal/metric"
 	"repro/internal/perm"
-	"repro/internal/tile"
 	"repro/internal/trace"
 )
 
@@ -321,112 +319,18 @@ func GenerateContext(ctx context.Context, input, target *imgutil.Gray, opts Opti
 	return res, nil
 }
 
-// generate runs the pipeline stages under the root span.
-func generate(ctx context.Context, input, target *imgutil.Gray, opts Options, m int, tr trace.Collector) (res *Result, err error) {
+// generate runs the pipeline stages under the root span: the cacheable
+// front half (prepareStages: preprocess, tiling, Step 2) followed by the
+// per-request back half (finishStages: Step 3, assembly). Serving callers
+// split the halves via PrepareContext/FinishContext in prepare.go.
+func generate(ctx context.Context, input, target *imgutil.Gray, opts Options, m int, tr trace.Collector) (*Result, error) {
 	root := trace.Start(tr, trace.SpanPipeline)
 	defer root.End()
-	res = &Result{}
-
-	// §II preprocessing: reshape the input's intensity distribution.
-	t0 := time.Now()
-	sp := trace.Start(tr, trace.SpanPreprocess)
-	work := input
-	if !opts.NoHistogramMatch {
-		work, err = hist.Match(input, target)
-		if err != nil {
-			return nil, fmt.Errorf("core: histogram match: %w", err)
-		}
-	}
-	sp.End()
-	res.Input = work
-	res.Timing.Preprocess = time.Since(t0)
-	if err := ctxErr(ctx); err != nil {
-		return nil, fmt.Errorf("core: cancelled before tiling: %w", err)
-	}
-
-	// Step 1: tiling.
-	sp = trace.Start(tr, trace.SpanTiling)
-	inGrid, err := tile.NewGrid(work, m)
+	p, err := prepareStages(ctx, input, target, opts, m, tr)
 	if err != nil {
 		return nil, err
 	}
-	tgtGrid, err := tile.NewGrid(target, m)
-	if err != nil {
-		return nil, err
-	}
-	sp.End()
-	if err := ctxErr(ctx); err != nil {
-		return nil, fmt.Errorf("core: cancelled before Step 2: %w", err)
-	}
-
-	// Step 2: the S×S error matrix (oriented variant scores all eight
-	// dihedral placements per pair and keeps the best).
-	t0 = time.Now()
-	sp = trace.Start(tr, trace.SpanCostMatrix)
-	var costs *metric.Matrix
-	var oriented *metric.OrientedMatrix
-	switch {
-	case opts.AllowOrientations && opts.Device != nil:
-		oriented, err = metric.BuildOrientedDevice(opts.Device, inGrid, tgtGrid, opts.Metric)
-	case opts.AllowOrientations:
-		oriented, err = metric.BuildOriented(inGrid, tgtGrid, opts.Metric)
-	case opts.ProxyResolution > 0:
-		costs, err = metric.BuildProxy(inGrid, tgtGrid, opts.Metric, opts.ProxyResolution)
-	default:
-		costs, err = metric.Build(opts.Device, inGrid, tgtGrid, opts.Metric, opts.Builder)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if oriented != nil {
-		costs = &oriented.Matrix
-	}
-	sp.End()
-	res.Timing.CostMatrix = time.Since(t0)
-	if err := ctxErr(ctx); err != nil {
-		return nil, fmt.Errorf("core: cancelled before Step 3: %w", err)
-	}
-
-	// Step 3: rearrangement.
-	t0 = time.Now()
-	sp = trace.Start(tr, trace.SpanRearrange)
-	res.Assignment, res.SearchStats, err = rearrangeContext(ctx, costs, opts, tr)
-	if err != nil {
-		return nil, err
-	}
-	sp.End()
-	res.Timing.Rearrange = time.Since(t0)
-	if opts.ProxyResolution > 0 && opts.ProxyResolution < m {
-		// Step 3 ran on approximate costs; report the true Eq. (2) error.
-		res.TotalError, err = metric.AssignmentError(inGrid, tgtGrid, res.Assignment, opts.Metric)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		res.TotalError = costs.Total(res.Assignment)
-	}
-	if err := ctxErr(ctx); err != nil {
-		return nil, fmt.Errorf("core: cancelled before assembly: %w", err)
-	}
-
-	// Assembly.
-	t0 = time.Now()
-	sp = trace.Start(tr, trace.SpanAssemble)
-	if oriented != nil {
-		res.Orientations, err = oriented.Orientations(res.Assignment)
-		if err != nil {
-			return nil, err
-		}
-		res.Mosaic, err = inGrid.AssembleOriented(res.Assignment, res.Orientations)
-	} else {
-		res.Mosaic, err = inGrid.Assemble(res.Assignment)
-	}
-	if err != nil {
-		return nil, err
-	}
-	sp.End()
-	res.Timing.Assemble = time.Since(t0)
-	return res, nil
+	return p.finishStages(ctx, opts, tr)
 }
 
 // rearrangeContext dispatches Step 3 on an already-built cost matrix. The

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/cuda"
+	"repro/internal/hist"
+	"repro/internal/imgutil"
+	"repro/internal/metric"
+	"repro/internal/tile"
+	"repro/internal/trace"
+)
+
+// Prepared is the reusable front half of the pipeline: the preprocessed
+// input, both tile grids and the S×S error matrix of one (input, target,
+// geometry, metric) combination. Photomosaic serving is naturally repeated
+// against a fixed target/tile library, and Steps 1–2 dominate the per-request
+// cost there, so a serving layer caches Prepared values by content hash and
+// runs only Step 3 + assembly per request (FinishContext).
+//
+// A Prepared is immutable after PrepareContext returns: concurrent
+// FinishContext calls on one shared value are safe, provided each call either
+// omits Options.Start or passes a perm it does not mutate elsewhere.
+type Prepared struct {
+	// opts are the prepare-time options with defaults applied; the fields
+	// that shaped Steps 1–2 (geometry, metric, histogram matching, proxy,
+	// orientations) are authoritative for every later Finish.
+	opts     Options
+	m        int
+	input    *imgutil.Gray // preprocessed (histogram-matched) input actually tiled
+	inGrid   *tile.Grid
+	tgtGrid  *tile.Grid
+	costs    *metric.Matrix
+	oriented *metric.OrientedMatrix
+	// prepTiming carries the Preprocess and CostMatrix stage times measured
+	// at prepare time; FinishContext copies them into Result.Timing, so a
+	// cache-hit result reports the original build cost of the reused work.
+	prepTiming Timing
+}
+
+// Tiles returns S, the number of tiles per image.
+func (p *Prepared) Tiles() int { return p.costs.S }
+
+// TileSide returns M, the tile side in pixels.
+func (p *Prepared) TileSide() int { return p.m }
+
+// MemoryBytes estimates the resident size of the prepared artifacts — the
+// two pixel buffers the grids reference plus the error matrix (and, when
+// orientations were scored, the per-pair orientation table). Serving caches
+// use it as the eviction weight.
+func (p *Prepared) MemoryBytes() int64 {
+	n := int64(len(p.input.Pix)) + int64(len(p.tgtGrid.Img.Pix))
+	n += int64(len(p.costs.W)) * 8
+	if p.oriented != nil {
+		n += int64(len(p.oriented.Orient))
+	}
+	return n
+}
+
+// PrepareContext runs the cacheable front half of GenerateContext —
+// preprocessing (§II), tiling (Step 1) and the error matrix (Step 2) — and
+// returns the artifacts for any number of FinishContext calls. Options is
+// validated exactly as GenerateContext validates it; stage spans are emitted
+// to opts.Trace.
+func PrepareContext(ctx context.Context, input, target *imgutil.Gray, opts Options) (*Prepared, error) {
+	m, err := opts.validate(input, target)
+	if err != nil {
+		return nil, err
+	}
+	return prepareStages(ctx, input, target, opts, m, opts.Trace)
+}
+
+// FinishContext runs the back half of the pipeline — Step-3 rearrangement
+// and assembly — on the prepared artifacts. The Step-3 fields of opts
+// (Algorithm, Solver, Search, Anneal, Start, Coloring, Device, Trace) are
+// honoured; everything that shaped Steps 1–2 is taken from prepare time, so
+// one Prepared serves requests that differ only in rearrangement strategy.
+// Result.Stats aggregates this call's spans and counters; a Finish on reused
+// work therefore contains no error-matrix span — the observable signature of
+// a cache hit.
+func (p *Prepared) FinishContext(ctx context.Context, opts Options) (*Result, error) {
+	merged, err := p.mergeFinishOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	tree := trace.NewTree()
+	tr := trace.Multi(tree, merged.Trace)
+	var dev0 cuda.Metrics
+	if merged.Device != nil {
+		dev0 = merged.Device.Metrics()
+	}
+	res, err := func() (*Result, error) {
+		root := trace.Start(tr, trace.SpanPipeline)
+		defer root.End()
+		return p.finishStages(ctx, merged, tr)
+	}()
+	deviceDelta(tr, merged.Device, dev0)
+	if err != nil {
+		trace.Count(tr, trace.CounterPipelineErrors, 1)
+		return nil, err
+	}
+	trace.Count(tr, trace.CounterPipelineRuns, 1)
+	res.Stats = tree.Snapshot()
+	return res, nil
+}
+
+// mergeFinishOptions overlays the Step-3 fields of next onto the
+// prepare-time options and validates the combination.
+func (p *Prepared) mergeFinishOptions(next Options) (Options, error) {
+	o := p.opts
+	o.Algorithm = next.Algorithm
+	o.Solver = next.Solver
+	o.Search = next.Search
+	o.Anneal = next.Anneal
+	o.Start = next.Start
+	o.Coloring = next.Coloring
+	o.Device = next.Device
+	o.Trace = next.Trace
+	if o.Algorithm == "" {
+		o.Algorithm = Approximation
+	}
+	if _, err := ParseAlgorithm(string(o.Algorithm)); err != nil {
+		return o, err
+	}
+	if o.Solver == "" {
+		o.Solver = assign.AlgoJV
+	}
+	if _, ok := assign.Solvers()[o.Solver]; !ok {
+		return o, fmt.Errorf("core: unknown solver %q: %w", o.Solver, ErrOptions)
+	}
+	if o.Algorithm == ParallelApproximation && o.Device == nil {
+		return o, fmt.Errorf("core: %s requires a Device: %w", ParallelApproximation, ErrOptions)
+	}
+	return o, nil
+}
+
+// prepareStages runs preprocessing, tiling and Step 2 under tr, with the
+// same cancellation points GenerateContext has always had.
+func prepareStages(ctx context.Context, input, target *imgutil.Gray, opts Options, m int, tr trace.Collector) (*Prepared, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before preprocessing: %w", err)
+	}
+	p := &Prepared{opts: opts, m: m}
+
+	// §II preprocessing: reshape the input's intensity distribution.
+	t0 := time.Now()
+	sp := trace.Start(tr, trace.SpanPreprocess)
+	work := input
+	if !opts.NoHistogramMatch {
+		var err error
+		work, err = hist.Match(input, target)
+		if err != nil {
+			return nil, fmt.Errorf("core: histogram match: %w", err)
+		}
+	}
+	sp.End()
+	p.input = work
+	p.prepTiming.Preprocess = time.Since(t0)
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before tiling: %w", err)
+	}
+
+	// Step 1: tiling.
+	sp = trace.Start(tr, trace.SpanTiling)
+	var err error
+	p.inGrid, err = tile.NewGrid(work, m)
+	if err != nil {
+		return nil, err
+	}
+	p.tgtGrid, err = tile.NewGrid(target, m)
+	if err != nil {
+		return nil, err
+	}
+	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before Step 2: %w", err)
+	}
+
+	// Step 2: the S×S error matrix (oriented variant scores all eight
+	// dihedral placements per pair and keeps the best).
+	t0 = time.Now()
+	sp = trace.Start(tr, trace.SpanCostMatrix)
+	switch {
+	case opts.AllowOrientations && opts.Device != nil:
+		p.oriented, err = metric.BuildOrientedDevice(opts.Device, p.inGrid, p.tgtGrid, opts.Metric)
+	case opts.AllowOrientations:
+		p.oriented, err = metric.BuildOriented(p.inGrid, p.tgtGrid, opts.Metric)
+	case opts.ProxyResolution > 0:
+		p.costs, err = metric.BuildProxy(p.inGrid, p.tgtGrid, opts.Metric, opts.ProxyResolution)
+	default:
+		p.costs, err = metric.Build(opts.Device, p.inGrid, p.tgtGrid, opts.Metric, opts.Builder)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.oriented != nil {
+		p.costs = &p.oriented.Matrix
+	}
+	sp.End()
+	p.prepTiming.CostMatrix = time.Since(t0)
+	return p, nil
+}
+
+// finishStages runs Step 3 and assembly under tr. opts must already carry
+// the prepare-time Step-1/2 fields (see mergeFinishOptions); callers inside
+// this package pass the original options unchanged.
+func (p *Prepared) finishStages(ctx context.Context, opts Options, tr trace.Collector) (*Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before Step 3: %w", err)
+	}
+	res := &Result{Input: p.input}
+	res.Timing.Preprocess = p.prepTiming.Preprocess
+	res.Timing.CostMatrix = p.prepTiming.CostMatrix
+
+	// Step 3: rearrangement.
+	t0 := time.Now()
+	sp := trace.Start(tr, trace.SpanRearrange)
+	var err error
+	res.Assignment, res.SearchStats, err = rearrangeContext(ctx, p.costs, opts, tr)
+	if err != nil {
+		return nil, err
+	}
+	sp.End()
+	res.Timing.Rearrange = time.Since(t0)
+	if opts.ProxyResolution > 0 && opts.ProxyResolution < p.m {
+		// Step 3 ran on approximate costs; report the true Eq. (2) error.
+		res.TotalError, err = metric.AssignmentError(p.inGrid, p.tgtGrid, res.Assignment, opts.Metric)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res.TotalError = p.costs.Total(res.Assignment)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: cancelled before assembly: %w", err)
+	}
+
+	// Assembly.
+	t0 = time.Now()
+	sp = trace.Start(tr, trace.SpanAssemble)
+	if p.oriented != nil {
+		res.Orientations, err = p.oriented.Orientations(res.Assignment)
+		if err != nil {
+			return nil, err
+		}
+		res.Mosaic, err = p.inGrid.AssembleOriented(res.Assignment, res.Orientations)
+	} else {
+		res.Mosaic, err = p.inGrid.Assemble(res.Assignment)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sp.End()
+	res.Timing.Assemble = time.Since(t0)
+	return res, nil
+}

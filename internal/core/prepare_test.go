@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestPrepareFinishMatchesGenerate: splitting the pipeline into
+// PrepareContext + FinishContext must reproduce GenerateContext bit for bit.
+func TestPrepareFinishMatchesGenerate(t *testing.T) {
+	input := synth.MustGenerate(synth.Lena, 128)
+	target := synth.MustGenerate(synth.Sailboat, 128)
+	opts := Options{TilesPerSide: 16, Algorithm: Approximation}
+
+	want, err := Generate(input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := PrepareContext(context.Background(), input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prep.FinishContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalError != want.TotalError {
+		t.Fatalf("TotalError = %d, want %d", got.TotalError, want.TotalError)
+	}
+	if !got.Assignment.Equal(want.Assignment) {
+		t.Fatal("assignments differ")
+	}
+	if !got.Mosaic.Equal(want.Mosaic) {
+		t.Fatal("mosaics differ")
+	}
+	if prep.Tiles() != 16*16 || prep.TileSide() != 8 {
+		t.Fatalf("Tiles()=%d TileSide()=%d, want 256, 8", prep.Tiles(), prep.TileSide())
+	}
+	if prep.MemoryBytes() <= 0 {
+		t.Fatalf("MemoryBytes() = %d", prep.MemoryBytes())
+	}
+}
+
+// TestFinishAlgorithmOverride: one Prepared serves Step-3 variants, each
+// matching the corresponding full pipeline run.
+func TestFinishAlgorithmOverride(t *testing.T) {
+	input := synth.MustGenerate(synth.Lena, 64)
+	target := synth.MustGenerate(synth.Sailboat, 64)
+	base := Options{TilesPerSide: 8}
+	prep, err := PrepareContext(context.Background(), input, target, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Optimization, Approximation, GreedyBaseline, IdentityBaseline} {
+		opts := base
+		opts.Algorithm = alg
+		want, err := Generate(input, target, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		got, err := prep.FinishContext(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if got.TotalError != want.TotalError {
+			t.Fatalf("%s: TotalError = %d, want %d", alg, got.TotalError, want.TotalError)
+		}
+		if !got.Mosaic.Equal(want.Mosaic) {
+			t.Fatalf("%s: mosaics differ", alg)
+		}
+	}
+}
+
+// TestConcurrentFinishSharedPrepared: a Prepared is immutable, so concurrent
+// FinishContext calls (the serving layer's cache-hit path) must be race-free
+// and identical.
+func TestConcurrentFinishSharedPrepared(t *testing.T) {
+	input := synth.MustGenerate(synth.Lena, 64)
+	target := synth.MustGenerate(synth.Sailboat, 64)
+	opts := Options{TilesPerSide: 8, Algorithm: Approximation}
+	prep, err := PrepareContext(context.Background(), input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prep.FinishContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	results := make([]*Result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = prep.FinishContext(context.Background(), opts)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("finish %d: %v", i, errs[i])
+		}
+		if results[i].TotalError != want.TotalError || !results[i].Mosaic.Equal(want.Mosaic) {
+			t.Fatalf("finish %d diverged from the serial result", i)
+		}
+	}
+}
+
+// TestFinishHasNoCostMatrixSpan: the observable signature of reusing a
+// Prepared is the absence of the Step-2 span — both in Result.Stats and on
+// the caller's collector.
+func TestFinishHasNoCostMatrixSpan(t *testing.T) {
+	input := synth.MustGenerate(synth.Lena, 64)
+	target := synth.MustGenerate(synth.Sailboat, 64)
+	opts := Options{TilesPerSide: 8}
+	prep, err := PrepareContext(context.Background(), input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := trace.NewTree()
+	opts.Trace = tree
+	res, err := prep.FinishContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stats := range []trace.Stats{res.Stats, tree.Snapshot()} {
+		if stats.Span(trace.SpanCostMatrix).Count != 0 {
+			t.Fatalf("finish emitted a %s span: %+v", trace.SpanCostMatrix, stats.Spans)
+		}
+		if stats.Span(trace.SpanRearrange).Count == 0 {
+			t.Fatalf("finish missing the %s span: %+v", trace.SpanRearrange, stats.Spans)
+		}
+	}
+	if res.Stats.Counter(trace.CounterPipelineRuns) != 1 {
+		t.Fatalf("pipeline.runs = %d, want 1", res.Stats.Counter(trace.CounterPipelineRuns))
+	}
+}
+
+// TestFinishValidatesStepThreeOptions: bad Step-3 options are rejected with
+// ErrOptions, including the parallel algorithm without a device.
+func TestFinishValidatesStepThreeOptions(t *testing.T) {
+	input := synth.MustGenerate(synth.Lena, 64)
+	target := synth.MustGenerate(synth.Sailboat, 64)
+	prep, err := PrepareContext(context.Background(), input, target, Options{TilesPerSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.FinishContext(context.Background(), Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := prep.FinishContext(context.Background(), Options{Algorithm: ParallelApproximation}); err == nil {
+		t.Fatal("parallel algorithm without a device accepted")
+	}
+	// With a device it runs, sharing the prepare-time matrix.
+	res, err := prep.FinishContext(context.Background(), Options{Algorithm: ParallelApproximation, Device: cuda.New(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalError <= 0 {
+		t.Fatalf("TotalError = %d", res.TotalError)
+	}
+}

@@ -1,0 +1,68 @@
+package cuda
+
+import (
+	"context"
+	"fmt"
+)
+
+// Exclusive-use acquisition.
+//
+// Launch and LaunchRange keep their documented invariant: two concurrent
+// launches on one Device are a caller bug and panic (see beginLaunch). That
+// is the right contract for direct API use — a race there would silently
+// corrupt the per-worker shared-memory arenas — but it is a process-killer
+// for a server where many request goroutines legitimately want to share one
+// device. The methods below are the cooperative path for that caller: a
+// goroutine acquires the device, submits any number of (serial) launches,
+// and releases it; contending acquirers block or receive an error instead
+// of tripping the launch guard.
+//
+// Acquisition is advisory: it does not block a goroutine that calls Launch
+// without acquiring (that caller keeps the panic contract). The invariant
+// for shared-device callers is therefore: every goroutine that may overlap
+// with another holds the acquisition for the duration of its launches.
+// internal/service's device pool routes every job through AcquireContext,
+// which is why its jobs can never fire the launch-guard panic.
+
+// AcquireContext reserves the device for the calling goroutine's kernel
+// launches, blocking until the device is free or ctx is done. It returns
+// nil exactly once per subsequent Release; on cancellation it returns the
+// ctx error and the caller must not Release.
+func (d *Device) AcquireContext(ctx context.Context) error {
+	// Cancellation is honoured even when the device is free, so a caller
+	// holding a dead context never acquires (and then leaks) the device.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cuda: acquire: %w", err)
+	}
+	select {
+	case d.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case d.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("cuda: acquire: %w", ctx.Err())
+	}
+}
+
+// TryAcquire reserves the device if it is free, returning whether it did.
+func (d *Device) TryAcquire() bool {
+	select {
+	case d.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns the device to the free state. Releasing a device that is
+// not held is a caller bug and panics, mirroring sync.Mutex.Unlock.
+func (d *Device) Release() {
+	select {
+	case <-d.sem:
+	default:
+		panic("cuda: Release of a device that is not acquired")
+	}
+}

@@ -1,0 +1,99 @@
+package cuda
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAcquireSerializesLaunches is the shared-device contract the service
+// layer depends on: N goroutines funnelling launches through AcquireContext
+// never overlap (so the launch guard can never fire) and never observe more
+// than one holder at a time.
+func TestAcquireSerializesLaunches(t *testing.T) {
+	dev := New(2)
+	const goroutines, launchesEach = 8, 5
+	var holders atomic.Int32
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < launchesEach; i++ {
+				if err := dev.AcquireContext(context.Background()); err != nil {
+					t.Errorf("AcquireContext: %v", err)
+					return
+				}
+				if h := holders.Add(1); h != 1 {
+					t.Errorf("%d concurrent holders", h)
+				}
+				dev.Launch(4, 2, func(b *Block) {
+					b.StrideLoop(8, func(int) { total.Add(1) })
+				})
+				holders.Add(-1)
+				dev.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(goroutines * launchesEach * 4 * 8); total.Load() != want {
+		t.Fatalf("kernel work = %d, want %d", total.Load(), want)
+	}
+}
+
+// TestAcquireContextCancellation: a blocked acquirer unblocks with the ctx
+// error instead of panicking or deadlocking, and a pre-cancelled ctx never
+// acquires.
+func TestAcquireContextCancellation(t *testing.T) {
+	dev := New(1)
+	if err := dev.AcquireContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := dev.AcquireContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled acquire = %v, want context.Canceled", err)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if err := dev.AcquireContext(ctx2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked acquire = %v, want context.DeadlineExceeded", err)
+	}
+
+	dev.Release()
+	if err := dev.AcquireContext(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	dev.Release()
+}
+
+func TestTryAcquire(t *testing.T) {
+	dev := New(1)
+	if !dev.TryAcquire() {
+		t.Fatal("TryAcquire on a free device failed")
+	}
+	if dev.TryAcquire() {
+		t.Fatal("TryAcquire on a held device succeeded")
+	}
+	dev.Release()
+	if !dev.TryAcquire() {
+		t.Fatal("TryAcquire after Release failed")
+	}
+	dev.Release()
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	dev := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of an unheld device did not panic")
+		}
+	}()
+	dev.Release()
+}

@@ -47,9 +47,15 @@ import (
 // concurrently running blocks. This mirrors real CUDA, where kernels on one
 // stream execute in order. The invariant is enforced with a cheap atomic
 // in-flight flag; a concurrent launch panics rather than racing. Callers
-// needing concurrent kernels use separate Devices (separate streams).
+// needing concurrent kernels use separate Devices (separate streams);
+// callers that must *share* one device across goroutines (a serving layer)
+// serialise through the cooperative AcquireContext/TryAcquire/Release path
+// in acquire.go instead of relying on the panic.
 type Device struct {
 	workers int
+	// sem is the exclusive-use token behind AcquireContext/TryAcquire/
+	// Release: capacity 1, full while the device is held.
+	sem chan struct{}
 	// launchActive guards the launch invariant above: set for the duration of
 	// every Launch/LaunchRange, checked with a compare-and-swap on entry.
 	launchActive atomic.Bool
@@ -84,6 +90,7 @@ func New(workers int) *Device {
 	}
 	return &Device{
 		workers:    workers,
+		sem:        make(chan struct{}, 1),
 		scratch:    make([][]byte, workers),
 		intScratch: make([][]int32, workers),
 	}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func preparedFixture(t *testing.T, scene synth.Scene, n int) *core.Prepared {
+	t.Helper()
+	input := synth.MustGenerate(scene, n)
+	target := synth.MustGenerate(synth.Gradient, n)
+	p, err := core.PrepareContext(context.Background(), input, target, core.Options{TilesPerSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCacheLRUEviction: entries beyond the byte budget are evicted oldest
+// first, and the eviction counter records it.
+func TestCacheLRUEviction(t *testing.T) {
+	a := preparedFixture(t, synth.Lena, 64)
+	b := preparedFixture(t, synth.Sailboat, 64)
+	// Budget for one entry only.
+	c := newPrepCache(a.MemoryBytes() + a.MemoryBytes()/2)
+
+	ctx := context.Background()
+	build := func(p *core.Prepared) func() (*core.Prepared, error) {
+		return func() (*core.Prepared, error) { return p, nil }
+	}
+	if _, hit, _ := c.getOrPrepare(ctx, "a", build(a)); hit {
+		t.Fatal("first insert reported a hit")
+	}
+	if _, hit, _ := c.getOrPrepare(ctx, "a", build(a)); !hit {
+		t.Fatal("repeat lookup missed")
+	}
+	if _, hit, _ := c.getOrPrepare(ctx, "b", build(b)); hit {
+		t.Fatal("new key reported a hit")
+	}
+	entries, bytes, evictions := c.stats()
+	if entries != 1 || evictions != 1 {
+		t.Fatalf("entries=%d evictions=%d after overflow, want 1/1", entries, evictions)
+	}
+	if bytes != b.MemoryBytes() {
+		t.Fatalf("resident bytes = %d, want %d", bytes, b.MemoryBytes())
+	}
+	if _, hit, _ := c.getOrPrepare(ctx, "a", build(a)); hit {
+		t.Fatal("evicted key still hit")
+	}
+}
+
+// TestCacheSingleflight: concurrent misses on one key run build once; the
+// followers report hits.
+func TestCacheSingleflight(t *testing.T) {
+	p := preparedFixture(t, synth.Lena, 64)
+	c := newPrepCache(1 << 30)
+	gate := make(chan struct{})
+	var builds int
+	var mu sync.Mutex
+
+	const n = 8
+	hits := make(chan bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, hit, err := c.getOrPrepare(context.Background(), "k", func() (*core.Prepared, error) {
+				mu.Lock()
+				builds++
+				mu.Unlock()
+				<-gate
+				return p, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			hits <- hit
+		}()
+	}
+	// Let every goroutine reach the leader/follower split, then open the gate.
+	for {
+		mu.Lock()
+		started := builds
+		mu.Unlock()
+		if started >= 1 {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+	close(hits)
+
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	var hitCount int
+	for h := range hits {
+		if h {
+			hitCount++
+		}
+	}
+	if hitCount != n-1 {
+		t.Fatalf("%d followers hit, want %d", hitCount, n-1)
+	}
+}
+
+// TestCacheDisabled: a non-positive budget stores nothing but still serves
+// builds.
+func TestCacheDisabled(t *testing.T) {
+	p := preparedFixture(t, synth.Lena, 64)
+	c := newPrepCache(-1)
+	ctx := context.Background()
+	build := func() (*core.Prepared, error) { return p, nil }
+	for i := 0; i < 2; i++ {
+		got, hit, err := c.getOrPrepare(ctx, "k", build)
+		if err != nil || got != p || hit {
+			t.Fatalf("iteration %d: got=%v hit=%v err=%v", i, got == p, hit, err)
+		}
+	}
+	if entries, bytes, _ := c.stats(); entries != 0 || bytes != 0 {
+		t.Fatalf("disabled cache retained entries=%d bytes=%d", entries, bytes)
+	}
+}
+
+// TestCacheBuildError: a failed build is not cached and the error reaches
+// the caller.
+func TestCacheBuildError(t *testing.T) {
+	c := newPrepCache(1 << 30)
+	boom := errors.New("boom")
+	if _, _, err := c.getOrPrepare(context.Background(), "k", func() (*core.Prepared, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	p := preparedFixture(t, synth.Lena, 64)
+	if _, hit, err := c.getOrPrepare(context.Background(), "k", func() (*core.Prepared, error) {
+		return p, nil
+	}); hit || err != nil {
+		t.Fatalf("after failed build: hit=%v err=%v, want fresh miss", hit, err)
+	}
+}
+
+// TestCacheKeyDiscriminates: any change to content, geometry, metric or the
+// histogram flag changes the key; Step-3 knobs do not participate at all.
+func TestCacheKeyDiscriminates(t *testing.T) {
+	in := synth.MustGenerate(synth.Lena, 64)
+	tg := synth.MustGenerate(synth.Sailboat, 64)
+	base := cacheKey(in, tg, 8, 0, false)
+	if cacheKey(in, tg, 8, 0, false) != base {
+		t.Fatal("key is not deterministic")
+	}
+	variants := map[string]string{
+		"tiles":  cacheKey(in, tg, 16, 0, false),
+		"metric": cacheKey(in, tg, 8, 1, false),
+		"noHist": cacheKey(in, tg, 8, 0, true),
+		"input":  cacheKey(tg, in, 8, 0, false),
+	}
+	for name, k := range variants {
+		if k == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+}

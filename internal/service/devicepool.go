@@ -1,0 +1,66 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cuda"
+)
+
+// DevicePool owns a fixed set of virtual devices and hands each out to at
+// most one job at a time. Kernel launches on a cuda.Device must be
+// serialised (a concurrent launch panics — see internal/cuda), so the pool
+// routes every lease through the device's cooperative AcquireContext path:
+// a job never sees a device another job is still launching on, which is the
+// invariant that keeps the launch-guard panic impossible in server context.
+type DevicePool struct {
+	free chan *cuda.Device
+	size int
+}
+
+// NewDevicePool returns a pool of n devices (n ≤ 0 selects 1), each with
+// workersPer kernel workers (≤ 0 selects all cores).
+func NewDevicePool(n, workersPer int) *DevicePool {
+	if n <= 0 {
+		n = 1
+	}
+	p := &DevicePool{free: make(chan *cuda.Device, n), size: n}
+	for i := 0; i < n; i++ {
+		p.free <- cuda.New(workersPer)
+	}
+	return p
+}
+
+// Acquire leases a device, blocking until one is free or ctx is done. The
+// returned device is exclusively held (cuda.AcquireContext) until Release.
+func (p *DevicePool) Acquire(ctx context.Context) (*cuda.Device, error) {
+	select {
+	case d := <-p.free:
+		// The pool is the only path handing devices out, so this acquire
+		// succeeds immediately; it is taken anyway so even a device leaked
+		// to a direct caller cannot be double-leased.
+		if err := d.AcquireContext(ctx); err != nil {
+			p.free <- d
+			return nil, err
+		}
+		return d, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("service: device acquire: %w", ctx.Err())
+	}
+}
+
+// Release returns a leased device to the pool.
+func (p *DevicePool) Release(d *cuda.Device) {
+	d.Release()
+	select {
+	case p.free <- d:
+	default:
+		panic("service: Release of a device the pool did not lease")
+	}
+}
+
+// Size returns the number of devices in the pool.
+func (p *DevicePool) Size() int { return p.size }
+
+// Idle returns the number of devices currently free.
+func (p *DevicePool) Idle() int { return len(p.free) }

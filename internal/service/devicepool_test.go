@@ -1,0 +1,90 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDevicePoolSerializes: with one device, concurrent acquirers never
+// overlap — the launch-guard invariant the pool exists to uphold.
+func TestDevicePoolSerializes(t *testing.T) {
+	p := NewDevicePool(1, 2)
+	var holders, maxHolders int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d, err := p.Acquire(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if h := atomic.AddInt32(&holders, 1); h > atomic.LoadInt32(&maxHolders) {
+				atomic.StoreInt32(&maxHolders, h)
+			}
+			d.LaunchRange(64, func(i int) {})
+			atomic.AddInt32(&holders, -1)
+			p.Release(d)
+		}()
+	}
+	wg.Wait()
+	if maxHolders != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxHolders)
+	}
+	if p.Idle() != 1 {
+		t.Fatalf("Idle() = %d after all releases, want 1", p.Idle())
+	}
+}
+
+// TestDevicePoolRoundRobin: with two devices, two acquirers can hold
+// distinct devices at once.
+func TestDevicePoolRoundRobin(t *testing.T) {
+	p := NewDevicePool(2, 1)
+	if p.Size() != 2 {
+		t.Fatalf("Size() = %d, want 2", p.Size())
+	}
+	ctx := context.Background()
+	a, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("pool handed out the same device twice")
+	}
+	if p.Idle() != 0 {
+		t.Fatalf("Idle() = %d with both held, want 0", p.Idle())
+	}
+	p.Release(a)
+	p.Release(b)
+}
+
+// TestDevicePoolAcquireCancellation: a blocked Acquire honours context
+// cancellation without leaking the device.
+func TestDevicePoolAcquireCancellation(t *testing.T) {
+	p := NewDevicePool(1, 1)
+	d, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Acquire = %v, want DeadlineExceeded", err)
+	}
+	p.Release(d)
+	// The device is back and immediately usable.
+	d2, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(d2)
+}

@@ -1,0 +1,353 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"image/png"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/imgutil"
+	"repro/internal/metric"
+	"repro/internal/pnm"
+	"repro/internal/synth"
+)
+
+// maxUploadBytes bounds one multipart upload; two max-side PNGs fit with
+// room to spare.
+const maxUploadBytes = 32 << 20
+
+// RegisterRoutes mounts the job API on mux, next to whatever telemetry
+// endpoints the mux already serves:
+//
+//	POST /v1/mosaic    submit a job (sync by default, mode=async for 202+poll)
+//	GET  /v1/jobs/{id} poll an async job
+func (s *Service) RegisterRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/mosaic", s.handleMosaic)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+}
+
+// jobRequestJSON is the wire form of a submission. Images are either
+// built-in synthetic scene names (JSON body) or uploaded PNG/PGM files
+// (multipart form, parts "input" and "target", same field names otherwise).
+type jobRequestJSON struct {
+	Input            string `json:"input"`
+	Target           string `json:"target"`
+	Size             int    `json:"size"`
+	Tiles            int    `json:"tiles"`
+	Algorithm        string `json:"algorithm"`
+	Metric           string `json:"metric"`
+	NoHistogramMatch bool   `json:"no_histogram_match"`
+	TimeoutMS        int64  `json:"timeout_ms"`
+	Mode             string `json:"mode"`   // "sync" (default) | "async"
+	Format           string `json:"format"` // "json" (default) | "png"
+}
+
+// jobResponseJSON is the wire form of a job's state/result.
+type jobResponseJSON struct {
+	JobID      string   `json:"job_id"`
+	Status     string   `json:"status"`
+	Error      string   `json:"error,omitempty"`
+	Cache      string   `json:"cache,omitempty"`
+	TotalError int64    `json:"total_error,omitempty"`
+	ElapsedMS  float64  `json:"elapsed_ms,omitempty"`
+	Spans      []string `json:"spans,omitempty"`
+	PNGBase64  string   `json:"png_base64,omitempty"`
+	StatusURL  string   `json:"status_url,omitempty"`
+}
+
+func (s *Service) handleMosaic(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	req, wire, err := s.parseSubmission(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	if wire.Mode == "async" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, jobResponseJSON{
+			JobID:     job.ID,
+			Status:    string(JobQueued),
+			StatusURL: "/v1/jobs/" + job.ID,
+		})
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// The client is gone; cancel so a still-queued job never occupies
+		// a worker. The response is moot but the job must settle.
+		job.Cancel()
+		<-job.Done()
+		httpError(w, 499, "client closed request")
+		return
+	}
+	s.writeJob(w, job, wire.Format)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	job, ok := s.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job (finished jobs are retained only briefly)")
+		return
+	}
+	s.writeJob(w, job, r.URL.Query().Get("format"))
+}
+
+// writeJob renders a job in its current state; format "png" streams the
+// image for finished jobs, everything else gets the JSON document.
+func (s *Service) writeJob(w http.ResponseWriter, job *Job, format string) {
+	state, result, err := job.Snapshot()
+	if err != nil {
+		code, msg := errToStatus(err)
+		httpError(w, code, msg)
+		return
+	}
+	if state == JobDone && format == "png" {
+		w.Header().Set("Content-Type", "image/png")
+		w.Header().Set("X-Mosaic-Cache", cacheLabel(result.CacheHit))
+		w.Header().Set("X-Mosaic-Total-Error", strconv.FormatInt(result.TotalError, 10))
+		_, _ = w.Write(result.PNG)
+		return
+	}
+	resp := jobResponseJSON{JobID: job.ID, Status: string(state)}
+	if state == JobDone {
+		resp.Cache = cacheLabel(result.CacheHit)
+		resp.TotalError = result.TotalError
+		resp.ElapsedMS = float64(result.Elapsed.Microseconds()) / 1e3
+		for _, sp := range result.Stats.Spans {
+			resp.Spans = append(resp.Spans, sp.Name)
+		}
+		resp.PNGBase64 = base64.StdEncoding.EncodeToString(result.PNG)
+	} else {
+		resp.StatusURL = "/v1/jobs/" + job.ID
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, resp)
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// writeSubmitError maps Submit errors onto the backpressure status codes.
+func (s *Service) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, core.ErrOptions):
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// errToStatus maps job-execution errors onto response codes.
+func errToStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "job deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "job cancelled"
+	case errors.Is(err, core.ErrOptions):
+		return http.StatusBadRequest, err.Error()
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+// parseSubmission decodes either wire format into a validated Request.
+func (s *Service) parseSubmission(r *http.Request) (*Request, *jobRequestJSON, error) {
+	wire := &jobRequestJSON{}
+	var inputFile, targetFile []byte
+	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	switch {
+	case ctype == "multipart/form-data":
+		if err := r.ParseMultipartForm(maxUploadBytes); err != nil {
+			return nil, nil, fmt.Errorf("multipart form: %w", err)
+		}
+		var err error
+		if inputFile, err = formFile(r, "input"); err != nil {
+			return nil, nil, err
+		}
+		if targetFile, err = formFile(r, "target"); err != nil {
+			return nil, nil, err
+		}
+		wire.Input = r.FormValue("input")
+		wire.Target = r.FormValue("target")
+		wire.Size = atoiDefault(r.FormValue("size"), 0)
+		wire.Tiles = atoiDefault(r.FormValue("tiles"), 0)
+		wire.Algorithm = r.FormValue("algorithm")
+		wire.Metric = r.FormValue("metric")
+		wire.NoHistogramMatch = r.FormValue("no_histogram_match") == "true"
+		wire.TimeoutMS = int64(atoiDefault(r.FormValue("timeout_ms"), 0))
+		wire.Mode = r.FormValue("mode")
+		wire.Format = r.FormValue("format")
+	default: // application/json
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes))
+		if err != nil {
+			return nil, nil, fmt.Errorf("read body: %w", err)
+		}
+		if err := json.Unmarshal(body, wire); err != nil {
+			return nil, nil, fmt.Errorf("json body: %w", err)
+		}
+	}
+
+	if wire.Size == 0 {
+		wire.Size = 256
+	}
+	if wire.Tiles == 0 {
+		wire.Tiles = 16
+	}
+	if wire.Size < 2 || wire.Size > s.cfg.MaxImageSide {
+		return nil, nil, fmt.Errorf("size %d out of range [2, %d]", wire.Size, s.cfg.MaxImageSide)
+	}
+	if wire.Tiles < 2 || wire.Size%wire.Tiles != 0 {
+		return nil, nil, fmt.Errorf("size %d not divisible into %d tiles per side", wire.Size, wire.Tiles)
+	}
+	if wire.Mode != "" && wire.Mode != "sync" && wire.Mode != "async" {
+		return nil, nil, fmt.Errorf("unknown mode %q (want sync or async)", wire.Mode)
+	}
+
+	req := &Request{
+		Tiles:       wire.Tiles,
+		NoHistMatch: wire.NoHistogramMatch,
+		Timeout:     time.Duration(wire.TimeoutMS) * time.Millisecond,
+	}
+	if wire.Algorithm != "" {
+		alg, err := core.ParseAlgorithm(wire.Algorithm)
+		if err != nil {
+			return nil, nil, err
+		}
+		req.Algorithm = alg
+	}
+	switch strings.ToLower(wire.Metric) {
+	case "", "l1":
+		req.Metric = metric.L1
+	case "l2":
+		req.Metric = metric.L2
+	default:
+		return nil, nil, fmt.Errorf("unknown metric %q (want l1 or l2)", wire.Metric)
+	}
+	var err error
+	if req.Input, err = resolveImage(inputFile, wire.Input, "input", wire.Size); err != nil {
+		return nil, nil, err
+	}
+	if req.Target, err = resolveImage(targetFile, wire.Target, "target", wire.Size); err != nil {
+		return nil, nil, err
+	}
+	return req, wire, nil
+}
+
+func formFile(r *http.Request, field string) ([]byte, error) {
+	f, _, err := r.FormFile(field)
+	if err == http.ErrMissingFile {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("form file %q: %w", field, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(io.LimitReader(f, maxUploadBytes))
+	if err != nil {
+		return nil, fmt.Errorf("form file %q: %w", field, err)
+	}
+	return data, nil
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// resolveImage produces the n×n grayscale image for one role: an uploaded
+// PNG/PGM when file bytes are present, otherwise a built-in synthetic scene
+// by name.
+func resolveImage(file []byte, scene, role string, n int) (*imgutil.Gray, error) {
+	if len(file) > 0 {
+		img, err := decodeImage(file)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", role, err)
+		}
+		if img.W != n || img.H != n {
+			img = img.ResizeBilinear(n, n)
+		}
+		return img, nil
+	}
+	if scene == "" {
+		return nil, fmt.Errorf("%s: provide a scene name or an uploaded image", role)
+	}
+	sc, err := synth.ParseScene(scene)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", role, err)
+	}
+	return synth.Generate(sc, n)
+}
+
+// decodeImage sniffs PNG vs PGM by magic bytes.
+func decodeImage(data []byte) (*imgutil.Gray, error) {
+	switch {
+	case len(data) >= 8 && bytes.HasPrefix(data, []byte("\x89PNG\r\n\x1a\n")):
+		img, err := png.Decode(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("png: %w", err)
+		}
+		return imgutil.GrayFromImage(img), nil
+	case len(data) >= 2 && data[0] == 'P' && (data[1] == '2' || data[1] == '5'):
+		return pnm.DecodeGray(bytes.NewReader(data))
+	}
+	return nil, errors.New("unrecognised image format (want PNG or PGM)")
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	writeJSON(w, jobResponseJSON{Status: "error", Error: msg})
+}
+
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

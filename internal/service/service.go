@@ -1,0 +1,523 @@
+// Package service is the request-serving layer above the photomosaic
+// pipeline: a bounded job queue drained by a worker pool, a device pool that
+// serialises kernel launches per virtual device (so the cuda launch-guard
+// panic can never fire in server context), and a content-hash LRU cache of
+// prepared Step-2 work so repeated requests against the same target skip the
+// error matrix entirely. cmd/mosaicd mounts its HTTP API (http.go) next to
+// the telemetry debug endpoints.
+//
+// Degradation under load is explicit: a full queue rejects with
+// ErrQueueFull (HTTP 429 + Retry-After) instead of queuing unboundedly,
+// per-job deadlines propagate as context cancellation through every
+// pipeline stage, and Drain completes in-flight jobs while /readyz reports
+// not-ready so load balancers stop routing.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"image/png"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/imgutil"
+	"repro/internal/metric"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Rejection errors returned by Submit; the HTTP layer maps them to 429 and
+// 503 respectively.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrDraining  = errors.New("service: draining, not accepting jobs")
+)
+
+// Config sizes the service. The zero value of any field selects the
+// documented default.
+type Config struct {
+	// Registry receives the service metrics; nil creates a private one.
+	Registry *telemetry.Registry
+	// Workers is the number of concurrent jobs (default 4).
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker (default 16); a full
+	// queue rejects with ErrQueueFull.
+	QueueDepth int
+	// Devices and DeviceWorkers size the device pool (defaults 1 pool
+	// device, all-core workers). Workers > Devices is the interesting
+	// regime: jobs contend for devices and serialise through the pool.
+	Devices       int
+	DeviceWorkers int
+	// CacheBytes bounds the prepared-work cache (default 256 MiB;
+	// negative disables caching).
+	CacheBytes int64
+	// DefaultTimeout is the per-job deadline when a request names none
+	// (default 60s); MaxTimeout caps client-requested deadlines (default
+	// 5m). The deadline starts at Submit, so time queued counts against it.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// JobsRetain bounds how many finished jobs stay pollable via
+	// GET /v1/jobs/{id} (default 256); the oldest finished jobs are dropped
+	// first.
+	JobsRetain int
+	// MaxImageSide caps the working image side accepted over HTTP
+	// (default 1024).
+	MaxImageSide int
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+
+	// testJobStart, when set, runs at the top of every job execution —
+	// the test seam for holding workers busy deterministically.
+	testJobStart func(*Job)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Devices <= 0 {
+		c.Devices = 1
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.JobsRetain <= 0 {
+		c.JobsRetain = 256
+	}
+	if c.MaxImageSide <= 0 {
+		c.MaxImageSide = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// Request is one decoded mosaic job: square, equal-sized grayscale images
+// plus the pipeline parameters the service exposes.
+type Request struct {
+	Input, Target *imgutil.Gray
+	Tiles         int
+	Algorithm     core.Algorithm
+	Metric        metric.Metric
+	NoHistMatch   bool
+	// Timeout is the per-job deadline; 0 selects the configured default,
+	// values above MaxTimeout are clamped to it.
+	Timeout time.Duration
+}
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobResult is the outcome of a finished job.
+type JobResult struct {
+	PNG        []byte
+	TotalError int64
+	CacheHit   bool
+	Stats      trace.Stats
+	Elapsed    time.Duration
+}
+
+// Job is one queued/running/finished mosaic generation. Fields behind mu
+// are written by the worker and read by status handlers.
+type Job struct {
+	ID      string
+	Created time.Time
+
+	req    *Request
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  JobState
+	result *JobResult
+	err    error
+	done   chan struct{}
+}
+
+// Done returns a channel closed when the job finishes (done or failed).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel aborts the job: dequeued-but-unstarted jobs fail immediately,
+// running jobs observe the cancellation at the next pipeline checkpoint.
+func (j *Job) Cancel() { j.cancel() }
+
+// Snapshot returns the job's current state, result and error.
+func (j *Job) Snapshot() (JobState, *JobResult, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.err
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *JobResult, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = JobFailed
+		j.err = err
+	} else {
+		j.state = JobDone
+		j.result = res
+	}
+	j.mu.Unlock()
+	j.cancel() // release the deadline timer
+	close(j.done)
+}
+
+// Service is the running serving layer. Construct with New; stop with
+// Drain (graceful) and/or Close (immediate).
+type Service struct {
+	cfg     Config
+	reg     *telemetry.Registry
+	devices *DevicePool
+	cache   *prepCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	queue    chan *Job
+	draining bool
+	jobs     map[string]*Job
+	order    []string // job IDs in creation order, for retention
+	seq      atomic.Int64
+	wg       sync.WaitGroup
+	ready    atomic.Bool
+
+	inFlight    *telemetry.Gauge
+	jobsTotal   func(outcome string) *telemetry.Counter
+	latency     *telemetry.Histogram
+	queueWait   *telemetry.Histogram
+	rejected    func(reason string) *telemetry.Counter
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+}
+
+// New starts a service: the device pool, the worker pool and the metrics
+// are live when it returns, and readiness reports true.
+func New(cfg Config) *Service {
+	cfg.applyDefaults()
+	s := &Service{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		devices: NewDevicePool(cfg.Devices, cfg.DeviceWorkers),
+		cache:   newPrepCache(cfg.CacheBytes),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.registerMetrics()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.ready.Store(true)
+	return s
+}
+
+func (s *Service) registerMetrics() {
+	reg := s.reg
+	reg.GaugeFunc("mosaic_service_queue_depth", "Jobs waiting for a worker.", nil,
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("mosaic_service_queue_capacity", "Bound of the job queue.", nil,
+		func() float64 { return float64(cap(s.queue)) })
+	reg.GaugeFunc("mosaic_service_devices", "Devices in the pool.", nil,
+		func() float64 { return float64(s.devices.Size()) })
+	reg.GaugeFunc("mosaic_service_devices_idle", "Pool devices not leased to a job.", nil,
+		func() float64 { return float64(s.devices.Idle()) })
+	reg.GaugeFunc("mosaic_service_ready", "1 while accepting jobs, 0 during drain.", nil,
+		func() float64 {
+			if s.ready.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("mosaic_service_cache_entries", "Prepared inputs resident in the cache.", nil,
+		func() float64 { e, _, _ := s.cache.stats(); return float64(e) })
+	reg.GaugeFunc("mosaic_service_cache_bytes", "Bytes resident in the prepared-work cache.", nil,
+		func() float64 { _, b, _ := s.cache.stats(); return float64(b) })
+	reg.CounterFunc("mosaic_service_cache_evictions_total", "Prepared inputs evicted by the byte budget.", nil,
+		func() float64 { _, _, ev := s.cache.stats(); return float64(ev) })
+	s.inFlight = reg.Gauge("mosaic_service_jobs_in_flight", "Jobs currently executing.", nil)
+	s.latency = reg.Histogram("mosaic_service_job_latency_seconds",
+		"Job wall time from submit to finish, in seconds.", nil, nil)
+	s.queueWait = reg.Histogram("mosaic_service_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up, in seconds.", nil, nil)
+	s.jobsTotal = func(outcome string) *telemetry.Counter {
+		return reg.Counter("mosaic_service_jobs_total", "Finished jobs by outcome.",
+			telemetry.Labels{"outcome": outcome})
+	}
+	s.rejected = func(reason string) *telemetry.Counter {
+		return reg.Counter("mosaic_service_rejected_total", "Jobs rejected at submission.",
+			telemetry.Labels{"reason": reason})
+	}
+	s.cacheHits = reg.Counter("mosaic_service_cache_hits_total",
+		"Jobs that reused a cached prepared input and skipped Step 2.", nil)
+	s.cacheMisses = reg.Counter("mosaic_service_cache_misses_total",
+		"Jobs that built their prepared input (Step 2 executed).", nil)
+}
+
+// Ready implements the telemetry.WithReadiness check.
+func (s *Service) Ready() (bool, string) {
+	if s.ready.Load() {
+		return true, ""
+	}
+	return false, "draining"
+}
+
+// Registry returns the metrics registry the service reports into.
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// Submit validates and enqueues a job. It never blocks: a full queue
+// returns ErrQueueFull (the backpressure signal) and a draining service
+// ErrDraining. The job's deadline starts now, so time spent queued counts
+// against it.
+func (s *Service) Submit(req *Request) (*Job, error) {
+	if err := validateRequest(req); err != nil {
+		return nil, err
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected("draining").Inc()
+		return nil, ErrDraining
+	}
+	job := &Job{
+		ID:      fmt.Sprintf("j%06d", s.seq.Add(1)),
+		Created: time.Now(),
+		req:     req,
+		state:   JobQueued,
+		done:    make(chan struct{}),
+	}
+	job.ctx, job.cancel = context.WithTimeout(s.baseCtx, timeout)
+	select {
+	case s.queue <- job:
+	default:
+		s.rejected("queue-full").Inc()
+		job.cancel()
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.retainLocked()
+	return job, nil
+}
+
+// retainLocked drops the oldest finished jobs beyond the retention bound so
+// the job map cannot grow without limit under async traffic.
+func (s *Service) retainLocked() {
+	for len(s.jobs) > s.cfg.JobsRetain {
+		dropped := false
+		for i, id := range s.order {
+			j, ok := s.jobs[id]
+			if !ok {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				dropped = true
+				break
+			}
+			st, _, _ := j.Snapshot()
+			if st == JobDone || st == JobFailed {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return // everything retained is still queued or running
+		}
+	}
+}
+
+// Job returns the job with the given ID, if still retained.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// RetryAfter returns the configured 429 Retry-After hint.
+func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+func validateRequest(req *Request) error {
+	if req == nil || req.Input == nil || req.Target == nil {
+		return fmt.Errorf("%w: missing images", core.ErrOptions)
+	}
+	if req.Tiles < 2 {
+		return fmt.Errorf("%w: tiles %d (need at least 2 per side)", core.ErrOptions, req.Tiles)
+	}
+	return nil
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.run(job)
+	}
+}
+
+// run executes one job: lease a device, reuse or build the prepared input,
+// finish the pipeline, encode the result.
+func (s *Service) run(job *Job) {
+	s.queueWait.Observe(time.Since(job.Created).Seconds())
+	job.setRunning()
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
+	if s.cfg.testJobStart != nil {
+		s.cfg.testJobStart(job)
+	}
+
+	res, err := s.execute(job)
+	elapsed := time.Since(job.Created)
+	s.latency.Observe(elapsed.Seconds())
+	if err != nil {
+		s.jobsTotal("error").Inc()
+		job.finish(nil, err)
+		return
+	}
+	res.Elapsed = elapsed
+	s.jobsTotal("done").Inc()
+	job.finish(res, nil)
+}
+
+func (s *Service) execute(job *Job) (*JobResult, error) {
+	ctx := job.ctx
+	req := job.req
+	dev, err := s.devices.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer s.devices.Release(dev)
+
+	// Per-job trace tree (for the response's span list) plus the shared
+	// registry, which aggregates stage histograms across jobs.
+	tree := trace.NewTree()
+	tr := trace.Multi(tree, telemetry.NewTraceCollector(s.reg))
+	opts := core.Options{
+		TilesPerSide:     req.Tiles,
+		Algorithm:        req.Algorithm,
+		Metric:           req.Metric,
+		NoHistogramMatch: req.NoHistMatch,
+		Device:           dev,
+		Trace:            tr,
+	}
+
+	key := cacheKey(req.Input, req.Target, req.Tiles, req.Metric, req.NoHistMatch)
+	prep, hit, err := s.cache.getOrPrepare(ctx, key, func() (*core.Prepared, error) {
+		return core.PrepareContext(ctx, req.Input, req.Target, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		s.cacheHits.Inc()
+	} else {
+		s.cacheMisses.Inc()
+	}
+
+	res, err := prep.FinishContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, res.Mosaic.ToImage()); err != nil {
+		return nil, fmt.Errorf("service: encode: %w", err)
+	}
+	// Report the job-level tree, not res.Stats: the job tree saw this job's
+	// prepare spans too (when it was the cache-miss builder), so the span
+	// list is the observable hit/miss signature — error-matrix present only
+	// when Step 2 actually ran for this request.
+	return &JobResult{
+		PNG:        buf.Bytes(),
+		TotalError: res.TotalError,
+		CacheHit:   hit,
+		Stats:      tree.Snapshot(),
+	}, nil
+}
+
+// Drain stops accepting jobs, flips readiness, and waits for queued and
+// in-flight jobs to finish — the SIGTERM path. It returns ctx's error if
+// the deadline expires first (in-flight jobs keep their own deadlines; a
+// following Close cancels them hard). Drain is idempotent; concurrent calls
+// all wait.
+func (s *Service) Drain(ctx context.Context) error {
+	s.ready.Store(false)
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers exit once the queue empties
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+}
+
+// Close cancels every job context and waits for the workers. Safe after
+// Drain; used alone it is the hard-stop path.
+func (s *Service) Close() {
+	s.ready.Store(false)
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+	// Jobs cancelled while still queued never reach a worker; fail them so
+	// waiters do not block forever.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		st, _, _ := j.Snapshot()
+		if st == JobQueued {
+			j.finish(nil, context.Canceled)
+		}
+	}
+}

@@ -11,35 +11,117 @@ import (
 	"time"
 )
 
+// MetricScrapeFailures counts exposition responses that failed mid-write
+// (a scraper that disconnected, a broken pipe). Silently discarding those
+// errors hides a flapping scrape path; counting them in the registry being
+// scraped makes the next successful scrape report the gap. The endpoint
+// label names the handler that failed.
+const MetricScrapeFailures = "mosaic_scrape_failures_total"
+
+// MuxOption configures NewMux.
+type MuxOption func(*muxConfig)
+
+type muxConfig struct {
+	pprof bool
+	ready func() (bool, string)
+}
+
+// WithPProf mounts the net/http/pprof handlers under /debug/pprof/. They
+// expose process internals — command line, heap contents, CPU profiles — so
+// they are off by default; enable them only on loopback binds or behind
+// authentication. StartServer with a nil mux applies IsLoopback for you.
+func WithPProf() MuxOption {
+	return func(c *muxConfig) { c.pprof = true }
+}
+
+// WithReadiness mounts /readyz backed by check: 200 "ok" while check reports
+// ready, 503 with the reason otherwise. A serving layer flips its check
+// during startup and drain so load balancers stop routing to a dying
+// instance while /healthz (pure liveness) stays 200.
+func WithReadiness(check func() (ready bool, reason string)) MuxOption {
+	return func(c *muxConfig) { c.ready = check }
+}
+
 // NewMux returns the debug mux behind the CLIs' -serve flag:
 //
 //	/metrics       Prometheus text exposition of reg
 //	/metrics.json  JSON snapshot of reg
 //	/healthz       200 "ok" liveness probe
-//	/debug/pprof/  the standard net/http/pprof handlers
+//	/readyz        readiness probe (200 unless a WithReadiness check says no)
+//	/debug/pprof/  the standard net/http/pprof handlers — only WithPProf
 //
 // Callers may register additional handlers (the CLIs add /convergence.json
-// when a recorder is live).
-func NewMux(reg *Registry) *http.ServeMux {
+// when a recorder is live; mosaicd adds the /v1 job API).
+func NewMux(reg *Registry, opts ...MuxOption) *http.ServeMux {
+	var cfg muxConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	scrapeFailed := func(endpoint string) *Counter {
+		return reg.Counter(MetricScrapeFailures,
+			"Exposition responses that failed mid-write.", Labels{"endpoint": endpoint})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
+		if err := reg.WritePrometheus(w); err != nil {
+			scrapeFailed("metrics").Inc()
+		}
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = reg.WriteJSON(w)
+		if err := reg.WriteJSON(w); err != nil {
+			scrapeFailed("metrics.json").Inc()
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
+		if _, err := io.WriteString(w, "ok\n"); err != nil {
+			scrapeFailed("healthz").Inc()
+		}
 	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		body := "ok\n"
+		if cfg.ready != nil {
+			if ok, reason := cfg.ready(); !ok {
+				if reason == "" {
+					reason = "not ready"
+				}
+				w.WriteHeader(http.StatusServiceUnavailable)
+				body = reason + "\n"
+			}
+		}
+		if _, err := io.WriteString(w, body); err != nil {
+			scrapeFailed("readyz").Inc()
+		}
+	})
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// IsLoopback reports whether addr ("host:port", "host" or ":port") binds a
+// loopback interface. An empty host binds every interface and is therefore
+// not loopback — the case the pprof default protects against.
+func IsLoopback(addr string) bool {
+	host := addr
+	if h, _, err := net.SplitHostPort(addr); err == nil {
+		host = h
+	}
+	if host == "" {
+		return false
+	}
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }
 
 // Server is a running debug endpoint. Construct with StartServer; Close
@@ -54,13 +136,19 @@ type Server struct {
 	err  error
 }
 
-// StartServer binds addr, serves mux (nil selects NewMux(reg)) in a
-// background goroutine, and returns immediately — the CLIs call it before a
-// long run so /metrics and /debug/pprof are live while the pipeline
-// executes. The returned Server must be Closed.
+// StartServer binds addr, serves mux in a background goroutine, and returns
+// immediately — the CLIs call it before a long run so /metrics (and, on
+// loopback binds, /debug/pprof) are live while the pipeline executes. A nil
+// mux selects NewMux(reg) with pprof mounted only when addr is loopback, so
+// a `-serve 0.0.0.0:…` bind never exposes profiling by accident. The
+// returned Server must be Closed.
 func StartServer(addr string, reg *Registry, mux http.Handler) (*Server, error) {
 	if mux == nil {
-		mux = NewMux(reg)
+		var opts []MuxOption
+		if IsLoopback(addr) {
+			opts = append(opts, WithPProf())
+		}
+		mux = NewMux(reg, opts...)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -3,7 +3,9 @@ package telemetry
 import (
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -67,5 +69,117 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if _, err := client.Get(base + "/healthz"); err == nil {
 		t.Fatal("server still answering after Close")
+	}
+}
+
+// TestPProfGating: NewMux without WithPProf must not mount /debug/pprof/*
+// (the default for non-loopback binds); WithPProf mounts it.
+func TestPProfGating(t *testing.T) {
+	reg := NewRegistry()
+	for _, tc := range []struct {
+		name string
+		mux  *http.ServeMux
+		want int
+	}{
+		{"default-off", NewMux(reg), http.StatusNotFound},
+		{"opt-in", NewMux(reg, WithPProf()), http.StatusOK},
+	} {
+		rec := httptest.NewRecorder()
+		tc.mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+		if rec.Code != tc.want {
+			t.Errorf("%s: /debug/pprof/cmdline = %d, want %d", tc.name, rec.Code, tc.want)
+		}
+	}
+}
+
+func TestIsLoopback(t *testing.T) {
+	for addr, want := range map[string]bool{
+		"127.0.0.1:9190": true,
+		"localhost:9190": true,
+		"[::1]:9190":     true,
+		"0.0.0.0:9190":   false,
+		":9190":          false,
+		"10.1.2.3:80":    false,
+		"example.com:80": false,
+	} {
+		if got := IsLoopback(addr); got != want {
+			t.Errorf("IsLoopback(%q) = %v, want %v", addr, got, want)
+		}
+	}
+}
+
+// TestReadiness: /readyz follows the WithReadiness check while /healthz
+// stays a pure liveness 200.
+func TestReadiness(t *testing.T) {
+	reg := NewRegistry()
+	var ready atomic.Bool
+	ready.Store(true)
+	mux := NewMux(reg, WithReadiness(func() (bool, string) {
+		if ready.Load() {
+			return true, ""
+		}
+		return false, "draining"
+	}))
+	probe := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, strings.TrimSpace(rec.Body.String())
+	}
+	if code, body := probe("/readyz"); code != http.StatusOK || body != "ok" {
+		t.Fatalf("/readyz ready = %d %q", code, body)
+	}
+	ready.Store(false)
+	if code, body := probe("/readyz"); code != http.StatusServiceUnavailable || body != "draining" {
+		t.Fatalf("/readyz draining = %d %q", code, body)
+	}
+	if code, _ := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200", code)
+	}
+}
+
+// failAfterWriter errors every write after the first n bytes, standing in
+// for a scraper that disconnected mid-response.
+type failAfterWriter struct {
+	httptest.ResponseRecorder
+	budget int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	n := len(p)
+	if n > w.budget {
+		n = w.budget
+		w.budget = 0
+		return n, io.ErrClosedPipe
+	}
+	w.budget -= n
+	return n, nil
+}
+
+// WriteString shadows ResponseRecorder's, which would bypass the failing
+// Write above.
+func (w *failAfterWriter) WriteString(s string) (int, error) { return w.Write([]byte(s)) }
+
+// TestScrapeFailureCounted: a mid-write exposition error increments
+// mosaic_scrape_failures_total instead of being dropped.
+func TestScrapeFailureCounted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mosaic_ops_total", "Ops.", nil).Inc()
+	mux := NewMux(reg)
+	for _, endpoint := range []string{"metrics", "metrics.json"} {
+		w := &failAfterWriter{budget: 3}
+		mux.ServeHTTP(w, httptest.NewRequest("GET", "/"+endpoint, nil))
+		key := MetricScrapeFailures + `{endpoint="` + endpoint + `"}`
+		if got := reg.Snapshot().Counters[key]; got != 1 {
+			t.Errorf("%s = %v, want 1", key, got)
+		}
+	}
+	// A clean scrape must not count.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := reg.Snapshot().Counters[MetricScrapeFailures+`{endpoint="metrics"}`]; got != 1 {
+		t.Errorf("clean scrape moved the failure counter to %v", got)
 	}
 }
