@@ -10,15 +10,16 @@
 #   make bench-smoke fast CI-sized run of the bench-json pipeline
 #   make telemetry-smoke  end-to-end probe of the -serve debug endpoint
 #   make service-smoke    end-to-end probe of the mosaicd HTTP service
+#   make chaos-smoke      fault-injection battery (-race) + a mosaicd chaos drill
 
 GO      ?= go
 FUZZTIME ?= 10s
 TELEMETRY_ADDR ?= 127.0.0.1:9190
 SERVICE_ADDR ?= 127.0.0.1:9200
 
-.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke clean
+.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke chaos-smoke clean
 
-check: vet build race fuzz-smoke
+check: vet build race fuzz-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -115,6 +116,36 @@ service-smoke:
 	kill -TERM $$pid; \
 	wait $$pid || { echo "service-smoke: mosaicd did not drain cleanly"; exit 1; }; \
 	echo "service-smoke: ok"
+
+# The chaos battery: every fault-injection, retry/degrade and quarantine
+# test under the race detector, then a live mosaicd drill — every second
+# kernel launch failing — that must still produce 200s and report the faults
+# it absorbed on /metrics.
+chaos-smoke:
+	@set -e; \
+	$(GO) test -race -run 'TestChaos|TestFault|TestResilient|TestDo|TestDelays|TestZeroValue' \
+		./internal/cuda/ ./internal/retry/ ./internal/localsearch/ ./internal/core/ ./internal/service/; \
+	tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/mosaicd ./cmd/mosaicd; \
+	$$tmp/mosaicd -addr $(SERVICE_ADDR) -chaos 'every=2,err=launch' -retry-base 100us & pid=$$!; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS -o /dev/null http://$(SERVICE_ADDR)/readyz 2>/dev/null; then up=1; break; fi; \
+		kill -0 $$pid 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	if [ $$up -ne 1 ]; then echo "chaos-smoke: /readyz never answered 200"; kill $$pid 2>/dev/null; exit 1; fi; \
+	req='{"input":"lena","target":"sailboat","size":256,"tiles":16,"algorithm":"approximation-parallel"}'; \
+	curl -fsS -X POST -H 'Content-Type: application/json' -d "$$req" \
+		http://$(SERVICE_ADDR)/v1/mosaic > $$tmp/storm.json || { \
+		echo "chaos-smoke: job failed under the launch storm"; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q '"status": "done"' $$tmp/storm.json || { \
+		echo "chaos-smoke: job not done under the launch storm"; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -fsS http://$(SERVICE_ADDR)/metrics | grep '^mosaic_cuda_launch_faults_total' | grep -qv ' 0$$' || { \
+		echo "chaos-smoke: mosaic_cuda_launch_faults_total not incremented"; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "chaos-smoke: mosaicd did not drain cleanly"; exit 1; }; \
+	echo "chaos-smoke: ok"
 
 clean:
 	$(GO) clean ./...

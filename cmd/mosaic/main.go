@@ -59,6 +59,7 @@ func run() error {
 		metrics   = flag.Bool("metrics", false, "include the counter totals and registry snapshot in the observability JSON on stderr")
 		serveAddr = flag.String("serve", "", "serve /metrics, /healthz, /metrics.json and /debug/pprof on this address during the run (e.g. 127.0.0.1:9190)")
 		convPath  = flag.String("convergence", "", "write the local-search cost-vs-sweep convergence curve as JSON to this file")
+		chaosSpec = flag.String("chaos", "", "fault-injection drill: install this fault spec on the device (e.g. 'every=2,err=launch'); launches retry and degrade to the bit-identical host path")
 		quiet     = flag.Bool("q", false, "suppress the summary line")
 	)
 	flag.Parse()
@@ -88,6 +89,18 @@ func run() error {
 	opts.Search.Candidates = *cands
 	if opts.Algorithm == mosaic.ParallelApproximation || b.NeedsDevice() || *gpu {
 		opts.Device = mosaic.NewDevice(*workers)
+	}
+	if *chaosSpec != "" {
+		if opts.Device == nil {
+			return fmt.Errorf("-chaos needs a device stage (use -algorithm approximation-parallel, -builder device or -gpu)")
+		}
+		plan, err := mosaic.ParseFaultSpec(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		opts.Device.WithFaults(plan)
+		opts.Resilience = &mosaic.Resilience{}
+		fmt.Fprintf(os.Stderr, "mosaic: CHAOS DRILL ACTIVE — injecting %q\n", *chaosSpec)
 	}
 
 	// One registry backs every observability surface: the -metrics snapshot,

@@ -16,6 +16,14 @@
 // get 503, queued and in-flight jobs finish (bounded by -drain-timeout),
 // then the process exits.
 //
+// Faulty devices are survived, not fatal: kernel launches retry under
+// -retry-attempts/-retry-base, exhausted retries degrade to the
+// bit-identical host path (unless -no-cpu-fallback), and the pool
+// quarantines devices that are lost or fail -failure-threshold jobs in a
+// row, restoring them via a canary probe every -probe-interval. -chaos
+// installs a fault-injection plan on every device for drills (see the
+// README's "Fault tolerance").
+//
 // Example:
 //
 //	mosaicd -addr 127.0.0.1:9200 &
@@ -33,6 +41,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cuda"
+	"repro/internal/retry"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -57,8 +67,30 @@ func run() error {
 		maxSize       = flag.Int("max-size", 1024, "largest accepted working image side")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain")
 		pprofFlag     = flag.Bool("pprof", false, "expose /debug/pprof even on non-loopback binds (loopback binds always get it)")
+		chaosSpec     = flag.String("chaos", "", "fault-injection drill: install this cuda.ParseFaultSpec plan on every pool device (e.g. 'every=2,err=launch' or 'nth=5,err=lost,max=1')")
+		noFallback    = flag.Bool("no-cpu-fallback", false, "fail jobs instead of degrading to the host when device retries are exhausted (readyz 503 once all devices are quarantined)")
+		retryAttempts = flag.Int("retry-attempts", 3, "kernel-launch attempts before degrading (1 disables retries)")
+		retryBase     = flag.Duration("retry-base", 2*time.Millisecond, "base backoff between launch retries (doubles per attempt, jittered)")
+		probeEvery    = flag.Duration("probe-interval", 250*time.Millisecond, "cadence of the canary probe that restores quarantined devices")
+		failThreshold = flag.Int("failure-threshold", 3, "consecutive failed jobs that quarantine a device (a lost device is quarantined immediately)")
 	)
 	flag.Parse()
+
+	var deviceFaults func(i int) cuda.FaultInjector
+	if *chaosSpec != "" {
+		base, err := cuda.ParseFaultSpec(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		// Plans are stateful (ordinal counters, fault budgets), so each
+		// device gets its own parse of the spec, seeded apart.
+		deviceFaults = func(i int) cuda.FaultInjector {
+			p, _ := cuda.ParseFaultSpec(*chaosSpec)
+			p.Seed = base.Seed + uint64(i)
+			return p
+		}
+		fmt.Fprintf(os.Stderr, "mosaicd: CHAOS DRILL ACTIVE — injecting %q on all %d devices\n", *chaosSpec, *devices)
+	}
 
 	reg := telemetry.NewRegistry()
 	cacheBytes := int64(*cacheMB) << 20
@@ -75,6 +107,14 @@ func run() error {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxImageSide:   *maxSize,
+		Retry: retry.Policy{
+			MaxAttempts: *retryAttempts,
+			BaseDelay:   *retryBase,
+		},
+		NoCPUFallback:    *noFallback,
+		FailureThreshold: *failThreshold,
+		ProbeInterval:    *probeEvery,
+		DeviceFaults:     deviceFaults,
 	})
 
 	muxOpts := []telemetry.MuxOption{telemetry.WithReadiness(svc.Ready)}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/localsearch"
 	"repro/internal/metric"
 	"repro/internal/perm"
+	"repro/internal/retry"
 	"repro/internal/trace"
 )
 
@@ -127,6 +128,13 @@ type Options struct {
 	// see internal/trace for the built-in collectors. Result.Stats is
 	// populated whether or not a collector is supplied.
 	Trace trace.Collector
+	// Resilience, when non-nil, routes the device-backed stages (the Step-2
+	// matrix build and the Step-3 parallel sweeps) through fault-aware
+	// launches with retry and host fallback; see the Resilience type. nil
+	// keeps the original panic-on-misuse launch path with no retry
+	// machinery — the happy path is unchanged. Only the plain grayscale
+	// pipeline honours it; the oriented and proxy Step-2 builders ignore it.
+	Resilience *Resilience
 	// AllowOrientations extends the search space beyond the paper: each
 	// placed tile may additionally use any of its eight dihedral
 	// orientations (4 rotations × optional mirror). Step 2 scores all eight
@@ -134,6 +142,30 @@ type Options struct {
 	// works unchanged on the minimised matrix; the resulting error is never
 	// worse than the upright pipeline's. Grayscale only.
 	AllowOrientations bool
+}
+
+// Resilience configures fault-tolerant execution of the device-backed
+// pipeline stages. Each kernel launch (the Step-2 matrix build; each
+// color-class sweep of Algorithm 2) is retried per Retry; when retries are
+// exhausted — or immediately on cuda.ErrDeviceLost — the stage degrades to
+// the bit-identical host equivalent (metric.BuildBlocked; a serial sweep of
+// the class's pairs), recording trace.SpanDegraded and
+// trace.CounterDegradedRuns, unless DisableFallback is set, in which case
+// the run fails with the launch error.
+type Resilience struct {
+	// Retry is the per-launch retry schedule (zero value = retry defaults:
+	// 3 attempts, exponential backoff with jitter).
+	Retry retry.Policy
+	// DisableFallback fails the run instead of degrading to the host.
+	DisableFallback bool
+}
+
+// cpuFallbackAllowed reports whether the options permit running device
+// algorithms entirely on the host: Resilience set with fallback enabled.
+// This is how a serving layer with every device quarantined still satisfies
+// approximation-parallel requests — the host sweeps are bit-identical.
+func (o *Options) cpuFallbackAllowed() bool {
+	return o.Resilience != nil && !o.Resilience.DisableFallback
 }
 
 // Timing breaks the pipeline down the way the paper's tables do.
@@ -233,7 +265,7 @@ func (o *Options) validate(input, target *imgutil.Gray) (int, error) {
 	if !o.Metric.Valid() {
 		return 0, fmt.Errorf("core: invalid metric %v: %w", o.Metric, ErrOptions)
 	}
-	if o.Algorithm == ParallelApproximation && o.Device == nil {
+	if o.Algorithm == ParallelApproximation && o.Device == nil && !o.cpuFallbackAllowed() {
 		return 0, fmt.Errorf("core: %s requires a Device: %w", ParallelApproximation, ErrOptions)
 	}
 	if _, err := metric.ParseBuilder(string(o.Builder)); err != nil {
@@ -352,6 +384,10 @@ func rearrangeContext(ctx context.Context, costs *metric.Matrix, opts Options, t
 	case ApproximationDirty:
 		return localsearch.SerialDirtyContext(ctx, costs, start, search)
 	case ParallelApproximation:
+		if opts.Resilience != nil {
+			return localsearch.ParallelResilientContext(ctx, opts.Device, costs, start, opts.Coloring, search,
+				localsearch.Resilience{Retry: opts.Resilience.Retry, DisableFallback: opts.Resilience.DisableFallback})
+		}
 		return localsearch.ParallelContext(ctx, opts.Device, costs, start, opts.Coloring, search)
 	case GreedyBaseline:
 		p, err := assign.Greedy(costs.S, costs.W)

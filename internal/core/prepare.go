@@ -119,6 +119,7 @@ func (p *Prepared) mergeFinishOptions(next Options) (Options, error) {
 	o.Coloring = next.Coloring
 	o.Device = next.Device
 	o.Trace = next.Trace
+	o.Resilience = next.Resilience
 	if o.Algorithm == "" {
 		o.Algorithm = Approximation
 	}
@@ -131,7 +132,7 @@ func (p *Prepared) mergeFinishOptions(next Options) (Options, error) {
 	if _, ok := assign.Solvers()[o.Solver]; !ok {
 		return o, fmt.Errorf("core: unknown solver %q: %w", o.Solver, ErrOptions)
 	}
-	if o.Algorithm == ParallelApproximation && o.Device == nil {
+	if o.Algorithm == ParallelApproximation && o.Device == nil && !o.cpuFallbackAllowed() {
 		return o, fmt.Errorf("core: %s requires a Device: %w", ParallelApproximation, ErrOptions)
 	}
 	return o, nil
@@ -190,6 +191,8 @@ func prepareStages(ctx context.Context, input, target *imgutil.Gray, opts Option
 		p.oriented, err = metric.BuildOriented(p.inGrid, p.tgtGrid, opts.Metric)
 	case opts.ProxyResolution > 0:
 		p.costs, err = metric.BuildProxy(p.inGrid, p.tgtGrid, opts.Metric, opts.ProxyResolution)
+	case opts.Resilience != nil:
+		p.costs, err = buildCostsResilient(ctx, opts, p.inGrid, p.tgtGrid, tr)
 	default:
 		p.costs, err = metric.Build(opts.Device, p.inGrid, p.tgtGrid, opts.Metric, opts.Builder)
 	}
@@ -222,6 +225,13 @@ func (p *Prepared) finishStages(ctx context.Context, opts Options, tr trace.Coll
 	res.Assignment, res.SearchStats, err = rearrangeContext(ctx, p.costs, opts, tr)
 	if err != nil {
 		return nil, err
+	}
+	if res.SearchStats.Degraded > 0 {
+		// The resilient parallel search ran some color classes on the host;
+		// mark the degradation in the tree and the run-level counter (the
+		// host sweeps themselves already happened inside rearrangeContext).
+		trace.Count(tr, trace.CounterDegradedRuns, 1)
+		trace.Start(tr, trace.SpanDegraded).End()
 	}
 	sp.End()
 	res.Timing.Rearrange = time.Since(t0)

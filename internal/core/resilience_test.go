@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/retry"
+	"repro/internal/trace"
+)
+
+func fastRetry() retry.Policy {
+	return retry.Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+}
+
+// TestResilientHappyPathUnchanged: with Resilience set but no faults, the
+// run matches the plain device run bit-for-bit and records zero
+// faults/retries/degradations.
+func TestResilientHappyPathUnchanged(t *testing.T) {
+	input, target := pair(t, 128)
+	opts := Options{TilesPerSide: 16, Algorithm: ParallelApproximation}
+
+	opts.Device = cuda.New(4)
+	ref, err := Generate(input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Device = cuda.New(4)
+	opts.Resilience = &Resilience{Retry: fastRetry()}
+	got, err := Generate(input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalError != ref.TotalError || !bytes.Equal(got.Mosaic.Pix, ref.Mosaic.Pix) {
+		t.Fatal("healthy resilient run diverged from the plain device run")
+	}
+	for _, c := range []string{trace.CounterLaunchFaults, trace.CounterLaunchRetries, trace.CounterDegradedRuns} {
+		if n := got.Stats.Counter(c); n != 0 {
+			t.Errorf("healthy run has %s = %d, want 0", c, n)
+		}
+	}
+	if got.Stats.Span(trace.SpanDegraded).Count != 0 {
+		t.Error("healthy run recorded a degraded span")
+	}
+}
+
+// TestResilientDifferentialDegraded is the differential test of the issue:
+// a run whose device dies on the very first launch — forcing the Step-2
+// matrix onto the host and every Step-3 class onto the serial sweep — is
+// bit-identical to the healthy device run.
+func TestResilientDifferentialDegraded(t *testing.T) {
+	input, target := pair(t, 128)
+	opts := Options{TilesPerSide: 16, Algorithm: ParallelApproximation}
+
+	opts.Device = cuda.New(4)
+	ref, err := Generate(input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Device = cuda.New(4).WithFaults(&cuda.FaultPlan{Nth: []int64{1}, Err: cuda.ErrDeviceLost})
+	opts.Resilience = &Resilience{Retry: fastRetry()}
+	got, err := Generate(input, target, opts)
+	if err != nil {
+		t.Fatalf("degraded run failed instead of falling back: %v", err)
+	}
+	if got.TotalError != ref.TotalError {
+		t.Fatalf("degraded TotalError %d != healthy %d", got.TotalError, ref.TotalError)
+	}
+	if !got.Assignment.Equal(ref.Assignment) {
+		t.Fatal("degraded assignment diverged from healthy run")
+	}
+	if !bytes.Equal(got.Mosaic.Pix, ref.Mosaic.Pix) {
+		t.Fatal("degraded mosaic pixels diverged from healthy run")
+	}
+	if got.Stats.Counter(trace.CounterDegradedRuns) == 0 {
+		t.Error("degraded run did not advance degraded.runs")
+	}
+	if got.Stats.Span(trace.SpanDegraded).Count == 0 {
+		t.Error("degraded run recorded no degraded span")
+	}
+	if got.SearchStats.Degraded == 0 {
+		t.Error("SearchStats.Degraded is zero after device loss")
+	}
+}
+
+// TestResilientTransientStorm: every-other-launch faults are absorbed by
+// retries — same result, retries recorded, no degradation.
+func TestResilientTransientStorm(t *testing.T) {
+	input, target := pair(t, 128)
+	opts := Options{TilesPerSide: 16, Algorithm: ParallelApproximation}
+
+	opts.Device = cuda.New(4)
+	ref, err := Generate(input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Device = cuda.New(4).WithFaults(&cuda.FaultPlan{EveryNth: 2})
+	opts.Resilience = &Resilience{Retry: fastRetry()}
+	got, err := Generate(input, target, opts)
+	if err != nil {
+		t.Fatalf("run under transient storm failed: %v", err)
+	}
+	if got.TotalError != ref.TotalError || !bytes.Equal(got.Mosaic.Pix, ref.Mosaic.Pix) {
+		t.Fatal("storm-retried run diverged from healthy run")
+	}
+	if got.Stats.Counter(trace.CounterLaunchFaults) == 0 || got.Stats.Counter(trace.CounterLaunchRetries) == 0 {
+		t.Fatalf("storm run counters: faults=%d retries=%d, want both > 0",
+			got.Stats.Counter(trace.CounterLaunchFaults), got.Stats.Counter(trace.CounterLaunchRetries))
+	}
+	if got.Stats.Counter(trace.CounterDegradedRuns) != 0 {
+		t.Error("transient storm degraded despite successful retries")
+	}
+}
+
+// TestResilientDisableFallbackFails: with fallback disabled a dead device
+// fails the run with the typed error.
+func TestResilientDisableFallbackFails(t *testing.T) {
+	input, target := pair(t, 64)
+	opts := Options{
+		TilesPerSide: 8,
+		Algorithm:    ParallelApproximation,
+		Device:       cuda.New(2).WithFaults(&cuda.FaultPlan{Err: cuda.ErrDeviceLost}),
+		Resilience:   &Resilience{Retry: fastRetry(), DisableFallback: true},
+	}
+	_, err := Generate(input, target, opts)
+	if !errors.Is(err, cuda.ErrDeviceLost) {
+		t.Fatalf("got %v, want ErrDeviceLost", err)
+	}
+}
+
+// TestResilientPrepareFinishSplit: the serving-path split degrades the same
+// way — Prepare under a dead device falls back for Step 2, Finish falls back
+// for Step 3, and the final mosaic matches the healthy run.
+func TestResilientPrepareFinishSplit(t *testing.T) {
+	input, target := pair(t, 64)
+	base := Options{TilesPerSide: 8, Algorithm: ParallelApproximation}
+
+	healthy := base
+	healthy.Device = cuda.New(2)
+	ref, err := Generate(input, target, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dead := base
+	dead.Device = cuda.New(2).WithFaults(&cuda.FaultPlan{Err: cuda.ErrDeviceLost})
+	dead.Resilience = &Resilience{Retry: fastRetry()}
+	prep, err := PrepareContext(context.Background(), input, target, dead)
+	if err != nil {
+		t.Fatalf("PrepareContext on dead device: %v", err)
+	}
+	res, err := prep.FinishContext(context.Background(), dead)
+	if err != nil {
+		t.Fatalf("FinishContext on dead device: %v", err)
+	}
+	if res.TotalError != ref.TotalError || !bytes.Equal(res.Mosaic.Pix, ref.Mosaic.Pix) {
+		t.Fatal("split degraded run diverged from healthy run")
+	}
+	if res.Stats.Counter(trace.CounterDegradedRuns) == 0 {
+		t.Error("degraded Finish did not advance degraded.runs")
+	}
+}
+
+// TestResilientRetryUnit asserts the retry granularity is one kernel launch:
+// a single injected fault costs exactly one retry, not a pipeline restart.
+func TestResilientRetryUnit(t *testing.T) {
+	input, target := pair(t, 64)
+	opts := Options{
+		TilesPerSide: 8,
+		Algorithm:    ParallelApproximation,
+		Device:       cuda.New(2).WithFaults(&cuda.FaultPlan{Nth: []int64{3}}),
+		Resilience:   &Resilience{Retry: fastRetry()},
+	}
+	res, err := Generate(input, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Stats.Counter(trace.CounterLaunchFaults); n != 1 {
+		t.Errorf("one injected fault recorded as %d", n)
+	}
+	if n := res.Stats.Counter(trace.CounterLaunchRetries); n != 1 {
+		t.Errorf("one injected fault cost %d retries, want exactly 1", n)
+	}
+	if res.Stats.Counter(trace.CounterDegradedRuns) != 0 {
+		t.Error("single retried fault should not degrade")
+	}
+}

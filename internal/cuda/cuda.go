@@ -32,6 +32,7 @@ package cuda
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,9 @@ type Device struct {
 	timingState
 	// metricsState carries launch/block counters (see metrics.go).
 	metricsState
+	// faultState carries the fault-injection machinery behind
+	// LaunchErr/ExecuteErr (see faults.go).
+	faultState
 }
 
 // beginLaunch acquires the single-launch-in-flight flag or panics: a
@@ -246,12 +250,36 @@ func (d *Device) Launch(grid, threadsPerBlock int, kernel func(b *Block)) {
 		}(w)
 	}
 	wg.Wait()
-	select {
-	case r := <-panics:
-		panic(r)
-	default:
-	}
+	rethrowPanics(panics)
 	d.chargeLaunch(durations, threadsPerBlock)
+}
+
+// rethrowPanics drains every worker panic captured during a launch and
+// rethrows. One panic is rethrown as-is, preserving its value for callers
+// that match on it; several (distinct blocks panicking on different workers)
+// are aggregated into a single message rather than silently dropping all but
+// the first. Called after wg.Wait(), so all sends have completed.
+func rethrowPanics(panics chan any) {
+	close(panics)
+	var collected []any
+	for r := range panics {
+		collected = append(collected, r)
+	}
+	switch len(collected) {
+	case 0:
+		return
+	case 1:
+		panic(collected[0])
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cuda: %d workers panicked: ", len(collected))
+	for i, r := range collected {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		fmt.Fprintf(&sb, "%v", r)
+	}
+	panic(sb.String())
 }
 
 // LaunchRange is a convenience for embarrassingly parallel loops: it covers
@@ -293,9 +321,5 @@ func (d *Device) LaunchRange(n int, body func(i int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
-	select {
-	case r := <-panics:
-		panic(r)
-	default:
-	}
+	rethrowPanics(panics)
 }

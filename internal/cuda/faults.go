@@ -1,0 +1,429 @@
+package cuda
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault model.
+//
+// The paper's pipeline assumes a healthy Tesla K40; this package's simulator
+// inherited that optimism — every device problem was a panic. A serving
+// layer needs the opposite contract: launches that can *fail*, with typed
+// errors a retry policy can classify, and a way to make those failures
+// happen on demand so the recovery paths are testable. The types below
+// provide both halves:
+//
+//   - FaultInjector decides, per launch, whether to inject latency, a hang,
+//     or a typed failure. Installed per Device with WithFaults.
+//   - LaunchErr/ExecuteErr are the error-returning variants of
+//     Launch/LaunchRange. Injected faults surface as errors from them; the
+//     panicking Launch/LaunchRange stay unchanged for programmer misuse
+//     (concurrent launches, bad thread counts, kernel panics).
+//   - FaultPlan is the built-in deterministic injector: nth-launch,
+//     every-nth, seeded probability and kernel-name matching, so a chaos
+//     test replays the exact same storm every run.
+//
+// A fault that wraps ErrDeviceLost additionally marks the device lost:
+// every subsequent LaunchErr/ExecuteErr fails fast with ErrDeviceLost until
+// ClearLost — modelling a real device loss, which persists until the host
+// resets the device. Health probes (internal/service's device pool) call
+// ClearLost and then Canary to test whether the device has come back.
+
+// Typed launch errors. Injected faults wrap one of these; classify with
+// errors.Is.
+var (
+	// ErrLaunchFailed is a transient kernel-launch failure — the retryable
+	// case (cudaErrorLaunchFailure-shaped).
+	ErrLaunchFailed = errors.New("cuda: kernel launch failed")
+	// ErrDeviceLost is a persistent device failure — retrying on the same
+	// device is pointless until it is reset (cudaErrorDeviceLost-shaped).
+	// The device stays lost until ClearLost.
+	ErrDeviceLost = errors.New("cuda: device lost")
+	// ErrDeviceHung reports a launch that never completed before the
+	// context's deadline — the watchdog-timeout shape. It wraps the context
+	// error, so errors.Is(err, context.DeadlineExceeded) also holds when the
+	// job deadline expired.
+	ErrDeviceHung = errors.New("cuda: device hung")
+)
+
+// KernelCanary is the kernel name Canary launches under, so fault plans can
+// target or spare health probes explicitly.
+const KernelCanary = "canary"
+
+// LaunchInfo describes one fault-checked launch to an injector.
+type LaunchInfo struct {
+	// Kernel is the name passed to LaunchErr/ExecuteErr.
+	Kernel string
+	// Ordinal is the 1-based count of fault-checked launches on this device
+	// (only launches made while an injector is installed are counted).
+	Ordinal int64
+}
+
+// Fault is an injector's verdict for one launch. The zero value lets the
+// launch proceed normally.
+type Fault struct {
+	// Err, when non-nil, fails the launch with this error (after Delay, if
+	// any). Wrap or use ErrLaunchFailed/ErrDeviceLost; an Err satisfying
+	// errors.Is(Err, ErrDeviceLost) marks the device lost.
+	Err error
+	// Delay injects latency before the verdict is applied. With a nil Err it
+	// is pure latency injection: the launch then runs normally. If the
+	// context expires during the delay the launch fails with ErrDeviceHung.
+	Delay time.Duration
+	// Hang makes the launch block until the context is done and then fail
+	// with ErrDeviceHung — the infinite-delay case. Only meaningful when the
+	// caller's context carries a deadline or is cancelled.
+	Hang bool
+}
+
+// FaultInjector decides per launch whether to inject a fault. Decide must be
+// safe for concurrent use: a device pool probes and launches from different
+// goroutines.
+type FaultInjector interface {
+	Decide(LaunchInfo) Fault
+}
+
+// faultState carries the per-device fault-injection machinery; embedded in
+// Device so the zero state (no injector, not lost) costs one atomic load per
+// LaunchErr.
+type faultState struct {
+	injMu sync.Mutex
+	inj   FaultInjector
+	// launchSeq numbers fault-checked launches for LaunchInfo.Ordinal.
+	launchSeq atomic.Int64
+	// lost is the sticky device-lost flag (see ErrDeviceLost).
+	lost atomic.Bool
+	// faultsInjected counts launches that failed with an injected fault.
+	faultsInjected atomic.Int64
+}
+
+// WithFaults installs a fault injector (nil removes it) and returns the
+// device, so construction reads cuda.New(4).WithFaults(plan). Install a
+// separate injector per device — the built-in FaultPlan keeps internal
+// state (probability stream, fault budget) that should not be shared.
+func (d *Device) WithFaults(fi FaultInjector) *Device {
+	d.injMu.Lock()
+	d.inj = fi
+	d.injMu.Unlock()
+	return d
+}
+
+// Lost reports whether the device is in the sticky lost state.
+func (d *Device) Lost() bool { return d.lost.Load() }
+
+// ClearLost resets the lost flag — the virtual analogue of cudaDeviceReset.
+// It does not remove the injector: a probe that resets and relaunches may be
+// told the device is lost again, which is exactly how a dead device stays
+// quarantined.
+func (d *Device) ClearLost() { d.lost.Store(false) }
+
+// FaultsInjected returns how many launches failed with an injected fault
+// since construction.
+func (d *Device) FaultsInjected() int64 { return d.faultsInjected.Load() }
+
+// faultCheck is the gate LaunchErr/ExecuteErr run before the real launch:
+// fail fast on a lost device or a dead context, then consult the injector.
+func (d *Device) faultCheck(ctx context.Context, kernel string) error {
+	if d.lost.Load() {
+		return fmt.Errorf("cuda: launch %q: %w", kernel, ErrDeviceLost)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cuda: launch %q: %w", kernel, err)
+	}
+	d.injMu.Lock()
+	inj := d.inj
+	d.injMu.Unlock()
+	if inj == nil {
+		return nil
+	}
+	f := inj.Decide(LaunchInfo{Kernel: kernel, Ordinal: d.launchSeq.Add(1)})
+	if f.Hang {
+		d.faultsInjected.Add(1)
+		<-ctx.Done()
+		return fmt.Errorf("cuda: launch %q: %w: %w", kernel, ErrDeviceHung, ctx.Err())
+	}
+	if f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			d.faultsInjected.Add(1)
+			return fmt.Errorf("cuda: launch %q: %w: %w", kernel, ErrDeviceHung, ctx.Err())
+		}
+	}
+	if f.Err != nil {
+		d.faultsInjected.Add(1)
+		if errors.Is(f.Err, ErrDeviceLost) {
+			d.lost.Store(true)
+		}
+		return fmt.Errorf("cuda: launch %q: %w", kernel, f.Err)
+	}
+	return nil
+}
+
+// LaunchErr is Launch with an error path: the launch is checked against the
+// device's fault state (lost flag, installed injector, context) and injected
+// faults return as typed errors instead of running the kernel. kernel names
+// the launch for injector matching and error messages. A healthy check runs
+// the kernel exactly as Launch would — bit-identical results, same metrics —
+// and programmer misuse (threadsPerBlock ≤ 0, concurrent launches, panics
+// inside the kernel) keeps the panic contract.
+func (d *Device) LaunchErr(ctx context.Context, kernel string, grid, threadsPerBlock int, k func(b *Block)) error {
+	if grid <= 0 {
+		return nil
+	}
+	if threadsPerBlock <= 0 {
+		panic(fmt.Sprintf("cuda: LaunchErr with threadsPerBlock=%d", threadsPerBlock))
+	}
+	if err := d.faultCheck(ctx, kernel); err != nil {
+		return err
+	}
+	d.Launch(grid, threadsPerBlock, k)
+	return nil
+}
+
+// ExecuteErr is LaunchRange with the same error path as LaunchErr: the
+// fault gate runs first, a healthy gate executes the range exactly as
+// LaunchRange would.
+func (d *Device) ExecuteErr(ctx context.Context, kernel string, n int, body func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := d.faultCheck(ctx, kernel); err != nil {
+		return err
+	}
+	d.LaunchRange(n, body)
+	return nil
+}
+
+// Canary launches a tiny self-checking kernel through the fault gate — the
+// health probe a device pool runs against a quarantined device. It exercises
+// a launch, shared memory and the thread loop; any injected fault surfaces
+// as the error.
+func (d *Device) Canary(ctx context.Context) error {
+	const threads = 32
+	return d.LaunchErr(ctx, KernelCanary, 1, threads, func(b *Block) {
+		sh := b.SharedInts(threads)
+		b.ForThreads(func(t int) { sh[t] = int32(t) })
+		b.ForThreads(func(t int) {
+			if sh[t] != int32(t) {
+				panic("cuda: canary shared-memory mismatch")
+			}
+		})
+	})
+}
+
+// FaultPlan is the built-in deterministic FaultInjector: a seeded plan that
+// matches launches by ordinal (EveryNth, Nth), by seeded probability, and/or
+// by kernel name, and injects a typed error, latency or a hang. The zero
+// value matches every launch with ErrLaunchFailed — the total-storm plan.
+//
+// Matching: Kernel (when set) must match exactly; of the ordinal selectors,
+// any that is set may match (EveryNth, Nth, Probability are OR-ed); when
+// none is set every launch matches. MaxFaults bounds the injected failures,
+// after which the plan goes quiet — how a test storm dies out so a probe can
+// restore the device.
+//
+// A plan keeps internal state (the probability stream, the fault budget);
+// install a separate instance per device.
+type FaultPlan struct {
+	// Seed seeds the Probability stream; the same seed replays the same
+	// decisions.
+	Seed uint64
+	// Probability in (0, 1] fails each matched launch with that chance.
+	Probability float64
+	// EveryNth matches launches whose ordinal is a multiple of n (2 = every
+	// other launch, starting with the second).
+	EveryNth int64
+	// Nth matches the exact launch ordinals listed (1-based).
+	Nth []int64
+	// Kernel restricts the plan to launches with this kernel name ("" = all).
+	Kernel string
+	// Err is the injected error; nil selects ErrLaunchFailed unless the
+	// fault is latency-only (Delay set, Hang false).
+	Err error
+	// Delay is injected latency on matched launches. With a nil Err and
+	// Hang false the plan is pure latency injection.
+	Delay time.Duration
+	// Hang makes matched launches block until the caller's deadline and fail
+	// with ErrDeviceHung.
+	Hang bool
+	// MaxFaults bounds the total injected failures (0 = unlimited); latency-
+	// only matches do not consume the budget.
+	MaxFaults int64
+
+	mu       sync.Mutex
+	rng      uint64
+	rngInit  bool
+	injected int64
+}
+
+// Decide implements FaultInjector.
+func (p *FaultPlan) Decide(info LaunchInfo) Fault {
+	if p.Kernel != "" && p.Kernel != info.Kernel {
+		return Fault{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	selective := false
+	matched := false
+	if p.EveryNth > 0 {
+		selective = true
+		if info.Ordinal%p.EveryNth == 0 {
+			matched = true
+		}
+	}
+	if len(p.Nth) > 0 {
+		selective = true
+		for _, n := range p.Nth {
+			if n == info.Ordinal {
+				matched = true
+			}
+		}
+	}
+	if p.Probability > 0 {
+		selective = true
+		if !p.rngInit {
+			p.rng = p.Seed
+			p.rngInit = true
+		}
+		if p.randFloat() < p.Probability {
+			matched = true
+		}
+	}
+	if !selective {
+		matched = true
+	}
+	if !matched {
+		return Fault{}
+	}
+	f := Fault{Err: p.Err, Delay: p.Delay, Hang: p.Hang}
+	if f.Err == nil && !f.Hang {
+		if f.Delay > 0 {
+			return f // latency-only: not a failure, no budget consumed
+		}
+		f.Err = ErrLaunchFailed
+	}
+	if p.MaxFaults > 0 && p.injected >= p.MaxFaults {
+		return Fault{}
+	}
+	p.injected++
+	return f
+}
+
+// Injected returns how many failures the plan has injected so far.
+func (p *FaultPlan) Injected() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// randFloat advances the plan's splitmix64 stream and returns a float in
+// [0, 1). Caller holds p.mu.
+func (p *FaultPlan) randFloat() float64 {
+	p.rng += 0x9E3779B97F4A7C15
+	z := p.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// ParseFaultSpec builds a FaultPlan from the comma-separated key=value spec
+// the CLIs' -chaos flags accept:
+//
+//	every=N          fail every Nth launch (2 = every other)
+//	nth=3+7+9        fail the listed launch ordinals (plus-separated)
+//	prob=0.25        fail each launch with this probability
+//	seed=7           seed the probability stream
+//	kernel=NAME      restrict to launches of this kernel (cost-matrix,
+//	                 swap-sweep, canary, ...)
+//	err=launch|lost  injected error class (default launch)
+//	hang             matched launches hang until the deadline
+//	delay=5ms        injected latency on matched launches
+//	max=N            stop injecting after N failures
+//
+// Example: "every=2,err=launch" is the every-other-launch storm;
+// "nth=1,err=lost" kills the device on first use; "prob=0.3,seed=1,max=10"
+// is a bounded random storm that dies out.
+func ParseFaultSpec(spec string) (*FaultPlan, error) {
+	p := &FaultPlan{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(part, "=")
+		switch key {
+		case "every":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("cuda: fault spec every=%q: want a positive integer", val)
+			}
+			p.EveryNth = n
+		case "nth":
+			for _, s := range strings.Split(val, "+") {
+				n, err := strconv.ParseInt(s, 10, 64)
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("cuda: fault spec nth=%q: want positive integers separated by +", val)
+				}
+				p.Nth = append(p.Nth, n)
+			}
+		case "prob":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f > 1 || math.IsNaN(f) {
+				return nil, fmt.Errorf("cuda: fault spec prob=%q: want a value in (0, 1]", val)
+			}
+			p.Probability = f
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cuda: fault spec seed=%q: want an unsigned integer", val)
+			}
+			p.Seed = n
+		case "kernel":
+			if val == "" {
+				return nil, fmt.Errorf("cuda: fault spec kernel=: want a kernel name")
+			}
+			p.Kernel = val
+		case "err":
+			switch val {
+			case "launch":
+				p.Err = ErrLaunchFailed
+			case "lost":
+				p.Err = ErrDeviceLost
+			default:
+				return nil, fmt.Errorf("cuda: fault spec err=%q: want launch or lost", val)
+			}
+		case "hang":
+			if hasVal && val != "true" {
+				return nil, fmt.Errorf("cuda: fault spec hang=%q: hang takes no value", val)
+			}
+			p.Hang = true
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("cuda: fault spec delay=%q: want a non-negative duration", val)
+			}
+			p.Delay = d
+		case "max":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("cuda: fault spec max=%q: want a positive integer", val)
+			}
+			p.MaxFaults = n
+		default:
+			return nil, fmt.Errorf("cuda: fault spec: unknown key %q", key)
+		}
+	}
+	return p, nil
+}

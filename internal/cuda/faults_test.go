@@ -1,0 +1,320 @@
+package cuda
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLaunchErrHealthy: with no injector, LaunchErr behaves exactly like
+// Launch — runs the kernel, returns nil, counts no faults.
+func TestLaunchErrHealthy(t *testing.T) {
+	d := New(2)
+	var ran atomic.Int64
+	err := d.LaunchErr(context.Background(), "k", 4, 8, func(b *Block) {
+		b.ForThreads(func(int) { ran.Add(1) })
+	})
+	if err != nil {
+		t.Fatalf("LaunchErr on healthy device: %v", err)
+	}
+	if got := ran.Load(); got != 4*8 {
+		t.Fatalf("kernel ran %d thread-iterations, want %d", got, 4*8)
+	}
+	if d.FaultsInjected() != 0 {
+		t.Fatalf("healthy device reports %d injected faults", d.FaultsInjected())
+	}
+}
+
+// TestFaultPlanEveryNth: every=2 fails exactly the even-ordinal launches.
+func TestFaultPlanEveryNth(t *testing.T) {
+	d := New(1).WithFaults(&FaultPlan{EveryNth: 2})
+	ctx := context.Background()
+	var outcomes []bool
+	for i := 0; i < 6; i++ {
+		err := d.LaunchErr(ctx, "k", 1, 1, func(*Block) {})
+		outcomes = append(outcomes, err != nil)
+		if err != nil && !errors.Is(err, ErrLaunchFailed) {
+			t.Fatalf("launch %d: got %v, want ErrLaunchFailed", i+1, err)
+		}
+	}
+	want := []bool{false, true, false, true, false, true}
+	for i := range want {
+		if outcomes[i] != want[i] {
+			t.Fatalf("launch %d failed=%v, want %v (outcomes %v)", i+1, outcomes[i], want[i], outcomes)
+		}
+	}
+	if d.FaultsInjected() != 3 {
+		t.Fatalf("FaultsInjected = %d, want 3", d.FaultsInjected())
+	}
+}
+
+// TestFaultPlanNth: nth-launch matching fires on exactly the listed ordinals.
+func TestFaultPlanNth(t *testing.T) {
+	d := New(1).WithFaults(&FaultPlan{Nth: []int64{1, 4}})
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		err := d.LaunchErr(ctx, "k", 1, 1, func(*Block) {})
+		wantFail := i == 1 || i == 4
+		if (err != nil) != wantFail {
+			t.Fatalf("launch %d: err=%v, want failure=%v", i, err, wantFail)
+		}
+	}
+}
+
+// TestFaultPlanKernelMatch: a kernel-scoped plan spares other kernels.
+func TestFaultPlanKernelMatch(t *testing.T) {
+	d := New(1).WithFaults(&FaultPlan{Kernel: "cost-matrix"})
+	ctx := context.Background()
+	if err := d.LaunchErr(ctx, "swap-sweep", 1, 1, func(*Block) {}); err != nil {
+		t.Fatalf("unmatched kernel failed: %v", err)
+	}
+	if err := d.LaunchErr(ctx, "cost-matrix", 1, 1, func(*Block) {}); !errors.Is(err, ErrLaunchFailed) {
+		t.Fatalf("matched kernel: got %v, want ErrLaunchFailed", err)
+	}
+}
+
+// TestFaultPlanProbabilityDeterministic: the same seed replays the same
+// fault decisions; a different seed (almost surely) differs somewhere, and
+// the empirical rate is in a sane band around the target.
+func TestFaultPlanProbabilityDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		d := New(1).WithFaults(&FaultPlan{Probability: 0.5, Seed: seed})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = d.LaunchErr(context.Background(), "k", 1, 1, func(*Block) {}) != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at launch %d", i+1)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails < 60 || fails > 140 {
+		t.Fatalf("prob=0.5 over 200 launches injected %d faults; want roughly half", fails)
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestDeviceLostSticky: an ErrDeviceLost fault poisons every later launch
+// until ClearLost, and Lost() reflects the state.
+func TestDeviceLostSticky(t *testing.T) {
+	d := New(1).WithFaults(&FaultPlan{Nth: []int64{1}, Err: ErrDeviceLost})
+	ctx := context.Background()
+	if err := d.LaunchErr(ctx, "k", 1, 1, func(*Block) {}); !errors.Is(err, ErrDeviceLost) {
+		t.Fatalf("first launch: got %v, want ErrDeviceLost", err)
+	}
+	if !d.Lost() {
+		t.Fatal("device not marked lost after ErrDeviceLost")
+	}
+	// Subsequent launches fail fast without consulting the injector (the
+	// plan only matches ordinal 1, so this failure comes from the flag).
+	if err := d.LaunchErr(ctx, "k", 1, 1, func(*Block) {}); !errors.Is(err, ErrDeviceLost) {
+		t.Fatalf("launch on lost device: got %v, want ErrDeviceLost", err)
+	}
+	d.ClearLost()
+	if d.Lost() {
+		t.Fatal("ClearLost did not clear the flag")
+	}
+	if err := d.LaunchErr(ctx, "k", 1, 1, func(*Block) {}); err != nil {
+		t.Fatalf("launch after ClearLost: %v", err)
+	}
+}
+
+// TestFaultHangRespectsDeadline: a hang fault blocks until the context
+// deadline and reports both ErrDeviceHung and the context error.
+func TestFaultHangRespectsDeadline(t *testing.T) {
+	d := New(1).WithFaults(&FaultPlan{Hang: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := d.LaunchErr(ctx, "k", 1, 1, func(*Block) { t.Fatal("hung kernel ran") })
+	if !errors.Is(err, ErrDeviceHung) {
+		t.Fatalf("got %v, want ErrDeviceHung", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestFaultDelayOnly: a delay-only plan injects latency but lets the launch
+// succeed and counts no faults.
+func TestFaultDelayOnly(t *testing.T) {
+	d := New(1).WithFaults(&FaultPlan{Delay: 5 * time.Millisecond})
+	ran := false
+	start := time.Now()
+	if err := d.LaunchErr(context.Background(), "k", 1, 1, func(*Block) { ran = true }); err != nil {
+		t.Fatalf("delay-only launch failed: %v", err)
+	}
+	if !ran {
+		t.Fatal("delayed kernel never ran")
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("no latency was injected")
+	}
+	if d.FaultsInjected() != 0 {
+		t.Fatalf("latency-only injection counted as %d faults", d.FaultsInjected())
+	}
+}
+
+// TestFaultDelayCancelled: cancelling mid-delay surfaces as ErrDeviceHung
+// wrapping the context error.
+func TestFaultDelayCancelled(t *testing.T) {
+	d := New(1).WithFaults(&FaultPlan{Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	err := d.LaunchErr(ctx, "k", 1, 1, func(*Block) { t.Fatal("kernel ran past cancellation") })
+	if !errors.Is(err, ErrDeviceHung) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want ErrDeviceHung wrapping context.Canceled", err)
+	}
+}
+
+// TestFaultPlanMaxFaults: the budget bounds injected failures, after which
+// the storm dies out and launches succeed again.
+func TestFaultPlanMaxFaults(t *testing.T) {
+	plan := &FaultPlan{MaxFaults: 2}
+	d := New(1).WithFaults(plan)
+	ctx := context.Background()
+	for i := 1; i <= 2; i++ {
+		if err := d.LaunchErr(ctx, "k", 1, 1, func(*Block) {}); !errors.Is(err, ErrLaunchFailed) {
+			t.Fatalf("launch %d: got %v, want ErrLaunchFailed", i, err)
+		}
+	}
+	if err := d.LaunchErr(ctx, "k", 1, 1, func(*Block) {}); err != nil {
+		t.Fatalf("launch after budget exhausted: %v", err)
+	}
+	if plan.Injected() != 2 {
+		t.Fatalf("plan.Injected = %d, want 2", plan.Injected())
+	}
+}
+
+// TestExecuteErrFaults: ExecuteErr routes through the same gate.
+func TestExecuteErrFaults(t *testing.T) {
+	d := New(2).WithFaults(&FaultPlan{Nth: []int64{1}})
+	var ran atomic.Int64
+	if err := d.ExecuteErr(context.Background(), "rows", 16, func(int) { ran.Add(1) }); !errors.Is(err, ErrLaunchFailed) {
+		t.Fatalf("got %v, want ErrLaunchFailed", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("body ran despite injected fault")
+	}
+	if err := d.ExecuteErr(context.Background(), "rows", 16, func(int) { ran.Add(1) }); err != nil {
+		t.Fatalf("second ExecuteErr: %v", err)
+	}
+	if ran.Load() != 16 {
+		t.Fatalf("body ran %d times, want 16", ran.Load())
+	}
+}
+
+// TestCanary: healthy devices pass the probe; a faulted one fails it with
+// the injected error.
+func TestCanary(t *testing.T) {
+	if err := New(2).Canary(context.Background()); err != nil {
+		t.Fatalf("healthy canary failed: %v", err)
+	}
+	d := New(2).WithFaults(&FaultPlan{Kernel: KernelCanary, Err: ErrDeviceLost})
+	if err := d.Canary(context.Background()); !errors.Is(err, ErrDeviceLost) {
+		t.Fatalf("faulted canary: got %v, want ErrDeviceLost", err)
+	}
+}
+
+// TestParseFaultSpec covers the -chaos flag grammar.
+func TestParseFaultSpec(t *testing.T) {
+	p, err := ParseFaultSpec("every=2,err=launch")
+	if err != nil {
+		t.Fatalf("ParseFaultSpec: %v", err)
+	}
+	if p.EveryNth != 2 || !errors.Is(p.Err, ErrLaunchFailed) {
+		t.Fatalf("every=2,err=launch parsed as %+v", p)
+	}
+	p, err = ParseFaultSpec("nth=3+7,err=lost,max=1,kernel=swap-sweep")
+	if err != nil {
+		t.Fatalf("ParseFaultSpec: %v", err)
+	}
+	if len(p.Nth) != 2 || p.Nth[0] != 3 || p.Nth[1] != 7 || !errors.Is(p.Err, ErrDeviceLost) || p.MaxFaults != 1 || p.Kernel != "swap-sweep" {
+		t.Fatalf("nth spec parsed as %+v", p)
+	}
+	p, err = ParseFaultSpec("prob=0.25,seed=9,delay=5ms,hang")
+	if err != nil {
+		t.Fatalf("ParseFaultSpec: %v", err)
+	}
+	if p.Probability != 0.25 || p.Seed != 9 || p.Delay != 5*time.Millisecond || !p.Hang {
+		t.Fatalf("prob spec parsed as %+v", p)
+	}
+	for _, bad := range []string{"every=0", "nth=a", "prob=2", "err=boom", "delay=-1s", "max=0", "wat=1", "kernel="} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Fatalf("ParseFaultSpec(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+// TestMultiPanicAggregation: when several workers panic in one launch, the
+// rethrown panic names the count and carries every message (satellite fix:
+// previously only the first was rethrown).
+func TestMultiPanicAggregation(t *testing.T) {
+	d := New(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic propagated")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("aggregated panic is %T, want string", r)
+		}
+		if !strings.Contains(msg, "4 workers panicked") {
+			t.Fatalf("aggregated panic %q does not name the worker count", msg)
+		}
+		for _, want := range []string{"boom-0", "boom-1", "boom-2", "boom-3"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("aggregated panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	gate := make(chan struct{})
+	var arrived atomic.Int64
+	d.Launch(4, 1, func(b *Block) {
+		// Hold every worker at the gate so all four panic in one launch.
+		if arrived.Add(1) == 4 {
+			close(gate)
+		}
+		<-gate
+		panic("boom-" + string(rune('0'+b.Idx)))
+	})
+}
+
+// TestSinglePanicPreservesValue: a single worker panic is rethrown with its
+// original value, not wrapped.
+func TestSinglePanicPreservesValue(t *testing.T) {
+	type marker struct{ n int }
+	d := New(2)
+	defer func() {
+		r := recover()
+		m, ok := r.(marker)
+		if !ok || m.n != 42 {
+			t.Fatalf("panic value %v (%T), want marker{42}", r, r)
+		}
+	}()
+	d.Launch(4, 1, func(b *Block) {
+		if b.Idx == 2 {
+			panic(marker{42})
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/edgecolor"
 	"repro/internal/metric"
 	"repro/internal/perm"
+	"repro/internal/retry"
 	"repro/internal/trace"
 )
 
@@ -33,6 +34,12 @@ type Stats struct {
 	Passes   int   // number of full sweeps (the paper's k)
 	Swaps    int64 // improving swaps applied
 	Attempts int64 // pair tests evaluated (exhaustive sweeps test S(S−1)/2 each)
+	// Retries counts re-attempts of faulted color-class launches (resilient
+	// search only; zero on a healthy device).
+	Retries int64
+	// Degraded counts color-class sweeps that ran on the host after device
+	// retries were exhausted or the device was lost (resilient search only).
+	Degraded int64
 }
 
 // Progress receives one convergence sample per completed sweep round: the
@@ -214,11 +221,48 @@ func Parallel(dev *cuda.Device, m *metric.Matrix, start perm.Perm, coloring *edg
 	return ParallelContext(context.Background(), dev, m, start, coloring, opts)
 }
 
+// KernelSwapSweep is the kernel name the parallel sweep launches under (one
+// launch per color class) — the cuda.FaultPlan.Kernel target for Step 3.
+const KernelSwapSweep = "swap-sweep"
+
+// Resilience configures the fault-tolerant parallel search.
+type Resilience struct {
+	// Retry is the per-class-launch retry schedule (zero value = defaults:
+	// 3 attempts, exponential backoff with jitter).
+	Retry retry.Policy
+	// DisableFallback turns off the host fallback: exhausted retries fail
+	// the search instead of degrading.
+	DisableFallback bool
+}
+
 // ParallelContext is Parallel with cancellation: ctx is checked before every
 // sweep and between the kernel launches of consecutive color classes (the
 // paper's global barriers), so cancellation latency is bounded by one
 // class's kernel. The partial assignment is discarded on cancellation.
 func ParallelContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, start perm.Perm, coloring *edgecolor.Coloring, opts Options) (perm.Perm, Stats, error) {
+	return parallelSearch(ctx, dev, m, start, coloring, opts, nil)
+}
+
+// ParallelResilientContext is ParallelContext through the fault-aware launch
+// path: each color-class launch goes through res.Retry (faults and
+// re-attempts are counted on opts.Trace as cuda.launch-faults and
+// cuda.launch-retries), and a class whose retries are exhausted — or any
+// class after the device reports cuda.ErrDeviceLost — is swept on the host
+// instead, counted in Stats.Degraded.
+//
+// The degraded result is bit-identical to the healthy parallel run: a faulted
+// launch fails before executing any pair (the fault gate precedes the
+// kernel), pairs within a class are vertex-disjoint so their execution order
+// cannot matter, and the host sweep applies exactly the kernel's test-and-
+// swap to exactly the class's pairs. The retry unit is one class launch
+// because launches are Algorithm 2's global barriers — see DESIGN.md.
+func ParallelResilientContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, start perm.Perm, coloring *edgecolor.Coloring, opts Options, res Resilience) (perm.Perm, Stats, error) {
+	return parallelSearch(ctx, dev, m, start, coloring, opts, &res)
+}
+
+// parallelSearch is the shared implementation; res == nil selects the
+// original panic-on-misuse launch path with no retry machinery.
+func parallelSearch(ctx context.Context, dev *cuda.Device, m *metric.Matrix, start perm.Perm, coloring *edgecolor.Coloring, opts Options, res *Resilience) (perm.Perm, Stats, error) {
 	p, err := checkStart(m, start)
 	if err != nil {
 		return nil, Stats{}, err
@@ -240,6 +284,22 @@ func ParallelContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, st
 	var costDelta atomic.Int64
 	if sample {
 		cost0 = m.Total(p)
+	}
+	// Resilient-path state: one retry-policy copy for the whole search (its
+	// jitter stream advances across classes) and a sticky device-dead flag —
+	// once the device is lost, remaining classes go straight to the host
+	// without further launch attempts. A nil device with fallback enabled is
+	// the fully-degraded case: every class runs on the host from the start.
+	var pol retry.Policy
+	if res != nil {
+		pol = res.Retry
+	}
+	deviceDead := false
+	if dev == nil {
+		if res == nil || res.DisableFallback {
+			return nil, Stats{}, errors.New("localsearch: parallel search requires a device")
+		}
+		deviceDead = true
 	}
 	for {
 		if err := ctxErr(ctx); err != nil {
@@ -264,7 +324,7 @@ func ParallelContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, st
 			}
 			// One kernel launch per color class; the launch boundary is the
 			// global barrier between classes (paper §V).
-			dev.Launch(grid, pairsPerBlock, func(b *cuda.Block) {
+			kernel := func(b *cuda.Block) {
 				lo := b.Idx * pairsPerBlock
 				hi := lo + pairsPerBlock
 				if hi > len(pairs) {
@@ -291,7 +351,74 @@ func ParallelContext(ctx context.Context, dev *cuda.Device, m *metric.Matrix, st
 						costDelta.Add(localDelta)
 					}
 				}
+			}
+			if res == nil {
+				dev.Launch(grid, pairsPerBlock, kernel)
+				continue
+			}
+			// hostClass is the degraded path: the kernel's test-and-swap over
+			// exactly this class's pairs, on the host. Pairs within a class
+			// are vertex-disjoint, so the sequential order cannot produce a
+			// different result than the concurrent kernel — bit-identical.
+			hostClass := func() {
+				local := int64(0)
+				localDelta := int64(0)
+				for _, pr := range pairs {
+					x, y := pr.U, pr.V
+					px, py := p[x], p[y]
+					keep := int64(w[px*s+x]) + int64(w[py*s+y])
+					swap := int64(w[py*s+x]) + int64(w[px*s+y])
+					if keep > swap {
+						p[x], p[y] = py, px
+						local++
+						localDelta += swap - keep
+					}
+				}
+				if local > 0 {
+					swapCount.Add(local)
+					swapped.Store(true)
+					if sample {
+						costDelta.Add(localDelta)
+					}
+				}
+			}
+			if deviceDead {
+				hostClass()
+				st.Degraded++
+				continue
+			}
+			lerr := pol.Do(ctx, func(attempt int) error {
+				if attempt > 1 {
+					st.Retries++
+					trace.Count(opts.Trace, trace.CounterLaunchRetries, 1)
+				}
+				err := dev.LaunchErr(ctx, KernelSwapSweep, grid, pairsPerBlock, kernel)
+				if err != nil {
+					trace.Count(opts.Trace, trace.CounterLaunchFaults, 1)
+					if errors.Is(err, cuda.ErrDeviceLost) {
+						// Retrying on a lost device is pointless; fall
+						// through to the host immediately.
+						return retry.Stop(err)
+					}
+				}
+				return err
 			})
+			if lerr == nil {
+				continue
+			}
+			if errors.Is(lerr, context.Canceled) || errors.Is(lerr, context.DeadlineExceeded) {
+				st.Swaps = swapCount.Load()
+				return nil, st, fmt.Errorf("localsearch: parallel search cancelled in sweep %d: %w", st.Passes+1, lerr)
+			}
+			if res.DisableFallback {
+				st.Swaps = swapCount.Load()
+				return nil, st, fmt.Errorf("localsearch: class launch failed with host fallback disabled: %w", lerr)
+			}
+			if errors.Is(lerr, cuda.ErrDeviceLost) {
+				deviceDead = true
+			}
+			hostClass()
+			st.Degraded++
 		}
 		st.Passes++
 		st.Attempts += int64(s) * int64(s-1) / 2

@@ -1,0 +1,181 @@
+package localsearch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/edgecolor"
+	"repro/internal/metric"
+	"repro/internal/perm"
+	"repro/internal/retry"
+	"repro/internal/trace"
+)
+
+// testMatrix builds a deterministic pseudo-random S×S cost matrix.
+func testMatrix(s int, seed uint64) *metric.Matrix {
+	m := metric.NewMatrix(s)
+	x := seed
+	for i := range m.W {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		m.W[i] = metric.Cost((z ^ (z >> 31)) % 10000)
+	}
+	return m
+}
+
+func fastRetry() retry.Policy {
+	return retry.Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+}
+
+// TestResilientHealthyMatchesParallel: with no faults the resilient search is
+// the parallel search — same assignment, zero retries, zero degradations.
+func TestResilientHealthyMatchesParallel(t *testing.T) {
+	const s = 64
+	m := testMatrix(s, 1)
+	coloring := edgecolor.Complete(s)
+	start := perm.Random(s, 7)
+	ctx := context.Background()
+
+	ref, refSt, err := ParallelContext(ctx, cuda.New(4), m, start, coloring, Options{})
+	if err != nil {
+		t.Fatalf("ParallelContext: %v", err)
+	}
+	got, st, err := ParallelResilientContext(ctx, cuda.New(4), m, start, coloring, Options{}, Resilience{Retry: fastRetry()})
+	if err != nil {
+		t.Fatalf("ParallelResilientContext: %v", err)
+	}
+	if !got.Equal(ref) {
+		t.Fatal("healthy resilient search diverged from ParallelContext")
+	}
+	if st.Retries != 0 || st.Degraded != 0 {
+		t.Fatalf("healthy run reports Retries=%d Degraded=%d, want 0/0", st.Retries, st.Degraded)
+	}
+	if st.Passes != refSt.Passes || st.Swaps != refSt.Swaps {
+		t.Fatalf("healthy resilient stats %+v != parallel stats %+v", st, refSt)
+	}
+}
+
+// TestResilientEveryOtherLaunch: transient faults on every other launch are
+// absorbed by retries — identical result, no degradation.
+func TestResilientEveryOtherLaunch(t *testing.T) {
+	const s = 48
+	m := testMatrix(s, 2)
+	coloring := edgecolor.Complete(s)
+	start := perm.Random(s, 3)
+	ctx := context.Background()
+
+	ref, _, err := ParallelContext(ctx, cuda.New(4), m, start, coloring, Options{})
+	if err != nil {
+		t.Fatalf("ParallelContext: %v", err)
+	}
+	dev := cuda.New(4).WithFaults(&cuda.FaultPlan{EveryNth: 2})
+	tree := trace.NewTree()
+	got, st, err := ParallelResilientContext(ctx, dev, m, start, coloring, Options{Trace: tree}, Resilience{Retry: fastRetry()})
+	if err != nil {
+		t.Fatalf("resilient search under every-other-launch storm: %v", err)
+	}
+	if !got.Equal(ref) {
+		t.Fatal("fault-storm result diverged from healthy run")
+	}
+	if st.Retries == 0 {
+		t.Fatal("every-other-launch storm caused no retries")
+	}
+	if st.Degraded != 0 {
+		t.Fatalf("transient storm degraded %d classes; retries should have absorbed it", st.Degraded)
+	}
+	stats := tree.Snapshot()
+	if stats.Counter(trace.CounterLaunchFaults) == 0 || stats.Counter(trace.CounterLaunchRetries) == 0 {
+		t.Fatalf("trace counters not advanced: faults=%d retries=%d",
+			stats.Counter(trace.CounterLaunchFaults), stats.Counter(trace.CounterLaunchRetries))
+	}
+}
+
+// TestResilientDeviceLostMidSearch: losing the device mid-search degrades the
+// remaining classes to the host with a bit-identical final assignment.
+func TestResilientDeviceLostMidSearch(t *testing.T) {
+	const s = 48
+	m := testMatrix(s, 4)
+	coloring := edgecolor.Complete(s)
+	start := perm.Random(s, 9)
+	ctx := context.Background()
+
+	ref, _, err := ParallelContext(ctx, cuda.New(4), m, start, coloring, Options{})
+	if err != nil {
+		t.Fatalf("ParallelContext: %v", err)
+	}
+	// Kill the device on its 5th launch: some classes run on the device,
+	// everything after runs on the host.
+	dev := cuda.New(4).WithFaults(&cuda.FaultPlan{Nth: []int64{5}, Err: cuda.ErrDeviceLost})
+	got, st, err := ParallelResilientContext(ctx, dev, m, start, coloring, Options{}, Resilience{Retry: fastRetry()})
+	if err != nil {
+		t.Fatalf("resilient search with mid-run device loss: %v", err)
+	}
+	if !got.Equal(ref) {
+		t.Fatal("degraded result diverged from healthy run")
+	}
+	if st.Degraded == 0 {
+		t.Fatal("device loss caused no degraded classes")
+	}
+	if !dev.Lost() {
+		t.Fatal("device not marked lost")
+	}
+}
+
+// TestResilientExhaustedRetriesDegrade: a launch that fails every attempt
+// falls back to the host for that class and the search still matches the
+// healthy reference.
+func TestResilientExhaustedRetriesDegrade(t *testing.T) {
+	const s = 32
+	m := testMatrix(s, 5)
+	coloring := edgecolor.Complete(s)
+	start := perm.Identity(s)
+	ctx := context.Background()
+
+	ref, _, err := ParallelContext(ctx, cuda.New(2), m, start, coloring, Options{})
+	if err != nil {
+		t.Fatalf("ParallelContext: %v", err)
+	}
+	dev := cuda.New(2).WithFaults(&cuda.FaultPlan{}) // zero plan: every launch fails
+	got, st, err := ParallelResilientContext(ctx, dev, m, start, coloring, Options{}, Resilience{Retry: fastRetry()})
+	if err != nil {
+		t.Fatalf("resilient search under total storm: %v", err)
+	}
+	if !got.Equal(ref) {
+		t.Fatal("fully-degraded result diverged from healthy run")
+	}
+	if st.Degraded == 0 {
+		t.Fatal("total storm produced no degraded classes")
+	}
+}
+
+// TestResilientDisableFallback: with the host fallback off, exhausted
+// retries fail the search with the launch error.
+func TestResilientDisableFallback(t *testing.T) {
+	const s = 16
+	m := testMatrix(s, 6)
+	dev := cuda.New(2).WithFaults(&cuda.FaultPlan{})
+	_, _, err := ParallelResilientContext(context.Background(), dev, m, perm.Identity(s), nil,
+		Options{}, Resilience{Retry: fastRetry(), DisableFallback: true})
+	if !errors.Is(err, cuda.ErrLaunchFailed) {
+		t.Fatalf("got %v, want ErrLaunchFailed", err)
+	}
+}
+
+// TestResilientCancelledMidStorm: context cancellation during a fault storm
+// surfaces as the context error, not a degradation.
+func TestResilientCancelledMidStorm(t *testing.T) {
+	const s = 32
+	m := testMatrix(s, 8)
+	dev := cuda.New(2).WithFaults(&cuda.FaultPlan{Hang: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := ParallelResilientContext(ctx, dev, m, perm.Identity(s), nil, Options{}, Resilience{Retry: fastRetry()})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}

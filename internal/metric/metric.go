@@ -11,6 +11,7 @@
 package metric
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -280,32 +281,41 @@ func BuildBlocked(in, tgt *tile.Grid, m Metric) (*Matrix, error) {
 	return out, nil
 }
 
-// BuildDevice computes the cost matrix with the paper's GPU decomposition
-// (§V): S blocks are launched; block u copies input tile I_u into shared
-// memory, then its threads cooperatively produce E(I_u, T_v) for all v via a
-// thread-stride loop over target tiles. One kernel launch, synchronous.
-func BuildDevice(dev *cuda.Device, in, tgt *tile.Grid, m Metric) (*Matrix, error) {
+// Kernel names under which the device builders launch, exported so fault
+// plans (cuda.FaultPlan.Kernel) can target Step 2 specifically.
+const (
+	// KernelCostMatrix is BuildDevice's §V kernel.
+	KernelCostMatrix = "cost-matrix"
+	// KernelCostMatrixRows is BuildRowsParallel's row-parallel baseline.
+	KernelCostMatrixRows = "cost-matrix-rows"
+)
+
+// deviceKernelSetup validates the grids and returns the launch geometry and
+// the kernel closure shared by BuildDevice and BuildDeviceContext. The
+// kernel fully overwrites out, so re-launching after a failed (injected)
+// attempt is idempotent — the property the retry layer relies on.
+func deviceKernelSetup(in, tgt *tile.Grid, m Metric) (out *Matrix, s, threads int, kernel func(b *cuda.Block), err error) {
 	if err := checkGrids(in, tgt); err != nil {
-		return nil, err
+		return nil, 0, 0, nil, err
 	}
 	if !m.Valid() {
-		return nil, fmt.Errorf("metric: invalid metric %v", m)
+		return nil, 0, 0, nil, fmt.Errorf("metric: invalid metric %v", m)
 	}
-	s := in.S()
+	s = in.S()
 	m2 := in.M * in.M
 	fin := in.Flatten()   // global memory: input tiles
 	ftgt := tgt.Flatten() // global memory: target tiles
-	out := NewMatrix(s)
+	out = NewMatrix(s)
 
 	// Threads per block: one thread per target tile row of work, capped at a
 	// CUDA-typical 256. With the block's threads serialised on one worker
 	// the count only shapes the stride loops, but keeping the canonical
 	// configuration keeps the kernel a faithful port.
-	threads := 256
+	threads = 256
 	if threads > s {
 		threads = s
 	}
-	dev.Launch(s, threads, func(b *cuda.Block) {
+	kernel = func(b *cuda.Block) {
 		u := b.Idx
 		// Stage I_u in shared memory (the paper's first kernel phase). The
 		// copy is cooperative: each thread moves a strided subset.
@@ -317,7 +327,36 @@ func BuildDevice(dev *cuda.Device, in, tgt *tile.Grid, m Metric) (*Matrix, error
 		b.StrideLoop(s, func(v int) {
 			row[v] = TileError(sh, ftgt[v*m2:(v+1)*m2], m)
 		})
-	})
+	}
+	return out, s, threads, kernel, nil
+}
+
+// BuildDevice computes the cost matrix with the paper's GPU decomposition
+// (§V): S blocks are launched; block u copies input tile I_u into shared
+// memory, then its threads cooperatively produce E(I_u, T_v) for all v via a
+// thread-stride loop over target tiles. One kernel launch, synchronous.
+func BuildDevice(dev *cuda.Device, in, tgt *tile.Grid, m Metric) (*Matrix, error) {
+	out, s, threads, kernel, err := deviceKernelSetup(in, tgt, m)
+	if err != nil {
+		return nil, err
+	}
+	dev.Launch(s, threads, kernel)
+	return out, nil
+}
+
+// BuildDeviceContext is BuildDevice through the fault-aware launch path:
+// injected or real device faults return as typed errors
+// (cuda.ErrLaunchFailed etc.) instead of running the kernel, and the launch
+// is skipped when ctx is already dead. A healthy launch is bit-identical to
+// BuildDevice.
+func BuildDeviceContext(ctx context.Context, dev *cuda.Device, in, tgt *tile.Grid, m Metric) (*Matrix, error) {
+	out, s, threads, kernel, err := deviceKernelSetup(in, tgt, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.LaunchErr(ctx, KernelCostMatrix, s, threads, kernel); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -326,24 +365,49 @@ func BuildDevice(dev *cuda.Device, in, tgt *tile.Grid, m Metric) (*Matrix, error
 // baseline used by the ablation benches to isolate the cost of the
 // kernel-shaped decomposition.
 func BuildRowsParallel(dev *cuda.Device, in, tgt *tile.Grid, m Metric) (*Matrix, error) {
-	if err := checkGrids(in, tgt); err != nil {
+	out, _, _, _, body, err := rowsSetup(in, tgt, m)
+	if err != nil {
 		return nil, err
 	}
+	dev.LaunchRange(out.S, body)
+	return out, nil
+}
+
+// rowsSetup shares the validation and row body between BuildRowsParallel and
+// BuildRowsParallelContext. Like the device kernel, the body overwrites
+// whole rows, so replaying a failed launch is idempotent.
+func rowsSetup(in, tgt *tile.Grid, m Metric) (out *Matrix, fin, ftgt []uint8, m2 int, body func(u int), err error) {
+	if err := checkGrids(in, tgt); err != nil {
+		return nil, nil, nil, 0, nil, err
+	}
 	if !m.Valid() {
-		return nil, fmt.Errorf("metric: invalid metric %v", m)
+		return nil, nil, nil, 0, nil, fmt.Errorf("metric: invalid metric %v", m)
 	}
 	s := in.S()
-	m2 := in.M * in.M
-	fin := in.Flatten()
-	ftgt := tgt.Flatten()
-	out := NewMatrix(s)
-	dev.LaunchRange(s, func(u int) {
+	m2 = in.M * in.M
+	fin = in.Flatten()
+	ftgt = tgt.Flatten()
+	out = NewMatrix(s)
+	body = func(u int) {
 		tu := fin[u*m2 : (u+1)*m2]
 		row := out.Row(u)
 		for v := 0; v < s; v++ {
 			row[v] = TileError(tu, ftgt[v*m2:(v+1)*m2], m)
 		}
-	})
+	}
+	return out, fin, ftgt, m2, body, nil
+}
+
+// BuildRowsParallelContext is BuildRowsParallel through the fault-aware
+// execute path, mirroring BuildDeviceContext.
+func BuildRowsParallelContext(ctx context.Context, dev *cuda.Device, in, tgt *tile.Grid, m Metric) (*Matrix, error) {
+	out, _, _, _, body, err := rowsSetup(in, tgt, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.ExecuteErr(ctx, KernelCostMatrixRows, out.S, body); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -1,0 +1,195 @@
+// Package retry implements the bounded, context-aware retry policy the
+// fault-tolerant execution paths share.
+//
+// The unit of retry throughout the repo is one kernel launch — a cost-matrix
+// build or one color-class sweep of Algorithm 2 — because launches are the
+// pipeline's natural synchronisation points and both kernels are idempotent
+// (they fully overwrite their outputs, and class pairs are vertex-disjoint),
+// so re-running a failed launch cannot corrupt state. See DESIGN.md.
+//
+// The policy is deliberately small: bounded attempts, exponential backoff
+// with deterministic seeded jitter (tests replay exact delay sequences), and
+// three ways out — success, a context error, or a permanent error wrapped
+// with Stop (how ErrDeviceLost short-circuits the remaining attempts).
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Policy describes a bounded exponential-backoff retry schedule. The zero
+// value is usable and selects the defaults noted per field.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3; 1 means no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each later backoff
+	// doubles it, capped at MaxDelay (default 2ms — device launches are
+	// milliseconds, not RPCs).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 100ms).
+	MaxDelay time.Duration
+	// Jitter spreads each backoff uniformly over ±Jitter fraction of itself,
+	// decorrelating retry storms across devices (default 0.2; 0 < j ≤ 1).
+	// Set to a negative value to disable jitter entirely.
+	Jitter float64
+	// Seed seeds the jitter stream, making delay sequences reproducible.
+	Seed uint64
+	// Retryable, when set, classifies errors: a false return stops retrying
+	// and surfaces the error as-is. nil means every error is retryable
+	// (Stop-wrapped and context errors always terminate regardless).
+	Retryable func(error) bool
+
+	rng     uint64
+	rngInit bool
+}
+
+const (
+	defaultMaxAttempts = 3
+	defaultBaseDelay   = 2 * time.Millisecond
+	defaultMaxDelay    = 100 * time.Millisecond
+	defaultJitter      = 0.2
+)
+
+func (p *Policy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return defaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+// stopErr marks an error as permanent; see Stop.
+type stopErr struct{ err error }
+
+func (e *stopErr) Error() string { return e.err.Error() }
+func (e *stopErr) Unwrap() error { return e.err }
+
+// Stop wraps an error to tell Do the failure is permanent: remaining
+// attempts are abandoned and the wrapped error is returned (unwrapped, so
+// errors.Is classification still works on the original). A nil err returns
+// nil.
+func Stop(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &stopErr{err: err}
+}
+
+// Do runs op until it succeeds, the policy is exhausted, the error is
+// permanent (Stop-wrapped or Retryable says no), or the context ends.
+// attempt is 1-based. The returned error is the last op error — or, when the
+// context ends mid-backoff, the context error wrapped with the attempt
+// count. Do is not safe for concurrent use on one Policy (the jitter stream
+// is stateful); give each goroutine its own Policy value.
+func (p *Policy) Do(ctx context.Context, op func(attempt int) error) error {
+	max := p.maxAttempts()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("retry: attempt %d: %w", attempt, cerr)
+		}
+		err = op(attempt)
+		if err == nil {
+			return nil
+		}
+		var stop *stopErr
+		if errors.As(err, &stop) {
+			return stop.err
+		}
+		// An error that *is* the context's error means the operation was
+		// cancelled, not that it failed — retrying cannot help.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return err
+		}
+		if attempt >= max {
+			return err
+		}
+		if serr := p.sleep(ctx, p.delay(attempt)); serr != nil {
+			return fmt.Errorf("retry: backoff after attempt %d (%w): %w", attempt, err, serr)
+		}
+	}
+}
+
+// delay returns the backoff after the given 1-based attempt: BaseDelay
+// doubled per attempt, capped at MaxDelay, jittered ±Jitter.
+func (p *Policy) delay(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = defaultBaseDelay
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = defaultMaxDelay
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	j := p.Jitter
+	if j == 0 {
+		j = defaultJitter
+	}
+	if j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [1−j, 1+j), from a private splitmix64 stream.
+		u := p.randFloat()
+		d = time.Duration(float64(d) * (1 + j*(2*u-1)))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// Delays returns the first n backoff delays the policy would use, advancing
+// the jitter stream — a test hook for asserting jitter bounds without
+// sleeping.
+func (p *Policy) Delays(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = p.delay(i + 1)
+	}
+	return out
+}
+
+// sleep waits for d or until the context ends, returning the context error
+// in the latter case.
+func (p *Policy) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// randFloat advances the policy's splitmix64 stream and returns a float in
+// [0, 1).
+func (p *Policy) randFloat() float64 {
+	if !p.rngInit {
+		p.rng = p.Seed
+		p.rngInit = true
+	}
+	p.rng += 0x9E3779B97F4A7C15
+	z := p.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

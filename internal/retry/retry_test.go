@@ -1,0 +1,180 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errFlaky = errors.New("flaky")
+
+// TestDoSucceedsAfterRetries: a transient failure is retried and the attempt
+// numbering is 1-based.
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	p := &Policy{MaxAttempts: 4, BaseDelay: time.Microsecond}
+	var attempts []int
+	err := p.Do(context.Background(), func(a int) error {
+		attempts = append(attempts, a)
+		if a < 3 {
+			return errFlaky
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if len(attempts) != 3 || attempts[0] != 1 || attempts[2] != 3 {
+		t.Fatalf("attempts = %v, want [1 2 3]", attempts)
+	}
+}
+
+// TestDoExhaustsAttempts: MaxAttempts bounds the tries and the last error
+// surfaces.
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := &Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), func(int) error { calls++; return errFlaky })
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("got %v, want errFlaky", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+}
+
+// TestDoStop: Stop abandons remaining attempts and unwraps to the original
+// error for errors.Is classification.
+func TestDoStop(t *testing.T) {
+	p := &Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), func(int) error { calls++; return Stop(errFlaky) })
+	if calls != 1 {
+		t.Fatalf("op ran %d times after Stop, want 1", calls)
+	}
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("got %v, want errFlaky", err)
+	}
+	var s *stopErr
+	if errors.As(err, &s) {
+		t.Fatal("Stop wrapper leaked out of Do")
+	}
+	if Stop(nil) != nil {
+		t.Fatal("Stop(nil) != nil")
+	}
+}
+
+// TestDoRetryableClassifier: a false Retryable verdict stops immediately.
+func TestDoRetryableClassifier(t *testing.T) {
+	p := &Policy{MaxAttempts: 5, BaseDelay: time.Microsecond,
+		Retryable: func(err error) bool { return !errors.Is(err, errFlaky) }}
+	calls := 0
+	err := p.Do(context.Background(), func(int) error { calls++; return errFlaky })
+	if calls != 1 || !errors.Is(err, errFlaky) {
+		t.Fatalf("calls=%d err=%v, want 1 call returning errFlaky", calls, err)
+	}
+}
+
+// TestDoContextErrorFromOp: an op error that is the context error terminates
+// without further attempts.
+func TestDoContextErrorFromOp(t *testing.T) {
+	p := &Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), func(int) error {
+		calls++
+		return context.DeadlineExceeded
+	})
+	if calls != 1 || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("calls=%d err=%v, want 1 call returning DeadlineExceeded", calls, err)
+	}
+}
+
+// TestDoCancelledBeforeStart: a dead context never runs the op.
+func TestDoCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &Policy{}
+	err := p.Do(ctx, func(int) error { t.Fatal("op ran on a dead context"); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestDoCancelMidBackoff: cancelling while Do sleeps between attempts
+// returns promptly with the context error, still wrapping the op error.
+func TestDoCancelMidBackoff(t *testing.T) {
+	p := &Policy{MaxAttempts: 3, BaseDelay: time.Hour, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		done <- p.Do(ctx, func(int) error { close(started); return errFlaky })
+	}()
+	<-started
+	time.Sleep(5 * time.Millisecond) // let Do enter the backoff sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+		if !errors.Is(err, errFlaky) {
+			t.Fatalf("backoff cancellation %v lost the op error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation mid-backoff")
+	}
+}
+
+// TestDelaysExponentialAndCapped: without jitter the schedule is
+// base·2^(n−1) capped at MaxDelay.
+func TestDelaysExponentialAndCapped(t *testing.T) {
+	p := &Policy{BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond, Jitter: -1}
+	got := p.Delays(4)
+	want := []time.Duration{2, 4, 8, 10}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Fatalf("delay %d = %v, want %vms (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+}
+
+// TestDelaysJitterBounds: jittered delays stay within ±Jitter of the nominal
+// schedule, are deterministic per seed, and actually vary.
+func TestDelaysJitterBounds(t *testing.T) {
+	nominal := []time.Duration{2, 4, 8, 16, 32, 64, 100, 100, 100, 100}
+	mk := func(seed uint64) *Policy {
+		return &Policy{BaseDelay: 2 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Jitter: 0.2, Seed: seed}
+	}
+	a := mk(1).Delays(len(nominal))
+	b := mk(1).Delays(len(nominal))
+	varied := false
+	for i, d := range a {
+		n := nominal[i] * time.Millisecond
+		lo := time.Duration(float64(n) * 0.8)
+		hi := time.Duration(float64(n) * 1.2)
+		if d < lo || d > hi {
+			t.Fatalf("delay %d = %v outside jitter bounds [%v, %v]", i+1, d, lo, hi)
+		}
+		if d != b[i] {
+			t.Fatalf("same seed produced different delay %d: %v vs %v", i+1, d, b[i])
+		}
+		if d != n {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter never moved any delay off nominal")
+	}
+}
+
+// TestZeroValueDefaults: the zero Policy retries with the documented
+// defaults.
+func TestZeroValueDefaults(t *testing.T) {
+	p := &Policy{BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	calls := 0
+	_ = p.Do(context.Background(), func(int) error { calls++; return errFlaky })
+	if calls != defaultMaxAttempts {
+		t.Fatalf("zero-value policy ran %d attempts, want %d", calls, defaultMaxAttempts)
+	}
+}

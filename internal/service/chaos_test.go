@@ -1,0 +1,313 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/retry"
+)
+
+// The chaos battery: fault injectors installed on pool devices, the retry /
+// degrade / quarantine machinery exercised end to end over HTTP, and every
+// response checked bit-identical against a healthy serial run. Run under
+// -race in CI (make chaos-smoke).
+
+// chaosRetry is an aggressive schedule so storms resolve in test time.
+func chaosRetry() retry.Policy {
+	return retry.Policy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+}
+
+// healthyReference runs the approximation-parallel pipeline serially on a
+// private, fault-free device — the bit-identity oracle for chaos runs.
+func healthyReference(t *testing.T, input, target string, size, tiles int) *core.Result {
+	t.Helper()
+	res, err := core.Generate(mustScene(t, input, size), mustScene(t, target, size), core.Options{
+		TilesPerSide: tiles,
+		Algorithm:    core.ParallelApproximation,
+		Device:       cuda.New(2),
+	})
+	if err != nil {
+		t.Fatalf("healthy reference: %v", err)
+	}
+	return res
+}
+
+// postParallelJob submits one approximation-parallel job and returns the
+// decoded response; fails the test on any non-200.
+func postParallelJob(t *testing.T, url, input, target string, size, tiles int) jobResponseJSON {
+	t.Helper()
+	body := fmt.Sprintf(`{"input":%q,"target":%q,"size":%d,"tiles":%d,"algorithm":"approximation-parallel"}`,
+		input, target, size, tiles)
+	resp, jr := postJSON(t, url, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job %s/%s: status %d (%s)", input, target, resp.StatusCode, jr.Error)
+	}
+	return jr
+}
+
+// assertIdentical checks a chaos response against the healthy oracle: same
+// Eq. (2) total error and the same mosaic, pixel for pixel.
+func assertIdentical(t *testing.T, jr jobResponseJSON, want *core.Result, label string) {
+	t.Helper()
+	if jr.TotalError != want.TotalError {
+		t.Errorf("%s: total_error = %d, want %d", label, jr.TotalError, want.TotalError)
+	}
+	got := decodeBase64PNG(t, jr.PNGBase64)
+	if !bytes.Equal(got.Pix, want.Mosaic.Pix) {
+		t.Errorf("%s: mosaic differs from healthy reference", label)
+	}
+}
+
+// metricValue scrapes /metrics and sums the named series across label sets;
+// a series the registry has not created yet reads as 0.
+func metricValue(t *testing.T, url, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	var sum float64
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if len(rest) == 0 || (rest[0] != ' ' && rest[0] != '{') {
+			continue // a longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// TestChaosEveryOtherLaunch fails every second kernel launch on the pool's
+// only device. The per-launch retry policy must absorb the storm — responses
+// stay bit-identical, faults and retries are counted, and nothing degrades
+// to the host or trips the circuit breaker.
+func TestChaosEveryOtherLaunch(t *testing.T) {
+	const size, tiles = 64, 8
+	want := healthyReference(t, "lena", "gradient", size, tiles)
+
+	svc, ts := newTestServer(t, Config{
+		Workers: 2, Devices: 1, DeviceWorkers: 2,
+		Retry: chaosRetry(),
+		DeviceFaults: func(i int) cuda.FaultInjector {
+			return &cuda.FaultPlan{EveryNth: 2}
+		},
+	})
+	for i := 0; i < 4; i++ {
+		jr := postParallelJob(t, ts.URL, "lena", "gradient", size, tiles)
+		assertIdentical(t, jr, want, fmt.Sprintf("storm job %d", i))
+		for _, sp := range jr.Spans {
+			if sp == "degraded-fallback" {
+				t.Errorf("storm job %d: degraded to host; retries should have absorbed the faults", i)
+			}
+		}
+	}
+	if v := metricValue(t, ts.URL, "mosaic_cuda_launch_faults_total"); v == 0 {
+		t.Error("mosaic_cuda_launch_faults_total = 0, want > 0 under an every-other-launch storm")
+	}
+	if v := metricValue(t, ts.URL, "mosaic_cuda_launch_retries_total"); v == 0 {
+		t.Error("mosaic_cuda_launch_retries_total = 0, want > 0")
+	}
+	if v := metricValue(t, ts.URL, "mosaic_degraded_runs_total"); v != 0 {
+		t.Errorf("mosaic_degraded_runs_total = %v, want 0 (transient faults only)", v)
+	}
+	if q := svc.devices.Quarantined(); q != 0 {
+		t.Errorf("quarantined = %d, want 0", q)
+	}
+}
+
+// TestChaosOneDeadDeviceInPool permanently kills one device in a pool of
+// four. The job that draws it degrades to the host (still bit-identical),
+// the circuit breaker quarantines the corpse, and every later job runs on
+// the surviving three.
+func TestChaosOneDeadDeviceInPool(t *testing.T) {
+	const size, tiles = 64, 8
+	want := healthyReference(t, "lena", "gradient", size, tiles)
+
+	svc, ts := newTestServer(t, Config{
+		Workers: 1, Devices: 4, DeviceWorkers: 2,
+		Retry: chaosRetry(),
+		DeviceFaults: func(i int) cuda.FaultInjector {
+			if i == 0 {
+				return &cuda.FaultPlan{Err: cuda.ErrDeviceLost}
+			}
+			return nil
+		},
+	})
+	for i := 0; i < 8; i++ {
+		jr := postParallelJob(t, ts.URL, "lena", "gradient", size, tiles)
+		assertIdentical(t, jr, want, fmt.Sprintf("job %d", i))
+	}
+	waitFor(t, func() bool { return svc.devices.Quarantined() == 1 },
+		"dead device never quarantined")
+	if v := metricValue(t, ts.URL, "mosaic_device_quarantined_total"); v != 1 {
+		t.Errorf("mosaic_device_quarantined_total = %v, want 1", v)
+	}
+	if v := metricValue(t, ts.URL, "mosaic_degraded_runs_total"); v == 0 {
+		t.Error("mosaic_degraded_runs_total = 0, want > 0 (the job that drew the dead device)")
+	}
+	// Three healthy devices left: the service must still report ready.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz = %d, want 200 with healthy devices remaining", resp.StatusCode)
+	}
+}
+
+// TestChaosMidJobDeviceLoss loses the device partway through a job's sweep
+// launches. The remaining color classes replay on the host and the response
+// is still bit-identical.
+func TestChaosMidJobDeviceLoss(t *testing.T) {
+	const size, tiles = 64, 8
+	want := healthyReference(t, "lena", "gradient", size, tiles)
+
+	svc, ts := newTestServer(t, Config{
+		Workers: 1, Devices: 1, DeviceWorkers: 2,
+		Retry: chaosRetry(),
+		DeviceFaults: func(i int) cuda.FaultInjector {
+			// Launch 1 is the cost matrix; 5 lands inside the sweep classes.
+			return &cuda.FaultPlan{Nth: []int64{5}, Err: cuda.ErrDeviceLost}
+		},
+	})
+	jr := postParallelJob(t, ts.URL, "lena", "gradient", size, tiles)
+	assertIdentical(t, jr, want, "mid-job loss")
+	if v := metricValue(t, ts.URL, "mosaic_degraded_runs_total"); v == 0 {
+		t.Error("mosaic_degraded_runs_total = 0, want > 0 after mid-job device loss")
+	}
+	waitFor(t, func() bool { return svc.devices.Quarantined() == 1 },
+		"lost device never quarantined")
+}
+
+// TestChaosAllDeadNoFallback: with CPU fallback disabled and every device
+// lost, jobs fail, /readyz flips to 503 and new work is refused with
+// ErrAllQuarantined — the documented fail-closed posture.
+func TestChaosAllDeadNoFallback(t *testing.T) {
+	const size, tiles = 64, 8
+	svc, ts := newTestServer(t, Config{
+		Workers: 1, Devices: 2, DeviceWorkers: 2,
+		Retry:         chaosRetry(),
+		NoCPUFallback: true,
+		DeviceFaults: func(i int) cuda.FaultInjector {
+			return &cuda.FaultPlan{Err: cuda.ErrDeviceLost}
+		},
+	})
+	body := fmt.Sprintf(`{"input":"lena","target":"gradient","size":%d,"tiles":%d,"algorithm":"approximation-parallel"}`,
+		size, tiles)
+	// Each failed job kills (and quarantines) the device it drew.
+	for i := 0; i < 2; i++ {
+		resp, jr := postJSON(t, ts.URL, body)
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("job %d succeeded (%+v); fallback is disabled and the device is dead", i, jr)
+		}
+	}
+	waitFor(t, svc.devices.AllQuarantined, "devices never all quarantined")
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d (%s), want 503", resp.StatusCode, msg)
+	}
+	if !strings.Contains(string(msg), "quarantined") {
+		t.Errorf("/readyz body %q does not explain the quarantine", msg)
+	}
+	// A further job is refused outright with the quarantine error.
+	resp2, jr := postJSON(t, ts.URL, body)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("job after total quarantine: status %d (%s), want 503", resp2.StatusCode, jr.Error)
+	}
+}
+
+// TestChaosQuarantineRestore injects exactly one fatal fault: the first job
+// degrades and the device is quarantined, the canary probe then finds it
+// healthy and restores it, and the next job runs on the device with no new
+// faults.
+func TestChaosQuarantineRestore(t *testing.T) {
+	const size, tiles = 64, 8
+	want := healthyReference(t, "lena", "gradient", size, tiles)
+
+	svc, ts := newTestServer(t, Config{
+		Workers: 1, Devices: 1, DeviceWorkers: 2,
+		Retry:         chaosRetry(),
+		ProbeInterval: 5 * time.Millisecond,
+		DeviceFaults: func(i int) cuda.FaultInjector {
+			return &cuda.FaultPlan{Err: cuda.ErrDeviceLost, MaxFaults: 1}
+		},
+	})
+	jr := postParallelJob(t, ts.URL, "lena", "gradient", size, tiles)
+	assertIdentical(t, jr, want, "degraded job")
+	waitFor(t, func() bool { return svc.devices.Quarantined() == 0 && svc.devices.Idle() == 1 },
+		"device never restored by the canary probe")
+	if v := metricValue(t, ts.URL, "mosaic_device_restored_total"); v != 1 {
+		t.Errorf("mosaic_device_restored_total = %v, want 1", v)
+	}
+
+	faultsBefore := metricValue(t, ts.URL, "mosaic_cuda_launch_faults_total")
+	jr2 := postParallelJob(t, ts.URL, "lena", "gradient", size, tiles)
+	assertIdentical(t, jr2, want, "post-restore job")
+	if after := metricValue(t, ts.URL, "mosaic_cuda_launch_faults_total"); after != faultsBefore {
+		t.Errorf("launch faults advanced %v -> %v on the restored device", faultsBefore, after)
+	}
+	for _, sp := range jr2.Spans {
+		if sp == "degraded-fallback" {
+			t.Error("post-restore job degraded; the restored device should have served it")
+		}
+	}
+}
+
+// TestChaosHealthyBaseline: with no injectors installed, the whole fault
+// machinery must be invisible — zero faults, zero retries, zero degraded
+// runs, zero quarantines, responses bit-identical.
+func TestChaosHealthyBaseline(t *testing.T) {
+	const size, tiles = 64, 8
+	want := healthyReference(t, "lena", "gradient", size, tiles)
+
+	svc, ts := newTestServer(t, Config{
+		Workers: 2, Devices: 2, DeviceWorkers: 2,
+		Retry: chaosRetry(),
+	})
+	for i := 0; i < 3; i++ {
+		jr := postParallelJob(t, ts.URL, "lena", "gradient", size, tiles)
+		assertIdentical(t, jr, want, fmt.Sprintf("healthy job %d", i))
+	}
+	for _, name := range []string{
+		"mosaic_cuda_launch_faults_total",
+		"mosaic_cuda_launch_retries_total",
+		"mosaic_degraded_runs_total",
+		"mosaic_device_quarantined_total",
+		"mosaic_device_faults_total",
+	} {
+		if v := metricValue(t, ts.URL, name); v != 0 {
+			t.Errorf("%s = %v, want 0 on a healthy pool", name, v)
+		}
+	}
+	if q := svc.devices.Quarantined(); q != 0 {
+		t.Errorf("quarantined = %d, want 0", q)
+	}
+}

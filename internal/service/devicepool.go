@@ -2,10 +2,63 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strconv"
+	"sync"
+	"time"
 
 	"repro/internal/cuda"
+	"repro/internal/telemetry"
 )
+
+// ErrAllQuarantined reports an Acquire against a pool whose every device is
+// quarantined. The service turns it into a CPU-only run (or, with fallback
+// disabled, a 503 and a not-ready /readyz).
+var ErrAllQuarantined = errors.New("service: all devices quarantined")
+
+// PoolConfig sizes and instruments a DevicePool. The zero value of any
+// field selects the documented default.
+type PoolConfig struct {
+	// Devices is the pool size (≤ 0 selects 1); WorkersPer is each device's
+	// kernel worker count (≤ 0 selects all cores).
+	Devices    int
+	WorkersPer int
+	// Faults optionally installs a fault injector on device i at
+	// construction — the -chaos drill hook. nil injectors leave the device
+	// healthy.
+	Faults func(i int) cuda.FaultInjector
+	// FailureThreshold is the circuit breaker: this many consecutive failed
+	// jobs (degraded or device-lost) quarantines the device (default 3).
+	// A lost device is quarantined immediately regardless of streak.
+	FailureThreshold int
+	// ProbeInterval paces the background health probe that retries
+	// quarantined devices with a canary kernel (default 250ms).
+	ProbeInterval time.Duration
+	// Registry optionally receives the quarantine metrics
+	// (mosaic_device_{quarantined,restored,faults}_total); nil records
+	// nothing.
+	Registry *telemetry.Registry
+}
+
+func (c *PoolConfig) applyDefaults() {
+	if c.Devices <= 0 {
+		c.Devices = 1
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+}
+
+// deviceHealth is the pool's book on one device. Guarded by DevicePool.mu.
+type deviceHealth struct {
+	name        string // stable label for metrics ("0", "1", ...)
+	streak      int    // consecutive failed jobs
+	quarantined bool
+}
 
 // DevicePool owns a fixed set of virtual devices and hands each out to at
 // most one job at a time. Kernel launches on a cuda.Device must be
@@ -13,45 +66,120 @@ import (
 // routes every lease through the device's cooperative AcquireContext path:
 // a job never sees a device another job is still launching on, which is the
 // invariant that keeps the launch-guard panic impossible in server context.
+//
+// The pool also tracks health: jobs report faults and degradations via
+// Report (while still holding the lease), a consecutive-failure circuit
+// breaker quarantines sick devices — they are parked instead of returned to
+// the free list — and a background probe launches a canary kernel against
+// each quarantined device, restoring it on success. When every device is
+// quarantined, Acquire fails fast with ErrAllQuarantined rather than
+// blocking forever.
 type DevicePool struct {
 	free chan *cuda.Device
 	size int
+	cfg  PoolConfig
+
+	mu          sync.Mutex
+	health      map[*cuda.Device]*deviceHealth
+	quarantined int
+	probeOn     bool
+	closed      bool
+	probeStop   chan struct{}
+
+	quarantinedTotal *telemetry.Counter
+	restoredTotal    *telemetry.Counter
+	faultsTotal      func(device string) *telemetry.Counter
 }
 
-// NewDevicePool returns a pool of n devices (n ≤ 0 selects 1), each with
-// workersPer kernel workers (≤ 0 selects all cores).
+// NewDevicePool returns a plain pool of n devices (n ≤ 0 selects 1), each
+// with workersPer kernel workers (≤ 0 selects all cores), with default
+// health tracking and no metrics — the compatibility constructor.
 func NewDevicePool(n, workersPer int) *DevicePool {
-	if n <= 0 {
-		n = 1
+	return NewDevicePoolConfig(PoolConfig{Devices: n, WorkersPer: workersPer})
+}
+
+// NewDevicePoolConfig returns a pool per cfg.
+func NewDevicePoolConfig(cfg PoolConfig) *DevicePool {
+	cfg.applyDefaults()
+	p := &DevicePool{
+		free:      make(chan *cuda.Device, cfg.Devices),
+		size:      cfg.Devices,
+		cfg:       cfg,
+		health:    make(map[*cuda.Device]*deviceHealth, cfg.Devices),
+		probeStop: make(chan struct{}),
 	}
-	p := &DevicePool{free: make(chan *cuda.Device, n), size: n}
-	for i := 0; i < n; i++ {
-		p.free <- cuda.New(workersPer)
+	for i := 0; i < cfg.Devices; i++ {
+		d := cuda.New(cfg.WorkersPer)
+		if cfg.Faults != nil {
+			if inj := cfg.Faults(i); inj != nil {
+				d.WithFaults(inj)
+			}
+		}
+		p.health[d] = &deviceHealth{name: strconv.Itoa(i)}
+		p.free <- d
+	}
+	if reg := cfg.Registry; reg != nil {
+		p.quarantinedTotal = reg.Counter("mosaic_device_quarantined_total",
+			"Devices quarantined by the consecutive-failure circuit breaker.", nil)
+		p.restoredTotal = reg.Counter("mosaic_device_restored_total",
+			"Quarantined devices restored by a successful canary probe.", nil)
+		p.faultsTotal = func(device string) *telemetry.Counter {
+			return reg.Counter("mosaic_device_faults_total",
+				"Device launch faults observed by jobs and probes.",
+				telemetry.Labels{"device": device})
+		}
 	}
 	return p
 }
 
 // Acquire leases a device, blocking until one is free or ctx is done. The
 // returned device is exclusively held (cuda.AcquireContext) until Release.
+// When every device is quarantined Acquire fails fast with
+// ErrAllQuarantined — including when devices become quarantined while the
+// call is already waiting.
 func (p *DevicePool) Acquire(ctx context.Context) (*cuda.Device, error) {
-	select {
-	case d := <-p.free:
-		// The pool is the only path handing devices out, so this acquire
-		// succeeds immediately; it is taken anyway so even a device leaked
-		// to a direct caller cannot be double-leased.
-		if err := d.AcquireContext(ctx); err != nil {
-			p.free <- d
-			return nil, err
+	// The re-check tick covers the race where the last healthy device is
+	// quarantined after this call started blocking on an empty free list.
+	const recheck = 5 * time.Millisecond
+	for {
+		if p.AllQuarantined() {
+			return nil, ErrAllQuarantined
 		}
-		return d, nil
-	case <-ctx.Done():
-		return nil, fmt.Errorf("service: device acquire: %w", ctx.Err())
+		t := time.NewTimer(recheck)
+		select {
+		case d := <-p.free:
+			t.Stop()
+			// The pool is the only path handing devices out, so this acquire
+			// succeeds immediately; it is taken anyway so even a device leaked
+			// to a direct caller cannot be double-leased.
+			if err := d.AcquireContext(ctx); err != nil {
+				p.free <- d
+				return nil, err
+			}
+			return d, nil
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("service: device acquire: %w", ctx.Err())
+		case <-t.C:
+		}
 	}
 }
 
-// Release returns a leased device to the pool.
+// Release returns a leased device to the pool — or parks it when the lease's
+// Report quarantined it, leaving restoration to the probe.
 func (p *DevicePool) Release(d *cuda.Device) {
 	d.Release()
+	p.mu.Lock()
+	h, ok := p.health[d]
+	if !ok {
+		p.mu.Unlock()
+		panic("service: Release of a device the pool did not lease")
+	}
+	parked := h.quarantined
+	p.mu.Unlock()
+	if parked {
+		return
+	}
 	select {
 	case p.free <- d:
 	default:
@@ -59,8 +187,140 @@ func (p *DevicePool) Release(d *cuda.Device) {
 	}
 }
 
+// Report records one job's device health outcome. Call it while still
+// holding the lease (before Release), so a quarantine decision lands before
+// the device could be handed to the next job. faults is the number of
+// launch faults the job observed; degraded reports whether the job fell
+// back to the host. A job with neither clears the failure streak; a lost
+// device is quarantined immediately.
+func (p *DevicePool) Report(d *cuda.Device, faults int64, degraded bool) {
+	lost := d.Lost()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.health[d]
+	if !ok {
+		return
+	}
+	if faults > 0 && p.faultsTotal != nil {
+		p.faultsTotal(h.name).Add(float64(faults))
+	}
+	switch {
+	case lost || degraded:
+		h.streak++
+	case faults == 0:
+		h.streak = 0
+	}
+	if !h.quarantined && (lost || h.streak >= p.cfg.FailureThreshold) {
+		h.quarantined = true
+		p.quarantined++
+		if p.quarantinedTotal != nil {
+			p.quarantinedTotal.Inc()
+		}
+		p.startProbeLocked()
+	}
+}
+
+// startProbeLocked lazily starts the background probe on first quarantine,
+// so pools that never see a fault never spawn the goroutine.
+func (p *DevicePool) startProbeLocked() {
+	if p.probeOn || p.closed {
+		return
+	}
+	p.probeOn = true
+	go p.probeLoop()
+}
+
+// probeLoop retries quarantined devices on a ticker until Close.
+func (p *DevicePool) probeLoop() {
+	t := time.NewTicker(p.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.probeStop:
+			return
+		case <-t.C:
+			p.probeQuarantined()
+		}
+	}
+}
+
+// probeQuarantined resets and canaries every quarantined device: a clean
+// canary restores the device to the free list; a failed one (the injector
+// still says no, or the device reports lost again) leaves it quarantined
+// for the next tick.
+func (p *DevicePool) probeQuarantined() {
+	p.mu.Lock()
+	var targets []*cuda.Device
+	for d, h := range p.health {
+		if h.quarantined {
+			targets = append(targets, d)
+		}
+	}
+	p.mu.Unlock()
+	for _, d := range targets {
+		// Quarantined devices are parked, so the acquire always succeeds;
+		// TryAcquire guards against future callers holding them directly.
+		if !d.TryAcquire() {
+			continue
+		}
+		d.ClearLost()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := d.Canary(ctx)
+		cancel()
+		d.Release()
+		p.mu.Lock()
+		h := p.health[d]
+		if h == nil || !h.quarantined {
+			p.mu.Unlock()
+			continue
+		}
+		if err == nil {
+			h.quarantined = false
+			h.streak = 0
+			p.quarantined--
+			if p.restoredTotal != nil {
+				p.restoredTotal.Inc()
+			}
+			p.mu.Unlock()
+			p.free <- d
+			continue
+		}
+		if p.faultsTotal != nil {
+			p.faultsTotal(h.name).Inc()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close stops the background probe. Leased devices are unaffected; the pool
+// must not be used after Close.
+func (p *DevicePool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.probeStop)
+}
+
 // Size returns the number of devices in the pool.
 func (p *DevicePool) Size() int { return p.size }
 
-// Idle returns the number of devices currently free.
+// Idle returns the number of devices currently free (quarantined devices
+// are not free).
 func (p *DevicePool) Idle() int { return len(p.free) }
+
+// Quarantined returns the number of currently quarantined devices.
+func (p *DevicePool) Quarantined() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quarantined
+}
+
+// AllQuarantined reports whether every device in the pool is quarantined.
+func (p *DevicePool) AllQuarantined() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quarantined == p.size
+}

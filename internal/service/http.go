@@ -183,7 +183,11 @@ func errToStatus(err error) (int, string) {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "job deadline exceeded"
 	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable, "job cancelled"
+		// The job died because the submitter walked away, not because the
+		// service failed — nginx's 499, distinct from the 504 deadline above.
+		return 499, "client closed request"
+	case errors.Is(err, ErrAllQuarantined):
+		return http.StatusServiceUnavailable, err.Error()
 	case errors.Is(err, core.ErrOptions):
 		return http.StatusBadRequest, err.Error()
 	default:

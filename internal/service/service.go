@@ -24,8 +24,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cuda"
 	"repro/internal/imgutil"
 	"repro/internal/metric"
+	"repro/internal/retry"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -69,6 +71,21 @@ type Config struct {
 	MaxImageSide int
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// Retry is the per-kernel-launch retry schedule jobs execute under
+	// (zero value = retry defaults: 3 attempts, exponential backoff with
+	// jitter).
+	Retry retry.Policy
+	// NoCPUFallback disables host degradation: jobs whose device retries
+	// are exhausted fail instead of falling back, and /readyz reports
+	// not-ready while every device is quarantined.
+	NoCPUFallback bool
+	// FailureThreshold and ProbeInterval tune the device pool's circuit
+	// breaker and health probe (see PoolConfig).
+	FailureThreshold int
+	ProbeInterval    time.Duration
+	// DeviceFaults optionally installs a fault injector on pool device i —
+	// the -chaos drill hook. nil injectors leave devices healthy.
+	DeviceFaults func(i int) cuda.FaultInjector
 
 	// testJobStart, when set, runs at the top of every job execution —
 	// the test seam for holding workers busy deterministically.
@@ -225,12 +242,19 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg.applyDefaults()
 	s := &Service{
-		cfg:     cfg,
-		reg:     cfg.Registry,
-		devices: NewDevicePool(cfg.Devices, cfg.DeviceWorkers),
-		cache:   newPrepCache(cfg.CacheBytes),
-		queue:   make(chan *Job, cfg.QueueDepth),
-		jobs:    make(map[string]*Job),
+		cfg: cfg,
+		reg: cfg.Registry,
+		devices: NewDevicePoolConfig(PoolConfig{
+			Devices:          cfg.Devices,
+			WorkersPer:       cfg.DeviceWorkers,
+			Faults:           cfg.DeviceFaults,
+			FailureThreshold: cfg.FailureThreshold,
+			ProbeInterval:    cfg.ProbeInterval,
+			Registry:         cfg.Registry,
+		}),
+		cache: newPrepCache(cfg.CacheBytes),
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.registerMetrics()
@@ -252,6 +276,8 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.devices.Size()) })
 	reg.GaugeFunc("mosaic_service_devices_idle", "Pool devices not leased to a job.", nil,
 		func() float64 { return float64(s.devices.Idle()) })
+	reg.GaugeFunc("mosaic_service_devices_quarantined", "Pool devices currently quarantined.", nil,
+		func() float64 { return float64(s.devices.Quarantined()) })
 	reg.GaugeFunc("mosaic_service_ready", "1 while accepting jobs, 0 during drain.", nil,
 		func() float64 {
 			if s.ready.Load() {
@@ -284,12 +310,18 @@ func (s *Service) registerMetrics() {
 		"Jobs that built their prepared input (Step 2 executed).", nil)
 }
 
-// Ready implements the telemetry.WithReadiness check.
+// Ready implements the telemetry.WithReadiness check. Besides draining, the
+// service reports not-ready when every device is quarantined *and* CPU
+// fallback is disabled — with fallback enabled a device-less service still
+// serves correct (degraded) responses, so it stays ready.
 func (s *Service) Ready() (bool, string) {
-	if s.ready.Load() {
-		return true, ""
+	if !s.ready.Load() {
+		return false, "draining"
 	}
-	return false, "draining"
+	if s.cfg.NoCPUFallback && s.devices.AllQuarantined() {
+		return false, "all devices quarantined and CPU fallback disabled"
+	}
+	return true, ""
 }
 
 // Registry returns the metrics registry the service reports into.
@@ -407,7 +439,18 @@ func (s *Service) run(job *Job) {
 	elapsed := time.Since(job.Created)
 	s.latency.Observe(elapsed.Seconds())
 	if err != nil {
-		s.jobsTotal("error").Inc()
+		// Classify the failure: a deadline miss, a client cancellation and a
+		// genuine execution error are different operational signals and get
+		// separate outcome counters (the HTTP layer mirrors the split as
+		// 504 / 499 / 5xx).
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.jobsTotal("timeout").Inc()
+		case errors.Is(err, context.Canceled):
+			s.jobsTotal("cancelled").Inc()
+		default:
+			s.jobsTotal("error").Inc()
+		}
 		job.finish(nil, err)
 		return
 	}
@@ -419,16 +462,35 @@ func (s *Service) run(job *Job) {
 func (s *Service) execute(job *Job) (*JobResult, error) {
 	ctx := job.ctx
 	req := job.req
-	dev, err := s.devices.Acquire(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer s.devices.Release(dev)
 
 	// Per-job trace tree (for the response's span list) plus the shared
 	// registry, which aggregates stage histograms across jobs.
 	tree := trace.NewTree()
 	tr := trace.Multi(tree, telemetry.NewTraceCollector(s.reg))
+
+	dev, err := s.devices.Acquire(ctx)
+	switch {
+	case err == nil:
+		// Health first, lease second: the deferred calls run in reverse
+		// order, so the pool learns this job's fault/degradation outcome
+		// before the device can be handed to the next job.
+		defer func() {
+			st := tree.Snapshot()
+			s.devices.Report(dev,
+				st.Counter(trace.CounterLaunchFaults),
+				st.Counter(trace.CounterDegradedRuns) > 0)
+			s.devices.Release(dev)
+		}()
+	case errors.Is(err, ErrAllQuarantined) && !s.cfg.NoCPUFallback:
+		// Every device is sick: run the whole job on the host. The CPU
+		// builders and the host Algorithm-2 sweeps are certified
+		// bit-identical, so only latency degrades, and the run is counted.
+		dev = nil
+		trace.Count(tr, trace.CounterDegradedRuns, 1)
+	default:
+		return nil, err
+	}
+
 	opts := core.Options{
 		TilesPerSide:     req.Tiles,
 		Algorithm:        req.Algorithm,
@@ -436,6 +498,7 @@ func (s *Service) execute(job *Job) (*JobResult, error) {
 		NoHistogramMatch: req.NoHistMatch,
 		Device:           dev,
 		Trace:            tr,
+		Resilience:       &core.Resilience{Retry: s.cfg.Retry, DisableFallback: s.cfg.NoCPUFallback},
 	}
 
 	key := cacheKey(req.Input, req.Target, req.Tiles, req.Metric, req.NoHistMatch)
@@ -492,6 +555,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.devices.Close()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain: %w", ctx.Err())
@@ -510,6 +574,7 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	s.baseCancel()
 	s.wg.Wait()
+	s.devices.Close()
 	// Jobs cancelled while still queued never reach a worker; fail them so
 	// waiters do not block forever.
 	s.mu.Lock()

@@ -32,4 +32,15 @@ func RegisterDevice(reg *Registry, dev *cuda.Device, labels Labels) {
 	reg.GaugeFunc("mosaic_cuda_utilisation",
 		"Busy workers over pool size, 0 to 1.", labels,
 		func() float64 { return dev.Occupancy().Utilisation() })
+	reg.CounterFunc("mosaic_cuda_faults_injected_total",
+		"Launches failed by the device's fault injector.", labels,
+		func() float64 { return float64(dev.FaultsInjected()) })
+	reg.GaugeFunc("mosaic_cuda_lost",
+		"1 while the device is in the sticky lost state, else 0.", labels,
+		func() float64 {
+			if dev.Lost() {
+				return 1
+			}
+			return 0
+		})
 }

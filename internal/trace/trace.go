@@ -32,6 +32,11 @@ const (
 	SpanCostMatrix = "error-matrix"    // Step 2 (Table II)
 	SpanRearrange  = "rearrangement"   // Step 3 (Table III)
 	SpanAssemble   = "assembly"        // writing the mosaic
+	// SpanDegraded wraps work re-run on the host after device retries were
+	// exhausted — a CPU cost-matrix rebuild or the host portion of a
+	// degraded local search. Its presence in a span tree is the per-run
+	// degradation marker.
+	SpanDegraded = "degraded-fallback"
 )
 
 // Counter names.
@@ -62,6 +67,16 @@ const (
 	// CounterFrameErrors counts frames that returned an error, including
 	// cancellation.
 	CounterFrameErrors = "video.frame-errors"
+	// CounterLaunchFaults counts device launches that failed with a typed
+	// fault (injected or real) before any retry decision.
+	CounterLaunchFaults = "cuda.launch-faults"
+	// CounterLaunchRetries counts re-attempts of faulted launches (attempt
+	// two onward), successful or not.
+	CounterLaunchRetries = "cuda.launch-retries"
+	// CounterDegradedRuns counts runs (or run stages) that fell back to the
+	// host after device retries were exhausted or the device was lost. The
+	// telemetry adapter exports it as mosaic_degraded_runs_total.
+	CounterDegradedRuns = "degraded.runs"
 )
 
 // Collector receives span and counter events. Implementations must be safe

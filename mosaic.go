@@ -43,6 +43,7 @@ import (
 	"repro/internal/metric"
 	"repro/internal/perm"
 	"repro/internal/pnm"
+	"repro/internal/retry"
 	"repro/internal/synth"
 	"repro/internal/trace"
 	"repro/internal/video"
@@ -159,6 +160,45 @@ type Device = cuda.Device
 // NewDevice returns a Device with the given worker count; workers ≤ 0 uses
 // all available cores.
 func NewDevice(workers int) *Device { return cuda.New(workers) }
+
+// FaultInjector decides, per kernel launch, whether a fault fires on a
+// Device — the chaos-drill hook behind Device.WithFaults. See FaultPlan for
+// the declarative implementation.
+type FaultInjector = cuda.FaultInjector
+
+// FaultPlan is the seeded, deterministic FaultInjector: it matches launches
+// by ordinal (every Nth, an explicit list), by probability, and/or by kernel
+// name, and injects a typed error, extra latency or a hang. Plans are
+// stateful — give each device its own.
+type FaultPlan = cuda.FaultPlan
+
+// LaunchInfo describes one fault-checked kernel launch to a FaultInjector.
+type LaunchInfo = cuda.LaunchInfo
+
+// Fault is a FaultInjector's verdict for one launch.
+type Fault = cuda.Fault
+
+// The typed device faults. ErrDeviceLost is sticky: every later launch on
+// the device fails until ClearLost.
+var (
+	ErrLaunchFailed = cuda.ErrLaunchFailed
+	ErrDeviceLost   = cuda.ErrDeviceLost
+	ErrDeviceHung   = cuda.ErrDeviceHung
+)
+
+// ParseFaultSpec parses the comma-separated fault-drill syntax shared by the
+// CLIs' -chaos flags, e.g. "every=2,err=launch" or "nth=5,err=lost,max=1".
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return cuda.ParseFaultSpec(spec) }
+
+// RetryPolicy is a bounded exponential-backoff-with-jitter schedule; the
+// zero value means 3 attempts from a 2ms base. Set one on Resilience.Retry.
+type RetryPolicy = retry.Policy
+
+// Resilience opts a pipeline run into fault handling: each device kernel
+// launch runs under Retry, and exhausted retries (or a lost device) degrade
+// to the bit-identical host path unless DisableFallback is set. Set on
+// Options.Resilience; nil keeps the original fail-fast behaviour.
+type Resilience = core.Resilience
 
 // Coloring is a proper edge coloring of K_S scheduling the parallel local
 // search. Precompute one per S with NewColoring and share it across calls,
