@@ -11,15 +11,16 @@
 #   make telemetry-smoke  end-to-end probe of the -serve debug endpoint
 #   make service-smoke    end-to-end probe of the mosaicd HTTP service
 #   make chaos-smoke      fault-injection battery (-race) + a mosaicd chaos drill
+#   make tilestore-smoke  columnar-store gates: oracle battery + fuzz seeds + goldens
 
 GO      ?= go
 FUZZTIME ?= 10s
 TELEMETRY_ADDR ?= 127.0.0.1:9190
 SERVICE_ADDR ?= 127.0.0.1:9200
 
-.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke chaos-smoke clean
+.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke chaos-smoke tilestore-smoke clean
 
-check: vet build race fuzz-smoke chaos-smoke
+check: vet build race fuzz-smoke chaos-smoke tilestore-smoke
 
 vet:
 	$(GO) vet ./...
@@ -146,6 +147,15 @@ chaos-smoke:
 	kill -TERM $$pid; \
 	wait $$pid || { echo "chaos-smoke: mosaicd did not drain cleanly"; exit 1; }; \
 	echo "chaos-smoke: ok"
+
+# The columnar tile store's correctness gates under the race detector: the
+# differential oracle battery (every builder × metric × orientation, store vs
+# legacy crop path), the store's unit oracles and committed fuzz seed corpus,
+# and the golden end-to-end gallery hashes.
+tilestore-smoke:
+	$(GO) test -race -run 'TestTileStore|TestFromGrid|TestScatter|TestGather|TestGlobalHistogram|TestLayout|TestMean|TestBuildStore|TestStoreContext|TestSplitRange|TestGoldenGalleryScenes|Fuzz' \
+		./internal/tilestore/ ./internal/metric/ ./internal/cuda/ ./internal/core/
+	@echo "tilestore-smoke: ok"
 
 clean:
 	$(GO) clean ./...

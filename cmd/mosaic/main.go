@@ -38,29 +38,30 @@ func main() {
 
 func run() error {
 	var (
-		inputArg  = flag.String("input", "lena", "input image: file path or scene name")
-		targetArg = flag.String("target", "sailboat", "target image: file path or scene name")
-		out       = flag.String("o", "mosaic.png", "output path (.png, .pgm or .ppm)")
-		size      = flag.Int("size", 512, "working image size (images are resampled to size×size)")
-		tiles     = flag.Int("tiles", 32, "tiles per side (the paper's 16, 32 or 64)")
-		algorithm = flag.String("algorithm", "approximation", "rearrangement algorithm: optimization | approximation | approximation-dirty | approximation-parallel | greedy | identity | annealing")
-		builder   = flag.String("builder", "auto", "Step-2 matrix builder: auto | serial | scalar | blocked | device | rows-parallel (all bit-identical)")
-		cands     = flag.Int("candidates", 0, "top-K candidate-list warm sweeps for approximation-dirty (0 = off)")
-		rotations = flag.Bool("rotations", false, "allow the eight dihedral tile orientations (grayscale only)")
-		proxy     = flag.Int("proxy", 0, "build the error matrix from proxy×proxy downsampled tiles (0 = exact)")
-		solver    = flag.String("solver", "jv", "exact matcher for -algorithm optimization: jv | hungarian | auction | blossom")
-		metricStr = flag.String("metric", "l1", "per-pixel error: l1 | l2")
-		noHist    = flag.Bool("no-histogram-match", false, "skip matching the input's intensity distribution to the target")
-		color     = flag.Bool("color", false, "color pipeline (scene names render color variants; files must be PPM/PNG)")
-		workers   = flag.Int("workers", 0, "device workers for parallel stages (0 = all cores)")
-		gpu       = flag.Bool("gpu", false, "run Step 2 on the virtual device even for serial algorithms")
-		timeout   = flag.Duration("timeout", 0, "abort generation after this long (0 = no deadline)")
-		traceOut  = flag.Bool("trace", false, "include the pipeline span tree in the observability JSON on stderr")
-		metrics   = flag.Bool("metrics", false, "include the counter totals and registry snapshot in the observability JSON on stderr")
-		serveAddr = flag.String("serve", "", "serve /metrics, /healthz, /metrics.json and /debug/pprof on this address during the run (e.g. 127.0.0.1:9190)")
-		convPath  = flag.String("convergence", "", "write the local-search cost-vs-sweep convergence curve as JSON to this file")
-		chaosSpec = flag.String("chaos", "", "fault-injection drill: install this fault spec on the device (e.g. 'every=2,err=launch'); launches retry and degrade to the bit-identical host path")
-		quiet     = flag.Bool("q", false, "suppress the summary line")
+		inputArg   = flag.String("input", "lena", "input image: file path or scene name")
+		targetArg  = flag.String("target", "sailboat", "target image: file path or scene name")
+		out        = flag.String("o", "mosaic.png", "output path (.png, .pgm or .ppm)")
+		size       = flag.Int("size", 512, "working image size (images are resampled to size×size)")
+		tiles      = flag.Int("tiles", 32, "tiles per side (the paper's 16, 32 or 64)")
+		algorithm  = flag.String("algorithm", "approximation", "rearrangement algorithm: optimization | approximation | approximation-dirty | approximation-parallel | greedy | identity | annealing")
+		builder    = flag.String("builder", "auto", "Step-2 matrix builder: auto | serial | scalar | blocked | device | rows-parallel (all bit-identical, streaming the columnar tile store)")
+		cands      = flag.Int("candidates", 0, "top-K candidate-list warm sweeps for approximation-dirty (0 = off)")
+		storeCands = flag.Bool("store-candidates", false, "derive approximation-dirty's warm-sweep candidates from the tile store's thumbnail features instead of matrix columns")
+		rotations  = flag.Bool("rotations", false, "allow the eight dihedral tile orientations (grayscale only)")
+		proxy      = flag.Int("proxy", 0, "build the error matrix from proxy×proxy downsampled tiles (0 = exact)")
+		solver     = flag.String("solver", "jv", "exact matcher for -algorithm optimization: jv | hungarian | auction | blossom")
+		metricStr  = flag.String("metric", "l1", "per-pixel error: l1 | l2")
+		noHist     = flag.Bool("no-histogram-match", false, "skip matching the input's intensity distribution to the target")
+		color      = flag.Bool("color", false, "color pipeline (scene names render color variants; files must be PPM/PNG)")
+		workers    = flag.Int("workers", 0, "device workers for parallel stages (0 = all cores)")
+		gpu        = flag.Bool("gpu", false, "run Step 2 on the virtual device even for serial algorithms")
+		timeout    = flag.Duration("timeout", 0, "abort generation after this long (0 = no deadline)")
+		traceOut   = flag.Bool("trace", false, "include the pipeline span tree in the observability JSON on stderr")
+		metrics    = flag.Bool("metrics", false, "include the counter totals and registry snapshot in the observability JSON on stderr")
+		serveAddr  = flag.String("serve", "", "serve /metrics, /healthz, /metrics.json and /debug/pprof on this address during the run (e.g. 127.0.0.1:9190)")
+		convPath   = flag.String("convergence", "", "write the local-search cost-vs-sweep convergence curve as JSON to this file")
+		chaosSpec  = flag.String("chaos", "", "fault-injection drill: install this fault spec on the device (e.g. 'every=2,err=launch'); launches retry and degrade to the bit-identical host path")
+		quiet      = flag.Bool("q", false, "suppress the summary line")
 	)
 	flag.Parse()
 
@@ -87,6 +88,7 @@ func run() error {
 		ProxyResolution:   *proxy,
 	}
 	opts.Search.Candidates = *cands
+	opts.StoreCandidates = *storeCands
 	if opts.Algorithm == mosaic.ParallelApproximation || b.NeedsDevice() || *gpu {
 		opts.Device = mosaic.NewDevice(*workers)
 	}

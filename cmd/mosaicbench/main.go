@@ -55,7 +55,7 @@ func run() error {
 		traceRun       = flag.Bool("trace", false, "run one traced end-to-end generation and include its span tree in the observability JSON")
 		metricsRun     = flag.Bool("metrics", false, "run one traced end-to-end generation and include its counters and registry snapshot in the observability JSON")
 		serveAddr      = flag.String("serve", "", "serve /metrics, /healthz, /metrics.json and /debug/pprof on this address during the run (e.g. 127.0.0.1:9190)")
-		benchJSON      = flag.String("bench-json", "", "execute the pinned benchmark workload and write the JSON report to this file")
+		benchJSON      = flag.String("bench-json", "", "execute the pinned benchmark workload and write the JSON report to this file (schema v3: includes the columnar tile-store layout behind cost_matrix_ns)")
 		benchSize      = flag.Int("bench-size", 0, "override the pinned workload's image size for -bench-json (0 = pinned 512; used by make bench-smoke)")
 		benchTiles     = flag.Int("bench-tiles", 0, "override the pinned workload's tiles per side for -bench-json (0 = pinned 32)")
 	)

@@ -95,4 +95,9 @@ func TestExecuteSizedSmoke(t *testing.T) {
 			t.Fatalf("run %d: workload not resized: %+v", i, run.Workload)
 		}
 	}
+	// The report pins the columnar layout behind its cost_matrix_ns figures:
+	// 128/16 → m = 8, one 64-byte payload padded to two 32-byte words.
+	if rep.TileStore.TileBytes != 64 || rep.TileStore.Stride != 64 || rep.TileStore.ThumbSide != 4 {
+		t.Fatalf("tile_store layout wrong: %+v", rep.TileStore)
+	}
 }

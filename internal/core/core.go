@@ -114,6 +114,12 @@ type Options struct {
 	Start perm.Perm
 	// Search tunes the local search (pass caps); zero value = paper.
 	Search localsearch.Options
+	// StoreCandidates, when set, derives ApproximationDirty's candidate
+	// warm-sweep lists from the tile stores' thumbnail feature vectors
+	// (localsearch.StoreCandidates) instead of top-K matrix columns. K is
+	// Search.Candidates when positive, 8 otherwise. Only GenerateContext and
+	// PrepareContext/FinishContext honour it — Rearrange has no stores.
+	StoreCandidates bool
 	// Anneal tunes the Annealing algorithm; zero value selects instance-
 	// derived defaults (see localsearch.AnnealOptions).
 	Anneal localsearch.AnnealOptions

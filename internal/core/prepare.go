@@ -9,8 +9,10 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/hist"
 	"repro/internal/imgutil"
+	"repro/internal/localsearch"
 	"repro/internal/metric"
 	"repro/internal/tile"
+	"repro/internal/tilestore"
 	"repro/internal/trace"
 )
 
@@ -28,9 +30,15 @@ type Prepared struct {
 	// opts are the prepare-time options with defaults applied; the fields
 	// that shaped Steps 1–2 (geometry, metric, histogram matching, proxy,
 	// orientations) are authoritative for every later Finish.
-	opts     Options
-	m        int
-	input    *imgutil.Gray // preprocessed (histogram-matched) input actually tiled
+	opts  Options
+	m     int
+	input *imgutil.Gray // preprocessed (histogram-matched) input actually tiled
+	// inStore/tgtStore are the columnar tile stores — contiguous padded
+	// per-tile pixel blocks plus per-tile stats, gathered once here in a pass
+	// fused with histogram matching. They are immutable, so every concurrent
+	// FinishContext (and every Step-2 builder shard) reads them zero-copy.
+	inStore  *tilestore.Store
+	tgtStore *tilestore.Store
 	inGrid   *tile.Grid
 	tgtGrid  *tile.Grid
 	costs    *metric.Matrix
@@ -48,17 +56,25 @@ func (p *Prepared) Tiles() int { return p.costs.S }
 func (p *Prepared) TileSide() int { return p.m }
 
 // MemoryBytes estimates the resident size of the prepared artifacts — the
-// two pixel buffers the grids reference plus the error matrix (and, when
+// two pixel buffers the grids reference, both columnar tile stores (padded
+// pixel blocks plus per-tile stats) and the error matrix (and, when
 // orientations were scored, the per-pair orientation table). Serving caches
 // use it as the eviction weight.
 func (p *Prepared) MemoryBytes() int64 {
 	n := int64(len(p.input.Pix)) + int64(len(p.tgtGrid.Img.Pix))
+	n += p.inStore.MemoryBytes() + p.tgtStore.MemoryBytes()
 	n += int64(len(p.costs.W)) * 8
 	if p.oriented != nil {
 		n += int64(len(p.oriented.Orient))
 	}
 	return n
 }
+
+// InputStore returns the input image's columnar tile store (post-matching).
+func (p *Prepared) InputStore() *tilestore.Store { return p.inStore }
+
+// TargetStore returns the target image's columnar tile store.
+func (p *Prepared) TargetStore() *tilestore.Store { return p.tgtStore }
 
 // PrepareContext runs the cacheable front half of GenerateContext —
 // preprocessing (§II), tiling (Step 1) and the error matrix (Step 2) — and
@@ -114,6 +130,7 @@ func (p *Prepared) mergeFinishOptions(next Options) (Options, error) {
 	o.Algorithm = next.Algorithm
 	o.Solver = next.Solver
 	o.Search = next.Search
+	o.StoreCandidates = next.StoreCandidates
 	o.Anneal = next.Anneal
 	o.Start = next.Start
 	o.Coloring = next.Coloring
@@ -146,16 +163,32 @@ func prepareStages(ctx context.Context, input, target *imgutil.Gray, opts Option
 	}
 	p := &Prepared{opts: opts, m: m}
 
-	// §II preprocessing: reshape the input's intensity distribution.
+	// §II preprocessing fused with the Step-1 gather: the target store is
+	// built first (its per-tile histograms sum to exactly the target's global
+	// distribution, so matching needs no separate histogram pass over the
+	// target), then the input is mapped through the matching LUT and gathered
+	// into its store — pixels, per-tile stats and the matched image — in one
+	// traversal. tilestore.GatherLUT is byte-identical to hist.Match followed
+	// by a plain gather, which TestGatherLUTFusesMatch pins.
 	t0 := time.Now()
 	sp := trace.Start(tr, trace.SpanPreprocess)
+	var err error
+	p.tgtStore, err = tilestore.FromImage(target, m)
+	if err != nil {
+		return nil, err
+	}
 	work := input
 	if !opts.NoHistogramMatch {
-		var err error
-		work, err = hist.Match(input, target)
-		if err != nil {
-			return nil, fmt.Errorf("core: histogram match: %w", err)
+		lut, lerr := hist.MatchLUT(hist.Of(input), p.tgtStore.GlobalHistogram())
+		if lerr != nil {
+			return nil, fmt.Errorf("core: histogram match: %w", lerr)
 		}
+		p.inStore, work, err = tilestore.GatherLUT(input, m, lut)
+	} else {
+		p.inStore, err = tilestore.FromImage(input, m)
+	}
+	if err != nil {
+		return nil, err
 	}
 	sp.End()
 	p.input = work
@@ -164,9 +197,10 @@ func prepareStages(ctx context.Context, input, target *imgutil.Gray, opts Option
 		return nil, fmt.Errorf("core: cancelled before tiling: %w", err)
 	}
 
-	// Step 1: tiling.
+	// Step 1: tiling. The grids are views over the already-gathered images —
+	// assembly and exact-error evaluation still address tiles in place — so
+	// this stage is geometry validation plus two headers.
 	sp = trace.Start(tr, trace.SpanTiling)
-	var err error
 	p.inGrid, err = tile.NewGrid(work, m)
 	if err != nil {
 		return nil, err
@@ -181,20 +215,25 @@ func prepareStages(ctx context.Context, input, target *imgutil.Gray, opts Option
 	}
 
 	// Step 2: the S×S error matrix (oriented variant scores all eight
-	// dihedral placements per pair and keeps the best).
+	// dihedral placements per pair and keeps the best). The builders stream
+	// the columnar stores — no per-build re-gather — and are bit-identical to
+	// the legacy crop-path builders of the same name (the differential oracle
+	// battery in metric enforces this). Only the proxy builder still reads
+	// the grids: it downsamples tiles to descriptors rather than streaming
+	// full-resolution blocks.
 	t0 = time.Now()
 	sp = trace.Start(tr, trace.SpanCostMatrix)
 	switch {
 	case opts.AllowOrientations && opts.Device != nil:
-		p.oriented, err = metric.BuildOrientedDevice(opts.Device, p.inGrid, p.tgtGrid, opts.Metric)
+		p.oriented, err = metric.BuildOrientedStoreDevice(opts.Device, p.inStore, p.tgtStore, opts.Metric)
 	case opts.AllowOrientations:
-		p.oriented, err = metric.BuildOriented(p.inGrid, p.tgtGrid, opts.Metric)
+		p.oriented, err = metric.BuildOrientedStore(p.inStore, p.tgtStore, opts.Metric)
 	case opts.ProxyResolution > 0:
 		p.costs, err = metric.BuildProxy(p.inGrid, p.tgtGrid, opts.Metric, opts.ProxyResolution)
 	case opts.Resilience != nil:
-		p.costs, err = buildCostsResilient(ctx, opts, p.inGrid, p.tgtGrid, tr)
+		p.costs, err = buildCostsResilient(ctx, opts, p.inStore, p.tgtStore, tr)
 	default:
-		p.costs, err = metric.Build(opts.Device, p.inGrid, p.tgtGrid, opts.Metric, opts.Builder)
+		p.costs, err = metric.BuildStore(opts.Device, p.inStore, p.tgtStore, opts.Metric, opts.Builder)
 	}
 	if err != nil {
 		return nil, err
@@ -217,6 +256,16 @@ func (p *Prepared) finishStages(ctx context.Context, opts Options, tr trace.Coll
 	res := &Result{Input: p.input}
 	res.Timing.Preprocess = p.prepTiming.Preprocess
 	res.Timing.CostMatrix = p.prepTiming.CostMatrix
+
+	if opts.StoreCandidates && opts.Algorithm == ApproximationDirty && opts.Search.CandidateLists == nil {
+		// Warm the dirty search from the stores' thumbnail descriptors — the
+		// stats half of the columnar store feeding Step 3 directly.
+		k := opts.Search.Candidates
+		if k <= 0 {
+			k = 8
+		}
+		opts.Search.CandidateLists = localsearch.StoreCandidates(p.inStore, p.tgtStore, k)
+	}
 
 	// Step 3: rearrangement.
 	t0 := time.Now()

@@ -8,7 +8,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/metric"
 	"repro/internal/retry"
-	"repro/internal/tile"
+	"repro/internal/tilestore"
 	"repro/internal/trace"
 )
 
@@ -24,10 +24,11 @@ func isDeviceFault(err error) bool {
 // buildCostsResilient is the fault-tolerant Step-2 build: the device-backed
 // builders run through the error-returning launch path under
 // opts.Resilience.Retry; exhausted retries (or an immediate device loss)
-// degrade to metric.BuildBlocked, which is certified bit-identical to the
-// device builders, under a trace.SpanDegraded span. CPU builders pass
-// through untouched — there is nothing to retry.
-func buildCostsResilient(ctx context.Context, opts Options, in, tgt *tile.Grid, tr trace.Collector) (*metric.Matrix, error) {
+// degrade to metric.BuildStoreBlocked, which is certified bit-identical to
+// the device builders, under a trace.SpanDegraded span. CPU builders pass
+// through untouched — there is nothing to retry. All paths stream the
+// columnar tile stores.
+func buildCostsResilient(ctx context.Context, opts Options, in, tgt *tilestore.Store, tr trace.Collector) (*metric.Matrix, error) {
 	b := opts.Builder
 	if b == metric.BuilderAuto {
 		if opts.Device != nil {
@@ -37,7 +38,7 @@ func buildCostsResilient(ctx context.Context, opts Options, in, tgt *tile.Grid, 
 		}
 	}
 	if opts.Device == nil || !b.NeedsDevice() {
-		return metric.Build(opts.Device, in, tgt, opts.Metric, b)
+		return metric.BuildStore(opts.Device, in, tgt, opts.Metric, b)
 	}
 	pol := opts.Resilience.Retry
 	var costs *metric.Matrix
@@ -47,9 +48,9 @@ func buildCostsResilient(ctx context.Context, opts Options, in, tgt *tile.Grid, 
 		}
 		var err error
 		if b == metric.BuilderRows {
-			costs, err = metric.BuildRowsParallelContext(ctx, opts.Device, in, tgt, opts.Metric)
+			costs, err = metric.BuildStoreRowsParallelContext(ctx, opts.Device, in, tgt, opts.Metric)
 		} else {
-			costs, err = metric.BuildDeviceContext(ctx, opts.Device, in, tgt, opts.Metric)
+			costs, err = metric.BuildStoreDeviceContext(ctx, opts.Device, in, tgt, opts.Metric)
 		}
 		if err != nil && isDeviceFault(err) {
 			trace.Count(tr, trace.CounterLaunchFaults, 1)
@@ -77,5 +78,5 @@ func buildCostsResilient(ctx context.Context, opts Options, in, tgt *tile.Grid, 
 	trace.Count(tr, trace.CounterDegradedRuns, 1)
 	sp := trace.Start(tr, trace.SpanDegraded)
 	defer sp.End()
-	return metric.BuildBlocked(in, tgt, opts.Metric)
+	return metric.BuildStoreBlocked(in, tgt, opts.Metric)
 }

@@ -1,0 +1,44 @@
+package cuda
+
+import "fmt"
+
+// Range is a half-open index interval [Lo, Hi) — the unit of row-range
+// sharding: a cost-matrix build over S rows splits into contiguous ranges,
+// one launch per range, each writing a disjoint slab of the output.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices the range covers.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// SplitRange divides [0, n) into up to parts contiguous ranges of
+// near-equal length (the first n%parts ranges are one longer). Fewer ranges
+// are returned when n < parts; every returned range is non-empty, the ranges
+// are in order, disjoint, and cover [0, n) exactly. This is the split shape
+// multi-device (and, later, multi-node) sharding of the Step-2 matrix uses:
+// each shard streams its row range of the flat tile buffer independently.
+func SplitRange(n, parts int) []Range {
+	if parts <= 0 {
+		panic(fmt.Sprintf("cuda: SplitRange(%d, %d)", n, parts))
+	}
+	if n <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	base := n / parts
+	rem := n % parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}

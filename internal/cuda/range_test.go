@@ -1,0 +1,56 @@
+package cuda
+
+import "testing"
+
+// TestSplitRange pins the sharding contract: in-order, disjoint, non-empty
+// ranges covering [0, n) exactly, near-equal lengths (long ranges first).
+func TestSplitRange(t *testing.T) {
+	cases := []struct{ n, parts int }{
+		{10, 1}, {10, 2}, {10, 3}, {10, 10}, {3, 7}, {1, 1}, {1024, 16}, {7, 4},
+	}
+	for _, c := range cases {
+		rs := SplitRange(c.n, c.parts)
+		wantParts := c.parts
+		if wantParts > c.n {
+			wantParts = c.n
+		}
+		if len(rs) != wantParts {
+			t.Fatalf("SplitRange(%d, %d) returned %d ranges, want %d", c.n, c.parts, len(rs), wantParts)
+		}
+		lo := 0
+		minLen, maxLen := c.n, 0
+		for _, r := range rs {
+			if r.Lo != lo || r.Len() <= 0 {
+				t.Fatalf("SplitRange(%d, %d) = %v: not contiguous in-order non-empty", c.n, c.parts, rs)
+			}
+			if r.Len() < minLen {
+				minLen = r.Len()
+			}
+			if r.Len() > maxLen {
+				maxLen = r.Len()
+			}
+			lo = r.Hi
+		}
+		if lo != c.n {
+			t.Fatalf("SplitRange(%d, %d) covers [0, %d), want [0, %d)", c.n, c.parts, lo, c.n)
+		}
+		if maxLen-minLen > 1 {
+			t.Fatalf("SplitRange(%d, %d) lengths spread %d..%d, want near-equal", c.n, c.parts, minLen, maxLen)
+		}
+	}
+}
+
+func TestSplitRangeEdges(t *testing.T) {
+	if rs := SplitRange(0, 3); rs != nil {
+		t.Fatalf("SplitRange(0, 3) = %v, want nil", rs)
+	}
+	if rs := SplitRange(-5, 3); rs != nil {
+		t.Fatalf("SplitRange(-5, 3) = %v, want nil", rs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SplitRange(4, 0) did not panic")
+		}
+	}()
+	SplitRange(4, 0)
+}

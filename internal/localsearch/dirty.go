@@ -96,7 +96,19 @@ func SerialDirtyContext(ctx context.Context, m *metric.Matrix, start perm.Perm, 
 	if sample {
 		curCost = m.Total(p)
 	}
-	if opts.Candidates > 0 {
+	if opts.Candidates > 0 || opts.CandidateLists != nil {
+		if opts.CandidateLists != nil {
+			if len(opts.CandidateLists) != s {
+				return nil, st, fmt.Errorf("localsearch: %d candidate lists for S = %d", len(opts.CandidateLists), s)
+			}
+			for x, list := range opts.CandidateLists {
+				for _, u := range list {
+					if u < 0 || int(u) >= s {
+						return nil, st, fmt.Errorf("localsearch: candidate tile %d at position %d out of range for S = %d", u, x, s)
+					}
+				}
+			}
+		}
 		if err := warmCandidates(ctx, m, p, d, opts, &st, &curCost); err != nil {
 			return nil, st, err
 		}
@@ -184,16 +196,21 @@ func topKColumn(m *metric.Matrix, x, k int) []int32 {
 }
 
 // warmCandidates runs the candidate-list warm phase: sweeps attempting only
-// swaps that bring one of position x's top-K tiles to x, repeated until such
-// a sweep applies no swap. Move clocks are maintained so the subsequent dirty
-// exhaustive sweeps skip everything the warm phase left untouched.
+// swaps that bring one of position x's candidate tiles to x, repeated until
+// such a sweep applies no swap. Candidates come from opts.CandidateLists when
+// supplied (e.g. StoreCandidates' thumbnail-derived lists) and from top-K
+// matrix columns otherwise. Move clocks are maintained so the subsequent
+// dirty exhaustive sweeps skip everything the warm phase left untouched.
 func warmCandidates(ctx context.Context, m *metric.Matrix, p perm.Perm, d *dirtyState, opts Options, st *Stats, curCost *int64) error {
 	s := m.S
 	w := m.W
-	k := opts.Candidates
-	cands := make([][]int32, s)
-	for x := 0; x < s; x++ {
-		cands[x] = topKColumn(m, x, k)
+	cands := opts.CandidateLists
+	if cands == nil {
+		k := opts.Candidates
+		cands = make([][]int32, s)
+		for x := 0; x < s; x++ {
+			cands[x] = topKColumn(m, x, k)
+		}
 	}
 	// pos is the inverse assignment: pos[u] = position currently holding
 	// input tile u, maintained across swaps.

@@ -67,6 +67,13 @@ type Options struct {
 	// candidate-list sweeps (K = Candidates) before certifying the plateau
 	// with exhaustive dirty sweeps. Ignored by the other searches.
 	Candidates int
+	// CandidateLists, when non-nil, supplies the warm phase's per-position
+	// candidate tiles directly — one list per target position — instead of
+	// extracting top-K matrix columns. StoreCandidates derives such lists
+	// from the tile stores' thumbnail feature vectors without touching the
+	// matrix. Setting it enables the warm phase even when Candidates is 0.
+	// Ignored by the searches without a warm phase.
+	CandidateLists [][]int32
 }
 
 // ctxErr returns ctx's error if it is already done, nil otherwise — the

@@ -1,0 +1,57 @@
+package localsearch
+
+import "repro/internal/tilestore"
+
+// StoreCandidates derives per-position candidate lists from the columnar
+// tile stores' thumbnail feature vectors: for each target position x, the K
+// input tiles whose ThumbDim² thumbnails are closest (L1) to target tile x's.
+// This is the clustering-style candidate pruning of the related work, run on
+// descriptors the fused Prepare already computed — it never reads the S×S
+// matrix, so the lists can be built before (or instead of) a full Step-2
+// build and fed to SerialDirty via Options.CandidateLists.
+//
+// The thumbnail distance is an approximation of the full tile error, so the
+// warm sweeps it drives are heuristic; the exhaustive dirty sweeps that
+// follow still certify a swap-local plateau of the true matrix.
+func StoreCandidates(in, tgt *tilestore.Store, k int) [][]int32 {
+	s := tgt.S()
+	if k > in.S() {
+		k = in.S()
+	}
+	out := make([][]int32, s)
+	if k <= 0 {
+		return out
+	}
+	for x := 0; x < s; x++ {
+		tx := tgt.TileThumb(x)
+		cand := make([]int32, 0, k)
+		dists := make([]int32, 0, k)
+		for u := 0; u < in.S(); u++ {
+			var d int32
+			for i, p := range in.TileThumb(u) {
+				diff := int32(p) - int32(tx[i])
+				if diff < 0 {
+					diff = -diff
+				}
+				d += diff
+			}
+			if len(cand) == k && d >= dists[k-1] {
+				continue
+			}
+			i := len(dists)
+			if i < k {
+				cand = append(cand, 0)
+				dists = append(dists, 0)
+			} else {
+				i--
+			}
+			for i > 0 && dists[i-1] > d {
+				cand[i], dists[i] = cand[i-1], dists[i-1]
+				i--
+			}
+			cand[i], dists[i] = int32(u), d
+		}
+		out[x] = cand
+	}
+	return out
+}

@@ -14,14 +14,17 @@ import (
 )
 
 // prepCache is a content-addressed LRU of core.Prepared values — the
-// histogram-matched input, tile grids and S×S error matrix of one
-// (input, target, geometry, metric) combination. Repeated requests against
-// the same target/tile library are the photomosaic serving pattern, and
-// Step 2 dominates their cost, so a hit skips it entirely: the job runs
-// only Step 3 + assembly on the shared Prepared (safe — Prepared is
-// immutable and FinishContext is concurrency-clean).
+// histogram-matched input, tile grids, both columnar tile stores and the
+// S×S error matrix of one (input, target, geometry, metric) combination.
+// Repeated requests against the same target/tile library are the photomosaic
+// serving pattern, and Step 2 dominates their cost, so a hit skips it
+// entirely: the job runs only Step 3 + assembly on the shared Prepared (safe
+// — Prepared and its stores are immutable and FinishContext is
+// concurrency-clean).
 //
-// Capacity is bounded in bytes (Prepared.MemoryBytes as the weight);
+// Capacity is bounded in bytes (Prepared.MemoryBytes as the weight, which
+// charges the stores' padded pixel blocks and per-tile stats alongside the
+// matrix);
 // eviction is least-recently-used. Concurrent misses on one key are
 // deduplicated: followers wait for the leader's build instead of stampeding
 // the device pool with identical Step-2 work.

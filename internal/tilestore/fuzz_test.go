@@ -1,0 +1,95 @@
+package tilestore
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/imgutil"
+	"repro/internal/tile"
+)
+
+// fuzzImage renders a deterministic pseudo-random w×h image from seed
+// (xorshift64*), so every corpus entry reproduces byte-exactly.
+func fuzzImage(w, h int, seed uint64) *imgutil.Gray {
+	img := imgutil.NewGray(w, h)
+	x := seed | 1
+	for i := range img.Pix {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		img.Pix[i] = uint8((x * 0x2545F4914F6CDD1D) >> 56)
+	}
+	return img
+}
+
+// FuzzTileStoreRoundTrip fuzzes the store over arbitrary tile geometry:
+// non-divisible edges must be rejected exactly like tile.NewGrid, and for
+// every valid geometry gather→store→scatter must reconstruct the source
+// image byte for byte, padding must be zero, and the fused per-tile stats
+// must match a scalar recomputation. A LUT gather must equal gathering the
+// LUT-mapped image.
+func FuzzTileStoreRoundTrip(f *testing.F) {
+	f.Add(64, 64, 8, uint64(1))
+	f.Add(96, 64, 16, uint64(2))   // non-square image
+	f.Add(33, 33, 11, uint64(3))   // odd sides, stride padding
+	f.Add(60, 60, 7, uint64(4))    // non-divisible edge → reject
+	f.Add(5, 5, 5, uint64(5))      // single tile below thumb side
+	f.Add(2, 2, 1, uint64(6))      // 1×1 tiles
+	f.Add(50, 40, 10, uint64(7))   // thumb side not dividing tile side
+	f.Add(128, 128, 64, uint64(8)) // large tiles
+	f.Fuzz(func(t *testing.T, w, h, m int, seed uint64) {
+		if w <= 0 || h <= 0 || w > 192 || h > 192 || m > 96 {
+			t.Skip()
+		}
+		img := fuzzImage(w, h, seed)
+		s, err := FromImage(img, m)
+		if m <= 0 || w%m != 0 || h%m != 0 {
+			if err == nil {
+				t.Fatalf("FromImage(%dx%d, m=%d) accepted invalid geometry", w, h, m)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("FromImage(%dx%d, m=%d): %v", w, h, m, err)
+		}
+		back := s.Scatter()
+		if back.W != w || back.H != h || !bytes.Equal(back.Pix, img.Pix) {
+			t.Fatalf("round trip failed for %dx%d m=%d", w, h, m)
+		}
+		g, err := tile.NewGrid(img, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStoreAgainstGrid(t, s, g)
+
+		// LUT gather: equal to gathering the mapped image, and the matched
+		// image equal to mapping pixel-wise.
+		var lut [256]uint8
+		for v := range lut {
+			lut[v] = uint8((uint64(v)*(seed|1) + seed>>8) % 256)
+		}
+		ls, matched, err := GatherLUT(img, m, lut)
+		if err != nil {
+			t.Fatalf("GatherLUT: %v", err)
+		}
+		mapped := imgutil.NewGray(w, h)
+		for i, p := range img.Pix {
+			mapped.Pix[i] = lut[p]
+		}
+		if !bytes.Equal(matched.Pix, mapped.Pix) {
+			t.Fatal("GatherLUT matched image differs from pixel-wise mapping")
+		}
+		ref, err := FromImage(mapped, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ls.Pix, ref.Pix) || !bytes.Equal(ls.Thumb, ref.Thumb) {
+			t.Fatal("GatherLUT store differs from FromImage of the mapped image")
+		}
+		for i := 0; i < s.S(); i++ {
+			if ls.Sum[i] != ref.Sum[i] {
+				t.Fatalf("GatherLUT sum[%d] = %d, want %d", i, ls.Sum[i], ref.Sum[i])
+			}
+		}
+	})
+}
