@@ -61,9 +61,14 @@ bench-smoke:
 	$(GO) run ./cmd/mosaicbench -bench-json $$tmp -bench-size 128 -bench-tiles 16 && \
 	echo "bench-smoke: ok"
 
-# End-to-end probe of the debug server: run a generation with -serve, wait
-# for /healthz, require a 200 and mosaic_* series from /metrics plus a 200
-# from /metrics.json, then let the run finish. Fails on any non-200.
+# End-to-end probe of the observability surface, in two legs. First the CLI
+# debug server: run a generation with -serve, wait for /healthz, require a 200
+# and mosaic_* series from /metrics plus a 200 from /metrics.json. Then the
+# request-scoped tracing in mosaicd: boot it with an access log, send a slow
+# (normal) request and a failing (1ms-deadline) one, and require the
+# X-Request-ID echo, one access-log line per request with the right outcome
+# and phase attribution, both requests retrievable by ID from
+# /debug/requests/{id}, and build info + phase histograms on /metrics.
 telemetry-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
@@ -83,6 +88,51 @@ telemetry-smoke:
 	if ! curl -fsS -o /dev/null http://$(TELEMETRY_ADDR)/metrics.json; then \
 		echo "telemetry-smoke: /metrics.json failed"; kill $$pid 2>/dev/null; exit 1; fi; \
 	wait $$pid; \
+	$(GO) build -o $$tmp/mosaicd ./cmd/mosaicd; \
+	$$tmp/mosaicd -addr $(SERVICE_ADDR) -access-log $$tmp/access.log & dpid=$$!; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS -o /dev/null http://$(SERVICE_ADDR)/readyz 2>/dev/null; then up=1; break; fi; \
+		kill -0 $$dpid 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	if [ $$up -ne 1 ]; then echo "telemetry-smoke: mosaicd /readyz never answered 200"; kill $$dpid 2>/dev/null; exit 1; fi; \
+	req='{"input":"lena","target":"sailboat","size":256,"tiles":16}'; \
+	curl -fsS -D $$tmp/slow.hdr -o $$tmp/slow.json -X POST \
+		-H 'Content-Type: application/json' -H 'X-Request-ID: smoke-slow-1' \
+		-d "$$req" http://$(SERVICE_ADDR)/v1/mosaic || { \
+		echo "telemetry-smoke: slow request failed"; kill $$dpid 2>/dev/null; exit 1; }; \
+	grep -qi '^x-request-id: smoke-slow-1' $$tmp/slow.hdr || { \
+		echo "telemetry-smoke: X-Request-ID not echoed"; kill $$dpid 2>/dev/null; exit 1; }; \
+	grep -q '"request_id": "smoke-slow-1"' $$tmp/slow.json || { \
+		echo "telemetry-smoke: request_id missing from the job response"; kill $$dpid 2>/dev/null; exit 1; }; \
+	fail=$$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+		-H 'Content-Type: application/json' -H 'X-Request-ID: smoke-fail-1' \
+		-d '{"input":"peppers","target":"plasma","size":512,"tiles":32,"timeout_ms":1}' \
+		http://$(SERVICE_ADDR)/v1/mosaic); \
+	if [ "$$fail" != "504" ]; then \
+		echo "telemetry-smoke: 1ms-deadline request answered $$fail, want 504"; kill $$dpid 2>/dev/null; exit 1; fi; \
+	grep 'smoke-slow-1' $$tmp/access.log | grep -q '"outcome":"done"' || { \
+		echo "telemetry-smoke: no done access-log line for smoke-slow-1"; kill $$dpid 2>/dev/null; exit 1; }; \
+	grep 'smoke-slow-1' $$tmp/access.log | grep -q '"phases_ns"' || { \
+		echo "telemetry-smoke: access-log line lacks phase attribution"; kill $$dpid 2>/dev/null; exit 1; }; \
+	grep 'smoke-fail-1' $$tmp/access.log | grep -q '"outcome":"timeout"' || { \
+		echo "telemetry-smoke: no timeout access-log line for smoke-fail-1"; kill $$dpid 2>/dev/null; exit 1; }; \
+	curl -fsS http://$(SERVICE_ADDR)/debug/requests/smoke-slow-1 | grep -q '"queue_wait"' || { \
+		echo "telemetry-smoke: /debug/requests/smoke-slow-1 lacks queue_wait"; kill $$dpid 2>/dev/null; exit 1; }; \
+	curl -fsS http://$(SERVICE_ADDR)/debug/requests/smoke-fail-1 | grep -q '"outcome": "timeout"' || { \
+		echo "telemetry-smoke: /debug/requests/smoke-fail-1 missing or wrong outcome"; kill $$dpid 2>/dev/null; exit 1; }; \
+	curl -fsS http://$(SERVICE_ADDR)/debug/requests | grep -q '"request_id": "smoke-fail-1"' || { \
+		echo "telemetry-smoke: errored request missing from /debug/requests"; kill $$dpid 2>/dev/null; exit 1; }; \
+	curl -fsS http://$(SERVICE_ADDR)/metrics > $$tmp/metrics.txt; \
+	grep -q '^mosaic_build_info{' $$tmp/metrics.txt || { \
+		echo "telemetry-smoke: mosaic_build_info missing"; kill $$dpid 2>/dev/null; exit 1; }; \
+	grep -q '^mosaic_request_phase_ns_bucket' $$tmp/metrics.txt || { \
+		echo "telemetry-smoke: mosaic_request_phase_ns missing"; kill $$dpid 2>/dev/null; exit 1; }; \
+	grep -q '^mosaic_service_queue_wait_ns_bucket' $$tmp/metrics.txt || { \
+		echo "telemetry-smoke: mosaic_service_queue_wait_ns missing"; kill $$dpid 2>/dev/null; exit 1; }; \
+	kill -TERM $$dpid; \
+	wait $$dpid || { echo "telemetry-smoke: mosaicd did not drain cleanly"; exit 1; }; \
 	echo "telemetry-smoke: ok"
 
 # End-to-end probe of the mosaicd service: start it, wait for /readyz,

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 
 	mosaic "repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -24,13 +25,18 @@ func main() {
 
 func run() error {
 	var (
-		out    = flag.String("out", "testimages", "output directory")
-		size   = flag.Int("size", 512, "image side length")
-		format = flag.String("format", "png", "output format: png | pgm")
-		color  = flag.Bool("color", false, "also render the color variants")
-		only   = flag.String("scene", "", "render a single scene (default: all)")
+		out     = flag.String("out", "testimages", "output directory")
+		size    = flag.Int("size", 512, "image side length")
+		format  = flag.String("format", "png", "output format: png | pgm")
+		color   = flag.Bool("color", false, "also render the color variants")
+		only    = flag.String("scene", "", "render a single scene (default: all)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "imggen")
+		return nil
+	}
 	if *format != "png" && *format != "pgm" {
 		return fmt.Errorf("unknown format %q", *format)
 	}

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	mosaic "repro"
+	"repro/internal/buildinfo"
 	"repro/internal/imgutil"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -62,8 +63,13 @@ func run() error {
 		convPath   = flag.String("convergence", "", "write the local-search cost-vs-sweep convergence curve as JSON to this file")
 		chaosSpec  = flag.String("chaos", "", "fault-injection drill: install this fault spec on the device (e.g. 'every=2,err=launch'); launches retry and degrade to the bit-identical host path")
 		quiet      = flag.Bool("q", false, "suppress the summary line")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "mosaic")
+		return nil
+	}
 
 	met := mosaic.L1
 	switch strings.ToLower(*metricStr) {
@@ -116,6 +122,7 @@ func run() error {
 	if observing {
 		tree = mosaic.NewTraceTree()
 		reg = telemetry.NewRegistry()
+		buildinfo.Register(reg, "mosaic")
 		opts.Trace = trace.Multi(tree, telemetry.NewTraceCollector(reg))
 		if opts.Device != nil {
 			telemetry.RegisterDevice(reg, opts.Device, nil)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/benchjson"
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
@@ -58,8 +59,13 @@ func run() error {
 		benchJSON      = flag.String("bench-json", "", "execute the pinned benchmark workload and write the JSON report to this file (schema v3: includes the columnar tile-store layout behind cost_matrix_ns)")
 		benchSize      = flag.Int("bench-size", 0, "override the pinned workload's image size for -bench-json (0 = pinned 512; used by make bench-smoke)")
 		benchTiles     = flag.Int("bench-tiles", 0, "override the pinned workload's tiles per side for -bench-json (0 = pinned 32)")
+		version        = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "mosaicbench")
+		return nil
+	}
 
 	cfg := experiments.QuickConfig()
 	switch {
@@ -104,6 +110,7 @@ func run() error {
 	var reg *telemetry.Registry
 	if *serveAddr != "" || *metricsRun {
 		reg = telemetry.NewRegistry()
+		buildinfo.Register(reg, "mosaicbench")
 		cfg.Trace = telemetry.NewTraceCollector(reg)
 		dev, err := cfg.Device()
 		if err != nil {

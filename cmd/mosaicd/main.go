@@ -10,7 +10,14 @@
 //	GET  /metrics      Prometheus exposition (plus /metrics.json)
 //	GET  /healthz      liveness — 200 while the process runs
 //	GET  /readyz       readiness — 503 during drain, so LBs stop routing
-//	GET  /debug/pprof  only on loopback binds or with -pprof
+//	GET  /debug/pprof     only on loopback binds or with -pprof
+//	GET  /debug/requests  flight recorder: slowest/errored span trees (same gate)
+//
+// Every request carries a request ID (X-Request-ID in, echoed out), is
+// access-logged as one JSON line (-access-log), and attributes its wall time
+// to phases (queue wait, device wait, cache lookup, pipeline stages, retry
+// backoff, encode) — the slowest and every errored/degraded request retain
+// their full span trees for GET /debug/requests/{id}.
 //
 // SIGINT/SIGTERM starts a graceful drain: readiness flips, new submissions
 // get 503, queued and in-flight jobs finish (bounded by -drain-timeout),
@@ -36,11 +43,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cuda"
 	"repro/internal/retry"
 	"repro/internal/service"
@@ -73,8 +82,16 @@ func run() error {
 		retryBase     = flag.Duration("retry-base", 2*time.Millisecond, "base backoff between launch retries (doubles per attempt, jittered)")
 		probeEvery    = flag.Duration("probe-interval", 250*time.Millisecond, "cadence of the canary probe that restores quarantined devices")
 		failThreshold = flag.Int("failure-threshold", 3, "consecutive failed jobs that quarantine a device (a lost device is quarantined immediately)")
+		accessLog     = flag.String("access-log", "stderr", "access-log destination: stderr, stdout, a file path, or 'off'")
+		flightSlow    = flag.Int("flight-slow", 32, "slowest requests whose span trees the flight recorder retains")
+		flightErrors  = flag.Int("flight-errors", 64, "errored/degraded requests the flight recorder retains")
+		showVersion   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		buildinfo.Print(os.Stdout, "mosaicd")
+		return nil
+	}
 
 	var deviceFaults func(i int) cuda.FaultInjector
 	if *chaosSpec != "" {
@@ -92,7 +109,25 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "mosaicd: CHAOS DRILL ACTIVE — injecting %q on all %d devices\n", *chaosSpec, *devices)
 	}
 
+	var logW io.Writer
+	var logClose func() error
+	switch *accessLog {
+	case "off", "":
+	case "stderr":
+		logW = os.Stderr
+	case "stdout":
+		logW = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-access-log: %w", err)
+		}
+		logW = f
+		logClose = f.Close
+	}
+
 	reg := telemetry.NewRegistry()
+	buildinfo.Register(reg, "mosaicd")
 	cacheBytes := int64(*cacheMB) << 20
 	if *cacheMB <= 0 {
 		cacheBytes = -1
@@ -115,14 +150,23 @@ func run() error {
 		FailureThreshold: *failThreshold,
 		ProbeInterval:    *probeEvery,
 		DeviceFaults:     deviceFaults,
+		AccessLog:        logW,
+		RecorderSlow:     *flightSlow,
+		RecorderErrors:   *flightErrors,
 	})
 
 	muxOpts := []telemetry.MuxOption{telemetry.WithReadiness(svc.Ready)}
-	if *pprofFlag || telemetry.IsLoopback(*addr) {
+	debug := *pprofFlag || telemetry.IsLoopback(*addr)
+	if debug {
 		muxOpts = append(muxOpts, telemetry.WithPProf())
 	}
 	mux := telemetry.NewMux(reg, muxOpts...)
 	svc.RegisterRoutes(mux)
+	if debug {
+		// /debug/requests exposes request internals (IDs, content hashes,
+		// timings), so it rides the same loopback/-pprof gate as pprof.
+		svc.RegisterDebugRoutes(mux)
+	}
 
 	server, err := telemetry.StartServer(*addr, reg, mux)
 	if err != nil {
@@ -140,6 +184,9 @@ func run() error {
 	defer cancel()
 	drainErr := svc.Drain(drainCtx)
 	svc.Close()
+	if logClose != nil {
+		_ = logClose()
+	}
 	if err := server.Close(); err != nil {
 		return err
 	}

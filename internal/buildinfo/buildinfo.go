@@ -1,0 +1,67 @@
+// Package buildinfo is the single source of the binaries' identity: a
+// version string (overridable at link time), the VCS revision baked in by
+// the Go toolchain, and the Go version that built the binary. Every command
+// exposes it two ways — a -version flag printing one line, and a
+// mosaic_build_info gauge (constant 1, identity in the labels) so dashboards
+// can correlate a latency regression with the deploy that caused it.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/telemetry"
+)
+
+// Version is the semantic version stamped at link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3"
+//
+// Unstamped builds report "dev".
+var Version = "dev"
+
+// Revision returns the VCS commit the binary was built from, suffixed
+// "-dirty" for modified checkouts, or "unknown" outside VCS builds (go test,
+// plain `go run` of a non-checkout).
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty && rev != "unknown" {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Print writes the one-line -version output for the named command.
+func Print(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s (commit %s, %s)\n", cmd, Version, Revision(), runtime.Version())
+}
+
+// Register exports the identity as mosaic_build_info{command,version,
+// commit,goversion} = 1 — the standard Prometheus build-info idiom.
+func Register(reg *telemetry.Registry, cmd string) {
+	reg.Gauge("mosaic_build_info",
+		"Build identity of the exporting process; constant 1, identity in the labels.",
+		telemetry.Labels{
+			"command":   cmd,
+			"version":   Version,
+			"commit":    Revision(),
+			"goversion": runtime.Version(),
+		}).Set(1)
+}

@@ -1,0 +1,39 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestPrint(t *testing.T) {
+	var b strings.Builder
+	Print(&b, "mosaicd")
+	out := b.String()
+	if !strings.HasPrefix(out, "mosaicd "+Version+" (commit ") || !strings.HasSuffix(out, ")\n") {
+		t.Fatalf("unexpected -version line: %q", out)
+	}
+	if !strings.Contains(out, "go1.") {
+		t.Fatalf("missing go version: %q", out)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	Register(reg, "mosaic")
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE mosaic_build_info gauge") {
+		t.Fatalf("build info gauge not exported:\n%s", out)
+	}
+	if !strings.Contains(out, `command="mosaic"`) || !strings.Contains(out, `version="`+Version+`"`) {
+		t.Fatalf("identity labels missing:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "1") {
+		t.Fatalf("gauge value should be 1:\n%s", out)
+	}
+}

@@ -41,6 +41,12 @@ func buildCostsResilient(ctx context.Context, opts Options, in, tgt *tilestore.S
 		return metric.BuildStore(opts.Device, in, tgt, opts.Metric, b)
 	}
 	pol := opts.Resilience.Retry
+	if pol.OnBackoff == nil {
+		pol.OnBackoff = func(sleep func() error) error {
+			defer trace.Start(tr, trace.SpanRetryBackoff).End()
+			return sleep()
+		}
+	}
 	var costs *metric.Matrix
 	lerr := pol.Do(ctx, func(attempt int) error {
 		if attempt > 1 {

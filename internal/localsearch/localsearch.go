@@ -301,6 +301,14 @@ func parallelSearch(ctx context.Context, dev *cuda.Device, m *metric.Matrix, sta
 	if res != nil {
 		pol = res.Retry
 	}
+	if pol.OnBackoff == nil {
+		// Backoff sleeps run on this (the search) goroutine, so the span
+		// nests correctly in the caller's tree.
+		pol.OnBackoff = func(sleep func() error) error {
+			defer trace.Start(opts.Trace, trace.SpanRetryBackoff).End()
+			return sleep()
+		}
+	}
 	deviceDead := false
 	if dev == nil {
 		if res == nil || res.DisableFallback {

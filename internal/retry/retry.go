@@ -42,6 +42,12 @@ type Policy struct {
 	// and surfaces the error as-is. nil means every error is retryable
 	// (Stop-wrapped and context errors always terminate regardless).
 	Retryable func(error) bool
+	// OnBackoff, when set, wraps each backoff sleep: Do calls it instead of
+	// sleeping directly, and the hook must invoke sleep exactly once and
+	// return its error. The instrumented paths use it to attribute backoff
+	// wall time to a retry-backoff span without the policy importing the
+	// trace package.
+	OnBackoff func(sleep func() error) error
 
 	rng     uint64
 	rngInit bool
@@ -110,7 +116,7 @@ func (p *Policy) Do(ctx context.Context, op func(attempt int) error) error {
 		if attempt >= max {
 			return err
 		}
-		if serr := p.sleep(ctx, p.delay(attempt)); serr != nil {
+		if serr := p.backoff(ctx, p.delay(attempt)); serr != nil {
 			return fmt.Errorf("retry: backoff after attempt %d (%w): %w", attempt, err, serr)
 		}
 	}
@@ -161,6 +167,15 @@ func (p *Policy) Delays(n int) []time.Duration {
 		out[i] = p.delay(i + 1)
 	}
 	return out
+}
+
+// backoff performs one inter-attempt wait, routing through OnBackoff when
+// set so callers can measure the time spent.
+func (p *Policy) backoff(ctx context.Context, d time.Duration) error {
+	if p.OnBackoff == nil {
+		return p.sleep(ctx, d)
+	}
+	return p.OnBackoff(func() error { return p.sleep(ctx, d) })
 }
 
 // sleep waits for d or until the context ends, returning the context error

@@ -178,3 +178,40 @@ func TestZeroValueDefaults(t *testing.T) {
 		t.Fatalf("zero-value policy ran %d attempts, want %d", calls, defaultMaxAttempts)
 	}
 }
+
+// TestOnBackoffHook: the hook wraps every inter-attempt sleep exactly once
+// and sees the sleep's result, letting callers attribute backoff time.
+func TestOnBackoffHook(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond,
+		OnBackoff: func(sleep func() error) error {
+			calls++
+			return sleep()
+		}}
+	attempts := 0
+	err := p.Do(context.Background(), func(int) error {
+		attempts++
+		return errFlaky
+	})
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("err = %v, want errFlaky", err)
+	}
+	if attempts != 3 || calls != 2 {
+		t.Fatalf("attempts=%d backoffs=%d, want 3 attempts / 2 backoffs", attempts, calls)
+	}
+}
+
+// TestOnBackoffHookPropagatesCancel: a context ending mid-backoff surfaces
+// through the hook unchanged.
+func TestOnBackoffHookPropagatesCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Minute, Jitter: -1,
+		OnBackoff: func(sleep func() error) error {
+			cancel()
+			return sleep()
+		}}
+	err := p.Do(ctx, func(int) error { return errFlaky })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

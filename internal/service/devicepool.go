@@ -192,14 +192,16 @@ func (p *DevicePool) Release(d *cuda.Device) {
 // the device could be handed to the next job. faults is the number of
 // launch faults the job observed; degraded reports whether the job fell
 // back to the host. A job with neither clears the failure streak; a lost
-// device is quarantined immediately.
-func (p *DevicePool) Report(d *cuda.Device, faults int64, degraded bool) {
+// device is quarantined immediately. The return reports whether THIS call
+// quarantined the device — the per-request quarantine marker the flight
+// recorder annotates.
+func (p *DevicePool) Report(d *cuda.Device, faults int64, degraded bool) bool {
 	lost := d.Lost()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	h, ok := p.health[d]
 	if !ok {
-		return
+		return false
 	}
 	if faults > 0 && p.faultsTotal != nil {
 		p.faultsTotal(h.name).Add(float64(faults))
@@ -217,7 +219,21 @@ func (p *DevicePool) Report(d *cuda.Device, faults int64, degraded bool) {
 			p.quarantinedTotal.Inc()
 		}
 		p.startProbeLocked()
+		return true
 	}
+	return false
+}
+
+// Name returns the pool's stable label for a device ("0", "1", ...), or ""
+// for a device the pool does not own (including nil — the host-fallback
+// case, which callers label themselves).
+func (p *DevicePool) Name(d *cuda.Device) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h, ok := p.health[d]; ok {
+		return h.name
+	}
+	return ""
 }
 
 // startProbeLocked lazily starts the background probe on first quarantine,

@@ -20,6 +20,7 @@ import (
 	"repro/internal/metric"
 	"repro/internal/pnm"
 	"repro/internal/synth"
+	"repro/internal/trace"
 )
 
 // maxUploadBytes bounds one multipart upload; two max-side PNGs fit with
@@ -55,11 +56,14 @@ type jobRequestJSON struct {
 // jobResponseJSON is the wire form of a job's state/result.
 type jobResponseJSON struct {
 	JobID      string   `json:"job_id"`
+	RequestID  string   `json:"request_id,omitempty"`
 	Status     string   `json:"status"`
 	Error      string   `json:"error,omitempty"`
 	Cache      string   `json:"cache,omitempty"`
 	TotalError int64    `json:"total_error,omitempty"`
 	ElapsedMS  float64  `json:"elapsed_ms,omitempty"`
+	Retries    int64    `json:"retries,omitempty"`
+	Degraded   bool     `json:"degraded,omitempty"`
 	Spans      []string `json:"spans,omitempty"`
 	PNGBase64  string   `json:"png_base64,omitempty"`
 	StatusURL  string   `json:"status_url,omitempty"`
@@ -76,7 +80,12 @@ func (s *Service) handleMosaic(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	req.RequestID = r.Header.Get("X-Request-ID")
+	req.Route = "/v1/mosaic"
 	job, err := s.Submit(req)
+	// Submit writes the effective (sanitized or minted) ID back to the
+	// request, so even rejections echo an ID the client can correlate.
+	w.Header().Set("X-Request-ID", req.RequestID)
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
@@ -86,6 +95,7 @@ func (s *Service) handleMosaic(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusAccepted)
 		writeJSON(w, jobResponseJSON{
 			JobID:     job.ID,
+			RequestID: job.RequestID,
 			Status:    string(JobQueued),
 			StatusURL: "/v1/jobs/" + job.ID,
 		})
@@ -126,6 +136,7 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 // writeJob renders a job in its current state; format "png" streams the
 // image for finished jobs, everything else gets the JSON document.
 func (s *Service) writeJob(w http.ResponseWriter, job *Job, format string) {
+	w.Header().Set("X-Request-ID", job.RequestID)
 	state, result, err := job.Snapshot()
 	if err != nil {
 		code, msg := errToStatus(err)
@@ -139,11 +150,13 @@ func (s *Service) writeJob(w http.ResponseWriter, job *Job, format string) {
 		_, _ = w.Write(result.PNG)
 		return
 	}
-	resp := jobResponseJSON{JobID: job.ID, Status: string(state)}
+	resp := jobResponseJSON{JobID: job.ID, RequestID: job.RequestID, Status: string(state)}
 	if state == JobDone {
 		resp.Cache = cacheLabel(result.CacheHit)
 		resp.TotalError = result.TotalError
 		resp.ElapsedMS = float64(result.Elapsed.Microseconds()) / 1e3
+		resp.Retries = result.Stats.Counter(trace.CounterLaunchRetries)
+		resp.Degraded = result.Stats.Counter(trace.CounterDegradedRuns) > 0
 		for _, sp := range result.Stats.Spans {
 			resp.Spans = append(resp.Spans, sp.Name)
 		}

@@ -1,0 +1,392 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// newObsServer boots a service with both the job API and the flight-recorder
+// debug routes mounted.
+func newObsServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	mux := telemetry.NewMux(svc.Registry(), telemetry.WithReadiness(svc.Ready))
+	svc.RegisterRoutes(mux)
+	svc.RegisterDebugRoutes(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+// syncBuffer is an access-log sink safe to read while workers write.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// accessLineFor finds the access-log line for one request ID.
+func accessLineFor(t *testing.T, log *syncBuffer, id string) accessLine {
+	t.Helper()
+	for _, raw := range strings.Split(log.String(), "\n") {
+		if raw == "" || !strings.Contains(raw, id) {
+			continue
+		}
+		var line accessLine
+		if err := json.Unmarshal([]byte(raw), &line); err != nil {
+			t.Fatalf("access log line %q: %v", raw, err)
+		}
+		if line.RequestID == id {
+			return line
+		}
+	}
+	t.Fatalf("no access-log line for request %s in:\n%s", id, log.String())
+	return accessLine{}
+}
+
+// TestRequestLatencyAttribution is the PR's acceptance test (run under -race
+// in CI): a request that hits queue backpressure, at least one launch retry
+// and a cache miss must produce a span tree whose phase attribution —
+// queue_wait, device_wait, retry_backoff, cache_lookup, the pipeline stages —
+// sums to within 5% of the access-log total, and the same request must be
+// retrievable by ID from /debug/requests with matching phase numbers.
+func TestRequestLatencyAttribution(t *testing.T) {
+	const reqID = "acc-test-0001"
+	log := &syncBuffer{}
+	gate := make(chan struct{})
+	var gated atomic.Bool
+	svc, ts := newObsServer(t, Config{
+		Workers: 1, QueueDepth: 4,
+		AccessLog: log,
+		// Every third launch faults, so any job with a few launches sees at
+		// least one retried launch (and its backoff) without ever degrading.
+		DeviceFaults: func(i int) cuda.FaultInjector {
+			return &cuda.FaultPlan{EveryNth: 3}
+		},
+		testJobStart: func(*Job) {
+			// Only the first (blocker) job holds the worker.
+			if gated.CompareAndSwap(false, true) {
+				<-gate
+			}
+		},
+	})
+
+	// Occupy the single worker so the measured request queues.
+	if _, err := svc.Submit(mustRequest(t, 64, 8)); err != nil {
+		t.Fatalf("blocker submit: %v", err)
+	}
+
+	type post struct {
+		resp *http.Response
+		jr   jobResponseJSON
+	}
+	posted := make(chan post, 1)
+	go func() {
+		body := `{"input":"peppers","target":"gradient","size":64,"tiles":8,"algorithm":"approximation-parallel"}`
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/mosaic", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-ID", reqID)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Errorf("POST: %v", err)
+			close(posted)
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var jr jobResponseJSON
+		_ = json.Unmarshal(data, &jr)
+		posted <- post{resp, jr}
+	}()
+
+	// Hold the measured request in the queue long enough for a measurable
+	// queue_wait, then let the worker go.
+	waitFor(t, func() bool {
+		return svc.Registry().Snapshot().Gauges["mosaic_service_queue_depth"] >= 1
+	}, "measured request never queued")
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+
+	p, ok := <-posted
+	if !ok {
+		t.FailNow()
+	}
+	if p.resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", p.resp.StatusCode, p.jr.Error)
+	}
+	if got := p.resp.Header.Get("X-Request-ID"); got != reqID {
+		t.Fatalf("X-Request-ID echo = %q, want %q", got, reqID)
+	}
+	if p.jr.RequestID != reqID {
+		t.Fatalf("response request_id = %q, want %q", p.jr.RequestID, reqID)
+	}
+	if p.jr.Cache != "miss" {
+		t.Fatalf("cache = %q, want miss", p.jr.Cache)
+	}
+	if p.jr.Retries < 1 {
+		t.Fatalf("retries = %d, want >= 1 (every=3 fault plan)", p.jr.Retries)
+	}
+	if p.jr.Degraded {
+		t.Fatal("request degraded; the fault plan should only force retries")
+	}
+
+	// The flight recorder must serve the same request by ID.
+	dresp, err := http.Get(ts.URL + "/debug/requests/" + reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/requests/%s: status %d", reqID, dresp.StatusCode)
+	}
+	var rec RecordedRequest
+	if err := json.NewDecoder(dresp.Body).Decode(&rec); err != nil {
+		t.Fatalf("decode recorded request: %v", err)
+	}
+	if rec.RequestID != reqID || rec.Outcome != "done" || rec.Cache != "miss" {
+		t.Fatalf("recorded = %+v, want id %s outcome done cache miss", rec, reqID)
+	}
+	if rec.Retries != p.jr.Retries {
+		t.Fatalf("recorded retries %d != response retries %d", rec.Retries, p.jr.Retries)
+	}
+
+	// Phase attribution: the named journey phases are present, backpressure
+	// and retries left their marks, and the exclusive phase times sum to the
+	// request total within 5%.
+	for _, phase := range []string{"request", "queue_wait", "device_wait", "cache_lookup", "error_matrix"} {
+		if _, ok := rec.Phases[phase]; !ok {
+			t.Errorf("phase %q missing from %v", phase, rec.Phases)
+		}
+	}
+	if rec.Phases["queue_wait"] <= 0 {
+		t.Errorf("queue_wait = %d, want > 0 (the request queued behind the blocker)", rec.Phases["queue_wait"])
+	}
+	if rec.Phases["retry_backoff"] <= 0 {
+		t.Errorf("retry_backoff = %d, want > 0 (a launch retried)", rec.Phases["retry_backoff"])
+	}
+	var sum int64
+	for _, ns := range rec.Phases {
+		sum += ns
+	}
+	if rec.DurationNS <= 0 {
+		t.Fatalf("recorded duration %d, want > 0", rec.DurationNS)
+	}
+	if diff := rec.DurationNS - sum; diff < 0 || float64(diff) > 0.05*float64(rec.DurationNS) {
+		t.Fatalf("phases sum %d vs total %d: off by %d (> 5%%)", sum, rec.DurationNS, diff)
+	}
+
+	// The access log agrees with the recorder, number for number.
+	line := accessLineFor(t, log, reqID)
+	if line.DurationNS != rec.DurationNS {
+		t.Fatalf("access-log duration %d != recorded %d", line.DurationNS, rec.DurationNS)
+	}
+	for phase, ns := range rec.Phases {
+		if line.PhasesNS[phase] != ns {
+			t.Fatalf("access-log phase %s = %d, recorded %d", phase, line.PhasesNS[phase], ns)
+		}
+	}
+	if line.Outcome != "done" || line.Cache != "miss" || line.Retries != rec.Retries {
+		t.Fatalf("access-log line %+v disagrees with recorder %+v", line, rec)
+	}
+
+	// The span tree is intact: one request root carrying the ID annotation.
+	if len(rec.Spans) != 1 || rec.Spans[0].Name != trace.SpanRequest {
+		t.Fatalf("want a single %q root, got %d roots", trace.SpanRequest, len(rec.Spans))
+	}
+	if got := rec.Spans[0].Attrs[trace.AttrRequestID]; got != reqID {
+		t.Fatalf("root request_id attr = %q, want %q", got, reqID)
+	}
+
+	// The queue-wait histogram carries a request-ID exemplar.
+	var prom strings.Builder
+	if err := svc.Registry().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `request_id="`+reqID+`"`) {
+		t.Fatal("no request-ID exemplar in the Prometheus exposition")
+	}
+	if !strings.Contains(prom.String(), `mosaic_request_phase_ns_bucket{phase="queue_wait"`) {
+		t.Fatal("mosaic_request_phase_ns{phase=queue_wait} series missing")
+	}
+}
+
+// TestErroredRequestRetained: a timed-out request lands in the flight
+// recorder's errored ring with its outcome and error preserved.
+func TestErroredRequestRetained(t *testing.T) {
+	log := &syncBuffer{}
+	svc, ts := newObsServer(t, Config{
+		Workers:   1,
+		AccessLog: log,
+		testJobStart: func(j *Job) {
+			<-j.ctx.Done() // burn the whole deadline
+		},
+	})
+	req := mustRequest(t, 64, 8)
+	req.RequestID = "will-time-out"
+	req.Timeout = 30 * time.Millisecond
+	job, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+
+	dresp, err := http.Get(ts.URL + "/debug/requests/will-time-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var rec RecordedRequest
+	if err := json.NewDecoder(dresp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != "timeout" || rec.Error == "" {
+		t.Fatalf("recorded %+v, want outcome timeout with an error", rec)
+	}
+	if line := accessLineFor(t, log, "will-time-out"); line.Outcome != "timeout" {
+		t.Fatalf("access-log outcome %q, want timeout", line.Outcome)
+	}
+
+	var list struct {
+		Errored []recordedSummary `json:"errored"`
+	}
+	lresp, err := http.Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range list.Errored {
+		if s.RequestID == "will-time-out" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("timed-out request missing from errored list: %+v", list.Errored)
+	}
+}
+
+// TestConcurrentRequestTraces: many workers into one registry and one flight
+// recorder must yield no torn span trees — every request's tree has exactly
+// one closed request root carrying its own ID, and phases that sum to its
+// total. Run under -race in CI.
+func TestConcurrentRequestTraces(t *testing.T) {
+	svc, _ := newObsServer(t, Config{Workers: 4, QueueDepth: 16, Devices: 2, DeviceWorkers: 2})
+	scenes := []string{"lena", "sailboat", "airplane", "peppers", "barbara", "baboon", "tiffany", "plasma"}
+	var wg sync.WaitGroup
+	for i, name := range scenes {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			req := mustRequest(t, 64, 8)
+			req.Input = mustScene(t, name, 64)
+			req.RequestID = fmt.Sprintf("conc-%02d", i)
+			job, err := svc.Submit(req)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			<-job.Done()
+		}(i, name)
+	}
+	wg.Wait()
+
+	for i := range scenes {
+		id := fmt.Sprintf("conc-%02d", i)
+		rec, ok := svc.recorder.get(id)
+		if !ok {
+			t.Errorf("%s: not retained (slow cap holds all of them)", id)
+			continue
+		}
+		if len(rec.Spans) != 1 || rec.Spans[0].Name != trace.SpanRequest {
+			t.Errorf("%s: torn tree: %d roots", id, len(rec.Spans))
+			continue
+		}
+		root := rec.Spans[0]
+		if root.Attrs[trace.AttrRequestID] != id {
+			t.Errorf("%s: root annotated %q — trees crossed between workers", id, root.Attrs[trace.AttrRequestID])
+		}
+		if root.Duration <= 0 {
+			t.Errorf("%s: unfinished root span", id)
+		}
+		var sum int64
+		for _, ns := range rec.Phases {
+			sum += ns
+		}
+		if diff := rec.DurationNS - sum; diff < 0 || float64(diff) > 0.05*float64(rec.DurationNS) {
+			t.Errorf("%s: phases sum %d vs total %d", id, sum, rec.DurationNS)
+		}
+	}
+}
+
+// TestFlightRecorderConcurrent hammers one recorder from many goroutines
+// (run under -race): record, list and get must stay consistent and bounded.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := newFlightRecorder(8, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				outcome := "done"
+				if i%3 == 0 {
+					outcome = "error"
+				}
+				fr.record(&RecordedRequest{
+					RequestID:  fmt.Sprintf("r-%d-%d", g, i),
+					Outcome:    outcome,
+					DurationNS: int64(g*1000 + i),
+				})
+				if i%17 == 0 {
+					fr.list()
+					fr.get(fmt.Sprintf("r-%d-%d", g, i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	slowest, errored := fr.list()
+	if len(slowest) != 8 || len(errored) != 8 {
+		t.Fatalf("retained %d slowest / %d errored, want 8 / 8", len(slowest), len(errored))
+	}
+	for i := 1; i < len(slowest); i++ {
+		if slowest[i].DurationNS > slowest[i-1].DurationNS {
+			t.Fatalf("slowest list not sorted: %v", slowest)
+		}
+	}
+	for _, s := range slowest {
+		if _, ok := fr.get(s.RequestID); !ok {
+			t.Fatalf("listed request %s not retrievable", s.RequestID)
+		}
+	}
+}

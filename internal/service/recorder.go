@@ -1,0 +1,194 @@
+package service
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// RecordedRequest is one request's retained observability artifact: identity,
+// outcome, the per-phase latency attribution and the full span tree. It is
+// what /debug/requests/{id} serves and what the acceptance test cross-checks
+// against the access log.
+type RecordedRequest struct {
+	RequestID string    `json:"request_id"`
+	JobID     string    `json:"job_id"`
+	Route     string    `json:"route,omitempty"`
+	Outcome   string    `json:"outcome"`
+	Error     string    `json:"error,omitempty"`
+	Start     time.Time `json:"start"`
+	// DurationNS is the request root span's wall time.
+	DurationNS  int64            `json:"duration_ns"`
+	Device      string           `json:"device,omitempty"`
+	Cache       string           `json:"cache,omitempty"`
+	ContentHash string           `json:"content_hash,omitempty"`
+	Degraded    bool             `json:"degraded,omitempty"`
+	Quarantined bool             `json:"quarantined,omitempty"`
+	Retries     int64            `json:"retries,omitempty"`
+	Phases      map[string]int64 `json:"phases_ns"`
+	Spans       []*trace.Node    `json:"spans,omitempty"`
+}
+
+// errored reports whether the request belongs in the error/degraded ring.
+func (r *RecordedRequest) errored() bool {
+	return r.Outcome != "done" || r.Degraded || r.Quarantined
+}
+
+// recordedSummary is the list form: everything but the span tree.
+type recordedSummary struct {
+	RequestID  string `json:"request_id"`
+	JobID      string `json:"job_id"`
+	Outcome    string `json:"outcome"`
+	DurationNS int64  `json:"duration_ns"`
+	Cache      string `json:"cache,omitempty"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	Detail     string `json:"detail"`
+}
+
+func summarize(r *RecordedRequest) recordedSummary {
+	return recordedSummary{
+		RequestID:  r.RequestID,
+		JobID:      r.JobID,
+		Outcome:    r.Outcome,
+		DurationNS: r.DurationNS,
+		Cache:      r.Cache,
+		Degraded:   r.Degraded,
+		Detail:     "/debug/requests/" + r.RequestID,
+	}
+}
+
+// flightRecorder retains full span trees for the requests an operator will
+// actually ask about: the slowest N seen so far (min-retention by duration)
+// plus a bounded ring of every errored or degraded request. Both buffers are
+// independent — a slow failure appears in both — and lookups scan both, so
+// an entry stays addressable as long as either buffer holds it.
+type flightRecorder struct {
+	mu       sync.Mutex
+	slowCap  int
+	errCap   int
+	slow     []*RecordedRequest // unordered; evict-min on overflow
+	errs     []*RecordedRequest // ring, oldest overwritten
+	errsNext int
+}
+
+func newFlightRecorder(slowCap, errCap int) *flightRecorder {
+	if slowCap <= 0 {
+		slowCap = 32
+	}
+	if errCap <= 0 {
+		errCap = 64
+	}
+	return &flightRecorder{slowCap: slowCap, errCap: errCap}
+}
+
+// record retains r per the policy. Safe for concurrent use.
+func (fr *flightRecorder) record(r *RecordedRequest) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if r.errored() {
+		if len(fr.errs) < fr.errCap {
+			fr.errs = append(fr.errs, r)
+		} else {
+			fr.errs[fr.errsNext] = r
+			fr.errsNext = (fr.errsNext + 1) % fr.errCap
+		}
+	}
+	if len(fr.slow) < fr.slowCap {
+		fr.slow = append(fr.slow, r)
+		return
+	}
+	min := 0
+	for i, s := range fr.slow {
+		if s.DurationNS < fr.slow[min].DurationNS {
+			min = i
+		}
+	}
+	if r.DurationNS > fr.slow[min].DurationNS {
+		fr.slow[min] = r
+	}
+}
+
+// get returns the retained request with the given ID (newest wins when an ID
+// somehow repeats).
+func (fr *flightRecorder) get(id string) (*RecordedRequest, bool) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	for i := len(fr.errs) - 1; i >= 0; i-- {
+		if fr.errs[i].RequestID == id {
+			return fr.errs[i], true
+		}
+	}
+	for _, s := range fr.slow {
+		if s.RequestID == id {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// list returns summaries: slowest first, then the error ring newest-first.
+func (fr *flightRecorder) list() (slowest, errored []recordedSummary) {
+	fr.mu.Lock()
+	slow := append([]*RecordedRequest(nil), fr.slow...)
+	errs := make([]*RecordedRequest, 0, len(fr.errs))
+	for i := 0; i < len(fr.errs); i++ {
+		// Walk the ring newest-first starting just before the write cursor.
+		idx := (fr.errsNext - 1 - i + 2*len(fr.errs)) % len(fr.errs)
+		errs = append(errs, fr.errs[idx])
+	}
+	fr.mu.Unlock()
+	sort.Slice(slow, func(i, j int) bool { return slow[i].DurationNS > slow[j].DurationNS })
+	for _, r := range slow {
+		slowest = append(slowest, summarize(r))
+	}
+	for _, r := range errs {
+		errored = append(errored, summarize(r))
+	}
+	return slowest, errored
+}
+
+// RegisterDebugRoutes mounts the flight-recorder endpoints:
+//
+//	GET /debug/requests       slowest-N and errored/degraded summaries
+//	GET /debug/requests/{id}  one retained request: phases + full span tree
+//
+// Like /debug/pprof, these expose request internals (IDs, hashes, timings);
+// cmd/mosaicd mounts them under the same loopback/-pprof gate.
+func (s *Service) RegisterDebugRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("/debug/requests/", s.handleDebugRequest)
+}
+
+func (s *Service) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	slowest, errored := s.recorder.list()
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, struct {
+		Slowest []recordedSummary `json:"slowest"`
+		Errored []recordedSummary `json:"errored"`
+	}{slowest, errored})
+}
+
+func (s *Service) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/requests/")
+	rec, ok := s.recorder.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "request not retained (not slow enough, not errored, or evicted)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, rec)
+}

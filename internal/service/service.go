@@ -16,9 +16,11 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"image/png"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +88,15 @@ type Config struct {
 	// DeviceFaults optionally installs a fault injector on pool device i —
 	// the -chaos drill hook. nil injectors leave devices healthy.
 	DeviceFaults func(i int) cuda.FaultInjector
+	// AccessLog, when set, receives one JSON line per settled request —
+	// finished jobs and queue rejections alike. Writes are serialised by the
+	// service; nil disables access logging.
+	AccessLog io.Writer
+	// RecorderSlow and RecorderErrors size the flight recorder: how many
+	// slowest requests (default 32) and how many errored/degraded requests
+	// (default 64) retain their full span trees for /debug/requests.
+	RecorderSlow   int
+	RecorderErrors int
 
 	// testJobStart, when set, runs at the top of every job execution —
 	// the test seam for holding workers busy deterministically.
@@ -136,6 +147,13 @@ type Request struct {
 	// Timeout is the per-job deadline; 0 selects the configured default,
 	// values above MaxTimeout are clamped to it.
 	Timeout time.Duration
+	// RequestID is the caller-supplied correlation ID (the X-Request-ID
+	// header). Submit sanitizes it and mints a fresh one when empty or
+	// invalid, writing the effective ID back to this field.
+	RequestID string
+	// Route labels the submission path in the access log ("/v1/mosaic";
+	// direct API callers may leave it empty).
+	Route string
 }
 
 // JobState is the lifecycle of a job.
@@ -160,12 +178,32 @@ type JobResult struct {
 // Job is one queued/running/finished mosaic generation. Fields behind mu
 // are written by the worker and read by status handlers.
 type Job struct {
-	ID      string
-	Created time.Time
+	ID string
+	// RequestID is the job's correlation ID — caller-supplied or minted at
+	// Submit — echoed in responses and threaded by context through the
+	// pipeline.
+	RequestID string
+	Route     string
+	Created   time.Time
 
 	req    *Request
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// The request's span tree. reqSpan (the SpanRequest root) opens at
+	// Submit and closes when the job settles; queueSpan covers Submit until
+	// a worker picks the job up. The worker goroutine closes both — safe,
+	// because the queue handoff orders Submit's span opens before them.
+	tree      *trace.Tree
+	reqSpan   trace.Span
+	queueSpan trace.Span
+
+	// Execution annotations for the access log and flight recorder, written
+	// and read only on the worker goroutine.
+	device      string
+	contentHash string
+	cacheLabel  string // "hit" | "miss" | "" (failed before the lookup)
+	quarantined bool
 
 	mu     sync.Mutex
 	state  JobState
@@ -228,10 +266,15 @@ type Service struct {
 	wg       sync.WaitGroup
 	ready    atomic.Bool
 
+	recorder *flightRecorder
+	logMu    sync.Mutex
+
 	inFlight    *telemetry.Gauge
 	jobsTotal   func(outcome string) *telemetry.Counter
 	latency     *telemetry.Histogram
 	queueWait   *telemetry.Histogram
+	queueWaitNS *telemetry.Histogram
+	phaseNS     func(phase string) *telemetry.Histogram
 	rejected    func(reason string) *telemetry.Counter
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
@@ -252,9 +295,10 @@ func New(cfg Config) *Service {
 			ProbeInterval:    cfg.ProbeInterval,
 			Registry:         cfg.Registry,
 		}),
-		cache: newPrepCache(cfg.CacheBytes),
-		queue: make(chan *Job, cfg.QueueDepth),
-		jobs:  make(map[string]*Job),
+		cache:    newPrepCache(cfg.CacheBytes),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		recorder: newFlightRecorder(cfg.RecorderSlow, cfg.RecorderErrors),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.registerMetrics()
@@ -296,6 +340,14 @@ func (s *Service) registerMetrics() {
 		"Job wall time from submit to finish, in seconds.", nil, nil)
 	s.queueWait = reg.Histogram("mosaic_service_queue_wait_seconds",
 		"Time jobs spent queued before a worker picked them up, in seconds.", nil, nil)
+	s.queueWaitNS = reg.Histogram("mosaic_service_queue_wait_ns",
+		"Time jobs spent queued before a worker picked them up, in nanoseconds (with request-ID exemplars).",
+		nil, telemetry.NanoBuckets)
+	s.phaseNS = func(phase string) *telemetry.Histogram {
+		return reg.Histogram("mosaic_request_phase_ns",
+			"Request wall time attributed exclusively to each phase, in nanoseconds (with request-ID exemplars).",
+			telemetry.Labels{"phase": phase}, telemetry.NanoBuckets)
+	}
 	s.jobsTotal = func(outcome string) *telemetry.Counter {
 		return reg.Counter("mosaic_service_jobs_total", "Finished jobs by outcome.",
 			telemetry.Labels{"outcome": outcome})
@@ -332,6 +384,14 @@ func (s *Service) Registry() *telemetry.Registry { return s.reg }
 // ErrDraining. The job's deadline starts now, so time spent queued counts
 // against it.
 func (s *Service) Submit(req *Request) (*Job, error) {
+	if req != nil {
+		// The effective ID is written back so even rejected submissions can
+		// be correlated (the HTTP layer echoes it on the 429/503 response).
+		req.RequestID = trace.SanitizeRequestID(req.RequestID)
+		if req.RequestID == "" {
+			req.RequestID = trace.NewRequestID()
+		}
+	}
 	if err := validateRequest(req); err != nil {
 		return nil, err
 	}
@@ -347,20 +407,29 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 	defer s.mu.Unlock()
 	if s.draining {
 		s.rejected("draining").Inc()
+		s.logRejection(req, "rejected_draining")
 		return nil, ErrDraining
 	}
 	job := &Job{
-		ID:      fmt.Sprintf("j%06d", s.seq.Add(1)),
-		Created: time.Now(),
-		req:     req,
-		state:   JobQueued,
-		done:    make(chan struct{}),
+		ID:        fmt.Sprintf("j%06d", s.seq.Add(1)),
+		RequestID: req.RequestID,
+		Route:     req.Route,
+		Created:   time.Now(),
+		req:       req,
+		state:     JobQueued,
+		done:      make(chan struct{}),
+		tree:      trace.NewTree(),
 	}
 	job.ctx, job.cancel = context.WithTimeout(s.baseCtx, timeout)
+	job.ctx = trace.WithRequestID(job.ctx, job.RequestID)
+	job.reqSpan = job.tree.StartSpan(trace.SpanRequest)
+	trace.Annotate(job.reqSpan, trace.AttrRequestID, job.RequestID)
+	job.queueSpan = job.tree.StartSpan(trace.SpanQueueWait)
 	select {
 	case s.queue <- job:
 	default:
 		s.rejected("queue-full").Inc()
+		s.logRejection(req, "rejected_queue_full")
 		job.cancel()
 		return nil, ErrQueueFull
 	}
@@ -425,9 +494,16 @@ func (s *Service) worker() {
 }
 
 // run executes one job: lease a device, reuse or build the prepared input,
-// finish the pipeline, encode the result.
+// finish the pipeline, encode the result — then settles the request's
+// observability artifacts (span tree, phase histograms, access log, flight
+// recorder) before waking any waiter, so a synchronous client's immediate
+// /debug/requests follow-up finds its own entry.
 func (s *Service) run(job *Job) {
-	s.queueWait.Observe(time.Since(job.Created).Seconds())
+	job.queueSpan.End()
+	queueWait := time.Since(job.Created)
+	s.queueWait.Observe(queueWait.Seconds())
+	s.queueWaitNS.ObserveExemplar(float64(queueWait.Nanoseconds()),
+		telemetry.Labels{"request_id": job.RequestID})
 	job.setRunning()
 	s.inFlight.Inc()
 	defer s.inFlight.Dec()
@@ -438,45 +514,127 @@ func (s *Service) run(job *Job) {
 	res, err := s.execute(job)
 	elapsed := time.Since(job.Created)
 	s.latency.Observe(elapsed.Seconds())
+	// Classify the outcome: a deadline miss, a client cancellation and a
+	// genuine execution error are different operational signals and get
+	// separate outcome counters (the HTTP layer mirrors the split as
+	// 504 / 499 / 5xx).
+	outcome := "done"
 	if err != nil {
-		// Classify the failure: a deadline miss, a client cancellation and a
-		// genuine execution error are different operational signals and get
-		// separate outcome counters (the HTTP layer mirrors the split as
-		// 504 / 499 / 5xx).
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			s.jobsTotal("timeout").Inc()
+			outcome = "timeout"
 		case errors.Is(err, context.Canceled):
-			s.jobsTotal("cancelled").Inc()
+			outcome = "cancelled"
 		default:
-			s.jobsTotal("error").Inc()
+			outcome = "error"
 		}
+	}
+	s.jobsTotal(outcome).Inc()
+	s.settleTrace(job, outcome, err)
+	if err != nil {
 		job.finish(nil, err)
 		return
 	}
 	res.Elapsed = elapsed
-	s.jobsTotal("done").Inc()
+	res.Stats = job.tree.Snapshot()
 	job.finish(res, nil)
+}
+
+// settleTrace closes the request root span, attributes the request's wall
+// time to phases, feeds the phase histograms (with request-ID exemplars),
+// writes the access-log line and hands the span tree to the flight recorder.
+func (s *Service) settleTrace(job *Job, outcome string, jobErr error) {
+	st := job.tree.Snapshot()
+	retries := st.Counter(trace.CounterLaunchRetries)
+	degraded := st.Counter(trace.CounterDegradedRuns) > 0
+	trace.Annotate(job.reqSpan, trace.AttrOutcome, outcome)
+	if job.device != "" {
+		trace.Annotate(job.reqSpan, trace.AttrDevice, job.device)
+	}
+	if degraded {
+		trace.Annotate(job.reqSpan, trace.AttrDegraded, "true")
+	}
+	if job.quarantined {
+		trace.Annotate(job.reqSpan, trace.AttrQuarantine, "true")
+	}
+	if retries > 0 {
+		trace.Annotate(job.reqSpan, trace.AttrRetries, fmt.Sprintf("%d", retries))
+	}
+	job.reqSpan.End()
+
+	roots := job.tree.Roots()
+	phases := trace.Phases(roots)
+	exLabels := telemetry.Labels{"request_id": job.RequestID}
+	for phase, ns := range phases {
+		s.phaseNS(phase).ObserveExemplar(float64(ns), exLabels)
+	}
+	var total int64
+	for _, r := range roots {
+		total += int64(r.Duration)
+	}
+
+	rec := &RecordedRequest{
+		RequestID:   job.RequestID,
+		JobID:       job.ID,
+		Route:       job.Route,
+		Outcome:     outcome,
+		Start:       job.Created,
+		DurationNS:  total,
+		Device:      job.device,
+		Cache:       job.cacheLabel,
+		ContentHash: job.contentHash,
+		Degraded:    degraded,
+		Quarantined: job.quarantined,
+		Retries:     retries,
+		Phases:      phases,
+		Spans:       roots,
+	}
+	if jobErr != nil {
+		rec.Error = jobErr.Error()
+	}
+	s.recorder.record(rec)
+	s.logAccess(accessLine{
+		TimeRFC3339: time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID:   job.RequestID,
+		JobID:       job.ID,
+		Route:       job.Route,
+		Outcome:     outcome,
+		Error:       rec.Error,
+		DurationNS:  total,
+		PhasesNS:    phases,
+		Device:      job.device,
+		Cache:       rec.Cache,
+		ContentHash: job.contentHash,
+		Degraded:    degraded,
+		Quarantined: job.quarantined,
+		Retries:     retries,
+	})
 }
 
 func (s *Service) execute(job *Job) (*JobResult, error) {
 	ctx := job.ctx
 	req := job.req
 
-	// Per-job trace tree (for the response's span list) plus the shared
-	// registry, which aggregates stage histograms across jobs.
-	tree := trace.NewTree()
+	// The job's request-scoped tree (opened at Submit) receives every span;
+	// the shared registry, which aggregates stage histograms across jobs,
+	// sees only the pipeline's events — service-journey spans (device-wait,
+	// cache-lookup, encode) go on the tree alone so the exported stage
+	// vocabulary stays stable.
+	tree := job.tree
 	tr := trace.Multi(tree, telemetry.NewTraceCollector(s.reg))
 
+	devSpan := tree.StartSpan(trace.SpanDeviceWait)
 	dev, err := s.devices.Acquire(ctx)
+	devSpan.End()
 	switch {
 	case err == nil:
+		job.device = s.devices.Name(dev)
 		// Health first, lease second: the deferred calls run in reverse
 		// order, so the pool learns this job's fault/degradation outcome
 		// before the device can be handed to the next job.
 		defer func() {
 			st := tree.Snapshot()
-			s.devices.Report(dev,
+			job.quarantined = s.devices.Report(dev,
 				st.Counter(trace.CounterLaunchFaults),
 				st.Counter(trace.CounterDegradedRuns) > 0)
 			s.devices.Release(dev)
@@ -486,6 +644,7 @@ func (s *Service) execute(job *Job) (*JobResult, error) {
 		// builders and the host Algorithm-2 sweeps are certified
 		// bit-identical, so only latency degrades, and the run is counted.
 		dev = nil
+		job.device = "host"
 		trace.Count(tr, trace.CounterDegradedRuns, 1)
 	default:
 		return nil, err
@@ -502,12 +661,20 @@ func (s *Service) execute(job *Job) (*JobResult, error) {
 	}
 
 	key := cacheKey(req.Input, req.Target, req.Tiles, req.Metric, req.NoHistMatch)
+	job.contentHash = key
+	lookupSpan := tree.StartSpan(trace.SpanCacheLookup)
 	prep, hit, err := s.cache.getOrPrepare(ctx, key, func() (*core.Prepared, error) {
+		// The leader builds on this goroutine, so the prepare stage spans
+		// nest inside the cache-lookup span and its exclusive time stays
+		// pure lookup overhead.
 		return core.PrepareContext(ctx, req.Input, req.Target, opts)
 	})
+	lookupSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	job.cacheLabel = cacheLabel(hit)
+	trace.Annotate(job.reqSpan, trace.AttrCache, job.cacheLabel)
 	if hit {
 		s.cacheHits.Inc()
 	} else {
@@ -518,20 +685,69 @@ func (s *Service) execute(job *Job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	encSpan := tree.StartSpan(trace.SpanEncode)
 	var buf bytes.Buffer
 	if err := png.Encode(&buf, res.Mosaic.ToImage()); err != nil {
+		encSpan.End()
 		return nil, fmt.Errorf("service: encode: %w", err)
 	}
+	encSpan.End()
 	// Report the job-level tree, not res.Stats: the job tree saw this job's
 	// prepare spans too (when it was the cache-miss builder), so the span
 	// list is the observable hit/miss signature — error-matrix present only
-	// when Step 2 actually ran for this request.
+	// when Step 2 actually ran for this request. run() refreshes Stats once
+	// the request root closes.
 	return &JobResult{
 		PNG:        buf.Bytes(),
 		TotalError: res.TotalError,
 		CacheHit:   hit,
 		Stats:      tree.Snapshot(),
 	}, nil
+}
+
+// accessLine is one structured access-log record; all durations nanoseconds.
+type accessLine struct {
+	TimeRFC3339 string           `json:"ts"`
+	RequestID   string           `json:"request_id"`
+	JobID       string           `json:"job_id,omitempty"`
+	Route       string           `json:"route,omitempty"`
+	Outcome     string           `json:"outcome"`
+	Error       string           `json:"error,omitempty"`
+	DurationNS  int64            `json:"duration_ns"`
+	PhasesNS    map[string]int64 `json:"phases_ns,omitempty"`
+	Device      string           `json:"device,omitempty"`
+	Cache       string           `json:"cache,omitempty"`
+	ContentHash string           `json:"content_hash,omitempty"`
+	Degraded    bool             `json:"degraded,omitempty"`
+	Quarantined bool             `json:"quarantined,omitempty"`
+	Retries     int64            `json:"retries,omitempty"`
+}
+
+// logAccess writes one JSON line; writers are worker goroutines plus Submit
+// rejections, so the write is serialised.
+func (s *Service) logAccess(line accessLine) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.logMu.Lock()
+	_, _ = s.cfg.AccessLog.Write(b)
+	s.logMu.Unlock()
+}
+
+// logRejection access-logs a submission that never became a job — the
+// backpressure events an operator most wants correlated with client retries.
+func (s *Service) logRejection(req *Request, outcome string) {
+	s.logAccess(accessLine{
+		TimeRFC3339: time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID:   req.RequestID,
+		Route:       req.Route,
+		Outcome:     outcome,
+	})
 }
 
 // Drain stops accepting jobs, flips readiness, and waits for queued and

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestObserveExemplarBucketPlacement: exemplars land in the bucket that
+// counted the sample, newest wins, and labels are copied (caller mutation
+// after the call must not leak in).
+func TestObserveExemplarBucketPlacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_ns", "", nil, []float64{10, 100, 1000})
+	h.nowUnix = func() float64 { return 42 }
+
+	labels := Labels{"request_id": "aaa"}
+	h.ObserveExemplar(5, labels)
+	labels["request_id"] = "mutated"
+	h.ObserveExemplar(50, Labels{"request_id": "bbb"})
+	h.ObserveExemplar(60, Labels{"request_id": "ccc"}) // same bucket: newest wins
+	h.ObserveExemplar(1e9, Labels{"request_id": "inf"})
+
+	snap := h.snapshot()
+	if snap.Count != 4 || snap.Sum != 5+50+60+1e9 {
+		t.Fatalf("count=%d sum=%v, want 4 / %v", snap.Count, snap.Sum, 5+50+60+1e9)
+	}
+	if len(snap.Exemplars) != 3 {
+		t.Fatalf("got %d exemplars, want 3: %+v", len(snap.Exemplars), snap.Exemplars)
+	}
+	byBucket := map[int]*Exemplar{}
+	for _, e := range snap.Exemplars {
+		byBucket[e.Bucket] = e
+	}
+	if e := byBucket[0]; e == nil || e.Value != 5 || e.Labels["request_id"] != "aaa" || e.Unix != 42 {
+		t.Errorf("bucket 0 exemplar = %+v, want value 5 id aaa ts 42", e)
+	}
+	if e := byBucket[1]; e == nil || e.Value != 60 || e.Labels["request_id"] != "ccc" {
+		t.Errorf("bucket 1 exemplar = %+v, want newest (value 60, id ccc)", e)
+	}
+	if e := byBucket[3]; e == nil || e.Value != 1e9 || e.Labels["request_id"] != "inf" {
+		t.Errorf("+Inf bucket exemplar = %+v, want value 1e9 id inf", e)
+	}
+}
+
+// TestObserveExemplarEmptyLabels: no labels means no exemplar — the sample
+// still counts.
+func TestObserveExemplarEmptyLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", nil, []float64{1})
+	h.ObserveExemplar(0.5, nil)
+	snap := h.snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count = %d, want 1", snap.Count)
+	}
+	if len(snap.Exemplars) != 0 {
+		t.Fatalf("unlabelled observation produced exemplars: %+v", snap.Exemplars)
+	}
+}
+
+// TestPrometheusExemplarRendering: bucket lines with a retained exemplar get
+// the OpenMetrics suffix; buckets without stay plain, as do _sum/_count.
+func TestPrometheusExemplarRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_phase_ns", "phase time", Labels{"phase": "queue_wait"}, []float64{100, 1000})
+	h.nowUnix = func() float64 { return 1700000000.5 }
+	h.Observe(50)
+	h.ObserveExemplar(500, Labels{"request_id": "9f3a61cc52d04b17"})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantLines := []string{
+		`req_phase_ns_bucket{phase="queue_wait",le="100"} 1`,
+		`req_phase_ns_bucket{phase="queue_wait",le="1000"} 2 # {request_id="9f3a61cc52d04b17"} 500 1700000000.5`,
+		`req_phase_ns_bucket{phase="queue_wait",le="+Inf"} 2`,
+		`req_phase_ns_sum{phase="queue_wait"} 550`,
+		`req_phase_ns_count{phase="queue_wait"} 2`,
+	}
+	for _, line := range wantLines {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestPrometheusNoExemplarUnchanged: a histogram that never saw
+// ObserveExemplar renders without any " # " suffix anywhere.
+func TestPrometheusNoExemplarUnchanged(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("plain", "", nil, []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.Contains(line, " # ") {
+			t.Fatalf("plain histogram rendered an exemplar: %q", line)
+		}
+	}
+}
+
+// TestSnapshotJSONExemplars: the JSON snapshot carries exemplars through.
+func TestSnapshotJSONExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", nil, []float64{1})
+	h.nowUnix = func() float64 { return 7 }
+	h.ObserveExemplar(0.5, Labels{"request_id": "x"})
+	snap := r.Snapshot()
+	hs, ok := snap.Histograms["h"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if len(hs.Exemplars) != 1 || hs.Exemplars[0].Labels["request_id"] != "x" || hs.Exemplars[0].Unix != 7 {
+		t.Fatalf("snapshot exemplars = %+v", hs.Exemplars)
+	}
+}

@@ -40,17 +40,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writePromHistogram expands one histogram series into the cumulative bucket
-// form Prometheus expects.
+// form Prometheus expects. Buckets that retain an exemplar append it in the
+// OpenMetrics form (` # {labels} value timestamp`); histograms without
+// exemplars render byte-identically to before exemplar support existed.
 func writePromHistogram(w io.Writer, name, labels string, h HistogramSnapshot) error {
+	byBucket := make(map[int]*Exemplar, len(h.Exemplars))
+	for _, e := range h.Exemplars {
+		byBucket[e.Bucket] = e
+	}
 	var cum uint64
 	for i, bound := range h.Bounds {
 		cum += h.Counts[i]
-		if err := writeBucket(w, name, labels, formatFloat(bound), cum); err != nil {
+		if err := writeBucket(w, name, labels, formatFloat(bound), cum, byBucket[i]); err != nil {
 			return err
 		}
 	}
 	cum += h.Counts[len(h.Counts)-1]
-	if err := writeBucket(w, name, labels, "+Inf", cum); err != nil {
+	if err := writeBucket(w, name, labels, "+Inf", cum, byBucket[len(h.Counts)-1]); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum)); err != nil {
@@ -61,13 +67,19 @@ func writePromHistogram(w io.Writer, name, labels string, h HistogramSnapshot) e
 }
 
 // writeBucket writes one le-labelled bucket line, splicing le into any
-// existing label set.
-func writeBucket(w io.Writer, name, labels, le string, cum uint64) error {
+// existing label set and appending the bucket's exemplar when one exists.
+func writeBucket(w io.Writer, name, labels, le string, cum uint64, ex *Exemplar) error {
 	merged := fmt.Sprintf("{le=%q}", le)
 	if labels != "" {
 		merged = labels[:len(labels)-1] + fmt.Sprintf(",le=%q}", le)
 	}
-	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, merged, cum)
+	if ex == nil {
+		_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, merged, cum)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d # %s %s %s\n",
+		name, merged, cum, renderLabels(ex.Labels), formatFloat(ex.Value),
+		strconv.FormatFloat(ex.Unix, 'f', -1, 64))
 	return err
 }
 

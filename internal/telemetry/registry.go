@@ -30,7 +30,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// unixNow is the exemplar timestamp source (overridable per histogram in
+// tests via the unexported nowUnix field).
+func unixNow() float64 { return float64(time.Now().UnixNano()) / 1e9 }
 
 // Labels are constant key→value pairs attached to a metric series.
 // A nil or empty map means an unlabelled series.
@@ -49,6 +54,14 @@ const (
 var DefBuckets = []float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// NanoBuckets are the DefBuckets sweep expressed in nanoseconds, extended a
+// decade downward — the bounds for the _ns-suffixed request-phase
+// histograms, whose values come straight from span durations.
+var NanoBuckets = []float64{
+	1e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7,
+	1e8, 2.5e8, 5e8, 1e9, 2.5e9, 5e9, 1e10, 3e10,
 }
 
 // Counter is a monotonically increasing float64 value. Safe for concurrent
@@ -100,14 +113,34 @@ func addFloat(bits *atomic.Uint64, v float64) {
 	}
 }
 
+// Exemplar is one sampled observation retained next to a histogram bucket,
+// carrying the trace labels (typically {"request_id": ...}) that let an
+// operator jump from a latency-spike bucket straight to the recorded
+// request trace in the flight recorder — the OpenMetrics exemplar concept.
+type Exemplar struct {
+	// Bucket indexes the histogram's Counts slice (len(Bounds) = the +Inf
+	// bucket).
+	Bucket int `json:"bucket"`
+	// Value is the observed sample.
+	Value float64 `json:"value"`
+	// Labels identify the originating request.
+	Labels Labels `json:"labels,omitempty"`
+	// Unix is the observation time in seconds since the epoch.
+	Unix float64 `json:"timestamp_unix_s"`
+}
+
 // Histogram is a cumulative histogram with fixed upper-bound buckets plus an
 // implicit +Inf bucket. Safe for concurrent Observe and snapshotting.
+// ObserveExemplar additionally retains the newest labelled sample per
+// bucket.
 type Histogram struct {
-	mu      sync.Mutex
-	bounds  []float64 // sorted upper bounds, +Inf excluded
-	counts  []uint64  // len(bounds)+1; last is the +Inf bucket
-	sum     float64
-	samples uint64
+	mu        sync.Mutex
+	bounds    []float64 // sorted upper bounds, +Inf excluded
+	counts    []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum       float64
+	samples   uint64
+	exemplars []*Exemplar // nil until the first ObserveExemplar; sparse, per bucket
+	nowUnix   func() float64
 }
 
 // Observe records one sample.
@@ -120,25 +153,63 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// ObserveExemplar records one sample and retains it, with its labels, as
+// the bucket's exemplar (newest wins). Empty labels degrade to a plain
+// Observe — an unattributed exemplar identifies nothing.
+func (h *Histogram) ObserveExemplar(v float64, labels Labels) {
+	if len(labels) == 0 {
+		h.Observe(v)
+		return
+	}
+	cp := make(Labels, len(labels))
+	for k, val := range labels {
+		cp[k] = val
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+	if h.exemplars == nil {
+		h.exemplars = make([]*Exemplar, len(h.counts))
+	}
+	now := h.nowUnix
+	if now == nil {
+		now = unixNow
+	}
+	h.exemplars[i] = &Exemplar{Bucket: i, Value: v, Labels: cp, Unix: now()}
+	h.mu.Unlock()
+}
+
 // snapshot returns a copy of the histogram state.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistogramSnapshot{
+	snap := HistogramSnapshot{
 		Bounds: append([]float64(nil), h.bounds...),
 		Counts: append([]uint64(nil), h.counts...),
 		Sum:    h.sum,
 		Count:  h.samples,
 	}
+	for _, e := range h.exemplars {
+		if e != nil {
+			cp := *e
+			snap.Exemplars = append(snap.Exemplars, &cp)
+		}
+	}
+	return snap
 }
 
 // HistogramSnapshot is the JSON form of a histogram: Counts[i] is the number
 // of samples ≤ Bounds[i]; the final element of Counts is the +Inf bucket.
+// Exemplars, when present, lists the retained per-bucket exemplars in
+// bucket order (buckets without one are omitted).
 type HistogramSnapshot struct {
-	Bounds []float64 `json:"bounds"`
-	Counts []uint64  `json:"counts"`
-	Sum    float64   `json:"sum"`
-	Count  uint64    `json:"count"`
+	Bounds    []float64   `json:"bounds"`
+	Counts    []uint64    `json:"counts"`
+	Sum       float64     `json:"sum"`
+	Count     uint64      `json:"count"`
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // series is one labelled instance of a metric family.

@@ -15,7 +15,10 @@ type Node struct {
 	Name     string        `json:"name"`
 	Start    time.Duration `json:"start_ns"`
 	Duration time.Duration `json:"duration_ns"`
-	Children []*Node       `json:"children,omitempty"`
+	// Attrs carries the span's key/value annotations (cache hit/miss,
+	// device, degradation markers) — see trace.Annotate.
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*Node           `json:"children,omitempty"`
 }
 
 // Tree records spans into a tree (nesting follows the StartSpan/End order)
@@ -56,6 +59,18 @@ func (t *Tree) StartSpan(name string) Span {
 	}
 	t.stack = append(t.stack, n)
 	return &treeSpan{t: t, node: n, begin: now}
+}
+
+// Annotate implements trace.Annotator, recording a key/value pair on the
+// span's node. Safe to call until (and racing with) End — the tree mutex
+// orders it against snapshotting.
+func (s *treeSpan) Annotate(key, value string) {
+	s.t.mu.Lock()
+	if s.node.Attrs == nil {
+		s.node.Attrs = make(map[string]string)
+	}
+	s.node.Attrs[key] = value
+	s.t.mu.Unlock()
 }
 
 // End implements Span, closing the most recently opened span. Closing out of

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPhaseName(t *testing.T) {
+	cases := map[string]string{
+		"queue-wait":      "queue_wait",
+		"error-matrix":    "error_matrix",
+		"request":         "request",
+		"Mixed Case.9":    "mixed_case_9",
+		"retry-backoff":   "retry_backoff",
+		"histogram-match": "histogram_match",
+	}
+	for in, want := range cases {
+		if got := PhaseName(in); got != want {
+			t.Errorf("PhaseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPhasesExclusive pins the attribution invariant: each span's exclusive
+// time goes to its own phase, nested children never double-count, and the
+// phase totals sum to the root durations.
+func TestPhasesExclusive(t *testing.T) {
+	roots := []*Node{{
+		Name: SpanRequest, Duration: 100,
+		Children: []*Node{
+			{Name: SpanQueueWait, Duration: 20},
+			{Name: SpanCacheLookup, Duration: 50, Children: []*Node{
+				{Name: SpanCostMatrix, Duration: 40, Children: []*Node{
+					{Name: SpanRetryBackoff, Duration: 15},
+				}},
+			}},
+			{Name: SpanEncode, Duration: 10},
+		},
+	}}
+	ph := Phases(roots)
+	want := map[string]int64{
+		"request":       20, // 100 − 20 − 50 − 10
+		"queue_wait":    20,
+		"cache_lookup":  10, // 50 − 40
+		"error_matrix":  25, // 40 − 15
+		"retry_backoff": 15,
+		"encode":        10,
+	}
+	for k, v := range want {
+		if ph[k] != v {
+			t.Errorf("phase %q = %d, want %d", k, ph[k], v)
+		}
+	}
+	var sum int64
+	for _, v := range ph {
+		sum += v
+	}
+	if sum != 100 {
+		t.Fatalf("phases sum to %d, want the root's 100", sum)
+	}
+}
+
+// TestPhasesClampsNegative: a child reporting longer than its parent (clock
+// reads race) must clamp the parent's exclusive time to zero, not go
+// negative.
+func TestPhasesClampsNegative(t *testing.T) {
+	ph := Phases([]*Node{{Name: "a", Duration: 5, Children: []*Node{{Name: "b", Duration: 9}}}})
+	if ph["a"] != 0 || ph["b"] != 9 {
+		t.Fatalf("got %v, want a=0 b=9", ph)
+	}
+}
+
+func TestTreeSpanAnnotate(t *testing.T) {
+	tr := NewTree()
+	sp := tr.StartSpan(SpanRequest)
+	Annotate(sp, AttrCache, "miss")
+	Annotate(sp, AttrDevice, "0")
+	Annotate(sp, AttrCache, "hit") // last write wins
+	sp.End()
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	if got := roots[0].Attrs[AttrCache]; got != "hit" {
+		t.Errorf("cache attr %q, want hit", got)
+	}
+	if got := roots[0].Attrs[AttrDevice]; got != "0" {
+		t.Errorf("device attr %q, want 0", got)
+	}
+}
+
+// TestAnnotateMulti: annotations fan out through Multi to every collector
+// that records them, and tolerate collectors that do not (Log) plus nil
+// spans.
+func TestAnnotateMulti(t *testing.T) {
+	t1, t2 := NewTree(), NewTree()
+	sp := Multi(t1, t2).StartSpan("s")
+	Annotate(sp, "k", "v")
+	sp.End()
+	for i, tr := range []*Tree{t1, t2} {
+		if got := tr.Roots()[0].Attrs["k"]; got != "v" {
+			t.Errorf("tree %d attr = %q, want v", i, got)
+		}
+	}
+	Annotate(noopSpan{}, "k", "v") // must not panic
+	Annotate(nil, "k", "v")
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("empty context carries ID %q", got)
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Fatalf("got %q, want abc123", got)
+	}
+	if WithRequestID(ctx, "") != ctx {
+		t.Fatal("empty ID should return ctx unchanged")
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	if got := SanitizeRequestID("trace-42_OK.x"); got != "trace-42_OK.x" {
+		t.Errorf("valid id rejected: %q", got)
+	}
+	for _, bad := range []string{"", "has space", "quote\"", "back\\slash", "ctrl\n", string(make([]byte, 129))} {
+		if got := SanitizeRequestID(bad); got != "" {
+			t.Errorf("SanitizeRequestID(%q) = %q, want \"\"", bad, got)
+		}
+	}
+}
+
+// TestTreeConcurrentAnnotateCount: annotations and counter increments from
+// worker goroutines must not tear the tree (run under -race).
+func TestTreeConcurrentAnnotateCount(t *testing.T) {
+	tr := NewTree()
+	sp := tr.StartSpan(SpanRequest)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				Annotate(sp, "k", "v")
+				tr.Count("c", 1)
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	sp.End()
+	if tr.Counters()["c"] != 800 {
+		t.Fatalf("counter = %d, want 800", tr.Counters()["c"])
+	}
+	if tr.Roots()[0].Attrs["k"] != "v" {
+		t.Fatal("annotation lost")
+	}
+	_ = tr.Snapshot()
+	time.Sleep(0)
+}

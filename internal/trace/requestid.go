@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request IDs travel by context so every layer a job crosses — queue,
+// device pool, retry policy, Prepare/Finish — can attribute its work to the
+// request that caused it without threading an extra parameter through the
+// pipeline. The serving layer accepts a caller-supplied ID (the
+// X-Request-ID header) or mints one, stores it with WithRequestID, and the
+// telemetry layer reads it back with RequestID when attaching exemplars.
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying id. An empty id returns ctx
+// unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" when none is set.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// reqSeq breaks ties when the crypto reader is unavailable — IDs must stay
+// unique within the process even then.
+var reqSeq atomic.Uint64
+
+// NewRequestID mints a 16-hex-char request ID ("9f3a61cc52d04b17"). IDs
+// come from crypto/rand so concurrent processes behind one load balancer
+// cannot collide; if the reader fails (it practically cannot) a
+// process-unique sequential ID is used instead.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%016x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID validates a caller-supplied request ID: printable
+// ASCII excluding '"' and '\' (so IDs embed safely in JSON logs and
+// Prometheus exemplar labels), at most 128 bytes. Invalid or empty IDs
+// return "", telling the caller to mint one.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c < 0x21 || c > 0x7e || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}

@@ -39,6 +39,45 @@ const (
 	SpanDegraded = "degraded-fallback"
 )
 
+// Request-scoped span names. The serving layer wraps every job in one
+// SpanRequest root whose children attribute the request's wall time to the
+// journey stages outside the pipeline proper: waiting for a worker, waiting
+// for a device lease, looking work up in the prepared cache, backing off
+// between launch retries, and encoding the response. Together with the
+// pipeline stage spans above they form the per-request breakdown the
+// flight recorder serves at /debug/requests (see Phases).
+const (
+	// SpanRequest is the root of one served request's span tree; its own
+	// (exclusive) time is the bookkeeping the named children do not cover.
+	SpanRequest = "request"
+	// SpanQueueWait covers submission until a worker picks the job up — the
+	// backpressure signal per request.
+	SpanQueueWait = "queue-wait"
+	// SpanDeviceWait covers blocking on a device-pool lease.
+	SpanDeviceWait = "device-wait"
+	// SpanRetryBackoff covers one backoff sleep between launch retry
+	// attempts (emitted by the retry policy's accounting hook, nested in
+	// whatever stage was retrying).
+	SpanRetryBackoff = "retry-backoff"
+	// SpanCacheLookup covers the prepared-work cache lookup; on a miss the
+	// prepare stages nest inside it, so its exclusive time is pure lookup
+	// (or follower-wait) overhead.
+	SpanCacheLookup = "cache-lookup"
+	// SpanEncode covers encoding the finished mosaic for the response.
+	SpanEncode = "encode"
+)
+
+// Annotation keys the serving layer attaches to request spans.
+const (
+	AttrRequestID  = "request_id"
+	AttrCache      = "cache"       // "hit" | "miss"
+	AttrDevice     = "device"      // pool device name, or "host"
+	AttrDegraded   = "degraded"    // "true" when any stage fell back to the host
+	AttrRetries    = "retries"     // launch re-attempts observed by the request
+	AttrQuarantine = "quarantined" // "true" when the request's report quarantined its device
+	AttrOutcome    = "outcome"     // "done" | "timeout" | "cancelled" | "error"
+)
+
 // Counter names.
 const (
 	// CounterSweepRounds counts local-search sweeps (the paper's k).
@@ -119,6 +158,21 @@ func Count(c Collector, name string, delta int64) {
 	c.Count(name, delta)
 }
 
+// Annotator is the optional Span extension for key/value annotations —
+// cache hit/miss, device name, degradation and quarantine markers. Spans
+// that do not record (noop, log) simply don't implement it.
+type Annotator interface {
+	Annotate(key, value string)
+}
+
+// Annotate attaches a key/value annotation to sp if its collector records
+// them (Multi spans fan out). Nil-safe; no-op otherwise.
+func Annotate(sp Span, key, value string) {
+	if a, ok := sp.(Annotator); ok {
+		a.Annotate(key, value)
+	}
+}
+
 // multi fans out to several collectors.
 type multi struct{ cs []Collector }
 
@@ -127,6 +181,14 @@ type multiSpan struct{ spans []Span }
 func (m multiSpan) End() {
 	for _, s := range m.spans {
 		s.End()
+	}
+}
+
+// Annotate implements Annotator by fanning out to every fanned-out span
+// that records annotations.
+func (m multiSpan) Annotate(key, value string) {
+	for _, s := range m.spans {
+		Annotate(s, key, value)
 	}
 }
 
@@ -190,6 +252,58 @@ func (s Stats) Span(name string) SpanStat {
 
 // Counter returns the named counter total (zero if absent).
 func (s Stats) Counter(name string) int64 { return s.Counters[name] }
+
+// PhaseName canonicalises a span name into the phase label used by the
+// per-request breakdown ("queue-wait" → "queue_wait", "error-matrix" →
+// "error_matrix"): lowercase alphanumerics with every other rune folded to
+// an underscore, matching the Prometheus label-value vocabulary of
+// mosaic_request_phase_ns.
+func PhaseName(span string) string {
+	b := make([]byte, len(span))
+	for i := 0; i < len(span); i++ {
+		c := span[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			b[i] = c
+		case c >= 'A' && c <= 'Z':
+			b[i] = c - 'A' + 'a'
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// Phases attributes a span forest's wall time to named phases: each node
+// contributes its *exclusive* duration (its own time minus its children's)
+// to the phase named after its span, so nested stages never double-count —
+// retry-backoff time inside the error matrix is charged to retry_backoff,
+// not twice. Negative exclusive time (clock skew between parent and child
+// reads) clamps to zero. The values therefore satisfy
+//
+//	sum(phases) ≤ sum(root durations)
+//
+// with equality up to clamping — the invariant the latency-attribution
+// acceptance test pins. Durations are nanoseconds.
+func Phases(roots []*Node) map[string]int64 {
+	out := make(map[string]int64)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		excl := n.Duration
+		for _, c := range n.Children {
+			excl -= c.Duration
+			walk(c)
+		}
+		if excl < 0 {
+			excl = 0
+		}
+		out[PhaseName(n.Name)] += int64(excl)
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return out
+}
 
 // Merge returns the element-wise sum of two snapshots — used by the video
 // sequencer to keep a stream-lifetime aggregate over per-frame stats.
