@@ -12,15 +12,16 @@
 #   make service-smoke    end-to-end probe of the mosaicd HTTP service
 #   make chaos-smoke      fault-injection battery (-race) + a mosaicd chaos drill
 #   make tilestore-smoke  columnar-store gates: oracle battery + fuzz seeds + goldens
+#   make solver-smoke     pinned S=4096 solver comparison: certified gap + speedup gates
 
 GO      ?= go
 FUZZTIME ?= 10s
 TELEMETRY_ADDR ?= 127.0.0.1:9190
 SERVICE_ADDR ?= 127.0.0.1:9200
 
-.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke chaos-smoke tilestore-smoke clean
+.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke chaos-smoke tilestore-smoke solver-smoke clean
 
-check: vet build race fuzz-smoke chaos-smoke tilestore-smoke
+check: vet build race fuzz-smoke chaos-smoke tilestore-smoke solver-smoke
 
 vet:
 	$(GO) vet ./...
@@ -206,6 +207,14 @@ tilestore-smoke:
 	$(GO) test -race -run 'TestTileStore|TestFromGrid|TestScatter|TestGather|TestGlobalHistogram|TestLayout|TestMean|TestBuildStore|TestStoreContext|TestSplitRange|TestGoldenGalleryScenes|Fuzz' \
 		./internal/tilestore/ ./internal/metric/ ./internal/cuda/ ./internal/core/
 	@echo "tilestore-smoke: ok"
+
+# The assignment-solver quality gate on the pinned comparison instance
+# (lena → sailboat at 512 px, 64×64 tiles, S = 4096): both certified
+# approximate solvers (auction-device, sinkhorn) must beat the exact JV
+# baseline's wall time while staying inside the certified 1% cost gap.
+solver-smoke:
+	MOSAIC_SOLVER_SMOKE=1 $(GO) test -run TestSolverSmoke -v ./internal/benchjson/
+	@echo "solver-smoke: ok"
 
 clean:
 	$(GO) clean ./...

@@ -50,7 +50,7 @@ func run() error {
 		storeCands = flag.Bool("store-candidates", false, "derive approximation-dirty's warm-sweep candidates from the tile store's thumbnail features instead of matrix columns")
 		rotations  = flag.Bool("rotations", false, "allow the eight dihedral tile orientations (grayscale only)")
 		proxy      = flag.Int("proxy", 0, "build the error matrix from proxy×proxy downsampled tiles (0 = exact)")
-		solver     = flag.String("solver", "jv", "exact matcher for -algorithm optimization: jv | hungarian | auction | blossom")
+		solver     = flag.String("solver", "jv", "matcher for -algorithm optimization: jv | hungarian | auction | blossom (exact) | auction-device | sinkhorn (certified approximate, faster)")
 		metricStr  = flag.String("metric", "l1", "per-pixel error: l1 | l2")
 		noHist     = flag.Bool("no-histogram-match", false, "skip matching the input's intensity distribution to the target")
 		color      = flag.Bool("color", false, "color pipeline (scene names render color variants; files must be PPM/PNG)")

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/benchjson"
 	"repro/internal/buildinfo"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
@@ -49,6 +50,7 @@ func run() error {
 		pairs          = flag.Int("pairs", 0, "number of scene pairs to average over (1–4); 0 keeps the mode default")
 		workers        = flag.Int("workers", 0, "device workers (0 = all cores)")
 		maxOptS        = flag.Int("max-opt-s", 0, "skip exact matching above this tile count S (0 = never)")
+		solver         = flag.String("solver", "", "matcher for the optimization column: jv (default) | hungarian | auction | blossom | auction-device | sinkhorn")
 		virtualSMs     = flag.Int("virtual-sms", 0, "simulate a device with this many SMs for the GPU columns (0 = wall clock)")
 		launchOverhead = flag.Duration("launch-overhead", 3*time.Microsecond, "per-kernel-launch charge in virtual mode")
 		coresPerSM     = flag.Int("virtual-cores-per-sm", 32, "modelled intra-block thread parallelism in virtual mode")
@@ -56,7 +58,7 @@ func run() error {
 		traceRun       = flag.Bool("trace", false, "run one traced end-to-end generation and include its span tree in the observability JSON")
 		metricsRun     = flag.Bool("metrics", false, "run one traced end-to-end generation and include its counters and registry snapshot in the observability JSON")
 		serveAddr      = flag.String("serve", "", "serve /metrics, /healthz, /metrics.json and /debug/pprof on this address during the run (e.g. 127.0.0.1:9190)")
-		benchJSON      = flag.String("bench-json", "", "execute the pinned benchmark workload and write the JSON report to this file (schema v3: includes the columnar tile-store layout behind cost_matrix_ns)")
+		benchJSON      = flag.String("bench-json", "", "execute the pinned benchmark workload and write the JSON report to this file (schema v4: splits assign_ns out of rearrange_ns and adds the per-solver assign comparison block)")
 		benchSize      = flag.Int("bench-size", 0, "override the pinned workload's image size for -bench-json (0 = pinned 512; used by make bench-smoke)")
 		benchTiles     = flag.Int("bench-tiles", 0, "override the pinned workload's tiles per side for -bench-json (0 = pinned 32)")
 		version        = flag.Bool("version", false, "print version and exit")
@@ -77,6 +79,13 @@ func run() error {
 	cfg.Out = os.Stdout
 	cfg.Workers = *workers
 	cfg.MaxOptimizationS = *maxOptS
+	if *solver != "" {
+		algo, err := core.ParseSolver(*solver)
+		if err != nil {
+			return fmt.Errorf("-solver: %w", err)
+		}
+		cfg.Solver = algo
+	}
 	cfg.VirtualSMs = *virtualSMs
 	cfg.VirtualLaunchOverhead = *launchOverhead
 	cfg.VirtualCoresPerSM = *coresPerSM

@@ -49,7 +49,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/assign"
 	"repro/internal/buildinfo"
+	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/retry"
 	"repro/internal/service"
@@ -78,6 +80,7 @@ func run() error {
 		pprofFlag     = flag.Bool("pprof", false, "expose /debug/pprof even on non-loopback binds (loopback binds always get it)")
 		chaosSpec     = flag.String("chaos", "", "fault-injection drill: install this cuda.ParseFaultSpec plan on every pool device (e.g. 'every=2,err=launch' or 'nth=5,err=lost,max=1')")
 		noFallback    = flag.Bool("no-cpu-fallback", false, "fail jobs instead of degrading to the host when device retries are exhausted (readyz 503 once all devices are quarantined)")
+		solver        = flag.String("solver", "", "default Step-3 matcher for optimization jobs: jv (default) | hungarian | auction | blossom | auction-device | sinkhorn; requests may override per-job")
 		retryAttempts = flag.Int("retry-attempts", 3, "kernel-launch attempts before degrading (1 disables retries)")
 		retryBase     = flag.Duration("retry-base", 2*time.Millisecond, "base backoff between launch retries (doubles per attempt, jittered)")
 		probeEvery    = flag.Duration("probe-interval", 250*time.Millisecond, "cadence of the canary probe that restores quarantined devices")
@@ -126,6 +129,15 @@ func run() error {
 		logClose = f.Close
 	}
 
+	defaultSolver := assign.Algorithm("")
+	if *solver != "" {
+		sol, err := core.ParseSolver(*solver)
+		if err != nil {
+			return fmt.Errorf("-solver: %w", err)
+		}
+		defaultSolver = sol
+	}
+
 	reg := telemetry.NewRegistry()
 	buildinfo.Register(reg, "mosaicd")
 	cacheBytes := int64(*cacheMB) << 20
@@ -147,6 +159,7 @@ func run() error {
 			BaseDelay:   *retryBase,
 		},
 		NoCPUFallback:    *noFallback,
+		DefaultSolver:    defaultSolver,
 		FailureThreshold: *failThreshold,
 		ProbeInterval:    *probeEvery,
 		DeviceFaults:     deviceFaults,

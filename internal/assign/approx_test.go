@@ -1,0 +1,374 @@
+package assign
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/retry"
+	"repro/internal/trace"
+)
+
+// optCost returns the exact optimum via JV.
+func optCost(t *testing.T, n int, w []Cost) int64 {
+	t.Helper()
+	p, err := JV(n, w)
+	if err != nil {
+		t.Fatalf("jv n=%d: %v", n, err)
+	}
+	c, err := TotalCost(n, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestAuctionDeviceGapCertified: at the default 1% target the returned
+// assignment's true gap against the exact optimum must be within the
+// certified gap, and both within target (the certificate is an upper bound
+// on the true gap, so target ≥ certified ≥ true unless the ε schedule
+// bottomed out — in which case the result is exact).
+func TestAuctionDeviceGapCertified(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 50, 150} {
+		for trial := 0; trial < 3; trial++ {
+			w := randMatrix(t, n, 5000, int64(n*31+trial))
+			opt := optCost(t, n, w)
+			p, info, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{})
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+			}
+			got, err := TotalCost(n, w, p)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: invalid assignment: %v", n, trial, err)
+			}
+			if got != info.Cost {
+				t.Fatalf("n=%d: Info.Cost %d != evaluated cost %d", n, info.Cost, got)
+			}
+			if float64(opt) < info.LowerBound {
+				t.Fatalf("n=%d: certificate lb %.2f above the optimum %d", n, info.LowerBound, opt)
+			}
+			slack := DefaultAuctionGap * maxf(1, float64(opt))
+			if float64(got-opt) > slack+1 {
+				t.Fatalf("n=%d trial=%d: cost %d exceeds optimum %d by more than %.1f", n, trial, got, opt, slack)
+			}
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestAuctionDeviceExactMode: a negative target disables the early stop;
+// the full ε schedule must reproduce the exact optimal cost.
+func TestAuctionDeviceExactMode(t *testing.T) {
+	for _, n := range []int{1, 5, 40, 120} {
+		w := randMatrix(t, n, 3000, int64(n*7))
+		opt := optCost(t, n, w)
+		p, info, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{TargetGap: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TotalCost(n, w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != opt {
+			t.Fatalf("n=%d: exact mode cost %d, want optimum %d", n, got, opt)
+		}
+		if info.Degraded {
+			t.Fatalf("n=%d: degraded without a device", n)
+		}
+	}
+}
+
+// TestAuctionDeviceDeterministic: identical inputs produce identical
+// permutations — no randomness, no map iteration in the solve.
+func TestAuctionDeviceDeterministic(t *testing.T) {
+	n := 80
+	w := randMatrix(t, n, 9000, 42)
+	p1, _, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("run 1 and run 2 diverge at %d: %d vs %d", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestAuctionDeviceHostDeviceParity: the device path must be bit-identical
+// to the host mirror — scans are pure, bidding is host-side either way.
+func TestAuctionDeviceHostDeviceParity(t *testing.T) {
+	n := 120
+	w := randMatrix(t, n, 7000, 7)
+	host, hInfo, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		dev, dInfo, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{Device: cuda.New(workers)})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range host {
+			if host[i] != dev[i] {
+				t.Fatalf("workers=%d: host and device assignments diverge at %d", workers, i)
+			}
+		}
+		if hInfo.Cost != dInfo.Cost || hInfo.Gap != dInfo.Gap {
+			t.Fatalf("workers=%d: info diverges: host %+v device %+v", workers, hInfo, dInfo)
+		}
+	}
+}
+
+// TestAuctionDeviceRetriesTransientFault: a single injected transient fault
+// is absorbed by the retry policy — same result, no degradation.
+func TestAuctionDeviceRetriesTransientFault(t *testing.T) {
+	n := 90
+	w := randMatrix(t, n, 4000, 11)
+	want, _, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := trace.NewTree()
+	dev := cuda.New(2).WithFaults(&cuda.FaultPlan{Nth: []int64{1}})
+	got, info, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{
+		Device: dev,
+		Trace:  tree,
+		Retry:  retry.Policy{BaseDelay: 1, Jitter: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("retried run diverges from host run at %d", i)
+		}
+	}
+	if info.Degraded {
+		t.Fatal("transient fault should be retried, not degraded")
+	}
+	st := tree.Snapshot()
+	if st.Counter(trace.CounterLaunchFaults) == 0 || st.Counter(trace.CounterLaunchRetries) == 0 {
+		t.Fatalf("fault/retry counters not recorded: %+v", st.Counters)
+	}
+}
+
+// TestAuctionDeviceDeviceLostFallsBack: losing the device mid-solve
+// switches the remaining scans to the host; the result is identical and the
+// degradation is reported.
+func TestAuctionDeviceDeviceLostFallsBack(t *testing.T) {
+	n := 90
+	w := randMatrix(t, n, 4000, 11)
+	want, _, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := trace.NewTree()
+	dev := cuda.New(2).WithFaults(&cuda.FaultPlan{Nth: []int64{2}, Err: cuda.ErrDeviceLost})
+	got, info, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{
+		Device: dev,
+		Trace:  tree,
+		Retry:  retry.Policy{BaseDelay: 1, Jitter: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("degraded run diverges from host run at %d", i)
+		}
+	}
+	if !info.Degraded {
+		t.Fatal("device loss not reported as degraded")
+	}
+	st := tree.Snapshot()
+	if st.Counter(trace.CounterDegradedRuns) != 1 {
+		t.Fatalf("degraded-runs counter = %d, want 1", st.Counter(trace.CounterDegradedRuns))
+	}
+	if st.Span(trace.SpanDegraded).Count == 0 {
+		t.Fatal("no degraded span recorded")
+	}
+}
+
+// TestAuctionDeviceDisableFallback: with fallback disabled a faulting
+// device fails the solve, and a missing device is rejected up front.
+func TestAuctionDeviceDisableFallback(t *testing.T) {
+	n := 40
+	w := randMatrix(t, n, 2000, 3)
+	dev := cuda.New(2).WithFaults(&cuda.FaultPlan{}) // zero plan: every launch fails
+	_, _, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{
+		Device:          dev,
+		DisableFallback: true,
+		Retry:           retry.Policy{BaseDelay: 1, Jitter: -1},
+	})
+	if !errors.Is(err, cuda.ErrLaunchFailed) {
+		t.Fatalf("want ErrLaunchFailed with fallback disabled, got %v", err)
+	}
+	_, _, err = AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{DisableFallback: true})
+	if err == nil {
+		t.Fatal("nil device with fallback disabled must be rejected")
+	}
+}
+
+// metricMatrix builds the structured instance class the pipeline actually
+// feeds the solvers: costs |a_i − b_j| between random scalar descriptors,
+// the 1-D analogue of tile-error matrices. (Uniform iid random matrices are
+// deliberately not used as a quality probe: their optimum shrinks toward a
+// constant as n grows — the Mézard–Parisi π²/6 limit — so any absolute
+// error shows up as an enormous relative gap, telling us nothing about the
+// workload.)
+func metricMatrix(t testing.TB, n int, seed int64) []Cost {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.Int31n(10000)
+		b[i] = rng.Int31n(10000)
+	}
+	w := make([]Cost, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := int64(a[i]) - int64(b[j])
+			if d < 0 {
+				d = -d
+			}
+			w[i*n+j] = Cost(d)
+		}
+	}
+	return w
+}
+
+// TestSinkhornQualityOnMetricInstances: on the structured instance class
+// the pipeline produces, Sinkhorn + polish must certify Info invariants and
+// land within 1% of the optimum (the solver-smoke bound).
+func TestSinkhornQualityOnMetricInstances(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 60, 150} {
+		for trial := 0; trial < 3; trial++ {
+			w := metricMatrix(t, n, int64(n*17+trial))
+			opt := optCost(t, n, w)
+			p, info, err := SinkhornContext(context.Background(), n, w, SinkhornOptions{})
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+			}
+			got, err := TotalCost(n, w, p)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: invalid assignment: %v", n, trial, err)
+			}
+			if got != info.Cost {
+				t.Fatalf("n=%d: Info.Cost %d != evaluated cost %d", n, info.Cost, got)
+			}
+			if info.LowerBound > float64(opt)+1e-6 {
+				t.Fatalf("n=%d: certificate lb %.2f above the optimum %d", n, info.LowerBound, opt)
+			}
+			if float64(got-opt) > 0.01*maxf(1, float64(opt)) {
+				t.Fatalf("n=%d trial=%d: cost %d more than 1%% above optimum %d", n, trial, got, opt)
+			}
+		}
+	}
+}
+
+// TestSinkhornValidOnAdversarialRandom: on unstructured uniform matrices
+// (the solver's worst case) the result must still be a valid permutation
+// with a genuine lower bound — quality is certified on metric instances and
+// by the solver-smoke gate, not here.
+func TestSinkhornValidOnAdversarialRandom(t *testing.T) {
+	for _, n := range []int{16, 60, 150} {
+		w := randMatrix(t, n, 5000, int64(n*17))
+		opt := optCost(t, n, w)
+		p, info, err := SinkhornContext(context.Background(), n, w, SinkhornOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if _, err := TotalCost(n, w, p); err != nil {
+			t.Fatalf("n=%d: invalid assignment: %v", n, err)
+		}
+		if info.LowerBound > float64(opt)+1e-6 {
+			t.Fatalf("n=%d: certificate lb %.2f above the optimum %d", n, info.LowerBound, opt)
+		}
+	}
+}
+
+// TestSinkhornDeterministic: rounding ties are broken deterministically.
+func TestSinkhornDeterministic(t *testing.T) {
+	n := 70
+	w := randMatrix(t, n, 6000, 99)
+	p1, _, err := SinkhornContext(context.Background(), n, w, SinkhornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := SinkhornContext(context.Background(), n, w, SinkhornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("run 1 and run 2 diverge at %d", i)
+		}
+	}
+}
+
+// TestSinkhornUniformCosts: an all-equal matrix has ε = 0; the solver must
+// skip the iterations and still return a valid (trivially optimal)
+// permutation with a zero gap.
+func TestSinkhornUniformCosts(t *testing.T) {
+	n := 12
+	w := make([]Cost, n*n)
+	for i := range w {
+		w[i] = 7
+	}
+	p, info, err := SinkhornContext(context.Background(), n, w, SinkhornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TotalCost(n, w, p); err != nil {
+		t.Fatal(err)
+	}
+	if info.Gap > 1e-9 {
+		t.Fatalf("uniform matrix gap = %g, want 0", info.Gap)
+	}
+}
+
+// TestApproxSolversRegistered: the registry entries run the host mirrors
+// and the context registry mirrors the plain one name for name.
+func TestApproxSolversRegistered(t *testing.T) {
+	n := 30
+	w := randMatrix(t, n, 1000, 5)
+	for _, algo := range []Algorithm{AlgoAuctionDevice, AlgoSinkhorn} {
+		f, ok := Solvers()[algo]
+		if !ok {
+			t.Fatalf("%s not in Solvers()", algo)
+		}
+		if algo.Exact() {
+			t.Fatalf("%s must not claim exactness", algo)
+		}
+		p, err := f(n, w)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if _, err := TotalCost(n, w, p); err != nil {
+			t.Fatalf("%s: invalid assignment: %v", algo, err)
+		}
+	}
+	plain, ctxd := Solvers(), ContextSolvers()
+	if len(plain) != len(ctxd) {
+		t.Fatalf("Solvers has %d entries, ContextSolvers %d", len(plain), len(ctxd))
+	}
+	for algo := range plain {
+		if _, ok := ctxd[algo]; !ok {
+			t.Fatalf("%s missing from ContextSolvers", algo)
+		}
+	}
+}

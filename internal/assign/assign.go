@@ -10,7 +10,11 @@
 // Three exact solvers with different performance profiles are provided —
 // Hungarian (successive shortest paths), Jonker–Volgenant (the standard fast
 // dense LAP algorithm) and an ε-scaling auction — plus greedy and random
-// baselines and a brute-force oracle for cross-checking.
+// baselines and a brute-force oracle for cross-checking. Two certified
+// approximate solvers trade a bounded optimality gap for wall time: the
+// device-batched candidate auction (auctiondevice.go) and the entropic
+// Sinkhorn solver with 2-opt polish (sinkhorn.go); both report a dual lower
+// bound alongside the permutation (see Info).
 //
 // Cost-matrix convention: w[u*n+v] is the cost of assigning row u (input
 // tile u) to column v (target position v). Every solver returns p with
@@ -19,6 +23,7 @@
 package assign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -50,6 +55,16 @@ const (
 	AlgoBlossom   Algorithm = "blossom"
 	AlgoGreedy    Algorithm = "greedy"
 	AlgoBrute     Algorithm = "brute"
+	// AlgoAuctionDevice is the candidate-cached ε-scaling auction with
+	// device-batched row scans and a certified early stop (auctiondevice.go).
+	// The registry Func runs its host mirror at the default gap target; use
+	// AuctionDeviceContext directly to supply a device, a gap target, or
+	// resilience options.
+	AlgoAuctionDevice Algorithm = "auction-device"
+	// AlgoSinkhorn is the entropic-regularisation solver: sparse-support
+	// log-domain Sinkhorn iterations, rounding to a permutation, and a
+	// bounded dirty 2-opt polish (sinkhorn.go).
+	AlgoSinkhorn Algorithm = "sinkhorn"
 )
 
 // Solvers returns the registry of named solvers. Exact solvers first.
@@ -61,6 +76,14 @@ func Solvers() map[Algorithm]Func {
 		AlgoBlossom:   Blossom,
 		AlgoGreedy:    Greedy,
 		AlgoBrute:     BruteForce,
+		AlgoAuctionDevice: func(n int, w []Cost) (perm.Perm, error) {
+			p, _, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{})
+			return p, err
+		},
+		AlgoSinkhorn: func(n int, w []Cost) (perm.Perm, error) {
+			p, _, err := SinkhornContext(context.Background(), n, w, SinkhornOptions{})
+			return p, err
+		},
 	}
 }
 

@@ -1,6 +1,8 @@
 package assign
 
 import (
+	"context"
+
 	"repro/internal/perm"
 )
 
@@ -10,12 +12,28 @@ import (
 // problem. Included both as an independent exactness cross-check on the
 // path-based solvers and because auction parallelises naturally — the
 // per-person bidding phase is embarrassingly parallel — making it the
-// solver a GPU port of the optimization algorithm would start from (the
-// paper leaves the matching on the CPU; see §V).
+// solver the device port in auctiondevice.go starts from. This serial form
+// is kept bit-identical as that port's oracle.
 func Auction(n int, w []Cost) (perm.Perm, error) {
+	return auctionSerial(nil, n, w)
+}
+
+// AuctionContext is Auction with cancellation: the context is polled every
+// auctionBidStride bids and at every ε level.
+func AuctionContext(ctx context.Context, n int, w []Cost) (perm.Perm, error) {
+	return auctionSerial(ctx, n, w)
+}
+
+// auctionBidStride is how many bids the auction solvers place between
+// context polls — frequent enough that a deadline cuts a multi-second solve
+// within milliseconds, rare enough to stay out of the bid loop's profile.
+const auctionBidStride = 1024
+
+func auctionSerial(ctx context.Context, n int, w []Cost) (perm.Perm, error) {
 	if err := checkInput(n, w); err != nil {
 		return nil, err
 	}
+	cp := checkpoints{ctx: ctx, stride: auctionBidStride, what: "auction"}
 	// Benefits: maximise b[i][j] = -scaled cost.
 	scale := int64(n + 1)
 	var maxAbs int64
@@ -38,6 +56,9 @@ func Auction(n int, w []Cost) (perm.Perm, error) {
 		eps = 1
 	}
 	for {
+		if err := pollCtx(ctx); err != nil {
+			return nil, err
+		}
 		// Reset the assignment for this ε round (prices persist, which is
 		// what makes scaling effective).
 		for j := range owner {
@@ -49,6 +70,9 @@ func Auction(n int, w []Cost) (perm.Perm, error) {
 			queue = append(queue, i)
 		}
 		for len(queue) > 0 {
+			if err := cp.visit(); err != nil {
+				return nil, err
+			}
 			i := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
 			row := w[i*n : (i+1)*n]

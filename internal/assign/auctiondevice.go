@@ -1,0 +1,429 @@
+package assign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cuda"
+	"repro/internal/perm"
+	"repro/internal/retry"
+	"repro/internal/trace"
+)
+
+// This file ports the ε-scaling auction to the virtual device. The serial
+// auction (auction.go) scans a person's whole cost row on every bid; that
+// row scan is the only O(n) step in the bid loop and the only step that is
+// embarrassingly parallel across persons. The port therefore splits the
+// algorithm at exactly that line:
+//
+//   - Row scans run in batches as device kernels: each scan fills a
+//     candidate cache — the person's top-K (object, value) pairs against
+//     the prices at scan time, plus the K-th value as a validity cut.
+//   - Bidding stays Gauss–Seidel on the host, but reads the caches instead
+//     of the matrix. Prices only rise within a solve, so cached values are
+//     upper bounds on current values; refreshing the K cached entries
+//     against live prices and bidding is valid whenever the refreshed
+//     runner-up still clears the cut (any object outside the cache is at
+//     most at its snapshot value ≤ cut). When the cut test fails, the
+//     person joins the next scan batch instead of bidding.
+//
+// Underbidding from the cache preserves ε-complementary slackness: the new
+// owner's value after paying (best − second + ε) is second − ε ≥
+// trueSecond − ε, which is the same ε-CS guarantee the full scan gives.
+//
+// Early stop: ε-CS implies cost ≤ LB + n·ε for the dual bound
+// LB = Σ_i min_j (scale·c_ij + price_j) − Σ_j price_j, so the solver only
+// pays the O(n²) bound computation once n·ε is small enough for the target
+// gap to be achievable, then stops at the first ε level whose certified
+// relative gap meets the target. A non-positive target runs the full
+// ε-schedule down to ε = 1, which is exact for the (n+1)-scaled integer
+// costs — the same guarantee as the serial auction.
+
+// DefaultAuctionGap is the certified relative optimality gap the device
+// auction stops at when DeviceAuctionOptions.TargetGap is zero: 1%, the
+// bound the solver-smoke gate asserts.
+const DefaultAuctionGap = 0.01
+
+// KernelAuctionScan names the batched candidate-scan kernel in fault plans
+// and launch metrics.
+const KernelAuctionScan = "auction-scan"
+
+const (
+	// auctionK is the candidate-cache width. Eight survives long GS runs
+	// between rescans on the tile matrices; wider caches cost more refresh
+	// work per bid than they save in scans.
+	auctionK = 8
+	// auctionScanBatch is how many invalidated rows accumulate before a
+	// rescan kernel is launched mid-level.
+	auctionScanBatch = 64
+	// auctionRowsPerBlock sizes scan launches: one block handles up to this
+	// many rows, striding its threads across them.
+	auctionRowsPerBlock = 8
+)
+
+// DeviceAuctionOptions configures AuctionDeviceContext. The zero value runs
+// the host mirror (no device, no tracing) at the default 1% gap target.
+type DeviceAuctionOptions struct {
+	// Device runs the batched row scans as kernels; nil scans on the host.
+	// Host and device scans are bit-identical, so the returned permutation
+	// does not depend on where the scans ran.
+	Device *cuda.Device
+	// TargetGap is the certified relative gap to stop at: 0 selects
+	// DefaultAuctionGap; a negative value disables the early stop and runs
+	// the full ε-schedule (exact for integer costs, like Auction).
+	TargetGap float64
+	// Trace receives retry/degradation spans and counters.
+	Trace trace.Collector
+	// Retry is the per-launch retry schedule (zero value = retry defaults).
+	Retry retry.Policy
+	// DisableFallback fails the solve instead of degrading scans to the
+	// host when the device faults; it also makes a nil Device an error.
+	DisableFallback bool
+}
+
+// candSet is one person's cached scan result: the top-K (object, value)
+// pairs sorted by descending value, and the K-th value as the validity cut.
+type candSet struct {
+	obj [auctionK]int32
+	val [auctionK]int64
+	cut int64
+}
+
+// scanCandidates fills cs with row's top-K net values −scale·c − price.
+// It is the kernel body: pure (reads row and prices, writes only cs), so
+// re-running it after a fault or on the host cannot corrupt the solve.
+func scanCandidates(n int, row []Cost, prices []int64, scale int64, cs *candSet) {
+	var vals [auctionK]int64
+	var objs [auctionK]int32
+	for k := 0; k < auctionK; k++ {
+		vals[k] = minInt64
+		objs[k] = -1
+	}
+	for j := 0; j < n; j++ {
+		v := -int64(row[j])*scale - prices[j]
+		if v > vals[auctionK-1] {
+			k := auctionK - 1
+			for k > 0 && v > vals[k-1] {
+				vals[k] = vals[k-1]
+				objs[k] = objs[k-1]
+				k--
+			}
+			vals[k] = v
+			objs[k] = int32(j)
+		}
+	}
+	cs.val = vals
+	cs.obj = objs
+	cs.cut = vals[auctionK-1]
+}
+
+// auctionEngine holds the solve state shared by the bid loop and the scan
+// batches, plus the resilience bookkeeping for device launches.
+type auctionEngine struct {
+	n      int
+	w      []Cost
+	scale  int64
+	prices []int64
+	cands  []candSet
+	// pending accumulates persons awaiting a (re)scan; flush scans them in
+	// one launch and returns them to the bid queue.
+	pending []int32
+
+	dev        *cuda.Device
+	pol        retry.Policy
+	tr         trace.Collector
+	noFallback bool
+	deviceDead bool
+	degraded   bool
+	scans      int
+}
+
+// scanHost runs one batch on the host — the degraded path and the mirror
+// path. Identical arithmetic to the kernel, just not parallel.
+func (e *auctionEngine) scanHost(batch []int32) {
+	for _, i := range batch {
+		scanCandidates(e.n, e.w[int(i)*e.n:(int(i)+1)*e.n], e.prices, e.scale, &e.cands[i])
+	}
+}
+
+// scanBatch scans the pending persons, on the device when one is live. The
+// kernel splits the batch across blocks with SplitRange; rows are distinct,
+// prices are read-only during the launch, and each row's candSet is written
+// by exactly one thread, so the launch is race-free and idempotent.
+func (e *auctionEngine) scanBatch(ctx context.Context, batch []int32) error {
+	e.scans += len(batch)
+	if e.dev == nil || e.deviceDead {
+		e.scanHost(batch)
+		return nil
+	}
+	ranges := cuda.SplitRange(len(batch), (len(batch)+auctionRowsPerBlock-1)/auctionRowsPerBlock)
+	kernel := func(b *cuda.Block) {
+		r := ranges[b.Idx]
+		b.StrideLoop(r.Hi-r.Lo, func(k int) {
+			i := int(batch[r.Lo+k])
+			scanCandidates(e.n, e.w[i*e.n:(i+1)*e.n], e.prices, e.scale, &e.cands[i])
+		})
+	}
+	lerr := e.pol.Do(ctx, func(attempt int) error {
+		if attempt > 1 {
+			trace.Count(e.tr, trace.CounterLaunchRetries, 1)
+		}
+		err := e.dev.LaunchErr(ctx, KernelAuctionScan, len(ranges), auctionRowsPerBlock, kernel)
+		if err != nil {
+			trace.Count(e.tr, trace.CounterLaunchFaults, 1)
+			if errors.Is(err, cuda.ErrDeviceLost) {
+				// Retrying on a lost device is pointless; degrade now.
+				return retry.Stop(err)
+			}
+		}
+		return err
+	})
+	if lerr == nil {
+		return nil
+	}
+	if errors.Is(lerr, context.Canceled) || errors.Is(lerr, context.DeadlineExceeded) {
+		return lerr
+	}
+	if e.noFallback {
+		return fmt.Errorf("assign: auction scan launch failed with host fallback disabled: %w", lerr)
+	}
+	if errors.Is(lerr, cuda.ErrDeviceLost) {
+		e.deviceDead = true
+	}
+	// Degrade: rerun this batch on the host and carry on. The scan is pure
+	// and prices are untouched by a failed launch, so the solve continues
+	// from the exact state the device path would have produced.
+	sp := trace.Start(e.tr, trace.SpanDegraded)
+	e.scanHost(batch)
+	sp.End()
+	e.degraded = true
+	return nil
+}
+
+// dualBound computes LB = Σ_i min_j (scale·c_ij + price_j) − Σ_j price_j,
+// a dual feasible bound on scale·OPT for any price vector.
+func (e *auctionEngine) dualBound() int64 {
+	const maxInt64 = 1<<63 - 1
+	var sumMin, sumP int64
+	for i := 0; i < e.n; i++ {
+		row := e.w[i*e.n : (i+1)*e.n]
+		best := int64(maxInt64)
+		for j := 0; j < e.n; j++ {
+			v := int64(row[j])*e.scale + e.prices[j]
+			if v < best {
+				best = v
+			}
+		}
+		sumMin += best
+	}
+	for _, p := range e.prices {
+		sumP += p
+	}
+	return sumMin - sumP
+}
+
+// AuctionDeviceContext solves the LAP with the device-batched candidate
+// auction and returns the permutation plus the certificate (see Info). The
+// context is polled at every scan flush and every auctionBidStride bids.
+func AuctionDeviceContext(ctx context.Context, n int, w []Cost, opts DeviceAuctionOptions) (perm.Perm, *Info, error) {
+	if err := checkInput(n, w); err != nil {
+		return nil, nil, err
+	}
+	if opts.Device == nil && opts.DisableFallback {
+		return nil, nil, fmt.Errorf("assign: device auction requires a device when host fallback is disabled: %w", ErrBadInput)
+	}
+	targetGap := opts.TargetGap
+	if targetGap == 0 {
+		targetGap = DefaultAuctionGap
+	} else if targetGap < 0 {
+		targetGap = 0 // exact: no early stop, run ε down to 1
+	}
+	pol := opts.Retry
+	if pol.OnBackoff == nil {
+		// Backoff sleeps run on this goroutine, so the span nests in the
+		// caller's tree.
+		pol.OnBackoff = func(sleep func() error) error {
+			defer trace.Start(opts.Trace, trace.SpanRetryBackoff).End()
+			return sleep()
+		}
+	}
+
+	scale := int64(n + 1)
+	var maxAbs int64
+	for _, c := range w {
+		a := int64(c)
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	e := &auctionEngine{
+		n:          n,
+		w:          w,
+		scale:      scale,
+		prices:     make([]int64, n),
+		cands:      make([]candSet, n),
+		pending:    make([]int32, 0, n),
+		dev:        opts.Device,
+		pol:        pol,
+		tr:         opts.Trace,
+		noFallback: opts.DisableFallback,
+	}
+	owner := make([]int, n)  // owner[j] = person owning object j, -1 free
+	object := make([]int, n) // object[i] = object owned by person i, -1 free
+	queue := make([]int, 0, n)
+	cp := checkpoints{ctx: ctx, stride: auctionBidStride, what: "device auction"}
+	info := &Info{}
+
+	eps := maxAbs * scale / 2
+	if eps < 1 {
+		eps = 1
+	}
+	for {
+		info.Rounds++
+		// Reset the assignment for this ε level (prices persist — that is
+		// what makes scaling effective) and open with a full scan: every
+		// person's cache refreshed in one launch.
+		for j := range owner {
+			owner[j] = -1
+		}
+		queue = queue[:0]
+		for i := range object {
+			object[i] = -1
+		}
+		e.pending = e.pending[:0]
+		for i := 0; i < n; i++ {
+			e.pending = append(e.pending, int32(i))
+		}
+		// flushPending scans the accumulated batch and returns its persons
+		// to the bid queue. The kernel captures batch, which stays intact
+		// until the (synchronous) launch returns; appending to queue copies
+		// the values, so resetting pending afterwards cannot alias it.
+		flushPending := func() error {
+			batch := e.pending
+			if len(batch) == 0 {
+				return nil
+			}
+			if err := e.scanBatch(ctx, batch); err != nil {
+				return err
+			}
+			for _, i := range batch {
+				queue = append(queue, int(i))
+			}
+			e.pending = e.pending[:0]
+			return nil
+		}
+		if err := flushPending(); err != nil {
+			return nil, nil, err
+		}
+		for {
+			if len(queue) == 0 {
+				if len(e.pending) == 0 {
+					break // level complete: everyone assigned
+				}
+				if err := flushPending(); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+			if err := cp.visit(); err != nil {
+				return nil, nil, err
+			}
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			cs := &e.cands[i]
+			// Refresh the cached candidates against live prices; track the
+			// top two refreshed values.
+			best, second := int64(minInt64), int64(minInt64)
+			bestJ := int32(-1)
+			for k := 0; k < auctionK; k++ {
+				j := cs.obj[k]
+				if j < 0 {
+					continue
+				}
+				v := -int64(w[i*n+int(j)])*scale - e.prices[j]
+				if v > best {
+					second = best
+					best = v
+					bestJ = j
+				} else if v > second {
+					second = v
+				}
+			}
+			// Validity cut: objects outside the cache sit at or below their
+			// snapshot values, all ≤ cut. If the refreshed runner-up clears
+			// the cut, the true best and second-best are both in the cache;
+			// otherwise queue the person for a rescan.
+			if bestJ < 0 || second < cs.cut {
+				e.pending = append(e.pending, int32(i))
+				if len(e.pending) >= auctionScanBatch {
+					if err := flushPending(); err != nil {
+						return nil, nil, err
+					}
+				}
+				continue
+			}
+			if n == 1 || second == int64(minInt64) {
+				second = best
+			}
+			bid := best - second + eps
+			e.prices[bestJ] += bid
+			if prev := owner[bestJ]; prev >= 0 {
+				object[prev] = -1
+				queue = append(queue, prev)
+			}
+			owner[bestJ] = i
+			object[i] = int(bestJ)
+		}
+
+		p := make(perm.Perm, n)
+		copy(p, owner)
+		cost, err := TotalCost(n, w, p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("assign: device auction produced an invalid assignment: %w", err)
+		}
+		// ε-CS gives cost·scale ≤ LB + n·ε, so the O(n²) bound is computed
+		// lazily: only when n·ε is small enough that the certificate could
+		// plausibly meet the target (or the schedule is exhausted).
+		certified := false
+		var lb int64
+		var gap float64
+		if eps == 1 || (targetGap > 0 && float64(n)*float64(eps) <= 2*targetGap*abs64(float64(cost)*float64(scale))+float64(scale)) {
+			lb = e.dualBound()
+			gap = float64(cost*scale-lb) / max64(1, abs64(float64(lb)))
+			certified = true
+		}
+		if eps == 1 || (certified && targetGap > 0 && gap <= targetGap) {
+			info.Cost = cost
+			info.LowerBound = float64(lb) / float64(scale)
+			info.Gap = gap
+			info.Scans = e.scans
+			info.Degraded = e.degraded
+			if e.degraded {
+				trace.Count(e.tr, trace.CounterDegradedRuns, 1)
+			}
+			return p, info, nil
+		}
+		eps /= 4
+		if eps < 1 {
+			eps = 1
+		}
+	}
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

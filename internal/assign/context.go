@@ -1,0 +1,92 @@
+package assign
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// ContextFunc is the context-aware solver signature: identical to Func plus
+// a context observed at the solver's natural checkpoints (per augmenting
+// row for JV, per row insertion for Hungarian, every bid stride and ε level
+// for the auction). A cancelled or expired context makes the solver return
+// promptly with the ctx error (test with errors.Is) and a nil permutation.
+// Cancellation never changes a completed result: every registered solver is
+// bit-identical to its Func counterpart when the context stays live.
+type ContextFunc func(ctx context.Context, n int, w []Cost) (perm.Perm, error)
+
+// ContextSolvers returns the registry of context-aware solvers, mirroring
+// Solvers() name for name. The iterative solvers poll the context inside
+// their main loops; the short-running baselines (Blossom, Greedy, Brute)
+// check once on entry — their per-call work is bounded by the matrix sizes
+// those algorithms are used at.
+func ContextSolvers() map[Algorithm]ContextFunc {
+	return map[Algorithm]ContextFunc{
+		AlgoHungarian: HungarianContext,
+		AlgoJV:        JVContext,
+		AlgoAuction:   AuctionContext,
+		AlgoAuctionDevice: func(ctx context.Context, n int, w []Cost) (perm.Perm, error) {
+			p, _, err := AuctionDeviceContext(ctx, n, w, DeviceAuctionOptions{})
+			return p, err
+		},
+		AlgoSinkhorn: func(ctx context.Context, n int, w []Cost) (perm.Perm, error) {
+			p, _, err := SinkhornContext(ctx, n, w, SinkhornOptions{})
+			return p, err
+		},
+		AlgoBlossom: entryChecked(Blossom),
+		AlgoGreedy:  entryChecked(Greedy),
+		AlgoBrute:   entryChecked(BruteForce),
+	}
+}
+
+// entryChecked adapts a plain solver: one context check before the work.
+func entryChecked(f Func) ContextFunc {
+	return func(ctx context.Context, n int, w []Cost) (perm.Perm, error) {
+		if err := pollCtx(ctx); err != nil {
+			return nil, err
+		}
+		return f(n, w)
+	}
+}
+
+// pollCtx returns ctx's error if it is done, tolerating the nil context the
+// non-context entry points pass.
+func pollCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// checkpoints spaces context polls across a hot loop: each visit pays one
+// increment and compare, and only every stride-th visit touches the context.
+// A nil context never polls, so the plain Func entry points run the exact
+// instruction stream they did before the context-aware refactor (minus one
+// predictable branch).
+type checkpoints struct {
+	ctx    context.Context
+	stride int
+	count  int
+	what   string
+}
+
+func (c *checkpoints) visit() error {
+	if c.ctx == nil {
+		return nil
+	}
+	c.count++
+	if c.count < c.stride {
+		return nil
+	}
+	c.count = 0
+	if err := pollCtx(c.ctx); err != nil {
+		return fmt.Errorf("assign: %s cancelled: %w", c.what, err)
+	}
+	return nil
+}

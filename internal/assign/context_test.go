@@ -1,0 +1,87 @@
+package assign
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestContextSolversMatchPlain: with a live context every context-aware
+// solver must return exactly what its plain counterpart returns — the
+// checkpoints are observation only.
+func TestContextSolversMatchPlain(t *testing.T) {
+	n := 24
+	w := randMatrix(t, n, 900, 13)
+	plain, ctxd := Solvers(), ContextSolvers()
+	for algo, cf := range ctxd {
+		if algo == AlgoBrute {
+			continue // factorial: covered at tiny n below
+		}
+		want, err := plain[algo](n, w)
+		if err != nil {
+			t.Fatalf("%s plain: %v", algo, err)
+		}
+		got, err := cf(context.Background(), n, w)
+		if err != nil {
+			t.Fatalf("%s ctx: %v", algo, err)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s: context variant diverges at %d", algo, i)
+			}
+		}
+	}
+	wTiny := randMatrix(t, 5, 50, 1)
+	want, err := BruteForce(5, wTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctxd[AlgoBrute](context.Background(), 5, wTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("brute: context variant diverges at %d", i)
+		}
+	}
+}
+
+// TestContextSolversCancelled: a pre-cancelled context stops every solver
+// with the context error before (or promptly after) it starts.
+func TestContextSolversCancelled(t *testing.T) {
+	n := 64
+	w := randMatrix(t, n, 5000, 21)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for algo, cf := range ContextSolvers() {
+		if algo == AlgoBrute {
+			continue
+		}
+		p, err := cf(ctx, n, w)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", algo, err)
+		}
+		if p != nil {
+			t.Fatalf("%s: returned a permutation alongside the ctx error", algo)
+		}
+	}
+}
+
+// TestIterativeSolversObserveDeadline: an already-expired deadline cuts the
+// iterative solvers off mid-solve on an instance large enough that each
+// would otherwise run visibly long; "promptly" here just means they return
+// the deadline error rather than completing.
+func TestIterativeSolversObserveDeadline(t *testing.T) {
+	n := 256
+	w := randMatrix(t, n, 100000, 77)
+	for _, algo := range []Algorithm{AlgoJV, AlgoHungarian, AlgoAuction, AlgoAuctionDevice, AlgoSinkhorn} {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		_, err := ContextSolvers()[algo](ctx, n, w)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: err = %v, want context.DeadlineExceeded", algo, err)
+		}
+	}
+}

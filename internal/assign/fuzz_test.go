@@ -1,0 +1,74 @@
+package assign
+
+import (
+	"context"
+	"testing"
+)
+
+// FuzzAuctionDeviceVsHungarian differentially fuzzes the device auction
+// against Hungarian on small instances: exact mode must reproduce the
+// optimal cost, default mode must stay within its certified gap, and both
+// must always return valid permutations.
+func FuzzAuctionDeviceVsHungarian(f *testing.F) {
+	f.Add(uint8(3), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(uint8(1), []byte{0})
+	f.Add(uint8(4), []byte{255, 0, 255, 0, 7, 7, 7, 7, 1, 2, 3, 4, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, nb uint8, data []byte) {
+		n := int(nb%6) + 1
+		if len(data) < n*n {
+			t.Skip()
+		}
+		w := make([]Cost, n*n)
+		for i := range w {
+			// Spread the byte range and include negatives: the solvers must
+			// not assume non-negative costs.
+			w[i] = Cost(int32(data[i]) - 128)
+		}
+		ph, err := Hungarian(n, w)
+		if err != nil {
+			t.Fatalf("hungarian: %v", err)
+		}
+		opt, err := TotalCost(n, w, ph)
+		if err != nil {
+			t.Fatalf("hungarian cost: %v", err)
+		}
+
+		pe, _, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{TargetGap: -1})
+		if err != nil {
+			t.Fatalf("auction-device exact: %v", err)
+		}
+		ec, err := TotalCost(n, w, pe)
+		if err != nil {
+			t.Fatalf("auction-device exact assignment invalid: %v", err)
+		}
+		if ec != opt {
+			t.Fatalf("exact mode cost %d, hungarian optimum %d (n=%d w=%v)", ec, opt, n, w)
+		}
+
+		pd, info, err := AuctionDeviceContext(context.Background(), n, w, DeviceAuctionOptions{})
+		if err != nil {
+			t.Fatalf("auction-device default: %v", err)
+		}
+		dc, err := TotalCost(n, w, pd)
+		if err != nil {
+			t.Fatalf("auction-device default assignment invalid: %v", err)
+		}
+		if info.LowerBound > float64(opt)+1e-6 {
+			t.Fatalf("certificate lb %.3f above optimum %d (n=%d w=%v)", info.LowerBound, opt, n, w)
+		}
+		if slack := DefaultAuctionGap*maxf(1, abs64(float64(opt))) + 1; float64(dc-opt) > slack {
+			t.Fatalf("default mode cost %d beyond certified slack of optimum %d (n=%d w=%v)", dc, opt, n, w)
+		}
+
+		ps, sinfo, err := SinkhornContext(context.Background(), n, w, SinkhornOptions{})
+		if err != nil {
+			t.Fatalf("sinkhorn: %v", err)
+		}
+		if _, err := TotalCost(n, w, ps); err != nil {
+			t.Fatalf("sinkhorn assignment invalid: %v", err)
+		}
+		if sinfo.LowerBound > float64(opt)+1e-6 {
+			t.Fatalf("sinkhorn lb %.3f above optimum %d (n=%d w=%v)", sinfo.LowerBound, opt, n, w)
+		}
+	})
+}

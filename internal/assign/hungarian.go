@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/perm"
@@ -12,9 +13,21 @@ import (
 // a shortest augmenting path maintained with dual potentials (u, v). This is
 // the algorithm the paper cites ([11], [12]) for the matching step.
 func Hungarian(n int, w []Cost) (perm.Perm, error) {
+	return hungarian(nil, n, w)
+}
+
+// HungarianContext is Hungarian with cancellation: the context is polled
+// before each row insertion and at every step of the shortest-path tree
+// growth (each step is one O(n) relaxation pass).
+func HungarianContext(ctx context.Context, n int, w []Cost) (perm.Perm, error) {
+	return hungarian(ctx, n, w)
+}
+
+func hungarian(ctx context.Context, n int, w []Cost) (perm.Perm, error) {
 	if err := checkInput(n, w); err != nil {
 		return nil, err
 	}
+	cp := checkpoints{ctx: ctx, stride: 64, what: "hungarian"}
 	const inf = math.MaxInt64
 
 	// Potentials: rowPot over rows, colPot over columns 0..n (n is the
@@ -40,6 +53,9 @@ func Hungarian(n int, w []Cost) (perm.Perm, error) {
 		}
 		used[n] = false
 		for {
+			if err := cp.visit(); err != nil {
+				return nil, err
+			}
 			used[j0] = true
 			i0 := matched[j0]
 			delta := int64(inf)

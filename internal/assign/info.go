@@ -1,0 +1,34 @@
+package assign
+
+// Info reports what a certified approximate solve achieved. The certificate
+// is a dual feasible lower bound on the optimal assignment cost, so
+//
+//	LowerBound ≤ OPT ≤ Cost
+//
+// holds unconditionally — Gap bounds the true optimality gap without
+// knowing OPT. The auction's bound (ε-complementary slackness prices) is
+// tight near its gap target; Sinkhorn's bound (entropic potentials) is
+// valid but loose, which is why the solver-smoke gate certifies Sinkhorn
+// against JV's exact cost instead of its own certificate.
+type Info struct {
+	// Cost is the returned permutation's total assignment cost.
+	Cost int64
+	// LowerBound is the certified dual lower bound on the optimum, in the
+	// (unscaled) units of the cost matrix.
+	LowerBound float64
+	// Gap is the certified relative gap,
+	// (Cost − LowerBound) / max(1, |LowerBound|).
+	Gap float64
+	// Rounds counts ε levels (auction) or log-domain iterations (Sinkhorn).
+	Rounds int
+	// Sweeps counts dirty 2-opt polish sweeps (Sinkhorn only).
+	Sweeps int
+	// Scans counts full cost-matrix row scans — the auction's unit of
+	// device work (one scan ≡ one row of one batched kernel launch).
+	Scans int
+	// Degraded reports that a device was supplied but at least one batch
+	// fell back to the host after launch retries were exhausted or the
+	// device was lost. Host batches are bit-identical to device batches
+	// (the scan is pure), so the result is unaffected.
+	Degraded bool
+}

@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/perm"
@@ -14,9 +15,21 @@ import (
 // times faster on the dense tile-error matrices of this workload — the same
 // reason the paper picked Blossom V over a textbook implementation.
 func JV(n int, w []Cost) (perm.Perm, error) {
+	return jv(nil, n, w)
+}
+
+// JVContext is JV with cancellation: the context is polled at the
+// algorithm's O(n)-work boundaries (per reduced column, per augmenting-row
+// pass, per Dijkstra scan step), strided so the polls stay off the profile.
+func JVContext(ctx context.Context, n int, w []Cost) (perm.Perm, error) {
+	return jv(ctx, n, w)
+}
+
+func jv(ctx context.Context, n int, w []Cost) (perm.Perm, error) {
 	if err := checkInput(n, w); err != nil {
 		return nil, err
 	}
+	cp := checkpoints{ctx: ctx, stride: 64, what: "jv"}
 	if n == 1 {
 		// The reduction passes assume a second column exists; the 1×1
 		// problem has exactly one solution anyway.
@@ -39,6 +52,9 @@ func JV(n int, w []Cost) (perm.Perm, error) {
 	// matching the reference implementation).
 	matches := make([]int, n)
 	for j := n - 1; j >= 0; j-- {
+		if err := cp.visit(); err != nil {
+			return nil, err
+		}
 		min := int64(w[j]) // cost[0][j]
 		imin := 0
 		for i := 1; i < n; i++ {
@@ -87,6 +103,9 @@ func JV(n int, w []Cost) (perm.Perm, error) {
 		prvnumfree := numfree
 		numfree = 0
 		for k < prvnumfree {
+			if err := cp.visit(); err != nil {
+				return nil, err
+			}
 			i := free[k]
 			k++
 			row := w[i*n : (i+1)*n]
@@ -154,6 +173,9 @@ func JV(n int, w []Cost) (perm.Perm, error) {
 		endofpath := -1
 		last := 0
 		for endofpath < 0 {
+			if err := cp.visit(); err != nil {
+				return nil, err
+			}
 			if up == low {
 				last = low - 1
 				min = d[collist[up]]

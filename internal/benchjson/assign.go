@@ -1,0 +1,128 @@
+package benchjson
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/cuda"
+)
+
+// AssignSolver is one matcher's measurement in the assign comparison block.
+// GapVsJV is the true suboptimality against the JV optimum on this instance;
+// CertifiedGap is the bound the solver proved about itself from its own dual
+// certificate (always ≥ the true gap, and what the quality gates enforce).
+type AssignSolver struct {
+	Solver       string  `json:"solver"`
+	AssignNS     int64   `json:"assign_ns"`
+	FinalCost    int64   `json:"final_cost"`
+	GapVsJV      float64 `json:"gap_vs_jv"`
+	SpeedupVsJV  float64 `json:"speedup_vs_jv"`
+	CertifiedGap float64 `json:"certified_gap,omitempty"`
+}
+
+// AssignBlock compares the Step-3 exact matchers on one pinned cost matrix.
+// The instance is deliberately larger than the pipeline runs' (tiles =
+// size/8, so the committed 512 report solves S = 64² = 4096): exact matching
+// only dominates the pipeline at the paper's largest tile grids, which is
+// exactly where the certified approximate solvers earn their keep.
+type AssignBlock struct {
+	Input   string         `json:"input"`
+	Target  string         `json:"target"`
+	Size    int            `json:"size"`
+	Tiles   int            `json:"tiles_per_side"`
+	S       int            `json:"s"`
+	Solvers []AssignSolver `json:"solvers"`
+}
+
+// assignTiles picks the comparison instance's tile grid: size/8, floored to
+// the smallest legal grid.
+func assignTiles(size int) int {
+	t := size / 8
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// AssignComparison builds the pinned scene pair's cost matrix at the
+// comparison tile grid and times JV, the device auction and Sinkhorn on it.
+// Exported so `make solver-smoke` (TestSolverSmoke) asserts the same
+// quantities the committed report records.
+func AssignComparison(ctx context.Context, size int) (*AssignBlock, error) {
+	if size <= 0 {
+		size = pinnedSize
+	}
+	tiles := assignTiles(size)
+	input, target, err := pinnedImages(size)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := core.PrepareContext(ctx, input, target, core.Options{
+		TilesPerSide: tiles,
+		Algorithm:    core.Optimization,
+	})
+	if err != nil {
+		return nil, err
+	}
+	costs := prep.Costs()
+	block := &AssignBlock{
+		Input: pinnedInput, Target: pinnedTarget,
+		Size: size, Tiles: tiles, S: costs.S,
+	}
+
+	t0 := time.Now()
+	jvPerm, err := assign.JVContext(ctx, costs.S, costs.W)
+	if err != nil {
+		return nil, fmt.Errorf("jv: %w", err)
+	}
+	jvNS := time.Since(t0).Nanoseconds()
+	jvCost := costs.Total(jvPerm)
+	block.Solvers = append(block.Solvers, AssignSolver{
+		Solver: string(assign.AlgoJV), AssignNS: jvNS, FinalCost: jvCost, SpeedupVsJV: 1,
+	})
+
+	dev := cuda.New(0)
+	t0 = time.Now()
+	aPerm, aInfo, err := assign.AuctionDeviceContext(ctx, costs.S, costs.W, assign.DeviceAuctionOptions{Device: dev})
+	if err != nil {
+		return nil, fmt.Errorf("auction-device: %w", err)
+	}
+	block.Solvers = append(block.Solvers, solverEntry(string(assign.AlgoAuctionDevice),
+		time.Since(t0).Nanoseconds(), costs.Total(aPerm), aInfo.Gap, jvCost, jvNS))
+
+	t0 = time.Now()
+	sPerm, sInfo, err := assign.SinkhornContext(ctx, costs.S, costs.W, assign.SinkhornOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("sinkhorn: %w", err)
+	}
+	block.Solvers = append(block.Solvers, solverEntry(string(assign.AlgoSinkhorn),
+		time.Since(t0).Nanoseconds(), costs.Total(sPerm), sInfo.Gap, jvCost, jvNS))
+	return block, nil
+}
+
+// solverEntry derives the comparison quantities against the JV baseline.
+func solverEntry(name string, ns, cost int64, certified float64, jvCost, jvNS int64) AssignSolver {
+	gap := float64(cost-jvCost) / maxAbsF(jvCost)
+	speedup := 0.0
+	if ns > 0 {
+		speedup = float64(jvNS) / float64(ns)
+	}
+	return AssignSolver{
+		Solver: name, AssignNS: ns, FinalCost: cost,
+		GapVsJV: gap, SpeedupVsJV: speedup, CertifiedGap: certified,
+	}
+}
+
+// maxAbsF guards the relative-gap denominator against tiny optima.
+func maxAbsF(v int64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	if v < 1 {
+		v = 1
+	}
+	return float64(v)
+}

@@ -1,0 +1,50 @@
+package benchjson
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/assign"
+)
+
+// TestSolverSmoke is the `make solver-smoke` gate: on the pinned 512-pixel
+// comparison instance (tiles = 64, S = 4096) both certified approximate
+// solvers must beat the JV baseline's wall time while staying within the
+// certified 1% cost gap. It is env-gated because the instance takes a few
+// seconds per solver — too slow for the default test run, exactly right for
+// a dedicated CI job.
+func TestSolverSmoke(t *testing.T) {
+	if os.Getenv("MOSAIC_SOLVER_SMOKE") == "" {
+		t.Skip("set MOSAIC_SOLVER_SMOKE=1 to run the pinned S=4096 solver comparison")
+	}
+	block, err := AssignComparison(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.S != 4096 || len(block.Solvers) != 3 {
+		t.Fatalf("unexpected comparison shape: S=%d solvers=%d", block.S, len(block.Solvers))
+	}
+	jv := block.Solvers[0]
+	if jv.Solver != string(assign.AlgoJV) || jv.AssignNS <= 0 {
+		t.Fatalf("JV baseline malformed: %+v", jv)
+	}
+	for _, s := range block.Solvers[1:] {
+		t.Logf("%s: %.0fms vs JV %.0fms (%.2fx), gap %.4f%% (certified %.4f%%)",
+			s.Solver, float64(s.AssignNS)/1e6, float64(jv.AssignNS)/1e6,
+			s.SpeedupVsJV, 100*s.GapVsJV, 100*s.CertifiedGap)
+		if s.GapVsJV > assign.DefaultAuctionGap {
+			t.Errorf("%s: true gap %.4f%% above the %.0f%% gate",
+				s.Solver, 100*s.GapVsJV, 100*assign.DefaultAuctionGap)
+		}
+		if s.AssignNS >= jv.AssignNS {
+			t.Errorf("%s: %dns not faster than JV's %dns", s.Solver, s.AssignNS, jv.AssignNS)
+		}
+	}
+	// The auction's certificate is what the pipeline trusts at runtime; it
+	// must itself be within the gate (Sinkhorn's dual bound is valid but
+	// loose, so only its true gap is gated).
+	if auction := block.Solvers[1]; auction.CertifiedGap > assign.DefaultAuctionGap {
+		t.Errorf("auction-device certificate %.4f%% above the gate", 100*auction.CertifiedGap)
+	}
+}

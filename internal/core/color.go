@@ -149,12 +149,13 @@ func generateRGB(ctx context.Context, input, target *imgutil.RGB, opts Options, 
 
 	t0 = time.Now()
 	sp = trace.Start(tr, trace.SpanRearrange)
-	p, st, err := rearrangeContext(ctx, costs, opts, tr)
+	p, st, assignDur, err := rearrangeContext(ctx, costs, opts, tr)
 	if err != nil {
 		return nil, err
 	}
 	sp.End()
 	res.Timing.Rearrange = time.Since(t0)
+	res.Timing.Assign = assignDur
 	res.Assignment = p
 	res.SearchStats = SearchStats{Passes: st.Passes, Swaps: st.Swaps}
 	res.TotalError = costs.Total(p)

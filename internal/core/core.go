@@ -179,7 +179,12 @@ type Timing struct {
 	Preprocess time.Duration // histogram matching (outside the paper's timings)
 	CostMatrix time.Duration // Step 2 (Table II)
 	Rearrange  time.Duration // Step 3 (Table III)
-	Assemble   time.Duration // writing the output image
+	// Assign is the LAP solve inside Rearrange when Algorithm ==
+	// Optimization (zero otherwise) — a subset of Rearrange, not an
+	// additional stage, so Total() is unchanged. Rearrange − Assign is the
+	// Step-3 time outside the solver.
+	Assign   time.Duration
+	Assemble time.Duration // writing the output image
 }
 
 // Total returns the Step-2 + Step-3 time, the quantity of Table IV.
@@ -373,8 +378,11 @@ func generate(ctx context.Context, input, target *imgutil.Gray, opts Options, m 
 
 // rearrangeContext dispatches Step 3 on an already-built cost matrix. The
 // local-search algorithms observe ctx between sweep rounds / color classes
-// and report their counters to tr (merged with any caller-set Search.Trace).
-func rearrangeContext(ctx context.Context, costs *metric.Matrix, opts Options, tr trace.Collector) (perm.Perm, localsearch.Stats, error) {
+// and report their counters to tr (merged with any caller-set Search.Trace);
+// the exact and certified matchers observe it at their solver checkpoints.
+// assignDur is the time spent inside the LAP solver (Optimization only) —
+// the SpanAssign slice of the rearrangement.
+func rearrangeContext(ctx context.Context, costs *metric.Matrix, opts Options, tr trace.Collector) (p perm.Perm, stats localsearch.Stats, assignDur time.Duration, err error) {
 	start := opts.Start
 	if start == nil {
 		start = perm.Identity(costs.S)
@@ -383,30 +391,67 @@ func rearrangeContext(ctx context.Context, costs *metric.Matrix, opts Options, t
 	search.Trace = trace.Multi(search.Trace, tr)
 	switch opts.Algorithm {
 	case Optimization:
-		p, err := assign.Solvers()[opts.Solver](costs.S, costs.W)
-		return p, localsearch.Stats{}, err
+		t0 := time.Now()
+		sp := trace.Start(tr, trace.SpanAssign)
+		trace.Annotate(sp, trace.AttrSolver, string(opts.Solver))
+		p, err := solveAssignment(ctx, costs, opts, tr)
+		sp.End()
+		return p, localsearch.Stats{}, time.Since(t0), err
 	case Approximation:
-		return localsearch.SerialContext(ctx, costs, start, search)
+		p, stats, err := localsearch.SerialContext(ctx, costs, start, search)
+		return p, stats, 0, err
 	case ApproximationDirty:
-		return localsearch.SerialDirtyContext(ctx, costs, start, search)
+		p, stats, err := localsearch.SerialDirtyContext(ctx, costs, start, search)
+		return p, stats, 0, err
 	case ParallelApproximation:
 		if opts.Resilience != nil {
-			return localsearch.ParallelResilientContext(ctx, opts.Device, costs, start, opts.Coloring, search,
+			p, stats, err := localsearch.ParallelResilientContext(ctx, opts.Device, costs, start, opts.Coloring, search,
 				localsearch.Resilience{Retry: opts.Resilience.Retry, DisableFallback: opts.Resilience.DisableFallback})
+			return p, stats, 0, err
 		}
-		return localsearch.ParallelContext(ctx, opts.Device, costs, start, opts.Coloring, search)
+		p, stats, err := localsearch.ParallelContext(ctx, opts.Device, costs, start, opts.Coloring, search)
+		return p, stats, 0, err
 	case GreedyBaseline:
 		p, err := assign.Greedy(costs.S, costs.W)
-		return p, localsearch.Stats{}, err
+		return p, localsearch.Stats{}, 0, err
 	case IdentityBaseline:
 		if err := start.Validate(); err != nil {
-			return nil, localsearch.Stats{}, err
+			return nil, localsearch.Stats{}, 0, err
 		}
-		return start, localsearch.Stats{}, nil
+		return start, localsearch.Stats{}, 0, nil
 	case Annealing:
-		return localsearch.AnnealThenPolishContext(ctx, costs, start, opts.Anneal, search)
+		p, stats, err := localsearch.AnnealThenPolishContext(ctx, costs, start, opts.Anneal, search)
+		return p, stats, 0, err
 	}
-	return nil, localsearch.Stats{}, fmt.Errorf("core: unknown algorithm %q: %w", opts.Algorithm, ErrOptions)
+	return nil, localsearch.Stats{}, 0, fmt.Errorf("core: unknown algorithm %q: %w", opts.Algorithm, ErrOptions)
+}
+
+// solveAssignment runs the configured LAP solver. The certified solvers get
+// their full option surface threaded through: the device auction receives
+// the pipeline's Device, trace collector and resilience policy (so a lost
+// device degrades its scan batches to the host exactly like the other
+// device-backed stages); Sinkhorn runs with its tuned defaults. Every other
+// solver runs through its context-aware registration.
+func solveAssignment(ctx context.Context, costs *metric.Matrix, opts Options, tr trace.Collector) (perm.Perm, error) {
+	switch opts.Solver {
+	case assign.AlgoAuctionDevice:
+		dopts := assign.DeviceAuctionOptions{Device: opts.Device, Trace: tr}
+		if opts.Resilience != nil {
+			dopts.Retry = opts.Resilience.Retry
+			// With no device at all the host mirror is the run, not a
+			// degradation — only a supplied device honours DisableFallback.
+			if opts.Device != nil {
+				dopts.DisableFallback = opts.Resilience.DisableFallback
+			}
+		}
+		p, _, err := assign.AuctionDeviceContext(ctx, costs.S, costs.W, dopts)
+		return p, err
+	case assign.AlgoSinkhorn:
+		p, _, err := assign.SinkhornContext(ctx, costs.S, costs.W, assign.SinkhornOptions{})
+		return p, err
+	default:
+		return assign.ContextSolvers()[opts.Solver](ctx, costs.S, costs.W)
+	}
 }
 
 // Rearrange exposes Step 3 alone for callers that reuse one cost matrix
@@ -425,5 +470,19 @@ func Rearrange(costs *metric.Matrix, opts Options) (perm.Perm, localsearch.Stats
 	if opts.Algorithm == ParallelApproximation && opts.Device == nil {
 		return nil, localsearch.Stats{}, fmt.Errorf("core: %s requires a Device: %w", ParallelApproximation, ErrOptions)
 	}
-	return rearrangeContext(context.Background(), costs, opts, opts.Trace)
+	p, stats, _, err := rearrangeContext(context.Background(), costs, opts, opts.Trace)
+	return p, stats, err
+}
+
+// ParseSolver resolves a Step-3 exact-matcher name against the assign
+// registry; the empty name selects the default (JV).
+func ParseSolver(name string) (assign.Algorithm, error) {
+	if name == "" {
+		return assign.AlgoJV, nil
+	}
+	a := assign.Algorithm(name)
+	if _, ok := assign.Solvers()[a]; !ok {
+		return "", fmt.Errorf("core: unknown solver %q: %w", name, ErrOptions)
+	}
+	return a, nil
 }

@@ -70,6 +70,11 @@ func (p *Prepared) MemoryBytes() int64 {
 	return n
 }
 
+// Costs returns the prepared S×S error matrix. The matrix is shared, not
+// copied — callers must treat it as read-only (benchjson's solver comparison
+// and the solver-smoke gate read it to run the exact matchers standalone).
+func (p *Prepared) Costs() *metric.Matrix { return p.costs }
+
 // InputStore returns the input image's columnar tile store (post-matching).
 func (p *Prepared) InputStore() *tilestore.Store { return p.inStore }
 
@@ -271,7 +276,7 @@ func (p *Prepared) finishStages(ctx context.Context, opts Options, tr trace.Coll
 	t0 := time.Now()
 	sp := trace.Start(tr, trace.SpanRearrange)
 	var err error
-	res.Assignment, res.SearchStats, err = rearrangeContext(ctx, p.costs, opts, tr)
+	res.Assignment, res.SearchStats, res.Timing.Assign, err = rearrangeContext(ctx, p.costs, opts, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -112,7 +112,7 @@ func (cfg *Config) Figure7(dir string) ([]FigureResult, error) {
 			opts  core.Options
 			skip  bool
 		}{
-			{"optimization", core.Options{TilesPerSide: tiles, Algorithm: core.Optimization},
+			{"optimization", core.Options{TilesPerSide: tiles, Algorithm: core.Optimization, Solver: cfg.solverAlgo()},
 				cfg.MaxOptimizationS > 0 && s > cfg.MaxOptimizationS},
 			{"approx-cpu", core.Options{TilesPerSide: tiles, Algorithm: core.Approximation}, false},
 			{"approx-gpu", core.Options{TilesPerSide: tiles, Algorithm: core.ParallelApproximation, Device: dev}, false},
@@ -158,7 +158,7 @@ func (cfg *Config) Figure8(dir string) ([]FigureResult, error) {
 		if cfg.MaxOptimizationS > 0 && 32*32 > cfg.MaxOptimizationS {
 			algo = core.Approximation
 		}
-		res, err := core.Generate(input, target, core.Options{TilesPerSide: 32, Algorithm: algo})
+		res, err := core.Generate(input, target, core.Options{TilesPerSide: 32, Algorithm: algo, Solver: cfg.solverAlgo()})
 		if err != nil {
 			return nil, err
 		}

@@ -118,9 +118,10 @@ func (cfg *Config) runCell(p Pair, n, tiles int, cc colorings) (*Cell, error) {
 	if cfg.MaxOptimizationS > 0 && s > cfg.MaxOptimizationS {
 		cell.OptSkipped = true
 	} else {
+		solve := assign.Solvers()[cfg.solverAlgo()]
 		var opt perm.Perm
 		cell.Step3Opt = measure(func() {
-			q, err2 := assign.JV(s, costs.W)
+			q, err2 := solve(s, costs.W)
 			if err2 != nil {
 				panic(err2)
 			}

@@ -46,6 +46,7 @@ type jobRequestJSON struct {
 	Size             int    `json:"size"`
 	Tiles            int    `json:"tiles"`
 	Algorithm        string `json:"algorithm"`
+	Solver           string `json:"solver"`
 	Metric           string `json:"metric"`
 	NoHistogramMatch bool   `json:"no_histogram_match"`
 	TimeoutMS        int64  `json:"timeout_ms"`
@@ -230,6 +231,7 @@ func (s *Service) parseSubmission(r *http.Request) (*Request, *jobRequestJSON, e
 		wire.Size = atoiDefault(r.FormValue("size"), 0)
 		wire.Tiles = atoiDefault(r.FormValue("tiles"), 0)
 		wire.Algorithm = r.FormValue("algorithm")
+		wire.Solver = r.FormValue("solver")
 		wire.Metric = r.FormValue("metric")
 		wire.NoHistogramMatch = r.FormValue("no_histogram_match") == "true"
 		wire.TimeoutMS = int64(atoiDefault(r.FormValue("timeout_ms"), 0))
@@ -272,6 +274,13 @@ func (s *Service) parseSubmission(r *http.Request) (*Request, *jobRequestJSON, e
 			return nil, nil, err
 		}
 		req.Algorithm = alg
+	}
+	if wire.Solver != "" {
+		sol, err := core.ParseSolver(wire.Solver)
+		if err != nil {
+			return nil, nil, err
+		}
+		req.Solver = sol
 	}
 	switch strings.ToLower(wire.Metric) {
 	case "", "l1":

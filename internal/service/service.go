@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/assign"
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/imgutil"
@@ -81,6 +82,9 @@ type Config struct {
 	// are exhausted fail instead of falling back, and /readyz reports
 	// not-ready while every device is quarantined.
 	NoCPUFallback bool
+	// DefaultSolver is the Step-3 exact matcher used when a request names
+	// none (empty = JV). Per-request Solver overrides it.
+	DefaultSolver assign.Algorithm
 	// FailureThreshold and ProbeInterval tune the device pool's circuit
 	// breaker and health probe (see PoolConfig).
 	FailureThreshold int
@@ -144,6 +148,11 @@ type Request struct {
 	Algorithm     core.Algorithm
 	Metric        metric.Metric
 	NoHistMatch   bool
+	// Solver picks the exact matcher for the optimization algorithm
+	// (empty = the service's DefaultSolver, which itself defaults to JV).
+	// The certified approximate solvers (auction-device, sinkhorn) trade
+	// ≤1% assignment cost for materially lower matching latency.
+	Solver assign.Algorithm
 	// Timeout is the per-job deadline; 0 selects the configured default,
 	// values above MaxTimeout are clamped to it.
 	Timeout time.Duration
@@ -203,6 +212,7 @@ type Job struct {
 	device      string
 	contentHash string
 	cacheLabel  string // "hit" | "miss" | "" (failed before the lookup)
+	solver      string // effective Step-3 matcher, for the assign histogram
 	quarantined bool
 
 	mu     sync.Mutex
@@ -275,6 +285,7 @@ type Service struct {
 	queueWait   *telemetry.Histogram
 	queueWaitNS *telemetry.Histogram
 	phaseNS     func(phase string) *telemetry.Histogram
+	assignNS    func(solver string) *telemetry.Histogram
 	rejected    func(reason string) *telemetry.Counter
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
@@ -347,6 +358,11 @@ func (s *Service) registerMetrics() {
 		return reg.Histogram("mosaic_request_phase_ns",
 			"Request wall time attributed exclusively to each phase, in nanoseconds (with request-ID exemplars).",
 			telemetry.Labels{"phase": phase}, telemetry.NanoBuckets)
+	}
+	s.assignNS = func(solver string) *telemetry.Histogram {
+		return reg.Histogram("mosaic_assign_ns",
+			"Step-3 exact-matching wall time by solver, in nanoseconds (with request-ID exemplars).",
+			telemetry.Labels{"solver": solver}, telemetry.NanoBuckets)
 	}
 	s.jobsTotal = func(outcome string) *telemetry.Counter {
 		return reg.Counter("mosaic_service_jobs_total", "Finished jobs by outcome.",
@@ -483,6 +499,11 @@ func validateRequest(req *Request) error {
 	if req.Tiles < 2 {
 		return fmt.Errorf("%w: tiles %d (need at least 2 per side)", core.ErrOptions, req.Tiles)
 	}
+	if req.Solver != "" {
+		if _, ok := assign.Solvers()[req.Solver]; !ok {
+			return fmt.Errorf("%w: unknown solver %q", core.ErrOptions, req.Solver)
+		}
+	}
 	return nil
 }
 
@@ -568,6 +589,11 @@ func (s *Service) settleTrace(job *Job, outcome string, jobErr error) {
 	for phase, ns := range phases {
 		s.phaseNS(phase).ObserveExemplar(float64(ns), exLabels)
 	}
+	// Per-solver matching latency: only requests that ran the optimization
+	// algorithm open a SpanAssign, so the histogram stays solver-pure.
+	if ns, ok := phases[trace.SpanAssign]; ok && job.solver != "" {
+		s.assignNS(job.solver).ObserveExemplar(float64(ns), exLabels)
+	}
 	var total int64
 	for _, r := range roots {
 		total += int64(r.Duration)
@@ -650,11 +676,20 @@ func (s *Service) execute(job *Job) (*JobResult, error) {
 		return nil, err
 	}
 
+	solver := req.Solver
+	if solver == "" {
+		solver = s.cfg.DefaultSolver
+	}
+	if solver == "" {
+		solver = assign.AlgoJV
+	}
+	job.solver = string(solver)
 	opts := core.Options{
 		TilesPerSide:     req.Tiles,
 		Algorithm:        req.Algorithm,
 		Metric:           req.Metric,
 		NoHistogramMatch: req.NoHistMatch,
+		Solver:           solver,
 		Device:           dev,
 		Trace:            tr,
 		Resilience:       &core.Resilience{Retry: s.cfg.Retry, DisableFallback: s.cfg.NoCPUFallback},

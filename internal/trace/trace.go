@@ -31,7 +31,13 @@ const (
 	SpanTiling     = "tiling"          // Step 1
 	SpanCostMatrix = "error-matrix"    // Step 2 (Table II)
 	SpanRearrange  = "rearrangement"   // Step 3 (Table III)
-	SpanAssemble   = "assembly"        // writing the mosaic
+	// SpanAssign nests inside SpanRearrange when Step 3 runs an exact or
+	// certified matcher (Algorithm == Optimization): the LAP solve itself,
+	// annotated with AttrSolver. Phases() attributes its time exclusively,
+	// so rearrangement minus assign is the Step-3 overhead outside the
+	// solver.
+	SpanAssign   = "assign"
+	SpanAssemble = "assembly" // writing the mosaic
 	// SpanDegraded wraps work re-run on the host after device retries were
 	// exhausted — a CPU cost-matrix rebuild or the host portion of a
 	// degraded local search. Its presence in a span tree is the per-run
@@ -76,6 +82,9 @@ const (
 	AttrRetries    = "retries"     // launch re-attempts observed by the request
 	AttrQuarantine = "quarantined" // "true" when the request's report quarantined its device
 	AttrOutcome    = "outcome"     // "done" | "timeout" | "cancelled" | "error"
+	// AttrSolver names the LAP solver on an assign span ("jv",
+	// "auction-device", "sinkhorn", ...).
+	AttrSolver = "solver"
 )
 
 // Counter names.

@@ -113,6 +113,15 @@ const (
 	// dedicated LAP solvers and capped at small S. See internal/blossom.
 	SolverBlossom = assign.AlgoBlossom
 	SolverGreedy  = assign.AlgoGreedy
+	// SolverAuctionDevice is the device-batched candidate auction: the
+	// ε-scaling auction with row scans executed as kernels and a certified
+	// early stop at a 1% optimality gap (exactness traded for wall time;
+	// see README "Choosing a solver").
+	SolverAuctionDevice = assign.AlgoAuctionDevice
+	// SolverSinkhorn is the entropic solver: sparse-support log-domain
+	// Sinkhorn iterations rounded to a permutation and polished by bounded
+	// dirty 2-opt sweeps. Approximate, with a (loose) dual certificate.
+	SolverSinkhorn = assign.AlgoSinkhorn
 )
 
 // Metric selects the per-pixel error of the paper's Eq. (1).
