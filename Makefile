@@ -13,15 +13,16 @@
 #   make chaos-smoke      fault-injection battery (-race) + a mosaicd chaos drill
 #   make tilestore-smoke  columnar-store gates: oracle battery + fuzz seeds + goldens
 #   make solver-smoke     pinned S=4096 solver comparison: certified gap + speedup gates
+#   make cluster-smoke    4-backend router scale-out: ≥3x throughput, bit-identical, kill-one failover
 
 GO      ?= go
 FUZZTIME ?= 10s
 TELEMETRY_ADDR ?= 127.0.0.1:9190
 SERVICE_ADDR ?= 127.0.0.1:9200
 
-.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke chaos-smoke tilestore-smoke solver-smoke clean
+.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke chaos-smoke tilestore-smoke solver-smoke cluster-smoke clean
 
-check: vet build race fuzz-smoke chaos-smoke tilestore-smoke solver-smoke
+check: vet build race fuzz-smoke chaos-smoke tilestore-smoke solver-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -215,6 +216,16 @@ tilestore-smoke:
 solver-smoke:
 	MOSAIC_SOLVER_SMOKE=1 $(GO) test -run TestSolverSmoke -v ./internal/benchjson/
 	@echo "solver-smoke: ok"
+
+# The cluster scale-out gate: four in-process mosaicd backends behind the
+# consistent-hash router must deliver ≥3x the aggregate throughput of one
+# identical node on a pinned device-latency-bound workload, bit-identical to
+# the single node's output; a cross-node cache peek must redirect to the node
+# already holding the Prepared; killing a backend mid-load must be absorbed
+# by failover with the ring rebalanced to the three survivors.
+cluster-smoke:
+	MOSAIC_CLUSTER_SMOKE=1 $(GO) test -run TestClusterSmoke -v ./internal/cluster/
+	@echo "cluster-smoke: ok"
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,109 @@
+// Command mosaic-router fronts N mosaicd backends as one service. Each
+// submission is consistent-hashed by its content hash (the same value the
+// backends key their prepared-work caches by), so repeated content always
+// lands on the node whose cache is already warm; a bounded-load check spills
+// hot keys to ring successors instead of queueing arbitrarily deep; and a
+// cross-node cache peek (HEAD /v1/prepared/{hash}) redirects a request to
+// any backend that already holds its Prepared, so Step 2 runs at most once
+// cluster-wide per content hash.
+//
+// Endpoints:
+//
+//	POST /v1/mosaic     route a submission (same wire format as mosaicd)
+//	GET  /v1/jobs/{id}  proxy an async poll to the backend that owns the job
+//	GET  /metrics       router metrics (per-backend requests, peek hits, failovers)
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness — 503 when no backend is healthy
+//
+// A backend that fails at the transport level is removed from the ring (its
+// keys rebalance to ring successors — ~1/N of the space, nothing else moves)
+// and re-admitted when its /healthz answers again, which moves exactly its
+// old keys back: cache affinity survives the bounce.
+//
+// Example:
+//
+//	mosaicd -addr 127.0.0.1:9201 & mosaicd -addr 127.0.0.1:9202 &
+//	mosaic-router -addr 127.0.0.1:9200 \
+//	  -peers http://127.0.0.1:9201,http://127.0.0.1:9202
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mosaic-router:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:9200", "listen address")
+		peers       = flag.String("peers", "", "comma-separated mosaicd base URLs (required), e.g. http://127.0.0.1:9201,http://127.0.0.1:9202")
+		replicas    = flag.Int("replicas", 128, "virtual nodes per backend on the hash ring")
+		loadBound   = flag.Float64("load-bound", 1.25, "bounded-load factor c: spill a key when its home exceeds ceil(c·(inflight+1)/n); ≤ 1 disables")
+		noPeek      = flag.Bool("no-peek", false, "disable the cross-node cache peek (requests always go to their ring home)")
+		maxSize     = flag.Int("max-size", 1024, "largest accepted working image side (must match the backends)")
+		probeEvery  = flag.Duration("probe-interval", 500*time.Millisecond, "cadence of the health probe that re-admits recovered backends")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		buildinfo.Print(os.Stdout, "mosaic-router")
+		return nil
+	}
+	var backends []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			backends = append(backends, p)
+		}
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("-peers is required (comma-separated mosaicd base URLs)")
+	}
+
+	reg := telemetry.NewRegistry()
+	buildinfo.Register(reg, "mosaic-router")
+	rt, err := cluster.New(cluster.Config{
+		Backends:      backends,
+		Replicas:      *replicas,
+		LoadBound:     *loadBound,
+		NoPeek:        *noPeek,
+		MaxImageSide:  *maxSize,
+		ProbeInterval: *probeEvery,
+		Registry:      reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	mux := telemetry.NewMux(reg, telemetry.WithReadiness(rt.Ready))
+	rt.RegisterRoutes(mux)
+	server, err := telemetry.StartServer(*addr, reg, mux)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mosaic-router: serving on http://%s, routing to %d backends: %s\n",
+		server.Addr, len(backends), strings.Join(backends, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	rt.Close()
+	return server.Close()
+}

@@ -7,6 +7,8 @@
 //
 //	POST /v1/mosaic    submit a job (sync; mode=async for 202 + polling)
 //	GET  /v1/jobs/{id} poll an async job
+//	HEAD /v1/prepared/{hash}  cache peek: 200 if the prepared-work cache holds hash
+//	                   (the cross-node probe behind mosaic-router's redirects)
 //	GET  /metrics      Prometheus exposition (plus /metrics.json)
 //	GET  /healthz      liveness — 200 while the process runs
 //	GET  /readyz       readiness — 503 during drain, so LBs stop routing
@@ -80,6 +82,7 @@ func run() error {
 		pprofFlag     = flag.Bool("pprof", false, "expose /debug/pprof even on non-loopback binds (loopback binds always get it)")
 		chaosSpec     = flag.String("chaos", "", "fault-injection drill: install this cuda.ParseFaultSpec plan on every pool device (e.g. 'every=2,err=launch' or 'nth=5,err=lost,max=1')")
 		noFallback    = flag.Bool("no-cpu-fallback", false, "fail jobs instead of degrading to the host when device retries are exhausted (readyz 503 once all devices are quarantined)")
+		noBatch       = flag.Bool("no-batch", false, "disable Finish micro-batching (by default queued same-content jobs settle in one wave per device lease; outputs are bit-identical either way)")
 		solver        = flag.String("solver", "", "default Step-3 matcher for optimization jobs: jv (default) | hungarian | auction | blossom | auction-device | sinkhorn; requests may override per-job")
 		retryAttempts = flag.Int("retry-attempts", 3, "kernel-launch attempts before degrading (1 disables retries)")
 		retryBase     = flag.Duration("retry-base", 2*time.Millisecond, "base backoff between launch retries (doubles per attempt, jittered)")
@@ -103,9 +106,9 @@ func run() error {
 			return fmt.Errorf("-chaos: %w", err)
 		}
 		// Plans are stateful (ordinal counters, fault budgets), so each
-		// device gets its own parse of the spec, seeded apart.
+		// device gets its own clone of the once-validated plan, seeded apart.
 		deviceFaults = func(i int) cuda.FaultInjector {
-			p, _ := cuda.ParseFaultSpec(*chaosSpec)
+			p := base.Clone()
 			p.Seed = base.Seed + uint64(i)
 			return p
 		}
@@ -159,6 +162,7 @@ func run() error {
 			BaseDelay:   *retryBase,
 		},
 		NoCPUFallback:    *noFallback,
+		NoBatching:       *noBatch,
 		DefaultSolver:    defaultSolver,
 		FailureThreshold: *failThreshold,
 		ProbeInterval:    *probeEvery,

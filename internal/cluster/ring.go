@@ -1,0 +1,180 @@
+// Package cluster turns N mosaicd processes into one service: a consistent-
+// hash ring routes each submission by its content hash (the same
+// core.ContentHash the prepared-work cache is keyed by), so repeated content
+// lands on the node that already holds its Prepared; a bounded-load check
+// spills hot keys to ring successors instead of melting one node; and a
+// cross-node cache peek (HEAD /v1/prepared/{hash}) redirects to any node
+// that already prepared the content, skipping Step 2 cluster-wide. The
+// Router (router.go) is the HTTP front that cmd/mosaic-router serves.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// defaultReplicas is the virtual-node count per backend. 128 vnodes keep the
+// per-node share of the key space within a few percent of 1/N for small N,
+// which is what bounds the key movement on join/leave to ~1/N.
+const defaultReplicas = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over named nodes with virtual replicas.
+// Membership changes move only the keys owned by the affected node (~1/N of
+// the space): that is the property that keeps the cluster's prepared-work
+// caches warm through join/leave, and the property test in ring_test.go pins
+// it. Safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []point
+	members  map[string]struct{}
+}
+
+// NewRing returns an empty ring with the given virtual-replica count per
+// node (≤ 0 selects the default).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	return &Ring{replicas: replicas, members: make(map[string]struct{})}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a node (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; ok {
+		return
+	}
+	r.members[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash64(fmt.Sprintf("%s\x00%d", node, i)), node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node (idempotent). Keys it owned fall to their ring
+// successors; everything else keeps its owner.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; !ok {
+		return
+	}
+	delete(r.members, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports membership.
+func (r *Ring) Has(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members[node]
+	return ok
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns the nodes in unspecified order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Pick returns the key's home node — the first vnode clockwise from the
+// key's hash — or "" on an empty ring.
+func (r *Ring) Pick(key string) string {
+	c := r.Candidates(key, 1)
+	if len(c) == 0 {
+		return ""
+	}
+	return c[0]
+}
+
+// Candidates returns up to max distinct nodes in clockwise ring order from
+// the key's position: the home node first, then the successors a router
+// fails over (or load-spills) to. max ≤ 0 returns every member.
+func (r *Ring) Candidates(key string, max int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if max <= 0 || max > len(r.members) {
+		max = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]struct{}, max)
+	out := make([]string, 0, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// pickBounded applies the bounded-load rule to a candidate list: the first
+// node whose in-flight load stays within ceil(c·(total+1)/n) wins, so a hot
+// key spills to its ring successor instead of queueing arbitrarily deep on
+// its home node — while cold keys never move (their home is under the bound
+// by construction). c ≤ 1 disables bounding (pure consistent hashing:
+// candidates[0]). An all-full candidate list also returns the home node:
+// when everyone is at the bound there is nothing better than affinity.
+func pickBounded(candidates []string, load map[string]int, c float64) string {
+	if len(candidates) == 0 {
+		return ""
+	}
+	if c <= 1 || len(candidates) == 1 {
+		return candidates[0]
+	}
+	total := 1 // the request being placed
+	for _, l := range load {
+		total += l
+	}
+	// ceil(c * total / n) without importing math for a float ceil.
+	bound := int((c*float64(total) + float64(len(candidates)) - 1) / float64(len(candidates)))
+	if bound < 1 {
+		bound = 1
+	}
+	for _, n := range candidates {
+		if load[n] < bound {
+			return n
+		}
+	}
+	return candidates[0]
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// owners maps every key to its current home node.
+func owners(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[k] = r.Pick(k)
+	}
+	return out
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("content-hash-%04d", i)
+	}
+	return keys
+}
+
+// TestRingLeaveMovesOneNth is the consistent-hashing property the cluster's
+// cache affinity rests on: removing one of N nodes moves ONLY the keys that
+// node owned (~1/N of the space) — every other key keeps its home, so every
+// other node's prepared-work cache stays warm. Re-adding the node restores
+// the original placement exactly.
+func TestRingLeaveMovesOneNth(t *testing.T) {
+	const nodes = 4
+	r := NewRing(0)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("http://node-%d", i))
+	}
+	keys := testKeys(4000)
+	before := owners(r, keys)
+
+	const victim = "http://node-2"
+	r.Remove(victim)
+	after := owners(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if after[k] == before[k] {
+			continue
+		}
+		moved++
+		if before[k] != victim {
+			t.Fatalf("key %s moved from %s to %s, but only %s's keys may move",
+				k, before[k], after[k], victim)
+		}
+		if after[k] == victim {
+			t.Fatalf("key %s moved TO the removed node", k)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// ~1/N with vnode variance: well inside (1/2N, 2/N).
+	if frac < 0.5/nodes || frac > 2.0/nodes {
+		t.Fatalf("leave moved %.1f%% of keys, want ~%.1f%%", frac*100, 100.0/nodes)
+	}
+
+	r.Add(victim)
+	restored := owners(r, keys)
+	for _, k := range keys {
+		if restored[k] != before[k] {
+			t.Fatalf("key %s at %s after rejoin, originally %s — placement is not deterministic",
+				k, restored[k], before[k])
+		}
+	}
+}
+
+// TestRingJoinMovesOneNth: adding an (N+1)th node claims ~1/(N+1) of the
+// keys, and every moved key moves to the new node — never between survivors.
+func TestRingJoinMovesOneNth(t *testing.T) {
+	const nodes = 4
+	r := NewRing(0)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("http://node-%d", i))
+	}
+	keys := testKeys(4000)
+	before := owners(r, keys)
+
+	const joiner = "http://node-new"
+	r.Add(joiner)
+	after := owners(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if after[k] == before[k] {
+			continue
+		}
+		moved++
+		if after[k] != joiner {
+			t.Fatalf("key %s moved from %s to %s, but only the joiner may claim keys",
+				k, before[k], after[k])
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	want := 1.0 / (nodes + 1)
+	if frac < want/2 || frac > want*2 {
+		t.Fatalf("join moved %.1f%% of keys, want ~%.1f%%", frac*100, want*100)
+	}
+}
+
+// TestRingCandidatesOrder: candidates are distinct, start at the home node
+// and cover the whole membership when unbounded.
+func TestRingCandidatesOrder(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"a", "b", "c", "d"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	for _, k := range testKeys(64) {
+		c := r.Candidates(k, 0)
+		if len(c) != len(members) {
+			t.Fatalf("key %s: %d candidates, want %d", k, len(c), len(members))
+		}
+		if c[0] != r.Pick(k) {
+			t.Fatalf("key %s: first candidate %s != Pick %s", k, c[0], r.Pick(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range c {
+			if seen[n] {
+				t.Fatalf("key %s: duplicate candidate %s", k, n)
+			}
+			seen[n] = true
+		}
+		if got := r.Candidates(k, 2); len(got) != 2 || got[0] != c[0] || got[1] != c[1] {
+			t.Fatalf("key %s: bounded candidates %v disagree with prefix of %v", k, got, c)
+		}
+	}
+}
+
+// TestPickBounded pins the bounded-load rule: a home node over the bound
+// spills to the next candidate, cold placements stay home, c ≤ 1 disables
+// bounding, and an all-full list falls back to affinity.
+func TestPickBounded(t *testing.T) {
+	cand := []string{"a", "b", "c", "d"}
+	if got := pickBounded(cand, map[string]int{}, 1.25); got != "a" {
+		t.Fatalf("idle cluster: picked %s, want home a", got)
+	}
+	// a is far over its fair share; b is idle: spill to b.
+	hot := map[string]int{"a": 10, "b": 0, "c": 1, "d": 1}
+	if got := pickBounded(cand, hot, 1.25); got != "b" {
+		t.Fatalf("hot home: picked %s, want spill to b", got)
+	}
+	// Bounding disabled: affinity wins regardless of load.
+	if got := pickBounded(cand, hot, 0); got != "a" {
+		t.Fatalf("c=0: picked %s, want a", got)
+	}
+	// Everyone at the bound: fall back to the home node.
+	full := map[string]int{"a": 5, "b": 5, "c": 5, "d": 5}
+	if got := pickBounded(cand, full, 1.0001); got != "a" {
+		t.Fatalf("all full: picked %s, want home a", got)
+	}
+	if got := pickBounded(nil, nil, 1.25); got != "" {
+		t.Fatalf("empty candidates: picked %q, want empty", got)
+	}
+}

@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// backend is one in-process mosaicd: a real service.Service behind a real
+// listener, the same wiring cmd/mosaicd does.
+type backend struct {
+	svc *service.Service
+	ts  *httptest.Server
+}
+
+func newBackend(t *testing.T, cfg service.Config) *backend {
+	t.Helper()
+	svc := service.New(cfg)
+	mux := telemetry.NewMux(svc.Registry(), telemetry.WithReadiness(svc.Ready))
+	svc.RegisterRoutes(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return &backend{svc: svc, ts: ts}
+}
+
+// newRouter fronts the given backends with a Router on its own listener.
+func newRouter(t *testing.T, cfg Config, backends ...*backend) (*Router, *httptest.Server) {
+	t.Helper()
+	for _, b := range backends {
+		cfg.Backends = append(cfg.Backends, b.ts.URL)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	mux := telemetry.NewMux(rt.Registry(), telemetry.WithReadiness(rt.Ready))
+	rt.RegisterRoutes(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	return rt, ts
+}
+
+// routedResponse is the slice of the backend job JSON the tests assert on.
+type routedResponse struct {
+	Status     string   `json:"status"`
+	Error      string   `json:"error"`
+	Cache      string   `json:"cache"`
+	TotalError int64    `json:"total_error"`
+	Spans      []string `json:"spans"`
+	PNGBase64  string   `json:"png_base64"`
+	StatusURL  string   `json:"status_url"`
+	JobID      string   `json:"job_id"`
+}
+
+func postMosaic(t *testing.T, url, body string) (*http.Response, routedResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/mosaic", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST via router: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	var rr routedResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatalf("decode %q: %v", data, err)
+	}
+	return resp, rr
+}
+
+func hasSpan(spans []string, name string) bool {
+	for _, s := range spans {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// scrape sums a metric across label sets from a telemetry mux URL.
+func scrape(t *testing.T, url, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	var sum float64
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if len(rest) == 0 || (rest[0] != ' ' && rest[0] != '{') {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+const testBody = `{"input":"lena","target":"gradient","size":64,"tiles":8}`
+
+// routingKeyOf computes the content hash the router will derive for a body —
+// the test's way to reason about ring placement.
+func routingKeyOf(t *testing.T, rt *Router, body string) string {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodPost, "/v1/mosaic", strings.NewReader(body))
+	r.Header.Set("Content-Type", "application/json")
+	key, err := rt.routingKey(r, []byte(body))
+	if err != nil {
+		t.Fatalf("routingKey: %v", err)
+	}
+	return key
+}
+
+// TestRouterAffinity: repeated same-content submissions all land on the ring
+// home, and the second one is a cache hit there — the affinity that makes
+// the cluster's caches compose instead of duplicate.
+func TestRouterAffinity(t *testing.T) {
+	a := newBackend(t, service.Config{Workers: 1})
+	b := newBackend(t, service.Config{Workers: 1})
+	rt, ts := newRouter(t, Config{}, a, b)
+
+	home := rt.ring.Pick(routingKeyOf(t, rt, testBody))
+	for i := 0; i < 2; i++ {
+		resp, rr := postMosaic(t, ts.URL, testBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, resp.StatusCode, rr.Error)
+		}
+		if got := resp.Header.Get("X-Mosaic-Backend"); got != home {
+			t.Fatalf("request %d landed on %s, want ring home %s", i, got, home)
+		}
+		want := "miss"
+		if i > 0 {
+			want = "hit"
+		}
+		if rr.Cache != want {
+			t.Fatalf("request %d: cache %q, want %q", i, rr.Cache, want)
+		}
+	}
+	if v := scrape(t, ts.URL, "mosaic_router_peek_hits_total"); v != 0 {
+		t.Errorf("peek_hits_total = %v for pure-affinity traffic, want 0", v)
+	}
+}
+
+// TestRouterPeekRedirectSkipsCostMatrix is the cross-node cache peek
+// acceptance path: node B prepared the content (directly, bypassing the
+// router), so a routed request whose ring home is node A must be redirected
+// to B by the peek — and B's response shows Step 2 never ran there again (no
+// error-matrix span, cache hit).
+func TestRouterPeekRedirectSkipsCostMatrix(t *testing.T) {
+	a := newBackend(t, service.Config{Workers: 1})
+	b := newBackend(t, service.Config{Workers: 1})
+	rt, ts := newRouter(t, Config{}, a, b)
+
+	key := routingKeyOf(t, rt, testBody)
+	candidates := rt.ring.Candidates(key, 0)
+	home, other := candidates[0], candidates[1]
+
+	// Prepare the content on the NON-home node, as if an earlier topology
+	// (or a direct client) had built it there.
+	resp, err := http.Post(other+"/v1/mosaic", "application/json", strings.NewReader(testBody))
+	if err != nil {
+		t.Fatalf("direct POST to %s: %v", other, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct prepare: status %d", resp.StatusCode)
+	}
+
+	// Routed request: ring home lacks the Prepared, the peek finds it on the
+	// other node, and the router redirects.
+	rresp, rr := postMosaic(t, ts.URL, testBody)
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("routed request: status %d (%s)", rresp.StatusCode, rr.Error)
+	}
+	if got := rresp.Header.Get("X-Mosaic-Backend"); got != other {
+		t.Fatalf("routed to %s, want peek redirect to %s (home %s)", got, other, home)
+	}
+	if rr.Cache != "hit" {
+		t.Fatalf("receiver cache = %q, want hit", rr.Cache)
+	}
+	if hasSpan(rr.Spans, "error-matrix") {
+		t.Fatal("receiver ran the error matrix; the peek redirect should have reused its Prepared")
+	}
+	if v := scrape(t, ts.URL, "mosaic_router_peek_hits_total"); v != 1 {
+		t.Errorf("peek_hits_total = %v, want 1", v)
+	}
+}
+
+// TestRouterFailover: killing a backend mid-traffic must not surface errors —
+// the router retries the ring successor, drops the dead node from the ring,
+// and the health probe re-admits it when it returns.
+func TestRouterFailover(t *testing.T) {
+	a := newBackend(t, service.Config{Workers: 1})
+	b := newBackend(t, service.Config{Workers: 1})
+	rt, ts := newRouter(t, Config{ProbeInterval: 20 * time.Millisecond}, a, b)
+
+	// Find a body homed on the victim so the kill provably reroutes. Only
+	// content (pixels + geometry) feeds the routing key, so vary the size.
+	bodyFor := func(node string) string {
+		for k := 2; k < 66; k++ {
+			body := fmt.Sprintf(`{"input":"lena","target":"gradient","size":%d,"tiles":8}`, 8*k)
+			if rt.ring.Pick(routingKeyOf(t, rt, body)) == node {
+				return body
+			}
+		}
+		t.Fatalf("no test body hashes to %s", node)
+		return ""
+	}
+	victim, survivor := a, b
+	victimBody := bodyFor(a.ts.URL)
+
+	victim.ts.Close() // kill node A: connections refused from here on
+	resp, rr := postMosaic(t, ts.URL, victimBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover request: status %d (%s)", resp.StatusCode, rr.Error)
+	}
+	if got := resp.Header.Get("X-Mosaic-Backend"); got != survivor.ts.URL {
+		t.Fatalf("failover landed on %s, want survivor %s", got, survivor.ts.URL)
+	}
+	if v := scrape(t, ts.URL, "mosaic_router_failovers_total"); v < 1 {
+		t.Errorf("failovers_total = %v, want ≥ 1", v)
+	}
+	if rt.ring.Has(victim.ts.URL) {
+		t.Error("dead backend still in the ring")
+	}
+	// Subsequent same-key requests go straight to the survivor: the ring
+	// rebalanced, no more failover retries accumulate.
+	before := scrape(t, ts.URL, "mosaic_router_failovers_total")
+	resp2, _ := postMosaic(t, ts.URL, victimBody)
+	if got := resp2.Header.Get("X-Mosaic-Backend"); got != survivor.ts.URL {
+		t.Fatalf("post-rebalance request landed on %s, want %s", got, survivor.ts.URL)
+	}
+	if after := scrape(t, ts.URL, "mosaic_router_failovers_total"); after != before {
+		t.Errorf("failovers_total grew %v → %v on a rebalanced key", before, after)
+	}
+}
+
+// TestRouterAsyncJobProxy: a 202 accepted through the router is pollable
+// through the router — the job→backend mapping survives until completion.
+func TestRouterAsyncJobProxy(t *testing.T) {
+	a := newBackend(t, service.Config{Workers: 1})
+	b := newBackend(t, service.Config{Workers: 1})
+	_, ts := newRouter(t, Config{}, a, b)
+
+	body := `{"input":"lena","target":"gradient","size":64,"tiles":8,"mode":"async"}`
+	resp, rr := postMosaic(t, ts.URL, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d (%s)", resp.StatusCode, rr.Error)
+	}
+	if rr.JobID == "" {
+		t.Fatal("async submit returned no job_id")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jresp, err := http.Get(ts.URL + "/v1/jobs/" + rr.JobID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		data, _ := io.ReadAll(jresp.Body)
+		jresp.Body.Close()
+		var st routedResponse
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("poll decode %q: %v", data, err)
+		}
+		if st.Status == "done" {
+			if st.PNGBase64 == "" {
+				t.Fatal("done job has no result")
+			}
+			break
+		}
+		if st.Status == "failed" || jresp.StatusCode != http.StatusOK {
+			t.Fatalf("job failed: %d %q", jresp.StatusCode, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after 10s", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A job the router never accepted is a clean 404, not a misroute.
+	nresp, err := http.Get(ts.URL + "/v1/jobs/j999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", nresp.StatusCode)
+	}
+}
+
+// TestRouterRejects pins the router's own error surface: oversized bodies
+// 413 without touching a backend, undecodable bodies 400, no backends 503.
+func TestRouterRejects(t *testing.T) {
+	a := newBackend(t, service.Config{Workers: 1})
+	rt, ts := newRouter(t, Config{}, a)
+
+	big := `{"input":"lena","target":"gradient","size":64,"tiles":8,"mode":"` +
+		strings.Repeat("x", service.MaxUploadBytes) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/mosaic", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body via router: %d, want 413", resp.StatusCode)
+	}
+
+	resp2, rr := postMosaic(t, ts.URL, `{"input":"no-such-scene","target":"gradient"}`)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body via router: %d (%s), want 400", resp2.StatusCode, rr.Error)
+	}
+
+	rt.ring.Remove(a.ts.URL)
+	resp3, rr3 := postMosaic(t, ts.URL, testBody)
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty ring: %d (%s), want 503", resp3.StatusCode, rr3.Error)
+	}
+	if ok, _ := rt.Ready(); ok {
+		t.Error("router reports ready with an empty ring")
+	}
+}

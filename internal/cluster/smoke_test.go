@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/service"
+)
+
+// TestClusterSmoke is the `make cluster-smoke` acceptance harness, gated on
+// MOSAIC_CLUSTER_SMOKE=1 because it is timing-based. Four in-process mosaicd
+// backends behind a router must deliver ≥3× the aggregate throughput of a
+// single identical node on a pinned device-latency-bound workload, with
+// every mosaic bit-identical to the single node's; a cross-node cache peek
+// must redirect (node B prepared, ring home is node A); and killing a
+// backend mid-load must be absorbed by failover with the ring rebalanced.
+//
+// The workload is made device-bound on purpose: a latency-only FaultPlan
+// injects a fixed delay per kernel launch (one fault-checked launch per
+// prepare), so the 1-CPU-core CI box still shows real scale-out — the
+// injected device time overlaps across backends the way real kernels would,
+// while the host CPU work stays a small fraction.
+func TestClusterSmoke(t *testing.T) {
+	if os.Getenv("MOSAIC_CLUSTER_SMOKE") == "" {
+		t.Skip("set MOSAIC_CLUSTER_SMOKE=1 to run the cluster scale-out gate")
+	}
+	const (
+		launchDelay = 250 * time.Millisecond
+		tiles       = 8
+		window      = 8 // concurrent client requests in flight
+		backends    = 4
+	)
+	scenes := []string{"lena", "sailboat", "airplane", "peppers", "barbara", "baboon", "tiffany", "plasma"}
+	sizes := []int{64, 96, 128, 160}
+	var bodies []string
+	for _, sc := range scenes {
+		for _, size := range sizes {
+			bodies = append(bodies, fmt.Sprintf(`{"input":%q,"target":"gradient","size":%d,"tiles":%d}`, sc, size, tiles))
+		}
+	}
+	backendCfg := func() service.Config {
+		return service.Config{
+			Workers: 2, Devices: 1,
+			DeviceFaults: func(int) cuda.FaultInjector {
+				return &cuda.FaultPlan{Delay: launchDelay}
+			},
+		}
+	}
+
+	// Phase 1 — single-node baseline: same workload, same backend config,
+	// one node. Records the reference hash for every body.
+	single := newBackend(t, backendCfg())
+	refHash := make([]string, len(bodies))
+	t0 := time.Now()
+	runWave(t, single.ts.URL, bodies, window, func(i int, res waveResult) {
+		refHash[i] = res.hash
+	})
+	singleWall := time.Since(t0)
+
+	// Phase 2 — the cluster: 4 fresh backends behind the router. A tight
+	// load bound makes the all-miss burst spread by load, not just by hash.
+	nodes := make([]*backend, backends)
+	for i := range nodes {
+		nodes[i] = newBackend(t, backendCfg())
+	}
+	rt, ts := newRouter(t, Config{LoadBound: 1.05}, nodes...)
+	served := make(map[string]int)
+	var servedMu sync.Mutex
+	t1 := time.Now()
+	runWave(t, ts.URL, bodies, window, func(i int, res waveResult) {
+		if res.hash != refHash[i] {
+			t.Errorf("body %d: cluster mosaic differs from the single-node reference", i)
+		}
+		servedMu.Lock()
+		served[res.backend]++
+		servedMu.Unlock()
+	})
+	clusterWall := time.Since(t1)
+
+	ratio := float64(singleWall) / float64(clusterWall)
+	t.Logf("throughput: single node %v, %d-backend cluster %v → %.2fx", singleWall.Round(time.Millisecond), backends, clusterWall.Round(time.Millisecond), ratio)
+	if ratio < 3.0 {
+		t.Errorf("aggregate speedup %.2fx with %d backends, want ≥ 3x", ratio, backends)
+	}
+	if len(served) != backends {
+		t.Errorf("only %d of %d backends served traffic: %v", len(served), backends, served)
+	}
+
+	// Phase 3 — cross-node cache peek: prepare a fresh content hash directly
+	// on a NON-home node, then route it. The router's peek must redirect to
+	// the node holding the Prepared, and that node must not rerun Step 2.
+	peekBody := fmt.Sprintf(`{"input":"sailboat","target":"plasma","size":64,"tiles":%d}`, tiles)
+	candidates := rt.ring.Candidates(routingKeyOf(t, rt, peekBody), 0)
+	home, other := candidates[0], candidates[1]
+	peekHitsBefore := scrape(t, ts.URL, "mosaic_router_peek_hits_total")
+	direct, err := http.Post(other+"/v1/mosaic", "application/json", strings.NewReader(peekBody))
+	if err != nil {
+		t.Fatalf("direct prepare on %s: %v", other, err)
+	}
+	io.Copy(io.Discard, direct.Body)
+	direct.Body.Close()
+	resp, rr := postMosaic(t, ts.URL, peekBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peek-phase request: status %d (%s)", resp.StatusCode, rr.Error)
+	}
+	if got := resp.Header.Get("X-Mosaic-Backend"); got != other {
+		t.Errorf("peek-phase request landed on %s, want redirect to %s (home %s)", got, other, home)
+	}
+	if rr.Cache != "hit" || hasSpan(rr.Spans, "error-matrix") {
+		t.Errorf("peek receiver reran Step 2 (cache=%q, spans=%v)", rr.Cache, rr.Spans)
+	}
+	if after := scrape(t, ts.URL, "mosaic_router_peek_hits_total"); after <= peekHitsBefore {
+		t.Errorf("peek_hits_total did not grow (%v → %v)", peekHitsBefore, after)
+	}
+
+	// Phase 4 — kill one backend mid-load. Every request must still answer
+	// 200 with the reference hash (failover retries on the ring successor),
+	// and afterwards the dead node is out of the ring while a key it owned
+	// provably reroutes.
+	victim := nodes[1]
+	victimBody := -1
+	for i, b := range bodies {
+		if rt.ring.Pick(routingKeyOf(t, rt, b)) == victim.ts.URL {
+			victimBody = i
+			break
+		}
+	}
+	var killOnce sync.Once
+	var done int
+	var doneMu sync.Mutex
+	t2 := time.Now()
+	runWave(t, ts.URL, bodies, window, func(i int, res waveResult) {
+		if res.hash != refHash[i] {
+			t.Errorf("body %d: post-kill mosaic differs from the single-node reference", i)
+		}
+		doneMu.Lock()
+		done++
+		trigger := done == len(bodies)/4
+		doneMu.Unlock()
+		if trigger {
+			killOnce.Do(func() {
+				victim.ts.CloseClientConnections()
+				victim.ts.Close()
+			})
+		}
+	})
+	killOnce.Do(func() { // tiny waves could finish before the trigger
+		victim.ts.CloseClientConnections()
+		victim.ts.Close()
+	})
+	t.Logf("kill-one wave: %v", time.Since(t2).Round(time.Millisecond))
+
+	if victimBody >= 0 {
+		resp2, rr2 := postMosaic(t, ts.URL, bodies[victimBody])
+		if resp2.StatusCode != http.StatusOK {
+			t.Fatalf("victim-homed request after kill: status %d (%s)", resp2.StatusCode, rr2.Error)
+		}
+		if got := resp2.Header.Get("X-Mosaic-Backend"); got == victim.ts.URL {
+			t.Error("request routed to the killed backend")
+		}
+	}
+	if rt.ring.Has(victim.ts.URL) {
+		t.Error("killed backend still in the ring")
+	}
+	if rt.ring.Len() != backends-1 {
+		t.Errorf("ring has %d members after the kill, want %d", rt.ring.Len(), backends-1)
+	}
+	if v := scrape(t, ts.URL, "mosaic_router_failovers_total"); v < 1 {
+		t.Errorf("failovers_total = %v after the kill, want ≥ 1", v)
+	}
+}
+
+type waveResult struct {
+	hash    string
+	backend string
+}
+
+// runWave posts every body through url with `window` client goroutines and
+// calls each body's callback with the PNG hash and serving backend. Any
+// non-200 fails the test.
+func runWave(t *testing.T, url string, bodies []string, window int, each func(int, waveResult)) {
+	t.Helper()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < window; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				resp, err := http.Post(url+"/v1/mosaic", "application/json", strings.NewReader(bodies[i]))
+				if err != nil {
+					t.Errorf("body %d: POST: %v", i, err)
+					continue
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("body %d: read: %v", i, err)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("body %d: status %d: %s", i, resp.StatusCode, data)
+					continue
+				}
+				var rr routedResponse
+				if err := json.Unmarshal(data, &rr); err != nil {
+					t.Errorf("body %d: decode: %v", i, err)
+					continue
+				}
+				png, err := base64.StdEncoding.DecodeString(rr.PNGBase64)
+				if err != nil || len(png) == 0 {
+					t.Errorf("body %d: bad png payload (%v)", i, err)
+					continue
+				}
+				each(i, waveResult{
+					hash:    fmt.Sprintf("%x", sha256.Sum256(png)),
+					backend: resp.Header.Get("X-Mosaic-Backend"),
+				})
+			}
+		}()
+	}
+	for i := range bodies {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

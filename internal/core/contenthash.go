@@ -1,0 +1,40 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"repro/internal/imgutil"
+	"repro/internal/metric"
+)
+
+// ContentHash is the canonical content address of one unit of prepared work:
+// it hashes everything that shapes Steps 1–2 — both pixel buffers with their
+// geometry, the tile grid, the metric, and whether histogram matching runs.
+// Step-3 parameters are deliberately excluded, so requests that differ only
+// in rearrangement strategy share one Prepared.
+//
+// The hash is load-bearing beyond the single-node cache: mosaicd's
+// prepared-work cache keys on it, HEAD /v1/prepared/{hash} peeks by it, and
+// the cluster router consistent-hashes jobs onto backends with it — cache
+// affinity across the fleet depends on every layer deriving the same bytes.
+func ContentHash(input, target *imgutil.Gray, tiles int, met metric.Metric, noHistMatch bool) string {
+	h := sha256.New()
+	var hdr [40]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(input.W))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(input.H))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(target.W))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(target.H))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(tiles))
+	h.Write(hdr[:])
+	h.Write(input.Pix)
+	h.Write(target.Pix)
+	var flags [2]byte
+	flags[0] = byte(met)
+	if noHistMatch {
+		flags[1] = 1
+	}
+	h.Write(flags[:])
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -267,6 +267,24 @@ type FaultPlan struct {
 	injected int64
 }
 
+// Clone returns a fresh plan with the same configuration and none of the
+// internal state (probability stream, fault budget). Plans are stateful, so a
+// spec parsed once can be fanned out to N devices by cloning — each clone
+// counts its own ordinals and budget, exactly as N separate parses would.
+func (p *FaultPlan) Clone() *FaultPlan {
+	return &FaultPlan{
+		Seed:        p.Seed,
+		Probability: p.Probability,
+		EveryNth:    p.EveryNth,
+		Nth:         append([]int64(nil), p.Nth...),
+		Kernel:      p.Kernel,
+		Err:         p.Err,
+		Delay:       p.Delay,
+		Hang:        p.Hang,
+		MaxFaults:   p.MaxFaults,
+	}
+}
+
 // Decide implements FaultInjector.
 func (p *FaultPlan) Decide(info LaunchInfo) Fault {
 	if p.Kernel != "" && p.Kernel != info.Kernel {

@@ -318,3 +318,38 @@ func TestSinglePanicPreservesValue(t *testing.T) {
 		}
 	})
 }
+
+// TestFaultPlanClone: a clone carries the configuration but none of the
+// state, so N clones of one validated plan behave like N separate parses —
+// the mosaicd -chaos fan-out path (previously each device re-parsed the spec
+// and discarded the error).
+func TestFaultPlanClone(t *testing.T) {
+	base, err := ParseFaultSpec("nth=1+2,err=launch,max=2,delay=1ms,kernel=canary")
+	if err != nil {
+		t.Fatalf("ParseFaultSpec: %v", err)
+	}
+	// Exhaust the base plan's budget so clones must not inherit it.
+	for i := int64(1); i <= 4; i++ {
+		base.Decide(LaunchInfo{Kernel: "canary", Ordinal: i})
+	}
+	if got := base.Injected(); got != 2 {
+		t.Fatalf("base injected %d faults, want 2", got)
+	}
+	c := base.Clone()
+	if c.Injected() != 0 {
+		t.Fatalf("clone inherited %d injected faults, want 0", c.Injected())
+	}
+	if c.EveryNth != base.EveryNth || len(c.Nth) != 2 || c.Kernel != base.Kernel ||
+		c.MaxFaults != base.MaxFaults || c.Delay != base.Delay || !errors.Is(c.Err, base.Err) {
+		t.Fatalf("clone config %+v does not match base %+v", c, base)
+	}
+	// Mutating the clone's Nth slice must not alias the base's.
+	c.Nth[0] = 99
+	if base.Nth[0] != 1 {
+		t.Fatal("Clone aliased the Nth slice")
+	}
+	f := c.Decide(LaunchInfo{Kernel: "canary", Ordinal: 2})
+	if f.Err == nil {
+		t.Fatal("clone with a fresh budget injected nothing")
+	}
+}

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestBatchedFinishBitIdentical pins the micro-batching contract end to end:
+// a burst of same-content jobs coalesces into one Finish wave (leader runs
+// the full pipeline, followers settle on its lease against its Prepared), the
+// followers' span trees show the skipped work — no device-wait, no
+// cache-lookup, no error-matrix — and every output is bit-identical to a
+// service running with batching disabled.
+func TestBatchedFinishBitIdentical(t *testing.T) {
+	const size, tiles, followers = 64, 8, 4
+	input := mustScene(t, "lena", size)
+	target := mustScene(t, "gradient", size)
+	submit := func(svc *Service) *Job {
+		t.Helper()
+		job, err := svc.Submit(&Request{Input: input, Target: target, Tiles: tiles})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		return job
+	}
+	wait := func(job *Job) *JobResult {
+		t.Helper()
+		<-job.Done()
+		st, res, err := job.Snapshot()
+		if err != nil || st != JobDone {
+			t.Fatalf("job %s: state %s, err %v", job.ID, st, err)
+		}
+		return res
+	}
+
+	// Reference: batching disabled, the request runs the plain path.
+	ref := New(Config{Workers: 1, NoBatching: true})
+	refPNG := wait(submit(ref)).PNG
+	ref.Close()
+
+	// Batched run: one worker, gated so the whole burst queues behind the
+	// leader before it starts executing.
+	release := make(chan struct{})
+	svc, ts := newTestServer(t, Config{
+		Workers:      1,
+		QueueDepth:   followers + 1,
+		testJobStart: func(*Job) { <-release },
+	})
+	leader := submit(svc)
+	var wave []*Job
+	for i := 0; i < followers; i++ {
+		wave = append(wave, submit(svc))
+	}
+	close(release)
+
+	leadRes := wait(leader)
+	if !bytes.Equal(leadRes.PNG, refPNG) {
+		t.Fatal("leader output differs from the unbatched reference")
+	}
+	if leadRes.CacheHit {
+		t.Fatal("leader reported a cache hit; it should have built the Prepared")
+	}
+	if c := leadRes.Stats.Span(trace.SpanCostMatrix).Count; c == 0 {
+		t.Fatal("leader ran no error-matrix spans; Step 2 should execute once")
+	}
+	for i, job := range wave {
+		res := wait(job)
+		if !bytes.Equal(res.PNG, refPNG) {
+			t.Fatalf("follower %d output differs from the unbatched reference", i)
+		}
+		if !res.CacheHit {
+			t.Fatalf("follower %d did not report the shared Prepared as a hit", i)
+		}
+		// The whole point of the wave: followers never wait for a device,
+		// never take the cache lookup, never run Step 2.
+		for _, span := range []string{trace.SpanDeviceWait, trace.SpanCacheLookup, trace.SpanCostMatrix} {
+			if c := res.Stats.Span(span).Count; c != 0 {
+				t.Errorf("follower %d ran %d %q spans, want 0", i, c, span)
+			}
+		}
+	}
+
+	if v := metricValue(t, ts.URL, "mosaic_service_batch_waves_total"); v != 1 {
+		t.Errorf("batch_waves_total = %v, want 1", v)
+	}
+	if v := metricValue(t, ts.URL, "mosaic_service_batched_jobs_total"); v != followers {
+		t.Errorf("batched_jobs_total = %v, want %d", v, followers)
+	}
+	if v := metricValue(t, ts.URL, "mosaic_service_cache_hits_total"); v != followers {
+		t.Errorf("cache_hits_total = %v, want %d", v, followers)
+	}
+	if v := metricValue(t, ts.URL, "mosaic_service_cache_misses_total"); v != 1 {
+		t.Errorf("cache_misses_total = %v, want 1", v)
+	}
+}
+
+// TestNoBatchingConfig pins the opt-out: with NoBatching set, a gated
+// same-content burst settles job by job — no waves, every job takes its own
+// cache lookup.
+func TestNoBatchingConfig(t *testing.T) {
+	const size, tiles, jobs = 64, 8, 3
+	input := mustScene(t, "lena", size)
+	target := mustScene(t, "gradient", size)
+	release := make(chan struct{})
+	svc, ts := newTestServer(t, Config{
+		Workers:      1,
+		QueueDepth:   jobs,
+		NoBatching:   true,
+		testJobStart: func(*Job) { <-release },
+	})
+	var all []*Job
+	for i := 0; i < jobs; i++ {
+		job, err := svc.Submit(&Request{Input: input, Target: target, Tiles: tiles})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		all = append(all, job)
+	}
+	close(release)
+	for _, job := range all {
+		<-job.Done()
+		st, res, err := job.Snapshot()
+		if err != nil || st != JobDone {
+			t.Fatalf("job %s: state %s, err %v", job.ID, st, err)
+		}
+		if c := res.Stats.Span(trace.SpanCacheLookup).Count; c != 1 {
+			t.Errorf("job %s took %d cache lookups, want 1 (unbatched path)", job.ID, c)
+		}
+	}
+	if v := metricValue(t, ts.URL, "mosaic_service_batch_waves_total"); v != 0 {
+		t.Errorf("batch_waves_total = %v with NoBatching, want 0", v)
+	}
+}

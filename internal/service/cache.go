@@ -3,9 +3,6 @@ package service
 import (
 	"container/list"
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"sync"
 
 	"repro/internal/core"
@@ -139,6 +136,17 @@ func (c *prepCache) insertLocked(key string, prep *core.Prepared) {
 	}
 }
 
+// contains reports whether key is resident, without bumping LRU order — the
+// peek path behind HEAD /v1/prepared/{hash}. A peek is not a use: routers
+// probe every node, and promoting on probe would let remote peeks distort
+// eviction.
+func (c *prepCache) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // stats returns the entry count, resident bytes and lifetime evictions.
 func (c *prepCache) stats() (entries int, bytes int64, evictions int64) {
 	c.mu.Lock()
@@ -146,26 +154,8 @@ func (c *prepCache) stats() (entries int, bytes int64, evictions int64) {
 	return c.ll.Len(), c.bytes, c.evictions
 }
 
-// cacheKey hashes everything that shapes Steps 1–2: both pixel buffers with
-// their geometry, the tile grid, the metric, and whether histogram matching
-// runs. Step-3 parameters are deliberately excluded — requests that differ
-// only in rearrangement strategy share one Prepared.
+// cacheKey is core.ContentHash — the one content address shared by this
+// cache, the peek endpoint and the cluster router's hash routing.
 func cacheKey(input, target *imgutil.Gray, tiles int, met metric.Metric, noHist bool) string {
-	h := sha256.New()
-	var hdr [40]byte
-	binary.LittleEndian.PutUint64(hdr[0:], uint64(input.W))
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(input.H))
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(target.W))
-	binary.LittleEndian.PutUint64(hdr[24:], uint64(target.H))
-	binary.LittleEndian.PutUint64(hdr[32:], uint64(tiles))
-	h.Write(hdr[:])
-	h.Write(input.Pix)
-	h.Write(target.Pix)
-	var flags [2]byte
-	flags[0] = byte(met)
-	if noHist {
-		flags[1] = 1
-	}
-	h.Write(flags[:])
-	return hex.EncodeToString(h.Sum(nil))
+	return core.ContentHash(input, target, tiles, met, noHist)
 }

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDrainSubmitNoHang is the drain/submit race audit pinned as a test: a
+// job accepted at the instant Drain flips readiness must still settle — done
+// or failed, never a forever-open Done channel. Submissions race against
+// Drain from many goroutines; once Drain returns, every accepted job must
+// already be settled (the workers drained the closed queue, and the claim
+// CAS guarantees exactly one settler per job even when batch waves claim
+// queued jobs concurrently). Run under -race in CI.
+func TestDrainSubmitNoHang(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 64})
+	input := mustScene(t, "lena", 32)
+	target := mustScene(t, "gradient", 32)
+
+	var accepted sync.Map
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 20; i++ {
+				// Same content on purpose: the submissions also feed the
+				// batching index, so waves, workers and Drain race for claims.
+				job, err := svc.Submit(&Request{Input: input, Target: target, Tiles: 4})
+				if err != nil {
+					if !errors.Is(err, ErrDraining) && !errors.Is(err, ErrQueueFull) {
+						t.Errorf("Submit: unexpected error %v", err)
+					}
+					continue
+				}
+				accepted.Store(job, struct{}{})
+			}
+		}()
+	}
+	close(start)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// No sleep before Drain: the interesting interleaving is Drain flipping
+	// readiness in the middle of the submission storm.
+	err := svc.Drain(ctx)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	accepted.Range(func(k, _ any) bool {
+		job := k.(*Job)
+		select {
+		case <-job.Done():
+			st, _, jerr := job.Snapshot()
+			if st != JobDone && st != JobFailed {
+				t.Errorf("job %s settled in state %s (err %v)", job.ID, st, jerr)
+			}
+		default:
+			t.Errorf("job %s was accepted but its Done channel never closed", job.ID)
+		}
+		return true
+	})
+	svc.Close()
+}

@@ -23,18 +23,30 @@ import (
 	"repro/internal/trace"
 )
 
-// maxUploadBytes bounds one multipart upload; two max-side PNGs fit with
-// room to spare.
+// maxUploadBytes bounds one request body — JSON or multipart; two max-side
+// PNGs fit with room to spare. Oversized bodies are rejected with 413, never
+// silently truncated (truncation would decode a corrupt image or compute a
+// wrong content hash).
 const maxUploadBytes = 32 << 20
+
+// MaxUploadBytes is the request-body bound, exported so the cluster router
+// can enforce the same limit before buffering a submission for routing.
+const MaxUploadBytes = maxUploadBytes
+
+// ErrTooLarge reports a request body or uploaded file exceeding
+// maxUploadBytes. The HTTP layer maps it to 413 Request Entity Too Large.
+var ErrTooLarge = errors.New("service: request body exceeds the upload limit")
 
 // RegisterRoutes mounts the job API on mux, next to whatever telemetry
 // endpoints the mux already serves:
 //
-//	POST /v1/mosaic    submit a job (sync by default, mode=async for 202+poll)
-//	GET  /v1/jobs/{id} poll an async job
+//	POST /v1/mosaic           submit a job (sync by default, mode=async for 202+poll)
+//	GET  /v1/jobs/{id}        poll an async job
+//	HEAD /v1/prepared/{hash}  cache peek: 200 if the prepared-work cache holds hash
 func (s *Service) RegisterRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/mosaic", s.handleMosaic)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/prepared/", s.handlePrepared)
 }
 
 // jobRequestJSON is the wire form of a submission. Images are either
@@ -76,9 +88,13 @@ func (s *Service) handleMosaic(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	req, wire, err := s.parseSubmission(r)
+	req, wire, err := parseSubmission(r, s.cfg.MaxImageSide)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrTooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, err.Error())
 		return
 	}
 	req.RequestID = r.Header.Get("X-Request-ID")
@@ -133,6 +149,41 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeJob(w, job, r.URL.Query().Get("format"))
 }
+
+// handlePrepared is the cross-node cache peek: HEAD (or GET)
+// /v1/prepared/{hash} answers 200 when the prepared-work cache holds that
+// content hash and 404 otherwise. It is deliberately cheap — one map lookup,
+// no LRU bump (a peek is not a use) — so a cluster router can probe every
+// node per request. GET additionally returns a small JSON document.
+func (s *Service) handlePrepared(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodHead && r.Method != http.MethodGet {
+		w.Header().Set("Allow", "HEAD, GET")
+		httpError(w, http.StatusMethodNotAllowed, "HEAD or GET only")
+		return
+	}
+	hash := strings.TrimPrefix(r.URL.Path, "/v1/prepared/")
+	if hash == "" || strings.Contains(hash, "/") {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	if !s.PreparedCached(hash) {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, struct {
+		ContentHash string `json:"content_hash"`
+		Cached      bool   `json:"cached"`
+	}{hash, true})
+}
+
+// PreparedCached reports whether the prepared-work cache currently holds the
+// given content hash, without touching LRU order.
+func (s *Service) PreparedCached(hash string) bool { return s.cache.contains(hash) }
 
 // writeJob renders a job in its current state; format "png" streams the
 // image for finished jobs, everything else gets the JSON document.
@@ -209,14 +260,37 @@ func errToStatus(err error) (int, string) {
 	}
 }
 
+// DecodeSubmission parses an HTTP submission exactly as POST /v1/mosaic
+// does — same wire formats, limits and validation — without submitting
+// anything. The cluster router uses it to compute the content-hash routing
+// key for a buffered request before forwarding it to a backend; the returned
+// Request's ContentKey is bit-identical to the cache key the backend will
+// derive. Errors wrapping ErrTooLarge should map to 413, everything else
+// to 400.
+func DecodeSubmission(r *http.Request, maxImageSide int) (*Request, error) {
+	if maxImageSide <= 0 {
+		maxImageSide = 1024
+	}
+	req, _, err := parseSubmission(r, maxImageSide)
+	return req, err
+}
+
 // parseSubmission decodes either wire format into a validated Request.
-func (s *Service) parseSubmission(r *http.Request) (*Request, *jobRequestJSON, error) {
+func parseSubmission(r *http.Request, maxImageSide int) (*Request, *jobRequestJSON, error) {
 	wire := &jobRequestJSON{}
 	var inputFile, targetFile []byte
 	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	switch {
 	case ctype == "multipart/form-data":
+		// Bound the whole multipart body so an oversized upload fails loudly
+		// instead of spooling without limit; the per-file check in formFile
+		// is defense in depth on top of this.
+		r.Body = http.MaxBytesReader(nil, r.Body, maxUploadBytes)
 		if err := r.ParseMultipartForm(maxUploadBytes); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				return nil, nil, fmt.Errorf("%w (%d-byte limit)", ErrTooLarge, maxUploadBytes)
+			}
 			return nil, nil, fmt.Errorf("multipart form: %w", err)
 		}
 		var err error
@@ -238,9 +312,15 @@ func (s *Service) parseSubmission(r *http.Request) (*Request, *jobRequestJSON, e
 		wire.Mode = r.FormValue("mode")
 		wire.Format = r.FormValue("format")
 	default: // application/json
-		body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes))
+		// Read one byte past the limit: a body that fills limit+1 bytes is
+		// oversized and gets 413, where a plain LimitReader would silently
+		// truncate it into corrupt (but parseable-looking) input.
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
 		if err != nil {
 			return nil, nil, fmt.Errorf("read body: %w", err)
+		}
+		if len(body) > maxUploadBytes {
+			return nil, nil, fmt.Errorf("%w (%d-byte limit)", ErrTooLarge, maxUploadBytes)
 		}
 		if err := json.Unmarshal(body, wire); err != nil {
 			return nil, nil, fmt.Errorf("json body: %w", err)
@@ -253,8 +333,8 @@ func (s *Service) parseSubmission(r *http.Request) (*Request, *jobRequestJSON, e
 	if wire.Tiles == 0 {
 		wire.Tiles = 16
 	}
-	if wire.Size < 2 || wire.Size > s.cfg.MaxImageSide {
-		return nil, nil, fmt.Errorf("size %d out of range [2, %d]", wire.Size, s.cfg.MaxImageSide)
+	if wire.Size < 2 || wire.Size > maxImageSide {
+		return nil, nil, fmt.Errorf("size %d out of range [2, %d]", wire.Size, maxImageSide)
 	}
 	if wire.Tiles < 2 || wire.Size%wire.Tiles != 0 {
 		return nil, nil, fmt.Errorf("size %d not divisible into %d tiles per side", wire.Size, wire.Tiles)
@@ -309,9 +389,15 @@ func formFile(r *http.Request, field string) ([]byte, error) {
 		return nil, fmt.Errorf("form file %q: %w", field, err)
 	}
 	defer f.Close()
-	data, err := io.ReadAll(io.LimitReader(f, maxUploadBytes))
+	// limit+1 so an at-limit file is distinguishable from an oversized one;
+	// LimitReader alone would truncate silently, handing the pipeline a
+	// corrupt image (or hashing the wrong content).
+	data, err := io.ReadAll(io.LimitReader(f, maxUploadBytes+1))
 	if err != nil {
 		return nil, fmt.Errorf("form file %q: %w", field, err)
+	}
+	if len(data) > maxUploadBytes {
+		return nil, fmt.Errorf("form file %q: %w (%d-byte limit)", field, ErrTooLarge, maxUploadBytes)
 	}
 	return data, nil
 }

@@ -29,6 +29,7 @@ type RecordedRequest struct {
 	Degraded    bool             `json:"degraded,omitempty"`
 	Quarantined bool             `json:"quarantined,omitempty"`
 	Retries     int64            `json:"retries,omitempty"`
+	Batched     bool             `json:"batched,omitempty"`
 	Phases      map[string]int64 `json:"phases_ns"`
 	Spans       []*trace.Node    `json:"spans,omitempty"`
 }

@@ -82,6 +82,14 @@ type Config struct {
 	// are exhausted fail instead of falling back, and /readyz reports
 	// not-ready while every device is quarantined.
 	NoCPUFallback bool
+	// NoBatching disables Finish micro-batching. By default, when a worker
+	// finishes a job it claims every still-queued job sharing the same
+	// content hash and settles them in one wave on the same device lease —
+	// each follower skips its own queue wait for a device, cache lookup and
+	// acquire/launch overhead. Waves are coalescing only: outputs are
+	// bit-identical to unbatched execution (FinishContext is deterministic
+	// per request on a shared immutable Prepared).
+	NoBatching bool
 	// DefaultSolver is the Step-3 exact matcher used when a request names
 	// none (empty = JV). Per-request Solver overrides it.
 	DefaultSolver assign.Algorithm
@@ -165,6 +173,13 @@ type Request struct {
 	Route string
 }
 
+// ContentKey returns the request's content hash (core.ContentHash) — the
+// prepared-work cache key, the peek address and the cluster router's
+// consistent-hash routing key.
+func (r *Request) ContentKey() string {
+	return cacheKey(r.Input, r.Target, r.Tiles, r.Metric, r.NoHistMatch)
+}
+
 // JobState is the lifecycle of a job.
 type JobState string
 
@@ -207,13 +222,25 @@ type Job struct {
 	reqSpan   trace.Span
 	queueSpan trace.Span
 
-	// Execution annotations for the access log and flight recorder, written
-	// and read only on the worker goroutine.
-	device      string
+	// contentHash is the request's core.ContentHash, computed at Submit —
+	// the cache key, the batching coalescing key and the router's routing
+	// key are all this value.
 	contentHash string
+
+	// claimed is the settlement ownership CAS: exactly one of a worker, a
+	// batch leader's wave, or Close wins it, and only the winner may run or
+	// fail the job. It is what makes a job impossible to double-settle (or
+	// hang) when batching, draining and submission race.
+	claimed atomic.Bool
+
+	// Execution annotations for the access log and flight recorder, written
+	// and read only on the goroutine that claimed the job.
+	device      string
 	cacheLabel  string // "hit" | "miss" | "" (failed before the lookup)
 	solver      string // effective Step-3 matcher, for the assign histogram
 	quarantined bool
+	batched     bool // settled as a follower in a batch wave
+	batchWave   int  // wave width (leader included), 0 when unbatched
 
 	mu     sync.Mutex
 	state  JobState
@@ -272,14 +299,21 @@ type Service struct {
 	draining bool
 	jobs     map[string]*Job
 	order    []string // job IDs in creation order, for retention
-	seq      atomic.Int64
-	wg       sync.WaitGroup
-	ready    atomic.Bool
+	// pending indexes queued-and-unclaimed jobs by content hash — the batch
+	// leader's shopping list. A job leaves pending when claimed (by its
+	// worker, a wave, or Close).
+	pending map[string][]*Job
+	seq     atomic.Int64
+	wg      sync.WaitGroup
+	ready   atomic.Bool
 
 	recorder *flightRecorder
 	logMu    sync.Mutex
 
 	inFlight    *telemetry.Gauge
+	batchWaves  *telemetry.Counter
+	batchedJobs *telemetry.Counter
+	batchSize   *telemetry.Histogram
 	jobsTotal   func(outcome string) *telemetry.Counter
 	latency     *telemetry.Histogram
 	queueWait   *telemetry.Histogram
@@ -309,6 +343,7 @@ func New(cfg Config) *Service {
 		cache:    newPrepCache(cfg.CacheBytes),
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
+		pending:  make(map[string][]*Job),
 		recorder: newFlightRecorder(cfg.RecorderSlow, cfg.RecorderErrors),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -347,6 +382,12 @@ func (s *Service) registerMetrics() {
 	reg.CounterFunc("mosaic_service_cache_evictions_total", "Prepared inputs evicted by the byte budget.", nil,
 		func() float64 { _, _, ev := s.cache.stats(); return float64(ev) })
 	s.inFlight = reg.Gauge("mosaic_service_jobs_in_flight", "Jobs currently executing.", nil)
+	s.batchWaves = reg.Counter("mosaic_service_batch_waves_total",
+		"Finish waves that coalesced two or more same-content jobs onto one device lease.", nil)
+	s.batchedJobs = reg.Counter("mosaic_service_batched_jobs_total",
+		"Follower jobs settled inside a batch leader's Finish wave (device acquire and cache lookup skipped).", nil)
+	s.batchSize = reg.Histogram("mosaic_service_batch_size",
+		"Jobs per coalesced Finish wave, leader included.", nil, telemetry.SizeBuckets)
 	s.latency = reg.Histogram("mosaic_service_job_latency_seconds",
 		"Job wall time from submit to finish, in seconds.", nil, nil)
 	s.queueWait = reg.Histogram("mosaic_service_queue_wait_seconds",
@@ -427,14 +468,15 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 		return nil, ErrDraining
 	}
 	job := &Job{
-		ID:        fmt.Sprintf("j%06d", s.seq.Add(1)),
-		RequestID: req.RequestID,
-		Route:     req.Route,
-		Created:   time.Now(),
-		req:       req,
-		state:     JobQueued,
-		done:      make(chan struct{}),
-		tree:      trace.NewTree(),
+		ID:          fmt.Sprintf("j%06d", s.seq.Add(1)),
+		RequestID:   req.RequestID,
+		Route:       req.Route,
+		Created:     time.Now(),
+		req:         req,
+		contentHash: req.ContentKey(),
+		state:       JobQueued,
+		done:        make(chan struct{}),
+		tree:        trace.NewTree(),
 	}
 	job.ctx, job.cancel = context.WithTimeout(s.baseCtx, timeout)
 	job.ctx = trace.WithRequestID(job.ctx, job.RequestID)
@@ -451,6 +493,9 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	if !s.cfg.NoBatching {
+		s.pending[job.contentHash] = append(s.pending[job.contentHash], job)
+	}
 	s.retainLocked()
 	return job, nil
 }
@@ -510,35 +555,81 @@ func validateRequest(req *Request) error {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for job := range s.queue {
+		// The claim CAS is the settlement handoff: a job a batch wave (or
+		// Close) already owns stays in the channel but must not run twice.
+		if !job.claimed.CompareAndSwap(false, true) {
+			continue
+		}
+		s.unpend(job)
 		s.run(job)
 	}
 }
 
-// run executes one job: lease a device, reuse or build the prepared input,
-// finish the pipeline, encode the result — then settles the request's
+// unpend removes a claimed job from the batching index.
+func (s *Service) unpend(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.pending[job.contentHash]
+	for i, j := range list {
+		if j == job {
+			s.pending[job.contentHash] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(s.pending[job.contentHash]) == 0 {
+		delete(s.pending, job.contentHash)
+	}
+}
+
+// run executes one claimed job: lease a device, reuse or build the prepared
+// input, finish the pipeline, encode the result — then settles the request's
 // observability artifacts (span tree, phase histograms, access log, flight
 // recorder) before waking any waiter, so a synchronous client's immediate
-// /debug/requests follow-up finds its own entry.
+// /debug/requests follow-up finds its own entry. After settling its own job
+// the worker, still holding the device lease, claims every queued job that
+// shares the same prepared work and settles them as one Finish wave — the
+// micro-batching that amortizes acquire/launch overhead across same-content
+// bursts.
 func (s *Service) run(job *Job) {
-	job.queueSpan.End()
-	queueWait := time.Since(job.Created)
-	s.queueWait.Observe(queueWait.Seconds())
-	s.queueWaitNS.ObserveExemplar(float64(queueWait.Nanoseconds()),
-		telemetry.Labels{"request_id": job.RequestID})
-	job.setRunning()
+	s.beginJob(job)
 	s.inFlight.Inc()
 	defer s.inFlight.Dec()
 	if s.cfg.testJobStart != nil {
 		s.cfg.testJobStart(job)
 	}
 
-	res, err := s.execute(job)
+	l, err := s.acquireLease(job)
+	if err != nil {
+		s.settleJob(job, nil, err)
+		return
+	}
+	res, prep, err := s.execute(job, l)
+	s.reportDevice(job, l)
+	s.settleJob(job, res, err)
+	if prep != nil && !s.cfg.NoBatching {
+		s.finishWave(job, prep, l)
+	}
+	s.releaseLease(l)
+}
+
+// beginJob closes the queue-wait span and flips the job to running — the
+// common entry for worker-run jobs and wave followers alike.
+func (s *Service) beginJob(job *Job) {
+	job.queueSpan.End()
+	queueWait := time.Since(job.Created)
+	s.queueWait.Observe(queueWait.Seconds())
+	s.queueWaitNS.ObserveExemplar(float64(queueWait.Nanoseconds()),
+		telemetry.Labels{"request_id": job.RequestID})
+	job.setRunning()
+}
+
+// settleJob classifies the outcome, settles observability and wakes waiters.
+// A deadline miss, a client cancellation and a genuine execution error are
+// different operational signals and get separate outcome counters (the HTTP
+// layer mirrors the split as 504 / 499 / 5xx).
+func (s *Service) settleJob(job *Job, res *JobResult, err error) {
 	elapsed := time.Since(job.Created)
 	s.latency.Observe(elapsed.Seconds())
-	// Classify the outcome: a deadline miss, a client cancellation and a
-	// genuine execution error are different operational signals and get
-	// separate outcome counters (the HTTP layer mirrors the split as
-	// 504 / 499 / 5xx).
 	outcome := "done"
 	if err != nil {
 		switch {
@@ -581,6 +672,12 @@ func (s *Service) settleTrace(job *Job, outcome string, jobErr error) {
 	if retries > 0 {
 		trace.Annotate(job.reqSpan, trace.AttrRetries, fmt.Sprintf("%d", retries))
 	}
+	if job.batched {
+		trace.Annotate(job.reqSpan, trace.AttrBatched, "true")
+	}
+	if job.batchWave > 1 {
+		trace.Annotate(job.reqSpan, trace.AttrBatchSize, fmt.Sprintf("%d", job.batchWave))
+	}
 	job.reqSpan.End()
 
 	roots := job.tree.Roots()
@@ -612,6 +709,7 @@ func (s *Service) settleTrace(job *Job, outcome string, jobErr error) {
 		Degraded:    degraded,
 		Quarantined: job.quarantined,
 		Retries:     retries,
+		Batched:     job.batched,
 		Phases:      phases,
 		Spans:       roots,
 	}
@@ -634,10 +732,15 @@ func (s *Service) settleTrace(job *Job, outcome string, jobErr error) {
 		Degraded:    degraded,
 		Quarantined: job.quarantined,
 		Retries:     retries,
+		Batched:     job.batched,
 	})
 }
 
-func (s *Service) execute(job *Job) (*JobResult, error) {
+// execute runs one job's pipeline under an already-acquired lease: reuse or
+// build the prepared input, finish, encode. The Prepared is returned (even
+// when the Finish itself failed) so run can coalesce queued same-content
+// jobs into a wave on the same lease.
+func (s *Service) execute(job *Job, l *lease) (*JobResult, *core.Prepared, error) {
 	ctx := job.ctx
 	req := job.req
 
@@ -648,55 +751,15 @@ func (s *Service) execute(job *Job) (*JobResult, error) {
 	// vocabulary stays stable.
 	tree := job.tree
 	tr := trace.Multi(tree, telemetry.NewTraceCollector(s.reg))
-
-	devSpan := tree.StartSpan(trace.SpanDeviceWait)
-	dev, err := s.devices.Acquire(ctx)
-	devSpan.End()
-	switch {
-	case err == nil:
-		job.device = s.devices.Name(dev)
-		// Health first, lease second: the deferred calls run in reverse
-		// order, so the pool learns this job's fault/degradation outcome
-		// before the device can be handed to the next job.
-		defer func() {
-			st := tree.Snapshot()
-			job.quarantined = s.devices.Report(dev,
-				st.Counter(trace.CounterLaunchFaults),
-				st.Counter(trace.CounterDegradedRuns) > 0)
-			s.devices.Release(dev)
-		}()
-	case errors.Is(err, ErrAllQuarantined) && !s.cfg.NoCPUFallback:
+	if l.host() {
 		// Every device is sick: run the whole job on the host. The CPU
 		// builders and the host Algorithm-2 sweeps are certified
 		// bit-identical, so only latency degrades, and the run is counted.
-		dev = nil
-		job.device = "host"
 		trace.Count(tr, trace.CounterDegradedRuns, 1)
-	default:
-		return nil, err
 	}
+	opts := s.jobOptions(job, l, tr)
 
-	solver := req.Solver
-	if solver == "" {
-		solver = s.cfg.DefaultSolver
-	}
-	if solver == "" {
-		solver = assign.AlgoJV
-	}
-	job.solver = string(solver)
-	opts := core.Options{
-		TilesPerSide:     req.Tiles,
-		Algorithm:        req.Algorithm,
-		Metric:           req.Metric,
-		NoHistogramMatch: req.NoHistMatch,
-		Solver:           solver,
-		Device:           dev,
-		Trace:            tr,
-		Resilience:       &core.Resilience{Retry: s.cfg.Retry, DisableFallback: s.cfg.NoCPUFallback},
-	}
-
-	key := cacheKey(req.Input, req.Target, req.Tiles, req.Metric, req.NoHistMatch)
-	job.contentHash = key
+	key := job.contentHash
 	lookupSpan := tree.StartSpan(trace.SpanCacheLookup)
 	prep, hit, err := s.cache.getOrPrepare(ctx, key, func() (*core.Prepared, error) {
 		// The leader builds on this goroutine, so the prepare stage spans
@@ -706,7 +769,7 @@ func (s *Service) execute(job *Job) (*JobResult, error) {
 	})
 	lookupSpan.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	job.cacheLabel = cacheLabel(hit)
 	trace.Annotate(job.reqSpan, trace.AttrCache, job.cacheLabel)
@@ -716,27 +779,59 @@ func (s *Service) execute(job *Job) (*JobResult, error) {
 		s.cacheMisses.Inc()
 	}
 
-	res, err := prep.FinishContext(ctx, opts)
+	res, err := s.finishAndEncode(job, prep, opts)
+	if err != nil {
+		return nil, prep, err
+	}
+	res.CacheHit = hit
+	return res, prep, nil
+}
+
+// jobOptions assembles the pipeline options for one job on one lease.
+func (s *Service) jobOptions(job *Job, l *lease, tr trace.Collector) core.Options {
+	req := job.req
+	solver := req.Solver
+	if solver == "" {
+		solver = s.cfg.DefaultSolver
+	}
+	if solver == "" {
+		solver = assign.AlgoJV
+	}
+	job.solver = string(solver)
+	return core.Options{
+		TilesPerSide:     req.Tiles,
+		Algorithm:        req.Algorithm,
+		Metric:           req.Metric,
+		NoHistogramMatch: req.NoHistMatch,
+		Solver:           solver,
+		Device:           l.dev,
+		Trace:            tr,
+		Resilience:       &core.Resilience{Retry: s.cfg.Retry, DisableFallback: s.cfg.NoCPUFallback},
+	}
+}
+
+// finishAndEncode runs Step 3 + assembly on the shared Prepared and encodes
+// the mosaic. The result reports the job-level tree, not res.Stats: the job
+// tree saw this job's prepare spans too (when it was the cache-miss
+// builder), so the span list is the observable hit/miss signature —
+// error-matrix present only when Step 2 actually ran for this request.
+// settleJob refreshes Stats once the request root closes.
+func (s *Service) finishAndEncode(job *Job, prep *core.Prepared, opts core.Options) (*JobResult, error) {
+	res, err := prep.FinishContext(job.ctx, opts)
 	if err != nil {
 		return nil, err
 	}
-	encSpan := tree.StartSpan(trace.SpanEncode)
+	encSpan := job.tree.StartSpan(trace.SpanEncode)
 	var buf bytes.Buffer
 	if err := png.Encode(&buf, res.Mosaic.ToImage()); err != nil {
 		encSpan.End()
 		return nil, fmt.Errorf("service: encode: %w", err)
 	}
 	encSpan.End()
-	// Report the job-level tree, not res.Stats: the job tree saw this job's
-	// prepare spans too (when it was the cache-miss builder), so the span
-	// list is the observable hit/miss signature — error-matrix present only
-	// when Step 2 actually ran for this request. run() refreshes Stats once
-	// the request root closes.
 	return &JobResult{
 		PNG:        buf.Bytes(),
 		TotalError: res.TotalError,
-		CacheHit:   hit,
-		Stats:      tree.Snapshot(),
+		Stats:      job.tree.Snapshot(),
 	}, nil
 }
 
@@ -756,6 +851,7 @@ type accessLine struct {
 	Degraded    bool             `json:"degraded,omitempty"`
 	Quarantined bool             `json:"quarantined,omitempty"`
 	Retries     int64            `json:"retries,omitempty"`
+	Batched     bool             `json:"batched,omitempty"`
 }
 
 // logAccess writes one JSON line; writers are worker goroutines plus Submit
@@ -827,13 +923,16 @@ func (s *Service) Close() {
 	s.wg.Wait()
 	s.devices.Close()
 	// Jobs cancelled while still queued never reach a worker; fail them so
-	// waiters do not block forever.
+	// waiters do not block forever. The claim CAS keeps this race-free: only
+	// the winner settles, so a job a worker or wave is settling concurrently
+	// is skipped here, and a job claimed here can no longer be run by anyone.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range s.jobs {
 		st, _, _ := j.Snapshot()
-		if st == JobQueued {
+		if st == JobQueued && j.claimed.CompareAndSwap(false, true) {
 			j.finish(nil, context.Canceled)
 		}
 	}
+	s.pending = make(map[string][]*Job)
 }

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestJSONBodyTooLarge: an oversized JSON body must be rejected with 413,
+// not silently truncated at the read limit (the old io.LimitReader path fed
+// a cut-off body into the JSON decoder — corrupt input masquerading as a
+// client error, or worse, a shorter valid prefix parsing as a different
+// request).
+func TestJSONBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Valid JSON framing with limit-exceeding padding, so only the size —
+	// never a parse error — can explain the rejection.
+	body := `{"input":"lena","target":"sailboat","size":64,"tiles":8,"mode":"` +
+		strings.Repeat("x", maxUploadBytes) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/mosaic", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized JSON body: status %d, want 413", resp.StatusCode)
+	}
+
+	// An at-limit body must still be accepted (or fail for its content, not
+	// its size): the limit is a bound, not an off-by-one trap.
+	small := `{"input":"lena","target":"sailboat","size":64,"tiles":8}`
+	resp2, jr := postJSON(t, ts.URL, small)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("normal request after limit test: %d (%s)", resp2.StatusCode, jr.Error)
+	}
+}
+
+// TestMultipartUploadTooLarge: an oversized multipart upload must be
+// rejected with 413. Before the fix the file part was silently truncated at
+// the limit, yielding a corrupt image — or a wrong content hash poisoning
+// the prepared-work cache.
+func TestMultipartUploadTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var body bytes.Buffer
+	mw := newMultipart(t, &body, map[string]string{"size": "64", "tiles": "8"}, map[string][]byte{
+		// Not a decodable PNG, but the size gate must fire before decoding.
+		"input":  bytes.Repeat([]byte{0xAB}, maxUploadBytes+1),
+		"target": []byte("P2 1 1 255 0"),
+	})
+	resp, err := http.Post(ts.URL+"/v1/mosaic", mw, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized multipart upload: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestFormFileLimitCheck pins the defense-in-depth per-file check directly:
+// formFile must error on a part exceeding the limit rather than truncate.
+func TestFormFileLimitCheck(t *testing.T) {
+	var body bytes.Buffer
+	ctype := newMultipart(t, &body, nil, map[string][]byte{
+		"input": bytes.Repeat([]byte{0x01}, maxUploadBytes+1),
+	})
+	r := httptest.NewRequest(http.MethodPost, "/v1/mosaic", &body)
+	r.Header.Set("Content-Type", ctype)
+	// Spool the form without the whole-body bound so only the per-file
+	// check can fire.
+	if err := r.ParseMultipartForm(32 << 20); err != nil {
+		t.Fatalf("ParseMultipartForm: %v", err)
+	}
+	if _, err := formFile(r, "input"); err == nil {
+		t.Fatal("formFile accepted (and would have truncated) an oversized part")
+	}
+}
+
+// TestPreparedPeek: HEAD /v1/prepared/{hash} answers 404 before a job
+// prepares that content and 200 after — the router's cross-node cache probe.
+func TestPreparedPeek(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	req := &Request{
+		Input:  mustScene(t, "lena", 64),
+		Target: mustScene(t, "sailboat", 64),
+		Tiles:  8,
+	}
+	hash := req.ContentKey()
+
+	head := func() int {
+		t.Helper()
+		resp, err := http.Head(ts.URL + "/v1/prepared/" + hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := head(); got != http.StatusNotFound {
+		t.Fatalf("peek before prepare: %d, want 404", got)
+	}
+	resp, jr := postJSON(t, ts.URL, `{"input":"lena","target":"sailboat","size":64,"tiles":8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare request: %d (%s)", resp.StatusCode, jr.Error)
+	}
+	if got := head(); got != http.StatusOK {
+		t.Fatalf("peek after prepare: %d, want 200", got)
+	}
+	if !svc.PreparedCached(hash) {
+		t.Fatal("PreparedCached disagrees with the HTTP peek")
+	}
+	// Peeking an unknown hash stays 404.
+	r2, err := http.Head(ts.URL + "/v1/prepared/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("peek of unknown hash: %d, want 404", r2.StatusCode)
+	}
+}

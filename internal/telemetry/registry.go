@@ -64,6 +64,10 @@ var NanoBuckets = []float64{
 	1e8, 2.5e8, 5e8, 1e9, 2.5e9, 5e9, 1e10, 3e10,
 }
 
+// SizeBuckets are power-of-two bounds for small-cardinality count
+// histograms — batch sizes, wave widths, fan-outs.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // Counter is a monotonically increasing float64 value. Safe for concurrent
 // use; Add panics on negative deltas (use a Gauge for values that can fall).
 type Counter struct {

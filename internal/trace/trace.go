@@ -85,6 +85,13 @@ const (
 	// AttrSolver names the LAP solver on an assign span ("jv",
 	// "auction-device", "sinkhorn", ...).
 	AttrSolver = "solver"
+	// AttrBatched marks a request settled as a follower in a batch leader's
+	// Finish wave — it reused the leader's Prepared and device lease, so its
+	// tree has neither a device-wait nor a cache-lookup span.
+	AttrBatched = "batched"
+	// AttrBatchSize is the wave width (leader included) on every job of a
+	// coalesced Finish wave.
+	AttrBatchSize = "batch_size"
 )
 
 // Counter names.
