@@ -14,15 +14,16 @@
 #   make tilestore-smoke  columnar-store gates: oracle battery + fuzz seeds + goldens
 #   make solver-smoke     pinned S=4096 solver comparison: certified gap + speedup gates
 #   make cluster-smoke    4-backend router scale-out: ≥3x throughput, bit-identical, kill-one failover
+#   make overload-smoke   graceful-degradation battery: anytime partials, admission 429s, zero 504s under burst
 
 GO      ?= go
 FUZZTIME ?= 10s
 TELEMETRY_ADDR ?= 127.0.0.1:9190
 SERVICE_ADDR ?= 127.0.0.1:9200
 
-.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke chaos-smoke tilestore-smoke solver-smoke cluster-smoke clean
+.PHONY: check vet build test race fuzz-smoke fuzz bench bench-json bench-smoke telemetry-smoke service-smoke chaos-smoke tilestore-smoke solver-smoke cluster-smoke overload-smoke clean
 
-check: vet build race fuzz-smoke chaos-smoke tilestore-smoke solver-smoke cluster-smoke
+check: vet build race fuzz-smoke chaos-smoke tilestore-smoke solver-smoke cluster-smoke overload-smoke
 
 vet:
 	$(GO) vet ./...
@@ -226,6 +227,76 @@ solver-smoke:
 cluster-smoke:
 	MOSAIC_CLUSTER_SMOKE=1 $(GO) test -run TestClusterSmoke -v ./internal/cluster/
 	@echo "cluster-smoke: ok"
+
+# The graceful-degradation battery in two legs. First the in-package overload
+# tests under the race detector (anytime partial contract, predictive
+# admission, deadline propagation and router shedding). Then a live drill:
+# boot a small anytime mosaicd (2 workers, queue 4), warm the latency
+# estimator with 8 normal requests, then require (a) a 1ms-deadline anytime
+# request answers 200 with partial:true and the X-Mosaic-Partial header,
+# (b) a strict 1ms-deadline request is rejected 429 with a Retry-After
+# computed from live load, (c) a 20-way tight-deadline burst produces zero
+# 504s — only 200s and explicit 429s — and (d) /metrics reports the partial
+# and admission counters.
+overload-smoke:
+	@set -e; \
+	$(GO) test -race -run 'TestAnytime|TestOverload|TestAdmission|TestRetryAfter|TestEstimator|TestNoAdmission|TestSerialAnytime|TestDirtyAnytime|TestParallelAnytime|TestAnnealAnytime|TestSplitBudget|TestRouterDerives|TestRouterSheds|TestRouterNoShed|TestRouterStops|TestDeadline' \
+		./internal/localsearch/ ./internal/core/ ./internal/service/ ./internal/cluster/; \
+	tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/mosaicd ./cmd/mosaicd; \
+	$$tmp/mosaicd -addr $(SERVICE_ADDR) -anytime -workers 2 -queue 4 & pid=$$!; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS -o /dev/null http://$(SERVICE_ADDR)/readyz 2>/dev/null; then up=1; break; fi; \
+		kill -0 $$pid 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	if [ $$up -ne 1 ]; then echo "overload-smoke: /readyz never answered 200"; kill $$pid 2>/dev/null; exit 1; fi; \
+	for scene in lena sailboat airplane peppers barbara baboon tiffany plasma; do \
+		curl -fsS -o /dev/null -X POST -H 'Content-Type: application/json' \
+			-d "{\"input\":\"$$scene\",\"target\":\"gradient\",\"size\":256,\"tiles\":16}" \
+			http://$(SERVICE_ADDR)/v1/mosaic || { \
+			echo "overload-smoke: training request ($$scene) failed"; kill $$pid 2>/dev/null; exit 1; }; \
+	done; \
+	curl -fsS -D $$tmp/partial.hdr -o $$tmp/partial.json -X POST \
+		-H 'Content-Type: application/json' \
+		-d '{"input":"lena","target":"sailboat","size":512,"tiles":32,"timeout_ms":1}' \
+		http://$(SERVICE_ADDR)/v1/mosaic || { \
+		echo "overload-smoke: anytime 1ms request failed outright"; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -qi '^x-mosaic-partial: true' $$tmp/partial.hdr || { \
+		echo "overload-smoke: X-Mosaic-Partial header missing"; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q '"partial": true' $$tmp/partial.json || { \
+		echo "overload-smoke: partial:true missing from the body"; kill $$pid 2>/dev/null; exit 1; }; \
+	strict=$$(curl -s -D $$tmp/strict.hdr -o /dev/null -w '%{http_code}' -X POST \
+		-H 'Content-Type: application/json' \
+		-d '{"input":"lena","target":"sailboat","size":256,"tiles":16,"timeout_ms":1,"anytime":false}' \
+		http://$(SERVICE_ADDR)/v1/mosaic); \
+	if [ "$$strict" != "429" ]; then \
+		echo "overload-smoke: strict 1ms request answered $$strict, want 429"; kill $$pid 2>/dev/null; exit 1; fi; \
+	grep -qi '^retry-after: ' $$tmp/strict.hdr || { \
+		echo "overload-smoke: 429 without Retry-After"; kill $$pid 2>/dev/null; exit 1; }; \
+	: > $$tmp/burst.codes; \
+	cpids=""; \
+	for i in $$(seq 1 20); do \
+		curl -s -o /dev/null -w '%{http_code}\n' -X POST \
+			-H 'Content-Type: application/json' \
+			-d "{\"input\":\"peppers\",\"target\":\"plasma\",\"size\":256,\"tiles\":16,\"timeout_ms\":$$((i % 5 + 1))}" \
+			http://$(SERVICE_ADDR)/v1/mosaic >> $$tmp/burst.codes & \
+		cpids="$$cpids $$!"; \
+	done; \
+	for cp in $$cpids; do wait $$cp || true; done; \
+	if grep -q '^504$$' $$tmp/burst.codes; then \
+		echo "overload-smoke: 504 in the anytime burst:"; cat $$tmp/burst.codes; kill $$pid 2>/dev/null; exit 1; fi; \
+	if ! grep -q '^200$$' $$tmp/burst.codes; then \
+		echo "overload-smoke: no 200 in the burst:"; cat $$tmp/burst.codes; kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -fsS http://$(SERVICE_ADDR)/metrics > $$tmp/metrics.txt; \
+	grep '^mosaic_partial_responses_total' $$tmp/metrics.txt | grep -qv ' 0$$' || { \
+		echo "overload-smoke: mosaic_partial_responses_total not incremented"; kill $$pid 2>/dev/null; exit 1; }; \
+	grep '^mosaic_admission_rejections_total' $$tmp/metrics.txt | grep -qv ' 0$$' || { \
+		echo "overload-smoke: mosaic_admission_rejections_total not incremented"; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "overload-smoke: mosaicd did not drain cleanly"; exit 1; }; \
+	echo "overload-smoke: ok"
 
 clean:
 	$(GO) clean ./...

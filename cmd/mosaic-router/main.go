@@ -56,6 +56,7 @@ func run() error {
 		replicas    = flag.Int("replicas", 128, "virtual nodes per backend on the hash ring")
 		loadBound   = flag.Float64("load-bound", 1.25, "bounded-load factor c: spill a key when its home exceeds ceil(c·(inflight+1)/n); ≤ 1 disables")
 		noPeek      = flag.Bool("no-peek", false, "disable the cross-node cache peek (requests always go to their ring home)")
+		noShed      = flag.Bool("no-shed", false, "disable deadline-based load shedding (set when backends run -anytime: they degrade missed deadlines themselves)")
 		maxSize     = flag.Int("max-size", 1024, "largest accepted working image side (must match the backends)")
 		probeEvery  = flag.Duration("probe-interval", 500*time.Millisecond, "cadence of the health probe that re-admits recovered backends")
 		showVersion = flag.Bool("version", false, "print version and exit")
@@ -82,6 +83,7 @@ func run() error {
 		Replicas:      *replicas,
 		LoadBound:     *loadBound,
 		NoPeek:        *noPeek,
+		NoShed:        *noShed,
 		MaxImageSide:  *maxSize,
 		ProbeInterval: *probeEvery,
 		Registry:      reg,

@@ -91,6 +91,8 @@ func run() error {
 		accessLog     = flag.String("access-log", "stderr", "access-log destination: stderr, stdout, a file path, or 'off'")
 		flightSlow    = flag.Int("flight-slow", 32, "slowest requests whose span trees the flight recorder retains")
 		flightErrors  = flag.Int("flight-errors", 64, "errored/degraded requests the flight recorder retains")
+		anytime       = flag.Bool("anytime", false, "default deadline policy: degrade a missed deadline into a 200 with the best partial mosaic so far (partial:true) instead of a 504; requests may override per-job with \"anytime\"")
+		noAdmission   = flag.Bool("no-admission", false, "disable predictive admission control (by default, strict jobs whose estimated completion exceeds their deadline are rejected at submit with 429)")
 		showVersion   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -170,6 +172,8 @@ func run() error {
 		AccessLog:        logW,
 		RecorderSlow:     *flightSlow,
 		RecorderErrors:   *flightErrors,
+		Anytime:          *anytime,
+		NoAdmission:      *noAdmission,
 	})
 
 	muxOpts := []telemetry.MuxOption{telemetry.WithReadiness(svc.Ready)}

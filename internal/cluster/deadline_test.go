@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubBackend is a minimal mosaicd stand-in that records the forwarded
+// X-Request-Deadline headers and answers 200 — the observation point for the
+// propagation tests, where a real backend would obscure what the router sent.
+type stubBackend struct {
+	ts   *httptest.Server
+	mu   sync.Mutex
+	seen []string
+	hits atomic.Int64
+}
+
+func newStubBackend(t *testing.T) *stubBackend {
+	t.Helper()
+	sb := &stubBackend{}
+	sb.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/mosaic" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		sb.hits.Add(1)
+		sb.mu.Lock()
+		sb.seen = append(sb.seen, r.Header.Get("X-Request-Deadline"))
+		sb.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"done","job_id":"j1"}`))
+	}))
+	t.Cleanup(sb.ts.Close)
+	return sb
+}
+
+func (sb *stubBackend) lastDeadline(t *testing.T) string {
+	t.Helper()
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if len(sb.seen) == 0 {
+		t.Fatal("stub backend saw no forwarded request")
+	}
+	return sb.seen[len(sb.seen)-1]
+}
+
+func stubRouter(t *testing.T, cfg Config, urls ...string) (*Router, *httptest.Server) {
+	t.Helper()
+	cfg.Backends = urls
+	cfg.NoPeek = true
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	mux := http.NewServeMux()
+	rt.RegisterRoutes(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	return rt, ts
+}
+
+// TestRouterDerivesAndPropagatesDeadline: a timeout_ms body with no deadline
+// header gets an absolute X-Request-Deadline stamped before forwarding, and
+// an explicit client header is passed through verbatim — a failover hop must
+// never restart the clock.
+func TestRouterDerivesAndPropagatesDeadline(t *testing.T) {
+	sb := newStubBackend(t)
+	_, ts := stubRouter(t, Config{}, sb.ts.URL)
+
+	before := time.Now()
+	resp, _ := postMosaic(t, ts.URL, `{"input":"lena","target":"gradient","size":64,"tiles":8,"timeout_ms":60000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	ms, err := strconv.ParseInt(sb.lastDeadline(t), 10, 64)
+	if err != nil {
+		t.Fatalf("forwarded X-Request-Deadline %q: %v", sb.lastDeadline(t), err)
+	}
+	got := time.UnixMilli(ms)
+	wantLo, wantHi := before.Add(59*time.Second), before.Add(61*time.Second)
+	if got.Before(wantLo) || got.After(wantHi) {
+		t.Fatalf("derived deadline %v outside [%v, %v]", got, wantLo, wantHi)
+	}
+
+	// Explicit header: forwarded bit-for-bit.
+	explicit := strconv.FormatInt(time.Now().Add(2*time.Minute).UnixMilli(), 10)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/mosaic",
+		strings.NewReader(`{"input":"lena","target":"gradient","size":64,"tiles":8}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Deadline", explicit)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp2.StatusCode)
+	}
+	if got := sb.lastDeadline(t); got != explicit {
+		t.Fatalf("forwarded deadline %q, want the client's %q", got, explicit)
+	}
+}
+
+// TestRouterShedsExpiredDeadline: a strict request whose propagated deadline
+// has already passed is answered 504 at the router without burning a backend
+// round-trip.
+func TestRouterShedsExpiredDeadline(t *testing.T) {
+	sb := newStubBackend(t)
+	rt, ts := stubRouter(t, Config{Registry: nil}, sb.ts.URL)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/mosaic",
+		strings.NewReader(`{"input":"lena","target":"gradient","size":64,"tiles":8}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Deadline", strconv.FormatInt(time.Now().Add(-time.Second).UnixMilli(), 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if n := sb.hits.Load(); n != 0 {
+		t.Fatalf("expired request reached the backend %d time(s)", n)
+	}
+	if got := rt.sheds("expired").Value(); got < 1 {
+		t.Fatalf("sheds{expired} = %v, want ≥ 1", got)
+	}
+
+	// The same expired deadline with anytime:true is forwarded: the backend
+	// degrades it to a partial result instead of wasting it.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/mosaic",
+		strings.NewReader(`{"input":"lena","target":"gradient","size":64,"tiles":8,"anytime":true}`))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set("X-Request-Deadline", strconv.FormatInt(time.Now().Add(-time.Second).UnixMilli(), 10))
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || sb.hits.Load() != 1 {
+		t.Fatalf("anytime expired: status %d, backend hits %d, want 200/1", resp2.StatusCode, sb.hits.Load())
+	}
+}
+
+// TestRouterShedsUnmeetableDeadline: once every candidate's latency estimate
+// exceeds the remaining budget, strict requests get 429 + Retry-After at the
+// router; anytime requests still go through.
+func TestRouterShedsUnmeetableDeadline(t *testing.T) {
+	sb := newStubBackend(t)
+	rt, ts := stubRouter(t, Config{}, sb.ts.URL)
+	node := strings.TrimRight(sb.ts.URL, "/")
+	for i := 0; i < 4; i++ {
+		rt.observeLatency(node, 10*time.Second)
+	}
+
+	resp, rr := postMosaic(t, ts.URL, `{"input":"lena","target":"gradient","size":64,"tiles":8,"timeout_ms":100}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, rr.Error)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("Retry-After = %q, want an integer in [1, 30]", resp.Header.Get("Retry-After"))
+	}
+	if n := sb.hits.Load(); n != 0 {
+		t.Fatalf("unmeetable request reached the backend %d time(s)", n)
+	}
+
+	resp2, _ := postMosaic(t, ts.URL, `{"input":"lena","target":"gradient","size":64,"tiles":8,"timeout_ms":100,"anytime":true}`)
+	if resp2.StatusCode != http.StatusOK || sb.hits.Load() != 1 {
+		t.Fatalf("anytime unmeetable: status %d, backend hits %d, want 200/1", resp2.StatusCode, sb.hits.Load())
+	}
+}
+
+// TestRouterNoShedDisablesShedding: with NoShed the router forwards even
+// expired strict deadlines (the backends own the policy).
+func TestRouterNoShedDisablesShedding(t *testing.T) {
+	sb := newStubBackend(t)
+	_, ts := stubRouter(t, Config{NoShed: true}, sb.ts.URL)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/mosaic",
+		strings.NewReader(`{"input":"lena","target":"gradient","size":64,"tiles":8}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Deadline", strconv.FormatInt(time.Now().Add(-time.Second).UnixMilli(), 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sb.hits.Load() != 1 {
+		t.Fatalf("NoShed: status %d, backend hits %d, want 200/1", resp.StatusCode, sb.hits.Load())
+	}
+}
+
+// slowDeadBackend accepts the request, burns `delay`, then kills the
+// connection — a transport-level failure that normally triggers failover.
+func slowDeadBackend(t *testing.T, delay time.Duration, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/mosaic" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		hits.Add(1)
+		time.Sleep(delay)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("response writer not hijackable")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRouterStopsFailoverOnExpiredDeadline: when the first forward's failure
+// already consumed the deadline, the router answers 504 instead of replaying
+// the request on the next backend — exactly one backend attempt total.
+func TestRouterStopsFailoverOnExpiredDeadline(t *testing.T) {
+	var hits atomic.Int64
+	a := slowDeadBackend(t, 150*time.Millisecond, &hits)
+	b := slowDeadBackend(t, 150*time.Millisecond, &hits)
+	rt, ts := stubRouter(t, Config{ProbeInterval: time.Hour}, a.URL, b.URL)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/mosaic",
+		strings.NewReader(`{"input":"lena","target":"gradient","size":64,"tiles":8}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Deadline", strconv.FormatInt(time.Now().Add(50*time.Millisecond).UnixMilli(), 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (deadline expired during failover)", resp.StatusCode)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("backends attempted %d time(s), want exactly 1 — no replay past the deadline", n)
+	}
+	if got := rt.sheds("expired").Value(); got < 1 {
+		t.Fatalf("sheds{expired} = %v, want ≥ 1", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -33,6 +34,16 @@ type Config struct {
 	// NoPeek disables the cross-node cache peek: requests always go to
 	// their ring home (or its load/failover successor).
 	NoPeek bool
+	// NoShed disables deadline-based load shedding. Set it when the
+	// backends run with -anytime as their default policy: they will degrade
+	// a missed deadline into a partial result themselves, so the router
+	// rejecting up front would discard work the backend could still finish.
+	NoShed bool
+	// ShedMinSamples is how many observed round-trips a backend needs
+	// before its latency estimate participates in shedding (default 4).
+	// Shedding only fires when EVERY candidate has a warm estimate above
+	// the request's remaining budget — one cold backend vetoes the shed.
+	ShedMinSamples int
 	// MaxImageSide caps the working image side accepted for routing-key
 	// decoding (default 1024, matching the backend default).
 	MaxImageSide int
@@ -74,6 +85,9 @@ func (c *Config) applyDefaults() {
 	if c.JobsRetain <= 0 {
 		c.JobsRetain = 4096
 	}
+	if c.ShedMinSamples <= 0 {
+		c.ShedMinSamples = 4
+	}
 }
 
 // Router consistent-hashes mosaic submissions by content hash onto healthy
@@ -90,13 +104,51 @@ type Router struct {
 	down    map[string]bool // backends removed from the ring, awaiting probe
 	jobs    map[string]string
 	jobSeq  []string // FIFO eviction order for jobs
+	latency map[string]*latEWMA
 	stopped bool
 	stop    chan struct{}
 
 	requests  func(backend string) *telemetry.Counter
 	peekHits  *telemetry.Counter
 	failovers *telemetry.Counter
+	sheds     func(reason string) *telemetry.Counter
 	rejected  func(reason string) *telemetry.Counter
+}
+
+// latEWMA is one backend's observed round-trip latency, exponentially
+// smoothed with the same factor the backend's own admission estimator uses.
+type latEWMA struct {
+	mean float64 // nanoseconds
+	n    int64
+}
+
+// observeLatency folds one successful round-trip into node's estimate.
+func (rt *Router) observeLatency(node string, d time.Duration) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	e := rt.latency[node]
+	if e == nil {
+		e = &latEWMA{}
+		rt.latency[node] = e
+	}
+	if e.n == 0 {
+		e.mean = float64(d)
+	} else {
+		e.mean += 0.2 * (float64(d) - e.mean)
+	}
+	e.n++
+}
+
+// estimateLatency returns node's smoothed round-trip; ok is false until the
+// backend has served ShedMinSamples requests through this router.
+func (rt *Router) estimateLatency(node string) (time.Duration, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	e := rt.latency[node]
+	if e == nil || e.n < int64(rt.cfg.ShedMinSamples) {
+		return 0, false
+	}
+	return time.Duration(e.mean), true
 }
 
 // New starts a router over cfg.Backends. The health probe goroutine runs
@@ -110,10 +162,11 @@ func New(cfg Config) (*Router, error) {
 		cfg:   cfg,
 		reg:   cfg.Registry,
 		ring:  NewRing(cfg.Replicas),
-		loads: make(map[string]int),
-		down:  make(map[string]bool),
-		jobs:  make(map[string]string),
-		stop:  make(chan struct{}),
+		loads:   make(map[string]int),
+		down:    make(map[string]bool),
+		jobs:    make(map[string]string),
+		latency: make(map[string]*latEWMA),
+		stop:    make(chan struct{}),
 	}
 	for _, b := range cfg.Backends {
 		b = strings.TrimRight(b, "/")
@@ -140,6 +193,11 @@ func (rt *Router) registerMetrics() {
 	rt.rejected = func(reason string) *telemetry.Counter {
 		return reg.Counter("mosaic_router_rejected_total",
 			"Requests the router rejected without reaching a backend.", telemetry.Labels{"reason": reason})
+	}
+	rt.sheds = func(reason string) *telemetry.Counter {
+		return reg.Counter("mosaic_router_sheds_total",
+			"Requests shed because their deadline was expired or unmeetable on every candidate backend.",
+			telemetry.Labels{"reason": reason})
 	}
 	reg.GaugeFunc("mosaic_router_backends_healthy", "Backends currently in the ring.", nil,
 		func() float64 { return float64(rt.ring.Len()) })
@@ -200,7 +258,7 @@ func (rt *Router) handleMosaic(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("request body exceeds the %d-byte limit", service.MaxUploadBytes))
 		return
 	}
-	key, err := rt.routingKey(r, body)
+	decoded, err := rt.decodeSubmission(r, body)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, service.ErrTooLarge) {
@@ -210,6 +268,21 @@ func (rt *Router) handleMosaic(w http.ResponseWriter, r *http.Request) {
 		routerError(w, code, err.Error())
 		return
 	}
+	key := decoded.ContentKey()
+
+	// Resolve the request's absolute deadline: an X-Request-Deadline header
+	// (already absolute — a failover hop must not restart the clock) wins;
+	// otherwise derive one from timeout_ms and stamp the header so the
+	// backend and any further hop see the same instant.
+	deadline := decoded.Deadline
+	if deadline.IsZero() && decoded.Timeout > 0 {
+		deadline = time.Now().Add(decoded.Timeout)
+		r.Header.Set("X-Request-Deadline", strconv.FormatInt(deadline.UnixMilli(), 10))
+	}
+	// Anytime requests are never shed on deadline grounds: the backend
+	// degrades them to a partial mosaic instead of failing, so work remains
+	// useful even past the deadline.
+	anytime := decoded.Anytime != nil && *decoded.Anytime
 
 	candidates := rt.ring.Candidates(key, 0)
 	if len(candidates) == 0 {
@@ -217,18 +290,49 @@ func (rt *Router) handleMosaic(w http.ResponseWriter, r *http.Request) {
 		routerError(w, http.StatusServiceUnavailable, "no healthy backends")
 		return
 	}
+
+	if !rt.cfg.NoShed && !anytime && !deadline.IsZero() {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			rt.sheds("expired").Inc()
+			routerError(w, http.StatusGatewayTimeout, "deadline already expired at the router")
+			return
+		}
+		if min, ok := rt.minCandidateEstimate(candidates); ok && min > remaining {
+			rt.sheds("unmeetable").Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(clampSeconds(min-remaining)))
+			routerError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("deadline unmeetable: every backend estimates %v against a %v budget", min.Round(time.Millisecond), remaining.Round(time.Millisecond)))
+			return
+		}
+	}
+
 	target := rt.placeRequest(r, key, candidates)
 
 	// Forward with failover: the target first, then the remaining ring
 	// candidates in order. Only transport-level failures trigger failover —
 	// an HTTP error status is the backend's answer and is relayed as-is.
+	// Each iteration re-checks the client context and the deadline: replaying
+	// a cancelled or expired request against the next backend would burn a
+	// worker on an answer nobody can use.
 	tried := map[string]bool{}
 	for _, node := range append([]string{target}, candidates...) {
 		if tried[node] || !rt.ring.Has(node) {
 			continue
 		}
+		if r.Context().Err() != nil {
+			rt.rejected("cancelled").Inc()
+			routerError(w, 499, "client closed request")
+			return
+		}
+		if !rt.cfg.NoShed && !anytime && !deadline.IsZero() && time.Until(deadline) <= 0 {
+			rt.sheds("expired").Inc()
+			routerError(w, http.StatusGatewayTimeout, "deadline expired during failover")
+			return
+		}
 		tried[node] = true
 		rt.incLoad(node)
+		start := time.Now()
 		resp, err := rt.forward(node, r, body)
 		rt.decLoad(node)
 		if err != nil {
@@ -240,12 +344,48 @@ func (rt *Router) handleMosaic(w http.ResponseWriter, r *http.Request) {
 			rt.failovers.Inc()
 			continue
 		}
+		// Only completed sync jobs train the estimate: 202 accepts and
+		// rejections return in microseconds and would drag the mean toward
+		// zero exactly when shedding should fire.
+		if resp.StatusCode == http.StatusOK {
+			rt.observeLatency(node, time.Since(start))
+		}
 		rt.requests(node).Inc()
 		rt.relay(w, resp, node)
 		return
 	}
 	rt.rejected("all_failed").Inc()
 	routerError(w, http.StatusBadGateway, "every backend failed")
+}
+
+// minCandidateEstimate returns the smallest warm latency estimate among
+// candidates. ok is false when ANY candidate lacks a warm estimate — a cold
+// backend might be fast, so it vetoes shedding.
+func (rt *Router) minCandidateEstimate(candidates []string) (time.Duration, bool) {
+	var min time.Duration
+	for i, node := range candidates {
+		est, ok := rt.estimateLatency(node)
+		if !ok {
+			return 0, false
+		}
+		if i == 0 || est < min {
+			min = est
+		}
+	}
+	return min, len(candidates) > 0
+}
+
+// clampSeconds renders a duration as whole seconds in [1, 30] for
+// Retry-After headers.
+func clampSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	if s > 30 {
+		s = 30
+	}
+	return s
 }
 
 // placeRequest picks the backend for a key: the bounded-load home first,
@@ -275,20 +415,20 @@ func (rt *Router) placeRequest(r *http.Request, key string, candidates []string)
 	return target
 }
 
-// routingKey decodes a clone of the buffered submission exactly as the
-// backend will and returns its content hash — the value that makes router
-// placement and backend cache keying the same function.
-func (rt *Router) routingKey(r *http.Request, body []byte) (string, error) {
+// decodeSubmission decodes a clone of the buffered submission exactly as the
+// backend will. Its ContentKey is the routing key — the value that makes
+// router placement and backend cache keying the same function — and its
+// Timeout/Deadline/Anytime fields drive deadline propagation and shedding.
+func (rt *Router) decodeSubmission(r *http.Request, body []byte) (*service.Request, error) {
 	clone, err := http.NewRequestWithContext(r.Context(), http.MethodPost, r.URL.String(), bytes.NewReader(body))
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	clone.Header.Set("Content-Type", r.Header.Get("Content-Type"))
-	req, err := service.DecodeSubmission(clone, rt.cfg.MaxImageSide)
-	if err != nil {
-		return "", err
+	if v := r.Header.Get("X-Request-Deadline"); v != "" {
+		clone.Header.Set("X-Request-Deadline", v)
 	}
-	return req.ContentKey(), nil
+	return service.DecodeSubmission(clone, rt.cfg.MaxImageSide)
 }
 
 // peek asks one backend whether it holds the prepared work. Any failure is a
@@ -322,6 +462,9 @@ func (rt *Router) forward(node string, r *http.Request, body []byte) (*http.Resp
 	}
 	if id := r.Header.Get("X-Request-ID"); id != "" {
 		req.Header.Set("X-Request-ID", id)
+	}
+	if dl := r.Header.Get("X-Request-Deadline"); dl != "" {
+		req.Header.Set("X-Request-Deadline", dl)
 	}
 	return rt.cfg.Client.Do(req)
 }

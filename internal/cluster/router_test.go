@@ -133,11 +133,11 @@ func routingKeyOf(t *testing.T, rt *Router, body string) string {
 	t.Helper()
 	r := httptest.NewRequest(http.MethodPost, "/v1/mosaic", strings.NewReader(body))
 	r.Header.Set("Content-Type", "application/json")
-	key, err := rt.routingKey(r, []byte(body))
+	req, err := rt.decodeSubmission(r, []byte(body))
 	if err != nil {
-		t.Fatalf("routingKey: %v", err)
+		t.Fatalf("decodeSubmission: %v", err)
 	}
-	return key
+	return req.ContentKey()
 }
 
 // TestRouterAffinity: repeated same-content submissions all land on the ring

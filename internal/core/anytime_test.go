@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSplitBudget pins the budget arithmetic: shares are non-negative, never
+// overcommit the remainder, and a spent budget yields all zeros.
+func TestSplitBudget(t *testing.T) {
+	b := SplitBudget(time.Second)
+	total := b.Prepare + b.CostMatrix + b.Assign + b.Search + b.Encode
+	if total > time.Second {
+		t.Fatalf("budget shares %v overcommit the 1s remainder", total)
+	}
+	for _, d := range []time.Duration{b.Prepare, b.CostMatrix, b.Assign, b.Search, b.Encode} {
+		if d <= 0 {
+			t.Fatalf("zero/negative share in %+v", b)
+		}
+	}
+	if got := b.Step3(); got != b.Prepare+b.CostMatrix+b.Assign+b.Search {
+		t.Fatalf("Step3() = %v, want the non-encode shares", got)
+	}
+	if z := SplitBudget(-time.Second); z != (Budgets{}) {
+		t.Fatalf("negative remainder produced non-zero budgets %+v", z)
+	}
+}
+
+// TestAnytimeAmpleBudgetBitIdentical: with a deadline comfortably beyond the
+// run, the anytime pipeline must be invisible — same assignment, same error,
+// same pixels, not Partial.
+func TestAnytimeAmpleBudgetBitIdentical(t *testing.T) {
+	input, target := pair(t, 128)
+	plain, err := Generate(input, target, Options{TilesPerSide: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anytime, err := Generate(input, target, Options{
+		TilesPerSide: 16,
+		Anytime:      true,
+		Deadline:     time.Now().Add(time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anytime.Partial {
+		t.Fatal("ample-budget anytime run reported Partial")
+	}
+	if anytime.TotalError != plain.TotalError {
+		t.Fatalf("total error %d != plain %d", anytime.TotalError, plain.TotalError)
+	}
+	for i := range plain.Assignment {
+		if anytime.Assignment[i] != plain.Assignment[i] {
+			t.Fatalf("assignment diverges at %d: %d vs %d", i, anytime.Assignment[i], plain.Assignment[i])
+		}
+	}
+	if !bytes.Equal(anytime.Mosaic.Pix, plain.Mosaic.Pix) {
+		t.Fatal("mosaic pixels diverge from the plain run")
+	}
+}
+
+// TestAnytimeExpiredDeadlineFloor: a budget that is gone before Step 3 skips
+// the search entirely and returns the start-assignment quality floor — a
+// valid, Partial mosaic, never an error.
+func TestAnytimeExpiredDeadlineFloor(t *testing.T) {
+	input, target := pair(t, 64)
+	res, err := Generate(input, target, Options{
+		TilesPerSide: 8,
+		Anytime:      true,
+		Deadline:     time.Now().Add(-time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("expired-budget run not marked Partial")
+	}
+	if verr := res.Assignment.Validate(); verr != nil {
+		t.Fatalf("floor assignment invalid: %v", verr)
+	}
+	if res.Mosaic == nil || res.Mosaic.W != 64 {
+		t.Fatalf("floor run produced no mosaic: %+v", res.Mosaic)
+	}
+	if !res.SearchStats.Partial || res.SearchStats.Cost != res.TotalError {
+		t.Fatalf("floor stats incoherent: %+v vs total %d", res.SearchStats, res.TotalError)
+	}
+	if res.BudgetRemaining == nil {
+		t.Fatal("BudgetRemaining not reported")
+	}
+	if ns, ok := res.BudgetRemaining["search"]; !ok || ns > 0 {
+		t.Fatalf("search budget remaining = %d, want ≤ 0 for an expired deadline", ns)
+	}
+}
+
+// TestAnytimeMonotoneCostAcrossBudgets: the serial search walks one
+// deterministic, monotonically improving trajectory, so more budget can
+// never produce a worse mosaic. Equal costs are fine (both budgets may
+// converge); an inversion is a bug regardless of machine speed.
+func TestAnytimeMonotoneCostAcrossBudgets(t *testing.T) {
+	input, target := pair(t, 256)
+	costs := make([]int64, 0, 3)
+	for _, deadline := range []time.Time{
+		time.Now().Add(-time.Second),         // floor
+		time.Now().Add(5 * time.Millisecond), // maybe mid-search
+		time.Now().Add(time.Hour),            // converged
+	} {
+		res, err := Generate(input, target, Options{
+			TilesPerSide: 32,
+			Anytime:      true,
+			Deadline:     deadline,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, res.TotalError)
+	}
+	if costs[1] > costs[0] || costs[2] > costs[1] {
+		t.Fatalf("cost not monotone in budget: %v", costs)
+	}
+	if costs[2] >= costs[0] {
+		t.Fatalf("ample budget (%d) did not improve on the floor (%d)", costs[2], costs[0])
+	}
+}
+
+// TestAnytimeCanceledStillAborts: anytime forgives deadlines, not
+// cancellation — a Canceled context (client gone, shutdown) must abort.
+func TestAnytimeCanceledStillAborts(t *testing.T) {
+	input, target := pair(t, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := GenerateContext(ctx, input, target, Options{
+		TilesPerSide: 8,
+		Anytime:      true,
+		Deadline:     time.Now().Add(time.Hour),
+	})
+	if err == nil {
+		t.Fatal("cancelled anytime run returned nil error")
+	}
+}
+
+// TestAnytimeCtxDeadlineFallback: with no Options.Deadline, the soft budget
+// falls back to the context's deadline — an expired one lands on the floor
+// rather than erroring (Anytime forgives DeadlineExceeded end to end).
+func TestAnytimeCtxDeadlineFallback(t *testing.T) {
+	input, target := pair(t, 64)
+	prepared, err := PrepareContext(context.Background(), input, target, Options{TilesPerSide: 8, Anytime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := prepared.FinishContext(ctx, Options{TilesPerSide: 8, Anytime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("expired ctx deadline did not mark the result Partial")
+	}
+	if verr := res.Assignment.Validate(); verr != nil {
+		t.Fatalf("fallback floor assignment invalid: %v", verr)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Budgets is the per-stage split of a deadline-budgeted request's remaining
+// time. The fractions mirror the pinned workload's stage profile
+// (BENCH_pipeline.json): Step 2 dominates a cold run, Step 3 dominates a
+// cache hit, and the fixed-cost stages (preprocess, assembly + encode) get
+// thin guaranteed slices. The split is advisory for the stages that cannot
+// stop early — preprocessing, the cost matrix and assembly always run to
+// completion — and binding for Step 3, whose anytime search absorbs
+// whatever the earlier stages left over.
+type Budgets struct {
+	Prepare    time.Duration // §II preprocessing + Step-1 tiling
+	CostMatrix time.Duration // Step 2
+	Assign     time.Duration // exact/certified matching inside Step 3
+	Search     time.Duration // local-search sweeps inside Step 3
+	Encode     time.Duration // assembly + caller-side encoding reserve
+}
+
+// SplitBudget derives the stage budgets from the time remaining when the
+// job starts executing — not when it was enqueued, because queue wait is
+// dead time that must come out of the budget, not be planned into it (see
+// DESIGN.md "Deadline budgeting"). A non-positive remainder yields all-zero
+// budgets, which downstream reads as "skip everything skippable".
+func SplitBudget(remaining time.Duration) Budgets {
+	if remaining < 0 {
+		remaining = 0
+	}
+	return Budgets{
+		Prepare:    remaining / 10,
+		CostMatrix: remaining * 3 / 10,
+		Assign:     remaining / 4,
+		Search:     remaining / 4,
+		Encode:     remaining / 10,
+	}
+}
+
+// Step3 is the binding Step-3 allotment: everything except the encode
+// reserve. The search is the one stage that can use an arbitrarily large
+// budget productively, so it inherits the shares of the stages that already
+// ran by the time Finish starts.
+func (b Budgets) Step3() time.Duration {
+	return b.Prepare + b.CostMatrix + b.Assign + b.Search
+}
+
+// softCtxErr is ctxErr for anytime runs: a surpassed deadline is budget
+// exhaustion — the run degrades instead of failing — so only genuine
+// cancellation (client gone, shutdown) aborts. Non-anytime runs keep the
+// strict contract.
+func softCtxErr(ctx context.Context, anytime bool) error {
+	err := ctxErr(ctx)
+	if err != nil && anytime && errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return err
+}

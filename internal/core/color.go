@@ -149,7 +149,7 @@ func generateRGB(ctx context.Context, input, target *imgutil.RGB, opts Options, 
 
 	t0 = time.Now()
 	sp = trace.Start(tr, trace.SpanRearrange)
-	p, st, assignDur, err := rearrangeContext(ctx, costs, opts, tr)
+	p, st, assignDur, _, err := rearrangeContext(ctx, costs, opts, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -141,6 +141,23 @@ type Options struct {
 	// machinery — the happy path is unchanged. Only the plain grayscale
 	// pipeline honours it; the oriented and proxy Step-2 builders ignore it.
 	Resilience *Resilience
+	// Anytime turns a deadline into a quality budget instead of a failure
+	// mode: when the budget expires mid-Step-3 the pipeline stops the search
+	// at a safe point and returns the best assignment found so far with
+	// Result.Partial set — every intermediate permutation of the paper's
+	// local search is a valid mosaic — instead of a context error. Stages
+	// that cannot be partial (preprocessing, the cost matrix, assembly)
+	// always run to completion; refinement that no longer fits the remaining
+	// budget is shrunk or skipped (see SplitBudget). With an ample budget
+	// the result is bit-identical to a run without Anytime.
+	Anytime bool
+	// Deadline is the anytime completion target (a soft deadline: the run
+	// degrades as it approaches rather than failing at it). Zero with
+	// Anytime set falls back to ctx's deadline, if any; with neither, the
+	// run is unbounded and Anytime only changes how a cancelled ctx is
+	// reported by Step 3. Serving callers pass the request deadline here
+	// and keep ctx for hard cancellation (client gone, shutdown).
+	Deadline time.Time
 	// AllowOrientations extends the search space beyond the paper: each
 	// placed tile may additionally use any of its eight dihedral
 	// orientations (4 rotations × optional mirror). Step 2 scores all eight
@@ -211,6 +228,21 @@ type Result struct {
 	// Stats is the aggregated trace of this run: per-stage span totals plus
 	// the sweep/swap/kernel counters, mirroring what a Trace collector saw.
 	Stats trace.Stats
+	// Partial reports an anytime run that stopped before convergence: the
+	// Assignment is valid and TotalError exact, but more budget would have
+	// refined it further. Always false without Options.Anytime.
+	Partial bool
+	// AssignInfo is the quality certificate of Step 3's matcher when an
+	// early-exit certified solver ran (auction-device, sinkhorn): its Gap
+	// bounds the distance to the exact optimum, so a Partial result still
+	// carries a certified/observed quality gap. nil for the other
+	// algorithms.
+	AssignInfo *assign.Info
+	// BudgetRemaining reports, for anytime runs with a deadline, the
+	// nanoseconds of budget left at stage entry (keys "search", "assemble";
+	// negative once overdrawn) — the per-stage budget-remaining gauges feed
+	// from it. nil otherwise.
+	BudgetRemaining map[string]int64
 }
 
 // checkGeometry rejects images whose declared dimensions do not describe
@@ -381,8 +413,9 @@ func generate(ctx context.Context, input, target *imgutil.Gray, opts Options, m 
 // and report their counters to tr (merged with any caller-set Search.Trace);
 // the exact and certified matchers observe it at their solver checkpoints.
 // assignDur is the time spent inside the LAP solver (Optimization only) —
-// the SpanAssign slice of the rearrangement.
-func rearrangeContext(ctx context.Context, costs *metric.Matrix, opts Options, tr trace.Collector) (p perm.Perm, stats localsearch.Stats, assignDur time.Duration, err error) {
+// the SpanAssign slice of the rearrangement. info is the certified solver's
+// quality certificate (auction-device/sinkhorn only, nil otherwise).
+func rearrangeContext(ctx context.Context, costs *metric.Matrix, opts Options, tr trace.Collector) (p perm.Perm, stats localsearch.Stats, assignDur time.Duration, info *assign.Info, err error) {
 	start := opts.Start
 	if start == nil {
 		start = perm.Identity(costs.S)
@@ -394,36 +427,36 @@ func rearrangeContext(ctx context.Context, costs *metric.Matrix, opts Options, t
 		t0 := time.Now()
 		sp := trace.Start(tr, trace.SpanAssign)
 		trace.Annotate(sp, trace.AttrSolver, string(opts.Solver))
-		p, err := solveAssignment(ctx, costs, opts, tr)
+		p, info, err := solveAssignment(ctx, costs, opts, tr)
 		sp.End()
-		return p, localsearch.Stats{}, time.Since(t0), err
+		return p, localsearch.Stats{}, time.Since(t0), info, err
 	case Approximation:
 		p, stats, err := localsearch.SerialContext(ctx, costs, start, search)
-		return p, stats, 0, err
+		return p, stats, 0, nil, err
 	case ApproximationDirty:
 		p, stats, err := localsearch.SerialDirtyContext(ctx, costs, start, search)
-		return p, stats, 0, err
+		return p, stats, 0, nil, err
 	case ParallelApproximation:
 		if opts.Resilience != nil {
 			p, stats, err := localsearch.ParallelResilientContext(ctx, opts.Device, costs, start, opts.Coloring, search,
 				localsearch.Resilience{Retry: opts.Resilience.Retry, DisableFallback: opts.Resilience.DisableFallback})
-			return p, stats, 0, err
+			return p, stats, 0, nil, err
 		}
 		p, stats, err := localsearch.ParallelContext(ctx, opts.Device, costs, start, opts.Coloring, search)
-		return p, stats, 0, err
+		return p, stats, 0, nil, err
 	case GreedyBaseline:
 		p, err := assign.Greedy(costs.S, costs.W)
-		return p, localsearch.Stats{}, 0, err
+		return p, localsearch.Stats{}, 0, nil, err
 	case IdentityBaseline:
 		if err := start.Validate(); err != nil {
-			return nil, localsearch.Stats{}, 0, err
+			return nil, localsearch.Stats{}, 0, nil, err
 		}
-		return start, localsearch.Stats{}, 0, nil
+		return start, localsearch.Stats{}, 0, nil, nil
 	case Annealing:
 		p, stats, err := localsearch.AnnealThenPolishContext(ctx, costs, start, opts.Anneal, search)
-		return p, stats, 0, err
+		return p, stats, 0, nil, err
 	}
-	return nil, localsearch.Stats{}, 0, fmt.Errorf("core: unknown algorithm %q: %w", opts.Algorithm, ErrOptions)
+	return nil, localsearch.Stats{}, 0, nil, fmt.Errorf("core: unknown algorithm %q: %w", opts.Algorithm, ErrOptions)
 }
 
 // solveAssignment runs the configured LAP solver. The certified solvers get
@@ -431,8 +464,11 @@ func rearrangeContext(ctx context.Context, costs *metric.Matrix, opts Options, t
 // the pipeline's Device, trace collector and resilience policy (so a lost
 // device degrades its scan batches to the host exactly like the other
 // device-backed stages); Sinkhorn runs with its tuned defaults. Every other
-// solver runs through its context-aware registration.
-func solveAssignment(ctx context.Context, costs *metric.Matrix, opts Options, tr trace.Collector) (perm.Perm, error) {
+// solver runs through its context-aware registration. The certified
+// solvers' early-exit certificate (assign.Info) is surfaced to the caller;
+// the exact solvers have no certificate (their gap is zero by construction)
+// and return nil.
+func solveAssignment(ctx context.Context, costs *metric.Matrix, opts Options, tr trace.Collector) (perm.Perm, *assign.Info, error) {
 	switch opts.Solver {
 	case assign.AlgoAuctionDevice:
 		dopts := assign.DeviceAuctionOptions{Device: opts.Device, Trace: tr}
@@ -444,13 +480,12 @@ func solveAssignment(ctx context.Context, costs *metric.Matrix, opts Options, tr
 				dopts.DisableFallback = opts.Resilience.DisableFallback
 			}
 		}
-		p, _, err := assign.AuctionDeviceContext(ctx, costs.S, costs.W, dopts)
-		return p, err
+		return assign.AuctionDeviceContext(ctx, costs.S, costs.W, dopts)
 	case assign.AlgoSinkhorn:
-		p, _, err := assign.SinkhornContext(ctx, costs.S, costs.W, assign.SinkhornOptions{})
-		return p, err
+		return assign.SinkhornContext(ctx, costs.S, costs.W, assign.SinkhornOptions{})
 	default:
-		return assign.ContextSolvers()[opts.Solver](ctx, costs.S, costs.W)
+		p, err := assign.ContextSolvers()[opts.Solver](ctx, costs.S, costs.W)
+		return p, nil, err
 	}
 }
 
@@ -470,7 +505,7 @@ func Rearrange(costs *metric.Matrix, opts Options) (perm.Perm, localsearch.Stats
 	if opts.Algorithm == ParallelApproximation && opts.Device == nil {
 		return nil, localsearch.Stats{}, fmt.Errorf("core: %s requires a Device: %w", ParallelApproximation, ErrOptions)
 	}
-	p, stats, _, err := rearrangeContext(context.Background(), costs, opts, opts.Trace)
+	p, stats, _, _, err := rearrangeContext(context.Background(), costs, opts, opts.Trace)
 	return p, stats, err
 }
 

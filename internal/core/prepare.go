@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/imgutil"
 	"repro/internal/localsearch"
 	"repro/internal/metric"
+	"repro/internal/perm"
 	"repro/internal/tile"
 	"repro/internal/tilestore"
 	"repro/internal/trace"
@@ -142,6 +144,8 @@ func (p *Prepared) mergeFinishOptions(next Options) (Options, error) {
 	o.Device = next.Device
 	o.Trace = next.Trace
 	o.Resilience = next.Resilience
+	o.Anytime = next.Anytime
+	o.Deadline = next.Deadline
 	if o.Algorithm == "" {
 		o.Algorithm = Approximation
 	}
@@ -158,6 +162,23 @@ func (p *Prepared) mergeFinishOptions(next Options) (Options, error) {
 		return o, fmt.Errorf("core: %s requires a Device: %w", ParallelApproximation, ErrOptions)
 	}
 	return o, nil
+}
+
+// startFloor fills res with the anytime quality floor: the start assignment
+// (or identity) untouched by any search — the paper's unrearranged mosaic.
+// It is the result when the budget is exhausted before Step 3 can run at
+// all, marked Partial with its achieved cost.
+func (p *Prepared) startFloor(opts Options, res *Result) error {
+	start := opts.Start
+	if start == nil {
+		start = perm.Identity(p.costs.S)
+	} else if err := start.Validate(); err != nil {
+		return err
+	}
+	res.Assignment = start
+	res.SearchStats = localsearch.Stats{Partial: true, Cost: p.costs.Total(start)}
+	res.AssignInfo = nil
+	return nil
 }
 
 // prepareStages runs preprocessing, tiling and Step 2 under tr, with the
@@ -254,13 +275,49 @@ func prepareStages(ctx context.Context, input, target *imgutil.Gray, opts Option
 // finishStages runs Step 3 and assembly under tr. opts must already carry
 // the prepare-time Step-1/2 fields (see mergeFinishOptions); callers inside
 // this package pass the original options unchanged.
+//
+// In anytime mode the remaining time until opts.Deadline (falling back to
+// ctx's deadline) is split into stage budgets: Step 3 runs under everything
+// except the assembly/encode reserve (SplitBudget), a budget that has
+// already run out skips the search entirely — the start assignment is the
+// quality floor — and assembly always completes, so a deadline miss yields
+// a valid, Partial result instead of an error.
 func (p *Prepared) finishStages(ctx context.Context, opts Options, tr trace.Collector) (*Result, error) {
-	if err := ctxErr(ctx); err != nil {
+	if err := softCtxErr(ctx, opts.Anytime); err != nil {
 		return nil, fmt.Errorf("core: cancelled before Step 3: %w", err)
 	}
 	res := &Result{Input: p.input}
 	res.Timing.Preprocess = p.prepTiming.Preprocess
 	res.Timing.CostMatrix = p.prepTiming.CostMatrix
+
+	// Anytime budgeting: derive the binding Step-3 allotment from the time
+	// left on the soft deadline. The search runs under its own sub-deadline
+	// so the encode reserve survives; a search that exhausts it stops at a
+	// safe point (Options.Search.Anytime) instead of erroring.
+	searchCtx := ctx
+	var deadline time.Time
+	skipSearch := false
+	if opts.Anytime {
+		opts.Search.Anytime = true
+		opts.Anneal.Anytime = true
+		deadline = opts.Deadline
+		if deadline.IsZero() {
+			if d, ok := ctx.Deadline(); ok {
+				deadline = d
+			}
+		}
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			res.BudgetRemaining = map[string]int64{"search": remaining.Nanoseconds()}
+			if step3 := remaining - SplitBudget(remaining).Encode; step3 <= 0 {
+				skipSearch = true
+			} else {
+				var cancel context.CancelFunc
+				searchCtx, cancel = context.WithDeadline(ctx, time.Now().Add(step3))
+				defer cancel()
+			}
+		}
+	}
 
 	if opts.StoreCandidates && opts.Algorithm == ApproximationDirty && opts.Search.CandidateLists == nil {
 		// Warm the dirty search from the stores' thumbnail descriptors — the
@@ -276,10 +333,26 @@ func (p *Prepared) finishStages(ctx context.Context, opts Options, tr trace.Coll
 	t0 := time.Now()
 	sp := trace.Start(tr, trace.SpanRearrange)
 	var err error
-	res.Assignment, res.SearchStats, res.Timing.Assign, err = rearrangeContext(ctx, p.costs, opts, tr)
-	if err != nil {
-		return nil, err
+	if skipSearch {
+		if err := p.startFloor(opts, res); err != nil {
+			return nil, err
+		}
+	} else {
+		res.Assignment, res.SearchStats, res.Timing.Assign, res.AssignInfo, err = rearrangeContext(searchCtx, p.costs, opts, tr)
+		if err != nil {
+			if opts.Anytime && errors.Is(err, context.DeadlineExceeded) && ctxErr(ctx) == nil {
+				// The stage budget expired inside a Step-3 algorithm with no
+				// snapshot of its own (an exact matcher mid-solve holds no
+				// valid assignment): degrade to the start floor.
+				if ferr := p.startFloor(opts, res); ferr != nil {
+					return nil, ferr
+				}
+			} else {
+				return nil, err
+			}
+		}
 	}
+	res.Partial = res.SearchStats.Partial
 	if res.SearchStats.Degraded > 0 {
 		// The resilient parallel search ran some color classes on the host;
 		// mark the degradation in the tree and the run-level counter (the
@@ -298,8 +371,11 @@ func (p *Prepared) finishStages(ctx context.Context, opts Options, tr trace.Coll
 	} else {
 		res.TotalError = p.costs.Total(res.Assignment)
 	}
-	if err := ctxErr(ctx); err != nil {
+	if err := softCtxErr(ctx, opts.Anytime); err != nil {
 		return nil, fmt.Errorf("core: cancelled before assembly: %w", err)
+	}
+	if res.BudgetRemaining != nil {
+		res.BudgetRemaining["assemble"] = time.Until(deadline).Nanoseconds()
 	}
 
 	// Assembly.

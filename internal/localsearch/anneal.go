@@ -35,6 +35,10 @@ type AnnealOptions struct {
 	// Progress optionally receives a cost/temperature sample at every
 	// cooling epoch; nil records nothing.
 	Progress AnnealProgress
+	// Anytime mirrors Options.Anytime for the annealer: cancellation at an
+	// epoch boundary returns the best assignment seen so far with
+	// Stats.Partial and Stats.Cost, instead of discarding it with an error.
+	Anytime bool
 }
 
 // Anneal is a simulated-annealing extension of the paper's local search
@@ -122,6 +126,13 @@ func AnnealContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts 
 			temp *= alpha
 			trace.Count(tr, trace.CounterAnnealSteps, int64(s))
 			if err := ctxErr(ctx); err != nil {
+				if opts.Anytime {
+					// The annealer already tracks its incumbent: return it
+					// directly (bestErr is maintained incrementally).
+					st.Partial = true
+					st.Cost = bestErr
+					return best, bestErr, st, nil
+				}
 				return nil, 0, st, fmt.Errorf("localsearch: annealing cancelled after %d epochs: %w", st.Passes, err)
 			}
 		}
@@ -144,10 +155,19 @@ func AnnealThenPolish(m *metric.Matrix, start perm.Perm, opts AnnealOptions) (pe
 // AnnealThenPolishContext is AnnealThenPolish with cancellation and tracing;
 // search tunes (and traces) the polishing run, and its Trace collector also
 // observes the annealing phase.
+// In anytime mode (search.Anytime, which also covers the annealing phase)
+// cancellation during annealing skips the polish and returns the annealer's
+// incumbent; cancellation during the polish returns its snapshot — either
+// way a valid assignment with Stats.Partial instead of an error.
 func AnnealThenPolishContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts AnnealOptions, search Options) (perm.Perm, Stats, error) {
-	annealed, _, st, err := AnnealContext(ctx, m, start, opts, search.Trace)
+	opts.Anytime = opts.Anytime || search.Anytime
+	annealed, aerr, st, err := AnnealContext(ctx, m, start, opts, search.Trace)
 	if err != nil {
 		return nil, Stats{}, err
+	}
+	if st.Partial {
+		st.Cost = aerr
+		return annealed, st, nil
 	}
 	polished, st2, err := SerialContext(ctx, m, annealed, search)
 	if err != nil {
@@ -155,6 +175,9 @@ func AnnealThenPolishContext(ctx context.Context, m *metric.Matrix, start perm.P
 	}
 	st.Passes += st2.Passes
 	st.Swaps += st2.Swaps
+	st.Attempts += st2.Attempts
+	st.Partial = st2.Partial
+	st.Cost = st2.Cost
 	return polished, st, nil
 }
 

@@ -1,0 +1,205 @@
+package localsearch
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cuda"
+	"repro/internal/perm"
+)
+
+// countdownCtx is a deterministic cancellation source: it reports done after
+// its Done() channel has been requested `fuse` times. The searches poll the
+// context at every safe point (sweep tops, row boundaries, color-class
+// boundaries), so the fuse pins the stop to an exact safe point without any
+// wall-clock dependence.
+type countdownCtx struct {
+	context.Context
+	mu     sync.Mutex
+	fuse   int
+	done   chan struct{}
+	closed bool
+}
+
+func newCountdownCtx(fuse int) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), fuse: fuse, done: make(chan struct{})}
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fuse--
+	if c.fuse < 0 && !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	return c.done
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// requireAnytimeInvariants asserts the contract every partial return must
+// satisfy: a valid permutation, Partial set, and Cost equal to an independent
+// recomputation over the matrix.
+func requireAnytimeInvariants(t *testing.T, m interface{ Total(perm.Perm) int64 }, p perm.Perm, st Stats, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("anytime stop returned error: %v", err)
+	}
+	if p == nil {
+		t.Fatal("anytime stop returned nil permutation")
+	}
+	if verr := p.Validate(); verr != nil {
+		t.Fatalf("anytime permutation invalid: %v", verr)
+	}
+	if !st.Partial {
+		t.Fatal("Stats.Partial not set on anytime stop")
+	}
+	if got := m.Total(p); got != st.Cost {
+		t.Fatalf("Stats.Cost = %d, recomputed total = %d", st.Cost, got)
+	}
+}
+
+// TestSerialAnytimePreCancelled: a context that is already done before the
+// first sweep returns the (unmodified) start assignment as a partial result
+// instead of an error.
+func TestSerialAnytimePreCancelled(t *testing.T) {
+	m := randCosts(32, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := perm.Identity(32)
+	p, st, err := SerialContext(ctx, m, start, Options{Anytime: true})
+	requireAnytimeInvariants(t, m, p, st, err)
+	if st.Passes != 0 || st.Swaps != 0 || st.Attempts != 0 {
+		t.Fatalf("pre-cancelled run reported work: %+v", st)
+	}
+	if st.Cost != m.Total(start) {
+		t.Fatalf("pre-cancelled cost %d, want start cost %d", st.Cost, m.Total(start))
+	}
+}
+
+// TestSerialAnytimeMidSweep pins the stop to an exact row boundary inside
+// the first sweep via the countdown context and checks the closed-form
+// attempts accounting: stopping before row x means x(2S−x−1)/2 pairs were
+// tested.
+func TestSerialAnytimeMidSweep(t *testing.T) {
+	const s = 64
+	m := randCosts(s, 2)
+	// Done() polls: 1 at the sweep top, then one per row boundary (x = 0, 1,
+	// 2, ...). Fuse 4 survives the sweep top and rows 0..2, so the search
+	// stops at the x = 3 boundary.
+	ctx := newCountdownCtx(4)
+	p, st, err := SerialContext(ctx, m, perm.Identity(s), Options{Anytime: true})
+	requireAnytimeInvariants(t, m, p, st, err)
+	const x = 3
+	want := int64(x) * int64(2*s-x-1) / 2
+	if st.Attempts != want {
+		t.Fatalf("attempts = %d, want %d (stop before row %d of S=%d)", st.Attempts, want, x, s)
+	}
+	if st.Passes != 0 {
+		t.Fatalf("mid-first-sweep stop reported %d completed passes", st.Passes)
+	}
+	if st.Cost > m.Total(perm.Identity(s)) {
+		t.Fatalf("partial cost %d worse than start %d", st.Cost, m.Total(perm.Identity(s)))
+	}
+}
+
+// TestSerialAnytimeNeverWorseThanConverged: the serial search is
+// deterministic and monotonically cost-decreasing, so a partial stop
+// anywhere on the trajectory costs at least the converged optimum and at
+// most the start — for every stop point.
+func TestSerialAnytimeNeverWorseThanConverged(t *testing.T) {
+	const s = 48
+	m := randCosts(s, 3)
+	start := perm.Identity(s)
+	full, _, err := Serial(m, start, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converged := m.Total(full)
+	startCost := m.Total(start)
+	prev := startCost
+	for fuse := 0; fuse < 40; fuse += 7 {
+		p, st, err := SerialContext(newCountdownCtx(fuse), m, start, Options{Anytime: true})
+		requireAnytimeInvariants(t, m, p, st, err)
+		if st.Cost < converged {
+			t.Fatalf("fuse %d: partial cost %d beats the converged optimum %d", fuse, st.Cost, converged)
+		}
+		if st.Cost > startCost {
+			t.Fatalf("fuse %d: partial cost %d worse than start %d", fuse, st.Cost, startCost)
+		}
+		// Later stop points resume the same deterministic trajectory, so the
+		// achieved cost is non-increasing in the budget.
+		if st.Cost > prev {
+			t.Fatalf("fuse %d: cost %d increased from %d with a larger budget", fuse, st.Cost, prev)
+		}
+		prev = st.Cost
+	}
+}
+
+// TestSerialAnytimeDisabledStillErrors: without Anytime the original
+// contract holds — cancellation discards the permutation and surfaces the
+// ctx error.
+func TestSerialAnytimeDisabledStillErrors(t *testing.T) {
+	m := randCosts(16, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, _, err := SerialContext(ctx, m, perm.Identity(16), Options{})
+	if err == nil || p != nil {
+		t.Fatalf("got (%v, %v), want nil perm and ctx error", p, err)
+	}
+}
+
+// TestDirtyAnytime: the dirty search honours the same partial contract at
+// its safe points.
+func TestDirtyAnytime(t *testing.T) {
+	m := randCosts(48, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, st, err := SerialDirtyContext(ctx, m, perm.Identity(48), Options{Anytime: true})
+	requireAnytimeInvariants(t, m, p, st, err)
+
+	// And with the candidate warm phase enabled.
+	p, st, err = SerialDirtyContext(ctx, m, perm.Identity(48), Options{Anytime: true, Candidates: 4})
+	requireAnytimeInvariants(t, m, p, st, err)
+}
+
+// TestParallelAnytime: the parallel search returns a consistent snapshot at
+// its class-boundary safe points.
+func TestParallelAnytime(t *testing.T) {
+	m := randCosts(48, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, st, err := ParallelContext(ctx, cuda.New(4), m, perm.Identity(48), nil, Options{Anytime: true})
+	requireAnytimeInvariants(t, m, p, st, err)
+}
+
+// TestAnnealAnytime: annealing epochs are safe points too; the polish phase
+// inherits the anytime flag from the search options.
+func TestAnnealAnytime(t *testing.T) {
+	m := randCosts(32, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, st, err := AnnealThenPolishContext(ctx, m, perm.Identity(32), AnnealOptions{Seed: 1}, Options{Anytime: true})
+	requireAnytimeInvariants(t, m, p, st, err)
+}
+
+// TestSerialAnytimeDeadline: a real (not synthetic) expired deadline behaves
+// identically to the countdown context — guarding the production path where
+// the budget comes from context.WithDeadline.
+func TestSerialAnytimeDeadline(t *testing.T) {
+	m := randCosts(64, 8)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	p, st, err := SerialContext(ctx, m, perm.Identity(64), Options{Anytime: true})
+	requireAnytimeInvariants(t, m, p, st, err)
+}

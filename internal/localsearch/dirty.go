@@ -81,7 +81,9 @@ func SerialDirty(m *metric.Matrix, start perm.Perm, opts Options) (perm.Perm, St
 // candidate-list warm sweeps (top-K tiles per position), then certifies a
 // swap-local plateau with the dirty exhaustive sweeps; the result is then a
 // fixed point of the full swap neighbourhood but not necessarily the one
-// Serial finds. Cancellation mirrors SerialContext: checked between sweeps.
+// Serial finds. Cancellation mirrors SerialContext: checked between sweeps
+// (and at row boundaries in anytime mode, where it returns the best-so-far
+// assignment with Stats.Partial instead of an error).
 func SerialDirtyContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts Options) (perm.Perm, Stats, error) {
 	p, err := checkStart(m, start)
 	if err != nil {
@@ -109,18 +111,33 @@ func SerialDirtyContext(ctx context.Context, m *metric.Matrix, start perm.Perm, 
 				}
 			}
 		}
-		if err := warmCandidates(ctx, m, p, d, opts, &st, &curCost); err != nil {
+		partial, err := warmCandidates(ctx, m, p, d, opts, &st, &curCost)
+		if err != nil {
 			return nil, st, err
+		}
+		if partial {
+			return anytimeStop(m, p, &st)
 		}
 	}
 	for {
 		if err := ctxErr(ctx); err != nil {
+			if opts.Anytime {
+				return anytimeStop(m, p, &st)
+			}
 			return nil, st, fmt.Errorf("localsearch: dirty search cancelled after %d sweeps: %w", st.Passes, err)
 		}
 		swapped := false
 		swapsBefore := st.Swaps
 		attemptsBefore := st.Attempts
 		for x := 0; x < s; x++ {
+			if opts.Anytime && x&63 == 0 && ctxErr(ctx) != nil {
+				// Row boundaries are safe points; attempts were counted
+				// incrementally, so the stats already reflect the partial
+				// sweep exactly.
+				trace.Count(opts.Trace, trace.CounterSwapAttempts, st.Attempts-attemptsBefore)
+				trace.Count(opts.Trace, trace.CounterImprovingSwaps, st.Swaps-swapsBefore)
+				return anytimeStop(m, p, &st)
+			}
 			px := p[x]
 			mx := d.lastMoved[x]
 			scored := d.lastScored[x*s : (x+1)*s]
@@ -201,7 +218,9 @@ func topKColumn(m *metric.Matrix, x, k int) []int32 {
 // supplied (e.g. StoreCandidates' thumbnail-derived lists) and from top-K
 // matrix columns otherwise. Move clocks are maintained so the subsequent
 // dirty exhaustive sweeps skip everything the warm phase left untouched.
-func warmCandidates(ctx context.Context, m *metric.Matrix, p perm.Perm, d *dirtyState, opts Options, st *Stats, curCost *int64) error {
+// In anytime mode cancellation returns partial=true (the caller finalises
+// the snapshot) instead of an error.
+func warmCandidates(ctx context.Context, m *metric.Matrix, p perm.Perm, d *dirtyState, opts Options, st *Stats, curCost *int64) (partial bool, err error) {
 	s := m.S
 	w := m.W
 	cands := opts.CandidateLists
@@ -221,7 +240,10 @@ func warmCandidates(ctx context.Context, m *metric.Matrix, p perm.Perm, d *dirty
 	sample := opts.Progress != nil
 	for {
 		if err := ctxErr(ctx); err != nil {
-			return fmt.Errorf("localsearch: candidate warm phase cancelled after %d sweeps: %w", st.Passes, err)
+			if opts.Anytime {
+				return true, nil
+			}
+			return false, fmt.Errorf("localsearch: candidate warm phase cancelled after %d sweeps: %w", st.Passes, err)
 		}
 		swapped := false
 		swapsBefore := st.Swaps
@@ -260,7 +282,7 @@ func warmCandidates(ctx context.Context, m *metric.Matrix, p perm.Perm, d *dirty
 			opts.Progress(st.Passes, *curCost, st.Swaps)
 		}
 		if !swapped || (opts.MaxPasses > 0 && st.Passes >= opts.MaxPasses) {
-			return nil
+			return false, nil
 		}
 	}
 }

@@ -40,6 +40,14 @@ type Stats struct {
 	// Degraded counts color-class sweeps that ran on the host after device
 	// retries were exhausted or the device was lost (resilient search only).
 	Degraded int64
+	// Partial marks a run stopped by cancellation in anytime mode
+	// (Options.Anytime): the returned assignment is the valid best-so-far
+	// state at the stop point, not a converged swap-local optimum.
+	Partial bool
+	// Cost is the Eq. (2) total error of the returned assignment, populated
+	// only on Partial returns (complete runs leave it zero — callers evaluate
+	// the matrix when they need the final cost).
+	Cost int64
 }
 
 // Progress receives one convergence sample per completed sweep round: the
@@ -74,6 +82,15 @@ type Options struct {
 	// matrix. Setting it enables the warm phase even when Candidates is 0.
 	// Ignored by the searches without a warm phase.
 	CandidateLists [][]int32
+	// Anytime makes cancellation a result instead of an error: when ctx
+	// expires mid-run the search stops at the nearest safe point — a row
+	// boundary for the serial searches, a color-class boundary for the
+	// parallel one, an epoch for annealing — and returns the current
+	// assignment (always a valid permutation; swaps are atomic) with
+	// Stats.Partial set and Stats.Cost the achieved Eq. (2) error. The
+	// default (false) keeps the original contract: cancellation discards
+	// the partial assignment and returns the ctx error.
+	Anytime bool
 }
 
 // ctxErr returns ctx's error if it is already done, nil otherwise — the
@@ -85,6 +102,15 @@ func ctxErr(ctx context.Context) error {
 	default:
 		return nil
 	}
+}
+
+// anytimeStop finalises a partial result: the current assignment is always
+// valid (swaps are atomic), so anytime mode returns it with the achieved
+// Eq. (2) cost instead of the ctx error.
+func anytimeStop(m *metric.Matrix, p perm.Perm, st *Stats) (perm.Perm, Stats, error) {
+	st.Partial = true
+	st.Cost = m.Total(p)
+	return p, *st, nil
 }
 
 // checkStart validates (m, start) and returns a working copy of start.
@@ -107,10 +133,12 @@ func Serial(m *metric.Matrix, start perm.Perm, opts Options) (perm.Perm, Stats, 
 }
 
 // SerialContext is Serial with cancellation: ctx is checked before every
-// sweep, so cancellation latency is bounded by one sweep round. On
-// cancellation the partial assignment is discarded and the ctx error is
-// returned (wrapped; test with errors.Is) alongside the stats accumulated
-// so far.
+// sweep (and, in anytime mode, at every row boundary inside the sweep), so
+// cancellation latency is bounded by one sweep round. On cancellation the
+// partial assignment is discarded and the ctx error is returned (wrapped;
+// test with errors.Is) alongside the stats accumulated so far — unless
+// Options.Anytime is set, in which case the best-so-far assignment is
+// returned with Stats.Partial.
 func SerialContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts Options) (perm.Perm, Stats, error) {
 	p, err := checkStart(m, start)
 	if err != nil {
@@ -129,11 +157,22 @@ func SerialContext(ctx context.Context, m *metric.Matrix, start perm.Perm, opts 
 	}
 	for {
 		if err := ctxErr(ctx); err != nil {
+			if opts.Anytime {
+				return anytimeStop(m, p, &st)
+			}
 			return nil, st, fmt.Errorf("localsearch: serial search cancelled after %d sweeps: %w", st.Passes, err)
 		}
 		swapped := false
 		swapsBefore := st.Swaps
 		for x := 0; x < s; x++ {
+			if opts.Anytime && ctxErr(ctx) != nil {
+				// Row boundaries are safe points too: rows 0..x-1 of this
+				// sweep tested pairs(x') = Σ_{i<x}(s-1-i) = x(2s-x-1)/2.
+				st.Attempts += int64(x) * int64(2*s-x-1) / 2
+				trace.Count(opts.Trace, trace.CounterSwapAttempts, int64(x)*int64(2*s-x-1)/2)
+				trace.Count(opts.Trace, trace.CounterImprovingSwaps, st.Swaps-swapsBefore)
+				return anytimeStop(m, p, &st)
+			}
 			// Hoist the x-dependent row pointers; p[x] changes when a swap
 			// lands, so reload inside the y loop only after swaps.
 			px := p[x]
@@ -319,6 +358,9 @@ func parallelSearch(ctx context.Context, dev *cuda.Device, m *metric.Matrix, sta
 	for {
 		if err := ctxErr(ctx); err != nil {
 			st.Swaps = swapCount.Load()
+			if opts.Anytime {
+				return anytimeStop(m, p, &st)
+			}
 			return nil, st, fmt.Errorf("localsearch: parallel search cancelled after %d sweeps: %w", st.Passes, err)
 		}
 		swapsBefore := swapCount.Load()
@@ -326,9 +368,13 @@ func parallelSearch(ctx context.Context, dev *cuda.Device, m *metric.Matrix, sta
 		for ci, class := range coloring.Classes {
 			if ci > 0 {
 				// The launch boundary below is the natural cancellation
-				// point between color classes.
+				// point between color classes: all prior launches completed,
+				// so the assignment is a consistent snapshot.
 				if err := ctxErr(ctx); err != nil {
 					st.Swaps = swapCount.Load()
+					if opts.Anytime {
+						return anytimeStop(m, p, &st)
+					}
 					return nil, st, fmt.Errorf("localsearch: parallel search cancelled in sweep %d: %w", st.Passes+1, err)
 				}
 			}
@@ -423,6 +469,11 @@ func parallelSearch(ctx context.Context, dev *cuda.Device, m *metric.Matrix, sta
 			}
 			if errors.Is(lerr, context.Canceled) || errors.Is(lerr, context.DeadlineExceeded) {
 				st.Swaps = swapCount.Load()
+				if opts.Anytime {
+					// The faulted launch executed no pairs (the fault gate
+					// precedes the kernel), so p is a consistent snapshot.
+					return anytimeStop(m, p, &st)
+				}
 				return nil, st, fmt.Errorf("localsearch: parallel search cancelled in sweep %d: %w", st.Passes+1, lerr)
 			}
 			if res.DisableFallback {

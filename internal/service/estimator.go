@@ -1,0 +1,109 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultAdmissionMinSamples is how many settled jobs must have trained the
+// estimator before admission control acts on its predictions. Below the
+// threshold every job is admitted: a cold estimator extrapolating from one
+// or two samples would reject half the warm-up traffic.
+const defaultAdmissionMinSamples = 8
+
+// estimatorAlpha is the EWMA smoothing factor. 0.2 weights the last ~5 jobs
+// most heavily — fast enough to track a cache going warm or a device being
+// quarantined, slow enough that one outlier does not swing admission.
+const estimatorAlpha = 0.2
+
+// phaseEstimator is the predictive half of admission control: an online
+// exponentially-weighted estimate of per-phase and whole-job latency, fed
+// with every successfully settled job's phase attribution — the same
+// numbers the mosaic_request_phase_ns histograms record, folded into a
+// queryable mean instead of buckets. Submit asks it "if this job enters the
+// queue now, when does it finish?" and rejects (or lets anytime mode
+// degrade) jobs whose answer exceeds their deadline.
+//
+// Only complete (non-partial) successes train it: failures and deadline
+// miss partials stopped early, so folding them in would bias the mean
+// toward optimism exactly when the service is overloaded.
+type phaseEstimator struct {
+	mu         sync.Mutex
+	minSamples int64
+	phases     map[string]float64 // EWMA exclusive nanoseconds per phase
+	job        float64            // EWMA whole-job nanoseconds (root span duration)
+	n          int64              // settled jobs observed
+}
+
+func newPhaseEstimator(minSamples int) *phaseEstimator {
+	if minSamples <= 0 {
+		minSamples = defaultAdmissionMinSamples
+	}
+	return &phaseEstimator{minSamples: int64(minSamples), phases: make(map[string]float64)}
+}
+
+// observe folds one settled job's phase attribution and total wall time in.
+func (e *phaseEstimator) observe(phases map[string]int64, totalNS int64) {
+	if totalNS <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.job = float64(totalNS)
+	} else {
+		e.job += estimatorAlpha * (float64(totalNS) - e.job)
+	}
+	for phase, ns := range phases {
+		if cur, ok := e.phases[phase]; ok {
+			e.phases[phase] = cur + estimatorAlpha*(float64(ns)-cur)
+		} else {
+			e.phases[phase] = float64(ns)
+		}
+	}
+	e.n++
+}
+
+// samples returns how many jobs have trained the estimator.
+func (e *phaseEstimator) samples() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// jobMean returns the EWMA whole-job latency; ok is false before the first
+// sample.
+func (e *phaseEstimator) jobMean() (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		return 0, false
+	}
+	return time.Duration(e.job), true
+}
+
+// phaseMean returns the EWMA exclusive latency of one phase.
+func (e *phaseEstimator) phaseMean(phase string) (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.phases[phase]
+	return time.Duration(v), ok
+}
+
+// estimate predicts the completion latency of a job submitted now behind
+// `queued` waiting jobs drained by `workers` workers: the queue drains in
+// waves of `workers` jobs per mean job time, then the new job runs. ok is
+// false until minSamples jobs have trained the estimator — admission
+// control must not act on a cold mean.
+func (e *phaseEstimator) estimate(queued, workers int) (time.Duration, bool) {
+	if workers < 1 {
+		workers = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n < e.minSamples {
+		return 0, false
+	}
+	waves := queued/workers + 1
+	return time.Duration(e.job * float64(waves)), true
+}

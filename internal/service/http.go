@@ -64,6 +64,10 @@ type jobRequestJSON struct {
 	TimeoutMS        int64  `json:"timeout_ms"`
 	Mode             string `json:"mode"`   // "sync" (default) | "async"
 	Format           string `json:"format"` // "json" (default) | "png"
+	// Anytime overrides the server's deadline policy for this job: true
+	// degrades a missed deadline into a partial (but valid) mosaic, false
+	// forces a strict 504. Absent means "use the server default".
+	Anytime *bool `json:"anytime,omitempty"`
 }
 
 // jobResponseJSON is the wire form of a job's state/result.
@@ -77,6 +81,11 @@ type jobResponseJSON struct {
 	ElapsedMS  float64  `json:"elapsed_ms,omitempty"`
 	Retries    int64    `json:"retries,omitempty"`
 	Degraded   bool     `json:"degraded,omitempty"`
+	Partial    bool     `json:"partial,omitempty"`
+	// CertifiedGap is the assignment solver's certified optimality gap when
+	// one was computed (auction/Sinkhorn paths); for a partial result it
+	// bounds how far the early-stopped answer can be from optimal.
+	CertifiedGap float64 `json:"certified_gap,omitempty"`
 	Spans      []string `json:"spans,omitempty"`
 	PNGBase64  string   `json:"png_base64,omitempty"`
 	StatusURL  string   `json:"status_url,omitempty"`
@@ -195,6 +204,12 @@ func (s *Service) writeJob(w http.ResponseWriter, job *Job, format string) {
 		httpError(w, code, msg)
 		return
 	}
+	if state == JobDone && result.Partial {
+		// Machine-readable even on the PNG path, and visible to intermediaries
+		// that never parse the body: this 200 carries a valid but
+		// deadline-truncated mosaic.
+		w.Header().Set("X-Mosaic-Partial", "true")
+	}
 	if state == JobDone && format == "png" {
 		w.Header().Set("Content-Type", "image/png")
 		w.Header().Set("X-Mosaic-Cache", cacheLabel(result.CacheHit))
@@ -209,6 +224,8 @@ func (s *Service) writeJob(w http.ResponseWriter, job *Job, format string) {
 		resp.ElapsedMS = float64(result.Elapsed.Microseconds()) / 1e3
 		resp.Retries = result.Stats.Counter(trace.CounterLaunchRetries)
 		resp.Degraded = result.Stats.Counter(trace.CounterDegradedRuns) > 0
+		resp.Partial = result.Partial
+		resp.CertifiedGap = result.CertifiedGap
 		for _, sp := range result.Stats.Spans {
 			resp.Spans = append(resp.Spans, sp.Name)
 		}
@@ -228,10 +245,14 @@ func cacheLabel(hit bool) string {
 }
 
 // writeSubmitError maps Submit errors onto the backpressure status codes.
+// Both 429s carry a Retry-After derived from the live latency estimator
+// (queue depth × mean job time) rather than a fixed constant, so clients
+// back off proportionally to actual load.
 func (s *Service) writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDeadlineUnmeetable):
+		ra := s.RetryAfterEstimate()
+		w.Header().Set("Retry-After", strconv.Itoa(int((ra+time.Second-1)/time.Second)))
 		httpError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -311,6 +332,10 @@ func parseSubmission(r *http.Request, maxImageSide int) (*Request, *jobRequestJS
 		wire.TimeoutMS = int64(atoiDefault(r.FormValue("timeout_ms"), 0))
 		wire.Mode = r.FormValue("mode")
 		wire.Format = r.FormValue("format")
+		if v := r.FormValue("anytime"); v != "" {
+			b := v == "true"
+			wire.Anytime = &b
+		}
 	default: // application/json
 		// Read one byte past the limit: a body that fills limit+1 bytes is
 		// oversized and gets 413, where a plain LimitReader would silently
@@ -347,6 +372,17 @@ func parseSubmission(r *http.Request, maxImageSide int) (*Request, *jobRequestJS
 		Tiles:       wire.Tiles,
 		NoHistMatch: wire.NoHistogramMatch,
 		Timeout:     time.Duration(wire.TimeoutMS) * time.Millisecond,
+		Anytime:     wire.Anytime,
+	}
+	// X-Request-Deadline (unix milliseconds) is the cluster router's
+	// propagated client deadline: an absolute wall-clock instant that caps
+	// timeout_ms, so a failover retry never restarts the clock from zero.
+	if v := r.Header.Get("X-Request-Deadline"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("X-Request-Deadline %q: want unix milliseconds", v)
+		}
+		req.Deadline = time.UnixMilli(ms)
 	}
 	if wire.Algorithm != "" {
 		alg, err := core.ParseAlgorithm(wire.Algorithm)

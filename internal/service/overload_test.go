@@ -1,0 +1,300 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// metricTotal scrapes ts's /metrics and sums every sample of the named
+// metric across label sets.
+func metricTotal(t *testing.T, ts string, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if len(rest) == 0 || (rest[0] != ' ' && rest[0] != '{') {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// TestAnytimeDeadlineMissReturnsPartial: under the anytime policy a deadline
+// the job cannot possibly meet yields HTTP 200 with partial:true and the
+// X-Mosaic-Partial header — never a 504 — and the body still carries a
+// decodable, full-size mosaic (the quality floor). The partial settle also
+// shows up in mosaic_partial_responses_total and the flight recorder.
+func TestAnytimeDeadlineMissReturnsPartial(t *testing.T) {
+	svc, ts := newObsServer(t, Config{Workers: 1, Anytime: true})
+	// 256/32 builds a 1024×1024 cost matrix — far beyond a 1ms budget on any
+	// machine, so the miss (and the partial) is deterministic.
+	resp, jr := postJSON(t, ts.URL, `{"input":"lena","target":"sailboat","size":256,"tiles":32,"timeout_ms":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s), want 200", resp.StatusCode, jr.Error)
+	}
+	if !jr.Partial {
+		t.Fatal("body lacks partial:true")
+	}
+	if got := resp.Header.Get("X-Mosaic-Partial"); got != "true" {
+		t.Fatalf("X-Mosaic-Partial = %q, want \"true\"", got)
+	}
+	img := decodeBase64PNG(t, jr.PNGBase64)
+	if img.W != 256 || img.H != 256 {
+		t.Fatalf("partial mosaic geometry %dx%d", img.W, img.H)
+	}
+	if got := metricTotal(t, ts.URL, "mosaic_partial_responses_total"); got < 1 {
+		t.Fatalf("mosaic_partial_responses_total = %v, want ≥ 1", got)
+	}
+	// Partial requests are retained in the flight recorder's error ring with
+	// the partial flag and the granted budget.
+	rec, ok := svc.recorder.get(resp.Header.Get("X-Request-ID"))
+	if !ok {
+		t.Fatal("partial request not retained by the flight recorder")
+	}
+	if !rec.Partial || rec.BudgetNS != int64(time.Millisecond) {
+		t.Fatalf("recorded partial=%v budget=%d, want true/%d", rec.Partial, rec.BudgetNS, int64(time.Millisecond))
+	}
+}
+
+// TestAnytimePerRequestOverride: the body's "anytime" field overrides the
+// server default in both directions.
+func TestAnytimePerRequestOverride(t *testing.T) {
+	// Strict server, anytime request: 200 partial.
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, jr := postJSON(t, ts.URL, `{"input":"lena","target":"sailboat","size":256,"tiles":32,"timeout_ms":1,"anytime":true}`)
+	if resp.StatusCode != http.StatusOK || !jr.Partial {
+		t.Fatalf("anytime override: status %d partial %v (%s), want 200/true", resp.StatusCode, jr.Partial, jr.Error)
+	}
+
+	// Anytime server, strict request: the old 504 contract. The park hook
+	// holds the job past its deadline so the miss does not race the machine.
+	_, ts2 := newTestServer(t, Config{
+		Workers:      1,
+		Anytime:      true,
+		testJobStart: func(j *Job) { <-j.ctx.Done() },
+	})
+	resp2, jr2 := postJSON(t, ts2.URL, `{"input":"lena","target":"sailboat","size":128,"tiles":16,"timeout_ms":50,"anytime":false}`)
+	if resp2.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("strict override: status %d (%s), want 504", resp2.StatusCode, jr2.Error)
+	}
+}
+
+// TestOverloadBurstZero504s is the ISSUE's headline acceptance: a saturating
+// burst of tight-deadline jobs against an anytime service produces zero 504s
+// — every admitted job settles with a valid (possibly partial) mosaic, and
+// anything not admitted is an explicit 429 with Retry-After, never a timeout
+// error. Run under -race in CI.
+func TestOverloadBurstZero504s(t *testing.T) {
+	_, ts := newObsServer(t, Config{Workers: 2, QueueDepth: 4, Anytime: true})
+	scenes := []string{"lena", "sailboat", "airplane", "peppers", "barbara", "baboon", "tiffany", "plasma"}
+	const burst = 20
+	var wg sync.WaitGroup
+	statuses := make([]int, burst)
+	partials := make([]bool, burst)
+	errs := make([]string, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"input":%q,"target":"gradient","size":128,"tiles":16,"timeout_ms":%d}`,
+				scenes[i%len(scenes)], 1+i%5)
+			resp, err := http.Post(ts.URL+"/v1/mosaic", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				errs[i] = "429 without Retry-After"
+			}
+			partials[i] = resp.Header.Get("X-Mosaic-Partial") == "true"
+			io.Copy(io.Discard, resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	okCount, rejected := 0, 0
+	for i, code := range statuses {
+		if errs[i] != "" {
+			t.Fatalf("request %d: %s", i, errs[i])
+		}
+		switch code {
+		case http.StatusOK:
+			okCount++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("request %d: status %d — the anytime battery allows only 200 and 429", i, code)
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("no request completed")
+	}
+	t.Logf("burst settled: %d ok (%d partial), %d shed", okCount, countTrue(partials), rejected)
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAdmissionControlRejectsUnmeetable: once the estimator is warm, a
+// strict job whose deadline is below the predicted completion time is
+// rejected at submit with 429 and an estimator-derived Retry-After — it
+// never occupies a worker.
+func TestAdmissionControlRejectsUnmeetable(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	// Train the estimator directly: 8 settled jobs at 200ms mean.
+	for i := 0; i < 8; i++ {
+		svc.estimator.observe(map[string]int64{"pipeline": int64(200 * time.Millisecond)}, int64(200*time.Millisecond))
+	}
+	resp, jr := postJSON(t, ts.URL, `{"input":"lena","target":"sailboat","size":64,"tiles":8,"timeout_ms":50}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, jr.Error)
+	}
+	if !strings.Contains(jr.Error, "estimated") {
+		t.Fatalf("error %q does not mention the estimate", jr.Error)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("Retry-After = %q, want an integer in [1, 30]", resp.Header.Get("Retry-After"))
+	}
+	if got := metricTotal(t, ts.URL, "mosaic_admission_rejections_total"); got < 1 {
+		t.Fatalf("mosaic_admission_rejections_total = %v, want ≥ 1", got)
+	}
+
+	// The same deadline on an anytime request is admitted and degrades.
+	resp2, jr2 := postJSON(t, ts.URL, `{"input":"lena","target":"sailboat","size":64,"tiles":8,"timeout_ms":50,"anytime":true}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("anytime with warm estimator: status %d (%s), want 200", resp2.StatusCode, jr2.Error)
+	}
+}
+
+// TestAdmissionColdEstimatorAdmits: below the sample threshold admission
+// control must not act — the pre-existing strict contract (tight deadline →
+// admitted → 504) holds on a cold service.
+func TestAdmissionColdEstimatorAdmits(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 1,
+		// Park the job until its deadline fires: a 504 proves the submission
+		// was admitted and reached a worker rather than being rejected.
+		testJobStart: func(j *Job) { <-j.ctx.Done() },
+	})
+	resp, _ := postJSON(t, ts.URL, `{"input":"lena","target":"sailboat","size":128,"tiles":16,"timeout_ms":50}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("cold-estimator status %d, want 504 (admitted, then deadline)", resp.StatusCode)
+	}
+}
+
+// TestDeadlineHeaderCapsTimeout: an X-Request-Deadline already in the past
+// turns a strict submission into an immediate 429 (expired) without running
+// anything, and an anytime submission into a floor-quality 200.
+func TestDeadlineHeaderCapsTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Anytime: true})
+	past := strconv.FormatInt(time.Now().Add(-time.Second).UnixMilli(), 10)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/mosaic",
+		strings.NewReader(`{"input":"lena","target":"sailboat","size":64,"tiles":8,"anytime":false}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Deadline", past)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("strict expired-header status %d, want 429", resp.StatusCode)
+	}
+
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/mosaic",
+		strings.NewReader(`{"input":"lena","target":"sailboat","size":64,"tiles":8}`))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set("X-Request-Deadline", past)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Mosaic-Partial") != "true" {
+		t.Fatalf("anytime expired-header: status %d partial %q, want 200/true",
+			resp2.StatusCode, resp2.Header.Get("X-Mosaic-Partial"))
+	}
+}
+
+// TestRetryAfterEstimate: cold falls back to the configured constant; warm
+// clamps to [1s, 30s].
+func TestRetryAfterEstimate(t *testing.T) {
+	svc := New(Config{Workers: 1, RetryAfter: 7 * time.Second})
+	defer svc.Close()
+	if got := svc.RetryAfterEstimate(); got != 7*time.Second {
+		t.Fatalf("cold RetryAfterEstimate = %v, want the configured 7s", got)
+	}
+	svc.estimator.observe(nil, int64(90*time.Second))
+	if got := svc.RetryAfterEstimate(); got != time.Second {
+		t.Fatalf("empty-queue RetryAfterEstimate = %v, want the 1s floor", got)
+	}
+}
+
+// TestEstimatorOnlyTrainsOnCompleteRuns: partial settles must not feed the
+// estimator — an overloaded anytime service would otherwise learn ever more
+// optimistic means from its own truncated runs.
+func TestEstimatorOnlyTrainsOnCompleteRuns(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, Anytime: true})
+	resp, jr := postJSON(t, ts.URL, `{"input":"lena","target":"sailboat","size":256,"tiles":32,"timeout_ms":1}`)
+	if resp.StatusCode != http.StatusOK || !jr.Partial {
+		t.Fatalf("setup: status %d partial %v (%s)", resp.StatusCode, jr.Partial, jr.Error)
+	}
+	if n := svc.estimator.samples(); n != 0 {
+		t.Fatalf("estimator trained on %d partial run(s)", n)
+	}
+	resp2, jr2 := postJSON(t, ts.URL, `{"input":"lena","target":"sailboat","size":64,"tiles":8,"timeout_ms":60000}`)
+	if resp2.StatusCode != http.StatusOK || jr2.Partial {
+		t.Fatalf("setup: status %d partial %v", resp2.StatusCode, jr2.Partial)
+	}
+	if n := svc.estimator.samples(); n != 1 {
+		t.Fatalf("estimator samples = %d after one complete run, want 1", n)
+	}
+}
+
+// TestNoAdmissionFlag: Config.NoAdmission restores unconditional admission
+// even with a warm, pessimistic estimator.
+func TestNoAdmissionFlag(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, NoAdmission: true})
+	for i := 0; i < 8; i++ {
+		svc.estimator.observe(nil, int64(time.Hour))
+	}
+	resp, _ := postJSON(t, ts.URL, `{"input":"lena","target":"sailboat","size":64,"tiles":8,"timeout_ms":200}`)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		t.Fatal("NoAdmission service still rejected on the estimator")
+	}
+}

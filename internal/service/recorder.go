@@ -30,13 +30,17 @@ type RecordedRequest struct {
 	Quarantined bool             `json:"quarantined,omitempty"`
 	Retries     int64            `json:"retries,omitempty"`
 	Batched     bool             `json:"batched,omitempty"`
+	Partial     bool             `json:"partial,omitempty"`
+	BudgetNS    int64            `json:"budget_ns,omitempty"`
 	Phases      map[string]int64 `json:"phases_ns"`
 	Spans       []*trace.Node    `json:"spans,omitempty"`
 }
 
 // errored reports whether the request belongs in the error/degraded ring.
+// Partial (deadline-budgeted) results count: they are exactly the requests
+// an operator investigating an overload wants the span trees of.
 func (r *RecordedRequest) errored() bool {
-	return r.Outcome != "done" || r.Degraded || r.Quarantined
+	return r.Outcome != "done" || r.Degraded || r.Quarantined || r.Partial
 }
 
 // recordedSummary is the list form: everything but the span tree.

@@ -42,6 +42,14 @@ var (
 	ErrDraining  = errors.New("service: draining, not accepting jobs")
 )
 
+// ErrDeadlineUnmeetable is returned by Submit when predictive admission
+// control estimates the job cannot finish inside its deadline (or the
+// deadline has already expired) and the request did not opt into anytime
+// mode. The HTTP layer maps it to 429 with a Retry-After computed from the
+// estimate — rejecting at submit costs the client one round trip instead of
+// a full deadline spent waiting for a guaranteed 504.
+var ErrDeadlineUnmeetable = errors.New("service: estimated completion exceeds the request deadline")
+
 // Config sizes the service. The zero value of any field selects the
 // documented default.
 type Config struct {
@@ -109,6 +117,19 @@ type Config struct {
 	// (default 64) retain their full span trees for /debug/requests.
 	RecorderSlow   int
 	RecorderErrors int
+	// Anytime makes graceful degradation the default deadline policy
+	// (mosaicd's -anytime): a job that misses its deadline returns the best
+	// mosaic found so far marked partial, instead of failing with a
+	// deadline error, and admission control degrades instead of rejecting.
+	// Requests override the policy per job via Request.Anytime.
+	Anytime bool
+	// NoAdmission disables predictive admission control: jobs are admitted
+	// regardless of the latency estimate (queue-full backpressure still
+	// applies).
+	NoAdmission bool
+	// AdmissionMinSamples is how many settled jobs must train the latency
+	// estimator before admission control starts rejecting (default 8).
+	AdmissionMinSamples int
 
 	// testJobStart, when set, runs at the top of every job execution —
 	// the test seam for holding workers busy deterministically.
@@ -171,6 +192,16 @@ type Request struct {
 	// Route labels the submission path in the access log ("/v1/mosaic";
 	// direct API callers may leave it empty).
 	Route string
+	// Anytime selects the deadline policy: nil inherits the service default
+	// (Config.Anytime), true makes deadline misses return the best-so-far
+	// mosaic marked partial (HTTP 200 + X-Mosaic-Partial) and exempts the
+	// job from admission rejection, false keeps the strict timeout
+	// behaviour (504, and predictive 429s at submit).
+	Anytime *bool
+	// Deadline, when non-zero, is the absolute client deadline — the
+	// router's X-Request-Deadline propagation. It caps Timeout: the client
+	// stops waiting at Deadline no matter what the body asked for.
+	Deadline time.Time
 }
 
 // ContentKey returns the request's content hash (core.ContentHash) — the
@@ -197,6 +228,14 @@ type JobResult struct {
 	CacheHit   bool
 	Stats      trace.Stats
 	Elapsed    time.Duration
+	// Partial marks an anytime job that ran out of deadline budget before
+	// the search converged: the mosaic is valid and TotalError exact, but
+	// more budget would have refined it further.
+	Partial bool
+	// CertifiedGap is the certified optimality gap of Step 3's matcher when
+	// an early-exit certified solver ran (auction-device, sinkhorn); 0 for
+	// the exact solvers and the local searches.
+	CertifiedGap float64
 }
 
 // Job is one queued/running/finished mosaic generation. Fields behind mu
@@ -233,12 +272,22 @@ type Job struct {
 	// hang) when batching, draining and submission race.
 	claimed atomic.Bool
 
+	// anytime, budget and deadline carry the job's resolved deadline
+	// policy: budget is the time granted at Submit, deadline the absolute
+	// soft target the pipeline splits into stage budgets. In anytime mode
+	// job.ctx carries only a far hard cap — the soft deadline governs
+	// quality, genuine cancellation (client gone, shutdown) still aborts.
+	anytime  bool
+	budget   time.Duration
+	deadline time.Time
+
 	// Execution annotations for the access log and flight recorder, written
 	// and read only on the goroutine that claimed the job.
 	device      string
 	cacheLabel  string // "hit" | "miss" | "" (failed before the lookup)
 	solver      string // effective Step-3 matcher, for the assign histogram
 	quarantined bool
+	partial     bool // settled with a deadline-budgeted partial result
 	batched     bool // settled as a follower in a batch wave
 	batchWave   int  // wave width (leader included), 0 when unbatched
 
@@ -307,8 +356,9 @@ type Service struct {
 	wg      sync.WaitGroup
 	ready   atomic.Bool
 
-	recorder *flightRecorder
-	logMu    sync.Mutex
+	recorder  *flightRecorder
+	estimator *phaseEstimator
+	logMu     sync.Mutex
 
 	inFlight    *telemetry.Gauge
 	batchWaves  *telemetry.Counter
@@ -323,6 +373,10 @@ type Service struct {
 	rejected    func(reason string) *telemetry.Counter
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
+
+	partialResponses  *telemetry.Counter
+	admissionRejected func(reason string) *telemetry.Counter
+	budgetRemaining   func(stage string) *telemetry.Gauge
 }
 
 // New starts a service: the device pool, the worker pool and the metrics
@@ -344,7 +398,8 @@ func New(cfg Config) *Service {
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		pending:  make(map[string][]*Job),
-		recorder: newFlightRecorder(cfg.RecorderSlow, cfg.RecorderErrors),
+		recorder:  newFlightRecorder(cfg.RecorderSlow, cfg.RecorderErrors),
+		estimator: newPhaseEstimator(cfg.AdmissionMinSamples),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.registerMetrics()
@@ -417,6 +472,27 @@ func (s *Service) registerMetrics() {
 		"Jobs that reused a cached prepared input and skipped Step 2.", nil)
 	s.cacheMisses = reg.Counter("mosaic_service_cache_misses_total",
 		"Jobs that built their prepared input (Step 2 executed).", nil)
+	s.partialResponses = reg.Counter("mosaic_partial_responses_total",
+		"Anytime jobs settled with a deadline-budgeted partial result.", nil)
+	s.admissionRejected = func(reason string) *telemetry.Counter {
+		return reg.Counter("mosaic_admission_rejections_total",
+			"Submissions rejected by predictive admission control, by reason.",
+			telemetry.Labels{"reason": reason})
+	}
+	s.budgetRemaining = func(stage string) *telemetry.Gauge {
+		return reg.Gauge("mosaic_budget_remaining_ns",
+			"Deadline budget remaining at stage entry for the most recent anytime job, in nanoseconds (negative once overdrawn).",
+			telemetry.Labels{"stage": stage})
+	}
+	reg.GaugeFunc("mosaic_estimated_job_ns",
+		"Admission control's EWMA whole-job latency estimate, in nanoseconds (0 until a job has settled).", nil,
+		func() float64 {
+			m, ok := s.estimator.jobMean()
+			if !ok {
+				return 0
+			}
+			return float64(m.Nanoseconds())
+		})
 }
 
 // Ready implements the telemetry.WithReadiness check. Besides draining, the
@@ -439,7 +515,11 @@ func (s *Service) Registry() *telemetry.Registry { return s.reg }
 // Submit validates and enqueues a job. It never blocks: a full queue
 // returns ErrQueueFull (the backpressure signal) and a draining service
 // ErrDraining. The job's deadline starts now, so time spent queued counts
-// against it.
+// against it. Strict (non-anytime) jobs also pass predictive admission
+// control: when the latency estimator predicts the job cannot finish
+// inside its deadline, Submit rejects with ErrDeadlineUnmeetable instead
+// of queueing work that is guaranteed to time out; anytime jobs are always
+// admitted and degrade to a partial result instead.
 func (s *Service) Submit(req *Request) (*Job, error) {
 	if req != nil {
 		// The effective ID is written back so even rejected submissions can
@@ -459,6 +539,17 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
+	anytime := s.cfg.Anytime
+	if req.Anytime != nil {
+		anytime = *req.Anytime
+	}
+	if !req.Deadline.IsZero() {
+		// The propagated client deadline caps whatever the body asked for —
+		// the client stops waiting at Deadline no matter what.
+		if rem := time.Until(req.Deadline); rem < timeout {
+			timeout = rem
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -466,6 +557,26 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 		s.rejected("draining").Inc()
 		s.logRejection(req, "rejected_draining")
 		return nil, ErrDraining
+	}
+	if !anytime {
+		if timeout <= 0 {
+			s.rejected("deadline").Inc()
+			s.admissionRejected("expired").Inc()
+			s.logRejection(req, "rejected_deadline")
+			return nil, fmt.Errorf("%w: deadline already expired", ErrDeadlineUnmeetable)
+		}
+		if !s.cfg.NoAdmission {
+			if est, ok := s.estimator.estimate(len(s.queue), s.cfg.Workers); ok && est > timeout {
+				s.rejected("deadline").Inc()
+				s.admissionRejected("unmeetable").Inc()
+				s.logRejection(req, "rejected_deadline")
+				return nil, fmt.Errorf("%w: estimated %v for a %v deadline",
+					ErrDeadlineUnmeetable, est.Round(time.Millisecond), timeout.Round(time.Millisecond))
+			}
+		}
+	}
+	if timeout < 0 {
+		timeout = 0 // expired anytime deadline: admit for the quality floor
 	}
 	job := &Job{
 		ID:          fmt.Sprintf("j%06d", s.seq.Add(1)),
@@ -477,8 +588,19 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 		state:       JobQueued,
 		done:        make(chan struct{}),
 		tree:        trace.NewTree(),
+		anytime:     anytime,
+		budget:      timeout,
+		deadline:    time.Now().Add(timeout),
 	}
-	job.ctx, job.cancel = context.WithTimeout(s.baseCtx, timeout)
+	if anytime {
+		// The soft deadline (job.deadline) governs quality via the stage
+		// budgets; the ctx carries only a far hard cap so a pathological
+		// job still terminates. MaxTimeout bounds any admissible job's
+		// unskippable stages (prepare + assembly + encode).
+		job.ctx, job.cancel = context.WithTimeout(s.baseCtx, timeout+s.cfg.MaxTimeout)
+	} else {
+		job.ctx, job.cancel = context.WithTimeout(s.baseCtx, timeout)
+	}
 	job.ctx = trace.WithRequestID(job.ctx, job.RequestID)
 	job.reqSpan = job.tree.StartSpan(trace.SpanRequest)
 	trace.Annotate(job.reqSpan, trace.AttrRequestID, job.RequestID)
@@ -536,6 +658,26 @@ func (s *Service) Job(id string) (*Job, bool) {
 
 // RetryAfter returns the configured 429 Retry-After hint.
 func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// RetryAfterEstimate computes the Retry-After hint for 429 responses from
+// live state — current queue depth × the latency estimator's mean job time,
+// clamped to [1s, 30s] — so a client backing off under overload waits
+// roughly one queue-drain instead of a fixed constant. Before the first job
+// has settled it falls back to the configured constant.
+func (s *Service) RetryAfterEstimate() time.Duration {
+	mean, ok := s.estimator.jobMean()
+	if !ok {
+		return s.cfg.RetryAfter
+	}
+	ra := time.Duration(len(s.queue)) * mean
+	if ra < time.Second {
+		ra = time.Second
+	}
+	if ra > 30*time.Second {
+		ra = 30 * time.Second
+	}
+	return ra
+}
 
 func validateRequest(req *Request) error {
 	if req == nil || req.Input == nil || req.Target == nil {
@@ -641,6 +783,9 @@ func (s *Service) settleJob(job *Job, res *JobResult, err error) {
 			outcome = "error"
 		}
 	}
+	if err == nil && res != nil && res.Partial {
+		s.partialResponses.Inc()
+	}
 	s.jobsTotal(outcome).Inc()
 	s.settleTrace(job, outcome, err)
 	if err != nil {
@@ -678,6 +823,9 @@ func (s *Service) settleTrace(job *Job, outcome string, jobErr error) {
 	if job.batchWave > 1 {
 		trace.Annotate(job.reqSpan, trace.AttrBatchSize, fmt.Sprintf("%d", job.batchWave))
 	}
+	if job.partial {
+		trace.Annotate(job.reqSpan, trace.AttrPartial, "true")
+	}
 	job.reqSpan.End()
 
 	roots := job.tree.Roots()
@@ -695,6 +843,12 @@ func (s *Service) settleTrace(job *Job, outcome string, jobErr error) {
 	for _, r := range roots {
 		total += int64(r.Duration)
 	}
+	if outcome == "done" && !job.partial {
+		// Complete successes train the admission estimator; failures and
+		// partials stopped early and would bias the mean toward optimism
+		// exactly when the service is overloaded.
+		s.estimator.observe(phases, total)
+	}
 
 	rec := &RecordedRequest{
 		RequestID:   job.RequestID,
@@ -710,6 +864,8 @@ func (s *Service) settleTrace(job *Job, outcome string, jobErr error) {
 		Quarantined: job.quarantined,
 		Retries:     retries,
 		Batched:     job.batched,
+		Partial:     job.partial,
+		BudgetNS:    job.budget.Nanoseconds(),
 		Phases:      phases,
 		Spans:       roots,
 	}
@@ -733,6 +889,8 @@ func (s *Service) settleTrace(job *Job, outcome string, jobErr error) {
 		Quarantined: job.quarantined,
 		Retries:     retries,
 		Batched:     job.batched,
+		Partial:     job.partial,
+		BudgetNS:    job.budget.Nanoseconds(),
 	})
 }
 
@@ -807,6 +965,8 @@ func (s *Service) jobOptions(job *Job, l *lease, tr trace.Collector) core.Option
 		Device:           l.dev,
 		Trace:            tr,
 		Resilience:       &core.Resilience{Retry: s.cfg.Retry, DisableFallback: s.cfg.NoCPUFallback},
+		Anytime:          job.anytime,
+		Deadline:         job.deadline,
 	}
 }
 
@@ -821,6 +981,9 @@ func (s *Service) finishAndEncode(job *Job, prep *core.Prepared, opts core.Optio
 	if err != nil {
 		return nil, err
 	}
+	for stage, ns := range res.BudgetRemaining {
+		s.budgetRemaining(stage).Set(float64(ns))
+	}
 	encSpan := job.tree.StartSpan(trace.SpanEncode)
 	var buf bytes.Buffer
 	if err := png.Encode(&buf, res.Mosaic.ToImage()); err != nil {
@@ -828,11 +991,20 @@ func (s *Service) finishAndEncode(job *Job, prep *core.Prepared, opts core.Optio
 		return nil, fmt.Errorf("service: encode: %w", err)
 	}
 	encSpan.End()
-	return &JobResult{
+	if job.anytime {
+		s.budgetRemaining("encode").Set(float64(time.Until(job.deadline).Nanoseconds()))
+	}
+	job.partial = res.Partial
+	jr := &JobResult{
 		PNG:        buf.Bytes(),
 		TotalError: res.TotalError,
 		Stats:      job.tree.Snapshot(),
-	}, nil
+		Partial:    res.Partial,
+	}
+	if res.AssignInfo != nil {
+		jr.CertifiedGap = res.AssignInfo.Gap
+	}
+	return jr, nil
 }
 
 // accessLine is one structured access-log record; all durations nanoseconds.
@@ -852,6 +1024,8 @@ type accessLine struct {
 	Quarantined bool             `json:"quarantined,omitempty"`
 	Retries     int64            `json:"retries,omitempty"`
 	Batched     bool             `json:"batched,omitempty"`
+	Partial     bool             `json:"partial,omitempty"`
+	BudgetNS    int64            `json:"budget_ns,omitempty"`
 }
 
 // logAccess writes one JSON line; writers are worker goroutines plus Submit

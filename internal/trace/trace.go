@@ -92,6 +92,10 @@ const (
 	// AttrBatchSize is the wave width (leader included) on every job of a
 	// coalesced Finish wave.
 	AttrBatchSize = "batch_size"
+	// AttrPartial marks a request settled with a deadline-budgeted anytime
+	// result: the search stopped at a safe point when the budget ran out
+	// instead of failing, so the mosaic is valid but unconverged.
+	AttrPartial = "partial"
 )
 
 // Counter names.
